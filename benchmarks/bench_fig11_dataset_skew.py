@@ -1,0 +1,32 @@
+"""Figure 11: tenant row counts at θ = 0.99 (the §6.1 test dataset).
+
+"the test data we simulated contains 1000 tenants, and the weight of
+tenant k is proportional to (1/k)^θ" — the figure plots per-tenant row
+counts against rank, spanning roughly 10k to 100M rows.  We regenerate
+the distribution with the same generator the other experiments consume.
+"""
+
+from harness import emit
+
+from repro.workload.zipf import ZipfTenantSampler
+
+N_TENANTS = 1000
+THETA = 0.99
+TOTAL_ROWS = 200_000_000  # paper-scale row budget for the distribution
+
+
+def test_fig11_dataset_tenant_row_counts(benchmark, capsys):
+    sampler = ZipfTenantSampler(N_TENANTS, THETA, seed=42)
+    counts = benchmark.pedantic(lambda: sampler.counts(TOTAL_ROWS), rounds=1, iterations=1)
+
+    emit(capsys, "", f"Figure 11 — tenant row counts at θ={THETA} (rank plot)")
+    emit(capsys, f"{'rank':>6} {'rows':>14}")
+    for rank in (1, 2, 5, 10, 50, 100, 500, 1000):
+        emit(capsys, f"{rank:>6} {counts[rank]:>14,}")
+
+    ranked = [counts[k] for k in range(1, N_TENANTS + 1)]
+    # Monotone decreasing, totals preserved, paper-like dynamic range.
+    assert all(a >= b for a, b in zip(ranked, ranked[1:]))
+    assert sum(ranked) == TOTAL_ROWS
+    assert ranked[0] > 10_000_000  # rank-1 tenant in the tens of millions
+    assert ranked[0] / ranked[-1] > 100  # >2 decades of spread

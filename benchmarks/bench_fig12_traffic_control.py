@@ -1,0 +1,78 @@
+"""Figure 12: system performance under different balancing algorithms.
+
+(a) write throughput, (b) write latency (batch of 1000), and (c) number
+of route rules, as the Zipf skew factor θ grows, for three policies:
+no balancing, the greedy algorithm (Algorithm 2), and the max-flow
+algorithm (Algorithm 3, Dinic).
+
+Paper shape: without flow control, throughput collapses and latency
+explodes as θ → 0.99; both algorithms hold performance near the uniform
+case; max-flow achieves it with fewer route rules.
+"""
+
+import pytest
+
+from harness import emit, run_traffic
+
+THETAS = [0.0, 0.2, 0.4, 0.6, 0.8, 0.99]
+POLICIES = ["none", "greedy", "maxflow"]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        (theta, policy): run_traffic(theta, policy)
+        for theta in THETAS
+        for policy in POLICIES
+    }
+
+
+def test_fig12_traffic_control_sweep(benchmark, sweep, capsys):
+    benchmark.pedantic(lambda: run_traffic(0.99, "maxflow"), rounds=1, iterations=1)
+
+    emit(capsys, "", "Figure 12 — throughput / latency / routes vs skew factor θ")
+    header = (
+        f"{'θ':>5} | " + " | ".join(
+            f"{p:^9} {'lat(ms)':>8} {'routes':>7}" for p in POLICIES
+        )
+    )
+    emit(capsys, f"{'':>5} | " + " | ".join(f"{'thpt(M/s)':>9} {'':>8} {'':>7}" for _ in POLICIES))
+    emit(capsys, header)
+    emit(capsys, "-" * len(header))
+    for theta in THETAS:
+        cells = []
+        for policy in POLICIES:
+            result = sweep[(theta, policy)].result
+            cells.append(
+                f"{result.steady_state_throughput_rps() / 1e6:>9.2f} "
+                f"{result.mean_batch_latency_s() * 1000:>8.0f} "
+                f"{result.final_routes():>7}"
+            )
+        emit(capsys, f"{theta:>5} | " + " | ".join(cells))
+
+    offered = sum(sweep[(0.99, "none")].traffic.values())
+
+    # (a) throughput: collapse without control at high θ; both
+    # algorithms stay at the offered load (the "uniform" level).
+    none_high = sweep[(0.99, "none")].result
+    assert none_high.steady_state_throughput_rps() < 0.92 * offered
+    for policy in ("greedy", "maxflow"):
+        result = sweep[(0.99, policy)].result
+        assert result.steady_state_throughput_rps() > 0.95 * offered
+    none_low = sweep[(0.0, "none")].result
+    assert none_low.steady_state_throughput_rps() > 0.97 * offered
+
+    # (b) latency: explodes without control at θ=0.99 (paper: ~2000 ms),
+    # stays near the uniform level with either algorithm.
+    assert none_high.mean_batch_latency_s() > 2.0
+    assert sweep[(0.99, "maxflow")].result.mean_batch_latency_s() < 0.5
+    assert sweep[(0.99, "greedy")].result.mean_batch_latency_s() < 1.0
+    assert none_low.mean_batch_latency_s() < 0.2
+
+    # (c) routes: max-flow adds fewer rules than greedy on the sweep
+    # (the paper's Fig 12c), and both only add rules as skew grows.
+    baseline_routes = 1000  # one consistent-hash route per tenant
+    greedy_total = sum(sweep[(t, "greedy")].result.final_routes() for t in THETAS)
+    maxflow_total = sum(sweep[(t, "maxflow")].result.final_routes() for t in THETAS)
+    assert maxflow_total < greedy_total
+    assert sweep[(0.0, "maxflow")].result.final_routes() == baseline_routes

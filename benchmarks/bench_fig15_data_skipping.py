@@ -1,0 +1,72 @@
+"""Figure 15: impact of the data-skipping strategy on query latency.
+
+§6.3.1 setup: a Zipfian (θ=0.99) corpus, six queries per tenant, and
+latency compared with the skipping strategy on vs off for the top-100
+tenants.  Paper result: "the average query latency has improved by 1.7
+times.  The largest tenant has the most significant improvement,
+reaching 2.6 times ... when the amount of data is relatively small, the
+performance improvement is not significant."
+"""
+
+import pytest
+
+from harness import emit, make_env, per_tenant_latency, query_set
+
+from repro.query.executor import ExecutionOptions
+
+TOP_TENANTS = 20  # of 100 (paper: top 100 of 1000; same Zipf top-decile)
+
+
+@pytest.fixture(scope="module")
+def latencies(dataset):
+    tenants = list(range(1, TOP_TENANTS + 1))
+    specs = query_set(tenants)
+    with_skipping = make_env(dataset, options=ExecutionOptions(use_skipping=True))
+    without_skipping = make_env(dataset, options=ExecutionOptions(use_skipping=False))
+    # Cold caches per query: isolate skipping from the cache tiers.
+    return (
+        per_tenant_latency(with_skipping, specs, cold=True),
+        per_tenant_latency(without_skipping, specs, cold=True),
+    )
+
+
+def test_fig15_data_skipping(benchmark, dataset, latencies, capsys):
+    enabled, disabled = latencies
+
+    env = make_env(dataset, options=ExecutionOptions(use_skipping=True))
+    spec = query_set([1])[5]  # the combined-filter template, largest tenant
+    benchmark.pedantic(lambda: env.run_query(spec.sql), rounds=1, iterations=1)
+
+    emit(capsys, "", "Figure 15 — query latency with vs without data skipping (ms)")
+    emit(capsys, f"{'tenant rank':>12} {'with skipping':>14} {'w/o skipping':>13} {'speedup':>8}")
+    for rank in range(1, TOP_TENANTS + 1):
+        speedup = disabled[rank] / max(enabled[rank], 1e-9)
+        emit(
+            capsys,
+            f"{rank:>12} {enabled[rank] * 1000:>14.1f} {disabled[rank] * 1000:>13.1f} "
+            f"{speedup:>7.1f}x",
+        )
+
+    mean_enabled = sum(enabled.values()) / len(enabled)
+    mean_disabled = sum(disabled.values()) / len(disabled)
+    mean_speedup = mean_disabled / mean_enabled
+    largest_speedup = disabled[1] / max(enabled[1], 1e-9)
+    small_ranks = list(range(TOP_TENANTS - 4, TOP_TENANTS + 1))
+    small_speedup = sum(disabled[r] for r in small_ranks) / max(
+        sum(enabled[r] for r in small_ranks), 1e-9
+    )
+    emit(
+        capsys,
+        "",
+        f"mean speedup: {mean_speedup:.1f}x (paper: 1.7x)   "
+        f"largest tenant: {largest_speedup:.1f}x (paper: 2.6x)   "
+        f"smallest of top-{TOP_TENANTS}: {small_speedup:.1f}x",
+    )
+
+    # Shape: skipping helps on average; helps the largest tenant the
+    # most; helps small tenants less than the largest one.
+    assert mean_speedup > 1.2
+    assert largest_speedup >= mean_speedup * 0.9
+    assert largest_speedup > small_speedup
+    # Never slower in aggregate.
+    assert mean_enabled < mean_disabled

@@ -1,0 +1,81 @@
+"""Figure 17: overall effect of all query optimizations (latency CDF).
+
+§6.3.3 runs the full mixed query workload before and after enabling all
+optimizations.  Paper: before — >50% of queries over 10 s, 1% over
+30 s; after — 99% under 2 s, 90% under 1 s, 75% under 100 ms.
+
+Absolute values depend on the testbed; the reproduced *shape* is the
+large rightward-to-leftward CDF shift and the ordering of the quantile
+thresholds.
+"""
+
+import pytest
+
+from harness import emit, make_env, query_set
+
+from repro.metrics.stats import Histogram
+from repro.query.executor import ExecutionOptions
+
+N_TENANTS_QUERIED = 40  # mixed workload across large and small tenants
+
+
+@pytest.fixture(scope="module")
+def cdfs(dataset):
+    from harness import latency_histogram
+
+    tenants = list(range(1, N_TENANTS_QUERIED + 1))
+    specs = query_set(tenants)
+    # "After": everything from §5 on — skipping, indexes, prefetch, and
+    # the multi-level cache warming across the mixed workload.
+    optimized_env = make_env(
+        dataset,
+        options=ExecutionOptions(use_skipping=True, use_prefetch=True, use_indexes=True),
+    )
+    # "Before": none of them (cold caches per query — caching is one of
+    # the optimizations being disabled).
+    baseline_env = make_env(
+        dataset,
+        options=ExecutionOptions(use_skipping=False, use_prefetch=False, use_indexes=False),
+    )
+    optimized = latency_histogram(optimized_env, specs, cold=False)
+    baseline = latency_histogram(baseline_env, specs, cold=True)
+    return baseline, optimized
+
+
+def test_fig17_overall_optimizations(benchmark, dataset, cdfs, capsys):
+    baseline, optimized = cdfs
+    env = make_env(dataset)
+    spec = query_set([1])[5]
+    benchmark.pedantic(lambda: env.run_query(spec.sql), rounds=1, iterations=1)
+
+    emit(capsys, "", "Figure 17 — query latency CDF, before vs after all optimizations")
+    emit(capsys, f"{'fraction under':>15} {'before':>10} {'after':>10}")
+    thresholds = [0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0]
+    for threshold in thresholds:
+        emit(
+            capsys,
+            f"{threshold:>13.1f}s {baseline.fraction_below(threshold):>10.2f} "
+            f"{optimized.fraction_below(threshold):>10.2f}",
+        )
+    before_summary = baseline.summary()
+    after_summary = optimized.summary()
+    emit(
+        capsys,
+        "",
+        f"p50 {before_summary.p50_s * 1000:.0f} ms -> {after_summary.p50_s * 1000:.0f} ms;  "
+        f"p90 {before_summary.p90_s * 1000:.0f} ms -> {after_summary.p90_s * 1000:.0f} ms;  "
+        f"p99 {before_summary.p99_s * 1000:.0f} ms -> {after_summary.p99_s * 1000:.0f} ms",
+    )
+
+    # Paper-shaped claims (our corpus is ~1000x smaller, so absolute
+    # latencies sit lower; the paper's thresholds are still met):
+    assert optimized.fraction_below(2.0) > 0.98   # paper: 99% < 2 s
+    assert optimized.fraction_below(1.0) > 0.90   # paper: 90% < 1 s
+    assert optimized.fraction_below(0.1) > 0.70   # paper: 75% < 100 ms
+    # The unoptimized system has a heavy tail the optimized one lacks
+    # (paper: >50% of baseline queries exceed 10 s at production scale).
+    assert baseline.fraction_below(0.5) < optimized.fraction_below(0.5)
+    assert baseline.fraction_below(0.1) < optimized.fraction_below(0.1)
+    assert after_summary.p99_s < before_summary.p99_s / 3
+    assert after_summary.p90_s < before_summary.p90_s / 2
+    assert after_summary.p50_s < before_summary.p50_s

@@ -1,0 +1,20 @@
+"""Benchmark suite configuration.
+
+Makes ``benchmarks/`` importable as a package root so figure benches can
+``import harness``, and provides the shared archived dataset.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from harness import ArchivedDataset, build_dataset  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def dataset() -> ArchivedDataset:
+    """The §6.3 corpus (built once per session, ~48 h of Zipfian logs)."""
+    return build_dataset()

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy `pip install -e .` in offline environments
+that lack the `wheel` package required by PEP 660 editable installs."""
+
+from setuptools import setup
+
+setup()

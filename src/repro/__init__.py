@@ -1,0 +1,44 @@
+"""repro — a reproduction of *LogStore: A Cloud-Native and Multi-Tenant
+Log Database* (Cao et al., SIGMOD 2021).
+
+The public API surface:
+
+* :class:`LogStore` / :class:`LogStoreConfig` — a complete in-process
+  cluster: two-phase writes, per-tenant LogBlocks on simulated OSS,
+  global traffic control, skipping/caching/prefetching queries.
+* :func:`request_log_schema` / :class:`TableSchema` — table definitions.
+* :class:`LogBlockWriter` / :class:`LogBlockReader` — the columnar
+  format, usable standalone.
+* ``repro.flow`` — the max-flow/greedy traffic balancers, usable against
+  any topology.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.cluster.config import LogStoreConfig, small_test_config
+from repro.cluster.logstore import LogStore
+from repro.logblock.reader import LogBlockReader
+from repro.logblock.schema import (
+    ColumnSpec,
+    ColumnType,
+    IndexType,
+    TableSchema,
+    request_log_schema,
+)
+from repro.logblock.writer import LogBlockWriter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LogStore",
+    "LogStoreConfig",
+    "small_test_config",
+    "LogBlockReader",
+    "LogBlockWriter",
+    "ColumnSpec",
+    "ColumnType",
+    "IndexType",
+    "TableSchema",
+    "request_log_schema",
+    "__version__",
+]

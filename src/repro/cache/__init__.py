@@ -1,0 +1,16 @@
+"""Multi-level data cache: object cache, memory and SSD block tiers (§5.2)."""
+
+from repro.cache.block_cache import CacheTierStats, LruBlockCache, TieredBlockCache
+from repro.cache.multilevel import CachingRangeReader, CacheSummary, MultiLevelCache
+from repro.cache.object_cache import ObjectCache, ObjectCacheStats
+
+__all__ = [
+    "CacheTierStats",
+    "LruBlockCache",
+    "TieredBlockCache",
+    "CachingRangeReader",
+    "CacheSummary",
+    "MultiLevelCache",
+    "ObjectCache",
+    "ObjectCacheStats",
+]

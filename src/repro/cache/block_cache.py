@@ -1,0 +1,150 @@
+"""Byte-range block caches: memory tier spilling to an SSD tier.
+
+§5.2: "We put each file block loaded from OSS into the memory block
+cache (8GB).  When its size exceeds the threshold, the memory cache
+will spill to the SSD block cache (200GB).  The block manager is
+responsible for the expiration and swapping of the cache."
+
+Keys are ``(bucket, key, start, length)`` — a specific byte range of a
+specific object, which is exactly what the pack reader requests.
+Eviction is LRU per tier; evicted memory blocks demote to the SSD tier,
+SSD evictions are discarded (OSS remains the source of truth).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+BlockKey = tuple[str, str, int, int]
+
+
+@dataclass
+class CacheTierStats:
+    """Hit/miss/eviction counters for one tier."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    bytes_cached: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LruBlockCache:
+    """A single LRU tier bounded by total cached bytes."""
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        self.name = name
+        self._capacity = capacity_bytes
+        self._entries: OrderedDict[BlockKey, bytes] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheTierStats()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    def get(self, key: BlockKey) -> bytes | None:
+        with self._lock:
+            data = self._entries.get(key)
+            if data is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return data
+
+    def put(self, key: BlockKey, data: bytes) -> list[tuple[BlockKey, bytes]]:
+        """Insert; returns the entries evicted to make room.
+
+        A block larger than the whole tier is not cached (and nothing is
+        evicted for it).
+        """
+        if len(data) > self._capacity:
+            return []
+        evicted: list[tuple[BlockKey, bytes]] = []
+        with self._lock:
+            if key in self._entries:
+                old = self._entries.pop(key)
+                self.stats.bytes_cached -= len(old)
+            self._entries[key] = data
+            self.stats.bytes_cached += len(data)
+            self.stats.insertions += 1
+            while self.stats.bytes_cached > self._capacity:
+                victim_key, victim = self._entries.popitem(last=False)
+                self.stats.bytes_cached -= len(victim)
+                self.stats.evictions += 1
+                evicted.append((victim_key, victim))
+        return evicted
+
+    def invalidate_object(self, bucket: str, key: str) -> int:
+        """Drop all ranges of one object (e.g. after expiry); returns count."""
+        with self._lock:
+            victims = [k for k in self._entries if k[0] == bucket and k[1] == key]
+            for victim in victims:
+                data = self._entries.pop(victim)
+                self.stats.bytes_cached -= len(data)
+            return len(victims)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats.bytes_cached = 0
+
+
+class TieredBlockCache:
+    """Memory tier + SSD tier with demotion, fronted as one cache.
+
+    The SSD tier charges its cost model on hits (reading from local SSD
+    is not free, just much cheaper than OSS); the memory tier is free.
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int = 8 * 1024 * 1024 * 1024,
+        ssd_bytes: int = 200 * 1024 * 1024 * 1024,
+        ssd_read_cost: float = 0.0,
+        charge: callable = None,
+    ) -> None:
+        self.memory = LruBlockCache("memory", memory_bytes)
+        self.ssd = LruBlockCache("ssd", ssd_bytes)
+        self._ssd_read_cost = ssd_read_cost
+        self._charge = charge
+
+    def get(self, key: BlockKey) -> bytes | None:
+        data = self.memory.get(key)
+        if data is not None:
+            return data
+        data = self.ssd.get(key)
+        if data is not None:
+            if self._charge is not None and self._ssd_read_cost > 0:
+                self._charge(self._ssd_read_cost + len(data) / 2e9)
+            # Promote back to memory on SSD hit.
+            for victim_key, victim in self.memory.put(key, data):
+                self.ssd.put(victim_key, victim)
+            return data
+        return None
+
+    def put(self, key: BlockKey, data: bytes) -> None:
+        for victim_key, victim in self.memory.put(key, data):
+            self.ssd.put(victim_key, victim)
+
+    def invalidate_object(self, bucket: str, key: str) -> int:
+        return self.memory.invalidate_object(bucket, key) + self.ssd.invalidate_object(
+            bucket, key
+        )
+
+    def clear(self) -> None:
+        self.memory.clear()
+        self.ssd.clear()

@@ -1,0 +1,93 @@
+"""Decoded-object cache (§5.2 "object memory cache").
+
+Caches *parsed* objects — LogBlock metas, decoded indexes, decompressed
+column blocks — keyed by (blob, member).  The paper motivates this tier
+by allocation/GC pressure in the JVM; in Python the analogous win is
+skipping repeated decompression + deserialization of the same member.
+Capacity is bounded by an approximate size estimate per entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+ObjectKey = tuple[str, str, str]  # (bucket, blob_key, member_or_tag)
+
+
+@dataclass
+class ObjectCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    approx_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ObjectCache:
+    """LRU cache of decoded objects with approximate byte accounting."""
+
+    def __init__(self, capacity_bytes: int = 512 * 1024 * 1024) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        self._capacity = capacity_bytes
+        self._entries: OrderedDict[ObjectKey, tuple[object, int]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = ObjectCacheStats()
+
+    def get(self, key: ObjectKey) -> object | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[0]
+
+    def put(self, key: ObjectKey, value: object, approx_bytes: int) -> None:
+        if approx_bytes > self._capacity:
+            return
+        with self._lock:
+            if key in self._entries:
+                _old, old_size = self._entries.pop(key)
+                self.stats.approx_bytes -= old_size
+            self._entries[key] = (value, approx_bytes)
+            self.stats.approx_bytes += approx_bytes
+            while self.stats.approx_bytes > self._capacity:
+                _victim_key, (_victim, size) = self._entries.popitem(last=False)
+                self.stats.approx_bytes -= size
+                self.stats.evictions += 1
+
+    def get_or_load(
+        self, key: ObjectKey, loader: Callable[[], tuple[object, int]]
+    ) -> object:
+        """Fetch from cache, or call ``loader`` → (value, approx_bytes)."""
+        value = self.get(key)
+        if value is not None:
+            return value
+        value, approx_bytes = loader()
+        self.put(key, value, approx_bytes)
+        return value
+
+    def invalidate_blob(self, bucket: str, blob_key: str) -> int:
+        with self._lock:
+            victims = [k for k in self._entries if k[0] == bucket and k[1] == blob_key]
+            for victim in victims:
+                _value, size = self._entries.pop(victim)
+                self.stats.approx_bytes -= size
+            return len(victims)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats.approx_bytes = 0

@@ -1,0 +1,30 @@
+"""Cluster layer: brokers, workers, controller, the LogStore facade."""
+
+from repro.cluster.broker import Broker, QueryResult
+from repro.cluster.config import LogStoreConfig, small_test_config
+from repro.cluster.controller import Controller, build_topology
+from repro.cluster.logstore import LogStore
+from repro.cluster.shard import Shard
+from repro.cluster.simulation import (
+    IngestModelParams,
+    IngestSimulator,
+    SimulationResult,
+    access_stddev_series,
+)
+from repro.cluster.worker import Worker
+
+__all__ = [
+    "Broker",
+    "QueryResult",
+    "LogStoreConfig",
+    "small_test_config",
+    "Controller",
+    "build_topology",
+    "LogStore",
+    "Shard",
+    "IngestModelParams",
+    "IngestSimulator",
+    "SimulationResult",
+    "access_stddev_series",
+    "Worker",
+]

@@ -1,0 +1,144 @@
+"""Broker: parses/plans queries, routes writes, merges shard results.
+
+The distributed query layer of Figure 3.  A broker:
+
+* on a **write**, splits the tenant's batch across its shards using the
+  routing table's weights and dispatches each piece to the owning
+  worker;
+* on a **query**, parses and plans the SQL, fans the plan out to (a)
+  the archived LogBlocks on OSS via the skipping/caching/prefetching
+  executor and (b) the row stores of the shards in the tenant's *read*
+  route (new plan ∪ old plan, §4.1.5), then merges and finalizes
+  (aggregate or order/limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.multilevel import CachingRangeReader
+from repro.cluster.controller import Controller
+from repro.cluster.worker import Worker
+from repro.common.clock import VirtualClock
+from repro.common.errors import ShardNotFound, WorkerNotFound
+from repro.metrics.stats import Counter
+from repro.query.aggregate import Aggregator, apply_order_limit
+from repro.query.executor import (
+    BlockExecutor,
+    ExecutionOptions,
+    ExecutionStats,
+    filter_realtime_rows,
+)
+from repro.query.planner import QueryPlan, QueryPlanner
+from repro.query.sql import parse_sql
+
+
+@dataclass
+class QueryResult:
+    """What a query returns to the client."""
+
+    rows: list[dict]
+    latency_s: float
+    plan: QueryPlan
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+    realtime_rows: int = 0
+    archived_rows: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Broker:
+    """One query-layer node."""
+
+    def __init__(
+        self,
+        broker_id: str,
+        controller: Controller,
+        workers: dict[str, Worker],
+        range_reader: CachingRangeReader,
+        clock: VirtualClock,
+        options: ExecutionOptions | None = None,
+    ) -> None:
+        self.broker_id = broker_id
+        self._controller = controller
+        self._workers = workers
+        self._clock = clock
+        self.options = options if options is not None else ExecutionOptions()
+        self._planner = QueryPlanner(controller.catalog)
+        self._executor = BlockExecutor(range_reader, controller.config.bucket, self.options)
+        self.writes_routed = Counter(f"{broker_id}.writes")
+        self.queries_served = Counter(f"{broker_id}.queries")
+
+    # -- write path ---------------------------------------------------------
+
+    def _shard_worker(self, shard_id: int) -> Worker:
+        worker_id = self._controller.topology.shard_worker.get(shard_id)
+        if worker_id is None:
+            raise ShardNotFound(f"shard {shard_id} not in topology")
+        worker = self._workers.get(worker_id)
+        if worker is None:
+            raise WorkerNotFound(f"worker {worker_id!r} not registered")
+        return worker
+
+    def write(self, tenant_id: int, rows: list[dict]) -> dict[int, int]:
+        """Route one tenant batch; returns shard → record count."""
+        if not rows:
+            return {}
+        self._controller.catalog.ensure_tenant(tenant_id, created_at=self._clock.now())
+        self._controller.ensure_route(tenant_id)
+        split = self._controller.routing.split_batch(tenant_id, len(rows))
+        dispatched: dict[int, int] = {}
+        cursor = 0
+        for shard_id, count in split.items():
+            piece = rows[cursor : cursor + count]
+            cursor += count
+            self._shard_worker(shard_id).write(shard_id, piece)
+            dispatched[shard_id] = count
+        self.writes_routed.add(len(rows))
+        return dispatched
+
+    # -- query path ---------------------------------------------------------
+
+    def query(self, sql: str) -> QueryResult:
+        """Parse, plan, execute, merge.  Latency is virtual-clock time."""
+        start = self._clock.now()
+        parsed = parse_sql(sql)
+        plan = self._planner.plan(parsed)
+
+        # Archived data (OSS LogBlocks).
+        archived_rows, stats = self._executor.execute(plan)
+
+        # Real-time data from the row stores of the read route.
+        realtime_rows: list[dict] = []
+        if plan.tenant_id is not None:
+            shard_ids = self._controller.routing.route_read(plan.tenant_id)
+        else:
+            shard_ids = self._controller.topology.shards
+        for shard_id in shard_ids:
+            worker = self._shard_worker(shard_id)
+            shard = worker.shards.get(shard_id)
+            if shard is None:
+                continue
+            raw = shard.scan_realtime(
+                min_ts=plan.min_ts, max_ts=plan.max_ts, tenant_id=plan.tenant_id
+            )
+            realtime_rows.extend(filter_realtime_rows(plan, raw))
+
+        merged = archived_rows + realtime_rows
+        if parsed.is_aggregate:
+            aggregator = Aggregator(parsed)
+            aggregator.consume_many(merged)
+            final = aggregator.results()
+        else:
+            final = apply_order_limit(parsed, merged)
+
+        self.queries_served.add()
+        return QueryResult(
+            rows=final,
+            latency_s=self._clock.now() - start,
+            plan=plan,
+            stats=stats,
+            realtime_rows=len(realtime_rows),
+            archived_rows=len(archived_rows),
+        )

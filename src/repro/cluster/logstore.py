@@ -1,0 +1,354 @@
+"""The LogStore facade: one object wiring the whole system together.
+
+Construction builds the Figure 3 stack over an in-process object store:
+
+* a virtual clock and a metered OSS (cost model from the config),
+* the controller (catalog, routing, hotspot manager, task manager),
+* workers with shards (row stores, optionally Raft-replicated) and a
+  shared data builder,
+* brokers with the multi-level cache and the skipping/prefetching
+  query executor.
+
+Typical use::
+
+    store = LogStore.create(schema=request_log_schema())
+    store.put(tenant_id=1, rows=[...])
+    store.run_background_tasks()          # archive sealed data to OSS
+    result = store.query("SELECT log FROM request_log WHERE ...")
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.builder.builder import BuildReport, DataBuilder
+from repro.cache.multilevel import CachingRangeReader, MultiLevelCache
+from repro.cluster.broker import Broker, QueryResult
+from repro.cluster.config import LogStoreConfig
+from repro.cluster.controller import Controller
+from repro.cluster.shard import Shard
+from repro.cluster.worker import Worker
+from repro.common.clock import VirtualClock
+from repro.common.errors import ClusterError, WorkerNotFound
+from repro.flow.monitor import TrafficSample
+from repro.logblock.schema import TableSchema, request_log_schema
+from repro.meta.catalog import Catalog
+from repro.meta.expiry import ExpiryReport
+from repro.oss.metered import MeteredObjectStore
+from repro.oss.store import InMemoryObjectStore, ObjectStore
+from repro.query.executor import ExecutionOptions
+
+
+class LogStore:
+    """A complete single-process LogStore cluster."""
+
+    def __init__(
+        self,
+        config: LogStoreConfig,
+        schema: TableSchema,
+        backend: ObjectStore | None = None,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        self.config = config
+        self.schema = schema
+        self.clock = clock if clock is not None else VirtualClock()
+        inner = backend if backend is not None else InMemoryObjectStore()
+        self.oss = MeteredObjectStore(inner, config.oss_model, self.clock)
+        self.oss.create_bucket(config.bucket)
+
+        self.catalog = Catalog(schema)
+        self.controller = Controller(config, self.catalog, self.oss, self.clock)
+
+        builder = DataBuilder(
+            schema,
+            self.oss,
+            config.bucket,
+            self.catalog,
+            codec=config.codec,
+            block_rows=config.block_rows,
+            target_rows=config.target_rows_per_logblock,
+            build_indexes=config.build_indexes,
+        )
+
+        self._builder = builder
+        self.workers: dict[str, Worker] = {}
+        for worker_index in range(config.n_workers):
+            self._provision_worker(worker_index)
+        for shard_id in range(config.n_shards):
+            self._provision_shard(shard_id)
+        self.controller.set_scale_hook(self._scale_cluster_hook)
+
+        self.cache = MultiLevelCache(
+            memory_bytes=config.cache_memory_bytes,
+            ssd_bytes=config.cache_ssd_bytes,
+            object_bytes=config.cache_object_bytes,
+            charge=self.clock.sleep,
+        )
+        self._range_reader = CachingRangeReader(self.oss, self.cache)
+        options = ExecutionOptions(
+            use_skipping=config.use_skipping,
+            use_prefetch=config.use_prefetch,
+            prefetch_threads=config.prefetch_threads,
+        )
+        self.brokers = [
+            Broker(f"broker-{i}", self.controller, self.workers, self._range_reader, self.clock, options)
+            for i in range(2)
+        ]
+        self._broker_cycle = itertools.cycle(self.brokers)
+
+        from repro.cluster.hotspot_loop import HotspotLoop, TenantTrafficTracker
+
+        self.traffic_tracker = TenantTrafficTracker()
+        self.hotspot_loop = HotspotLoop(self.controller, self.traffic_tracker, self.clock)
+
+    # -- provisioning ----------------------------------------------------
+
+    def _provision_worker(self, worker_index: int) -> Worker:
+        worker_id = self.config.worker_id(worker_index)
+        worker = Worker(worker_id, self.config.worker_capacity_rps, self._builder)
+        self.workers[worker_id] = worker
+        self.controller.register_worker(worker)
+        return worker
+
+    def _provision_shard(self, shard_id: int) -> Shard:
+        worker_id = self.config.worker_of_shard(shard_id)
+        shard = Shard(
+            shard_id,
+            worker_id,
+            self.config.shard_capacity_rps,
+            self.config.seal_rows,
+            self.config.seal_bytes,
+            self.clock,
+            use_raft=self.config.use_raft,
+            replicas=self.config.replicas,
+            wal_only_replicas=self.config.wal_only_replicas,
+            seed=self.config.seed,
+        )
+        self.workers[worker_id].add_shard(shard)
+        return shard
+
+    def _live_topology(self):
+        """Topology from the *actual* shard placement (which diverges
+        from the static formula after failures re-host shards)."""
+        from repro.flow.graph import ClusterTopology
+
+        shard_worker: dict[int, str] = {}
+        worker_capacity: dict[str, float] = {}
+        for worker_id, worker in self.workers.items():
+            worker_capacity[worker_id] = worker.capacity_rps
+            for shard_id in worker.shards:
+                shard_worker[shard_id] = worker_id
+        shard_capacity = {
+            shard_id: self.config.shard_capacity_rps for shard_id in shard_worker
+        }
+        return ClusterTopology(
+            shard_worker, shard_capacity, worker_capacity, alpha=self.config.alpha
+        )
+
+    def scale_out(self, n_new_workers: int | None = None):
+        """ScaleCluster() (Algorithm 1 lines 24-27): add workers/shards.
+
+        Provisions new ECS-node stand-ins, extends the hash ring (new
+        tenants can land there; existing routes are untouched), and
+        returns the new topology.
+        """
+        added = n_new_workers if n_new_workers is not None else self.config.scale_step_workers
+        if added <= 0:
+            raise ValueError(f"must add at least one worker, got {added}")
+        first_new_worker = self.config.n_workers
+        first_new_shard = self.config.n_shards
+        self.config.n_workers += added
+        for worker_index in range(first_new_worker, self.config.n_workers):
+            self._provision_worker(worker_index)
+        for shard_id in range(first_new_shard, self.config.n_shards):
+            self._provision_shard(shard_id)
+            self.controller.ring.add_shard(shard_id)
+        topology = self._live_topology()
+        self.controller.retarget(topology)
+        return topology
+
+    def _scale_cluster_hook(self):
+        return self.scale_out()
+
+    def fail_worker(self, worker_id: str) -> dict[int, str]:
+        """Handle an abnormal node (§3: the controller "removes it from
+        the router table and schedules tasks for node recovery").
+
+        Each of the failed worker's shards is re-hosted on the
+        least-loaded surviving worker.  The shard's row store moves with
+        it — this models Raft failover, where a surviving full replica
+        (which holds the same row-store state) takes over leadership on
+        another node; no data is migrated, matching the shared-data
+        design.  Returns the new shard → worker placement.
+        """
+        if worker_id not in self.workers:
+            raise WorkerNotFound(worker_id)
+        if len(self.workers) == 1:
+            raise ClusterError("cannot fail the last worker")
+        failed = self.workers.pop(worker_id)
+        self.controller.workers.pop(worker_id, None)
+        moves: dict[int, str] = {}
+        for shard in failed.shards.values():
+            target = min(
+                self.workers.values(), key=lambda w: (len(w.shards), w.worker_id)
+            )
+            shard.worker_id = target.worker_id
+            target.add_shard(shard)
+            moves[shard.shard_id] = target.worker_id
+        self.controller.retarget(self._live_topology())
+        return moves
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        schema: TableSchema | None = None,
+        config: LogStoreConfig | None = None,
+        backend: ObjectStore | None = None,
+        clock: VirtualClock | None = None,
+    ) -> "LogStore":
+        """Build a cluster with sensible defaults (request_log schema)."""
+        return cls(
+            config=config if config is not None else LogStoreConfig(),
+            schema=schema if schema is not None else request_log_schema(),
+            backend=backend,
+            clock=clock,
+        )
+
+    @classmethod
+    def attach(
+        cls,
+        backend: ObjectStore,
+        schema: TableSchema | None = None,
+        config: LogStoreConfig | None = None,
+        clock: VirtualClock | None = None,
+    ) -> "LogStore":
+        """Re-open a cluster over an existing bucket (controller restart).
+
+        Restores the catalog from the newest snapshot when one exists;
+        otherwise rebuilds the LogBlock map by scanning the bucket (the
+        §3.2 self-contained-blocks guarantee).  Archived data becomes
+        queryable immediately; row-store contents are per-node state and
+        recover through shard WALs / Raft, not here.
+        """
+        from repro.meta.persistence import (
+            load_catalog_into,
+            rebuild_catalog_from_store,
+        )
+
+        store = cls.create(schema=schema, config=config, backend=backend, clock=clock)
+        if not load_catalog_into(store.catalog, store.oss, store.config.bucket):
+            rebuild_catalog_from_store(store.catalog, store.oss, store.config.bucket)
+        return store
+
+    def persist_catalog(self) -> str:
+        """Snapshot the controller metadata into the bucket (§3's
+        checkpoint of the MetaData DB).  Returns the snapshot key."""
+        from repro.meta.persistence import save_catalog
+
+        return save_catalog(self.catalog, self.oss, self.config.bucket)
+
+    # -- client API (what the SLB would front) --------------------------------
+
+    def _broker(self) -> Broker:
+        """SLB stand-in: round-robin across brokers."""
+        return next(self._broker_cycle)
+
+    def register_tenant(
+        self, tenant_id: int, name: str = "", retention_s: float | None = None
+    ):
+        return self.catalog.register_tenant(
+            tenant_id, name=name, retention_s=retention_s, created_at=self.clock.now()
+        )
+
+    def put(self, tenant_id: int, rows: list[dict]) -> dict[int, int]:
+        """Write a batch of rows for one tenant."""
+        for row in rows:
+            if row.get("tenant_id") != tenant_id:
+                raise ValueError(
+                    f"row tenant_id {row.get('tenant_id')!r} does not match {tenant_id}"
+                )
+        self.traffic_tracker.record(tenant_id, len(rows))
+        return self._broker().write(tenant_id, rows)
+
+    def start_hotspot_loop(self) -> None:
+        """Arm the §4.1.3 monitor loop (every ``monitor_interval_s`` of
+        cluster time, driven by the cluster clock)."""
+        self.hotspot_loop.start()
+
+    def query(self, sql: str) -> QueryResult:
+        """Execute one SQL query."""
+        return self._broker().query(sql)
+
+    def explain(self, sql: str) -> str:
+        """Plan a query without executing it; returns the EXPLAIN text."""
+        from repro.query.planner import QueryPlanner, explain_plan
+        from repro.query.sql import parse_sql
+
+        plan = QueryPlanner(self.catalog).plan(parse_sql(sql))
+        return explain_plan(plan)
+
+    # -- admin / background ---------------------------------------------------
+
+    def run_background_tasks(self) -> BuildReport:
+        """Archive all sealed memtables to OSS (the builder task)."""
+        return self.controller.archive_all()
+
+    def flush_all(self) -> BuildReport:
+        """Seal + archive everything (tests and shutdown)."""
+        return self.controller.flush_all()
+
+    def checkpoint_all(self) -> dict[int, int]:
+        """Run the §3 periodic checkpoint task on every shard.
+
+        Raft shards compact their replicated logs; plain shards compact
+        their local WALs.  Returns shard → checkpoint index/sequence.
+        """
+        results: dict[int, int] = {}
+        for worker in self.workers.values():
+            for shard_id, shard in worker.shards.items():
+                results[shard_id] = shard.checkpoint()
+        return results
+
+    def expire_data(self, now_ts: int | None = None) -> ExpiryReport:
+        """Run retention-based deletion; invalidates caches for victims."""
+        if now_ts is None:
+            now_ts = int(self.clock.now() * 1_000_000)
+        victims = {
+            block.path
+            for block in ExpiryProbe(self).expired_blocks(now_ts)
+        }
+        report = self.controller.expire_data(now_ts)
+        for path in victims:
+            self.cache.invalidate_blob(self.config.bucket, path)
+        return report
+
+    def rebalance(self, tenant_traffic: dict[int, float]):
+        """Run one hotspot-manager iteration for the offered traffic."""
+        sample = self.controller.collect_sample(tenant_traffic)
+        return self.controller.rebalance(sample)
+
+    def sample_traffic(self, tenant_traffic: dict[int, float]) -> TrafficSample:
+        return self.controller.collect_sample(tenant_traffic)
+
+    # -- introspection -------------------------------------------------------
+
+    def total_archived_bytes(self) -> int:
+        return sum(info.total_bytes for info in self.catalog.tenants())
+
+    def pending_rows(self) -> int:
+        return sum(worker.pending_rows() for worker in self.workers.values())
+
+
+class ExpiryProbe:
+    """Read-only view of what expiry would delete (for cache invalidation)."""
+
+    def __init__(self, store: LogStore) -> None:
+        self._store = store
+
+    def expired_blocks(self, now_ts: int):
+        from repro.meta.expiry import ExpiryTask
+
+        task = ExpiryTask(self._store.catalog, self._store.oss, self._store.config.bucket)
+        return task.expired_blocks(now_ts)

@@ -1,0 +1,58 @@
+"""Worker node: hosts shards, tracks load, runs the data builder.
+
+Workers are the ECS-node abstraction of the execution layer (Figure 3).
+Each worker owns the row stores of its shards and a
+:class:`~repro.builder.builder.DataBuilder` that archives sealed
+memtables to OSS in the background.
+"""
+
+from __future__ import annotations
+
+from repro.builder.builder import BuildReport, DataBuilder
+from repro.cluster.shard import Shard
+from repro.metrics.stats import Counter
+
+
+class Worker:
+    """One execution-layer node."""
+
+    def __init__(self, worker_id: str, capacity_rps: float, builder: DataBuilder) -> None:
+        self.worker_id = worker_id
+        self.capacity_rps = capacity_rps
+        self._builder = builder
+        self.shards: dict[int, Shard] = {}
+        self.access_count = Counter(f"{worker_id}.accesses")
+
+    def add_shard(self, shard: Shard) -> None:
+        if shard.worker_id != self.worker_id:
+            raise ValueError(
+                f"shard {shard.shard_id} belongs to {shard.worker_id}, not {self.worker_id}"
+            )
+        self.shards[shard.shard_id] = shard
+
+    def write(self, shard_id: int, rows: list[dict]) -> None:
+        self.shards[shard_id].write(rows)
+        self.access_count.add(len(rows))
+
+    def archive_once(self) -> BuildReport:
+        """Run the background data builder over every shard."""
+        report = BuildReport()
+        for shard in self.shards.values():
+            for memtable in shard.rowstore.take_sealed():
+                self._builder.archive_memtable(memtable, report)
+        return report
+
+    def flush_all(self) -> BuildReport:
+        """Seal + archive everything (used on rebalance/offload, §4.1.5)."""
+        report = BuildReport()
+        for shard in self.shards.values():
+            shard.rowstore.seal_active()
+            for memtable in shard.rowstore.take_sealed():
+                self._builder.archive_memtable(memtable, report)
+        return report
+
+    def pending_rows(self) -> int:
+        return sum(shard.pending_rows() for shard in self.shards.values())
+
+    def utilization(self, traffic_rps: float) -> float:
+        return traffic_rps / self.capacity_rps if self.capacity_rps > 0 else 0.0

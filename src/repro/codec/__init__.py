@@ -1,0 +1,5 @@
+"""Compression codec registry."""
+
+from repro.codec.registry import Codec, available_codecs, get_codec, register_codec
+
+__all__ = ["Codec", "available_codecs", "get_codec", "register_codec"]

@@ -1,0 +1,16 @@
+"""Shared utilities: errors, clocks, binary encoding, bitsets."""
+
+from repro.common.bitset import Bitset
+from repro.common.bytesio import BinaryReader, BinaryWriter
+from repro.common.clock import Clock, VirtualClock, WallClock
+from repro.common.errors import LogStoreError
+
+__all__ = [
+    "Bitset",
+    "BinaryReader",
+    "BinaryWriter",
+    "Clock",
+    "VirtualClock",
+    "WallClock",
+    "LogStoreError",
+]

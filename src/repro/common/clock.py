@@ -1,0 +1,124 @@
+"""Clock abstractions: wall clock and a deterministic virtual clock.
+
+The paper's evaluation numbers (latency, throughput) are properties of a
+cluster — round trips to object storage, records per second per worker —
+not of the Python interpreter.  Benches therefore run against a
+:class:`VirtualClock`: components *charge* simulated durations to the clock
+instead of sleeping, which keeps the full figure suite deterministic and
+fast while preserving the relative relationships the paper reports.
+
+Production-style usage can pass a :class:`WallClock` instead; every
+component in the package takes the clock as a constructor argument.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from typing import Callable, Protocol
+
+
+class Clock(Protocol):
+    """Minimal clock interface shared by wall and virtual clocks."""
+
+    def now(self) -> float:
+        """Current time in (possibly simulated) seconds."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Advance time by ``seconds`` (blocking for a wall clock)."""
+        ...
+
+
+class WallClock:
+    """Real time, for interactive use of the library."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock:
+    """A deterministic, manually advanced clock with a timer wheel.
+
+    ``sleep`` advances time instantly.  ``call_at``/``call_later`` schedule
+    callbacks that fire when :meth:`advance` (or a ``sleep`` passing their
+    deadline) reaches them — enough to drive the Raft election timers and
+    the periodic balancer loop in simulation.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._counter = itertools.count()
+        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot sleep a negative duration: {seconds}")
+        self.advance(seconds)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run when the clock reaches ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
+        heapq.heappush(self._timers, (when, next(self._counter), callback))
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        self.call_at(self._now + delay, callback)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward, firing any timers that come due, in order."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance backwards: {seconds}")
+        deadline = self._now + seconds
+        while self._timers and self._timers[0][0] <= deadline:
+            when, _, callback = heapq.heappop(self._timers)
+            self._now = when
+            callback()
+        self._now = deadline
+
+    def pending_timers(self) -> int:
+        """Number of timers not yet fired (useful in tests)."""
+        return len(self._timers)
+
+    def deferred(self) -> "DeferredCharges":
+        """Collect ``sleep`` charges instead of advancing time.
+
+        Used to model concurrent work: run each task under its own
+        ``deferred()`` block, then ``sleep(max(totals))`` — the tasks'
+        durations overlap instead of serializing.  Nesting is allowed;
+        charges land in the innermost active collector.
+        """
+        return DeferredCharges(self)
+
+
+class DeferredCharges:
+    """Context manager that captures a VirtualClock's sleeps."""
+
+    def __init__(self, clock: "VirtualClock") -> None:
+        self._clock = clock
+        self.total = 0.0
+        self._saved_sleep: Callable[[float], None] | None = None
+
+    def __enter__(self) -> "DeferredCharges":
+        self._saved_sleep = self._clock.sleep
+
+        def collect(seconds: float) -> None:
+            if seconds < 0:
+                raise ValueError(f"cannot sleep a negative duration: {seconds}")
+            self.total += seconds
+
+        self._clock.sleep = collect  # type: ignore[method-assign]
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._saved_sleep is not None
+        self._clock.sleep = self._saved_sleep  # type: ignore[method-assign]

@@ -1,0 +1,34 @@
+"""Global traffic control: flow-network load balancing (§4)."""
+
+from repro.flow.balancer import (
+    BalanceResult,
+    GlobalTrafficController,
+    GreedyBalancer,
+    MaxFlowBalancer,
+    NoBalancer,
+    pick_hotspot_tenants,
+)
+from repro.flow.consistent_hash import ConsistentHashRing
+from repro.flow.dinic import DinicGraph
+from repro.flow.graph import ClusterTopology, FlowSolution, TrafficFlowNetwork
+from repro.flow.monitor import HotspotReport, TrafficMonitor, TrafficSample
+from repro.flow.router import RouteRule, RoutingTable
+
+__all__ = [
+    "BalanceResult",
+    "GlobalTrafficController",
+    "GreedyBalancer",
+    "MaxFlowBalancer",
+    "NoBalancer",
+    "pick_hotspot_tenants",
+    "ConsistentHashRing",
+    "DinicGraph",
+    "ClusterTopology",
+    "FlowSolution",
+    "TrafficFlowNetwork",
+    "HotspotReport",
+    "TrafficMonitor",
+    "TrafficSample",
+    "RouteRule",
+    "RoutingTable",
+]

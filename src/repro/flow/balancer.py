@@ -1,0 +1,323 @@
+"""Balancer: Algorithms 1–3 of the paper (§4.1.4).
+
+Three interchangeable ``TrafficSchedule()`` strategies:
+
+* :class:`NoBalancer` — keep the initial consistent-hash placement
+  (the paper's "Before Balancing" baseline in Figures 12–14);
+* :class:`GreedyBalancer` — Algorithm 2: split the hottest tenants of
+  hot shards across the least-loaded shards with *equal* weights;
+* :class:`MaxFlowBalancer` — Algorithm 3: solve the flow network with
+  Dinic's algorithm, reweight existing routes first, and add edges only
+  while the achievable max flow is below the offered traffic.
+
+:class:`GlobalTrafficController` is the Algorithm 1 framework that runs
+monitor → balancer → router on a period and falls back to scaling the
+cluster when even the high-watermark capacity cannot absorb demand.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.common.errors import CapacityExceeded
+from repro.flow.graph import ClusterTopology, TrafficFlowNetwork
+from repro.flow.monitor import HotspotReport, TrafficMonitor, TrafficSample
+from repro.flow.router import RoutingTable
+
+
+@dataclass
+class BalanceResult:
+    """What one TrafficSchedule() run decided."""
+
+    plan: dict[int, dict[int, float]] = field(default_factory=dict)
+    edges_added: int = 0
+    achievable_flow: float = 0.0
+    demand: float = 0.0
+
+    @property
+    def satisfied(self) -> bool:
+        return self.achievable_flow >= self.demand * 0.999
+
+
+class Balancer(Protocol):
+    """A TrafficSchedule() strategy."""
+
+    def schedule(
+        self,
+        sample: TrafficSample,
+        report: HotspotReport,
+        routes: dict[int, dict[int, float]],
+    ) -> BalanceResult: ...
+
+
+def pick_hotspot_tenants(sample: TrafficSample, hot_shards: list[int]) -> list[int]:
+    """Algorithm 2/3 lines 2-4: the largest-traffic tenant of each hot shard."""
+    hot_tenants: list[int] = []
+    seen: set[int] = set()
+    for shard in hot_shards:
+        contributors = sample.tenants_on_shard(shard)
+        if not contributors:
+            continue
+        tenant = max(contributors, key=lambda t: (contributors[t], -t))
+        if tenant not in seen:
+            seen.add(tenant)
+            hot_tenants.append(tenant)
+    return hot_tenants
+
+
+class _ShardLoadTracker:
+    """Projected shard loads used by GreedyFindLeastLoad(P)."""
+
+    def __init__(self, topology: ClusterTopology, sample: TrafficSample) -> None:
+        self._topology = topology
+        self._load = {
+            shard: sample.shard_traffic.get(shard, 0.0) for shard in topology.shards
+        }
+
+    def least_loaded(self, exclude: set[int] = frozenset()) -> int:
+        candidates = [s for s in self._topology.shards if s not in exclude]
+        if not candidates:
+            candidates = self._topology.shards
+        return min(
+            candidates,
+            key=lambda s: (
+                self._load[s] / max(self._topology.shard_capacity[s], 1e-9),
+                s,
+            ),
+        )
+
+    def add_load(self, shard: int, amount: float) -> None:
+        self._load[shard] += amount
+
+
+class NoBalancer:
+    """Baseline: never changes routes."""
+
+    def schedule(
+        self,
+        sample: TrafficSample,
+        report: HotspotReport,
+        routes: dict[int, dict[int, float]],
+    ) -> BalanceResult:
+        demand = sum(sample.tenant_traffic.values())
+        return BalanceResult(plan={}, edges_added=0, achievable_flow=0.0, demand=demand)
+
+
+class GreedyBalancer:
+    """Algorithm 2: split hot tenants to least-loaded shards, equal weights."""
+
+    def __init__(self, topology: ClusterTopology, per_tenant_shard_limit: float) -> None:
+        if per_tenant_shard_limit <= 0:
+            raise ValueError("per_tenant_shard_limit must be positive")
+        self._topology = topology
+        self._edge_limit = per_tenant_shard_limit
+
+    def schedule(
+        self,
+        sample: TrafficSample,
+        report: HotspotReport,
+        routes: dict[int, dict[int, float]],
+    ) -> BalanceResult:
+        result = BalanceResult(demand=sum(sample.tenant_traffic.values()))
+        hot_tenants = pick_hotspot_tenants(sample, report.hot_shards)
+        tracker = _ShardLoadTracker(self._topology, sample)
+        for tenant in hot_tenants:
+            traffic = sample.tenant_traffic.get(tenant, 0.0)
+            current_shards = set(routes.get(tenant, {}))
+            # CalculateAddRoutesNum: total shards needed for this traffic.
+            # A tenant picked from a hot shard is *split* (Algorithm 2
+            # "splits and distributes their traffic"), so it always gains
+            # at least one new shard even when the per-shard limit alone
+            # would not demand one — its current shard is overloaded.
+            n_total = max(
+                math.ceil(traffic / self._edge_limit),
+                len(current_shards) + 1,
+            )
+            n_add = max(0, n_total - len(current_shards))
+            new_shards = set(current_shards)
+            per_shard_share = traffic / max(n_total, 1)
+            while n_add > 0:
+                shard = tracker.least_loaded(exclude=new_shards)
+                if shard in new_shards:
+                    break  # no more distinct shards available
+                new_shards.add(shard)
+                tracker.add_load(shard, per_shard_share)
+                result.edges_added += 1
+                n_add -= 1
+            # Lines 16-19: evenly distribute by averaging the weights.
+            weight = 1.0 / len(new_shards)
+            result.plan[tenant] = {shard: weight for shard in sorted(new_shards)}
+        result.achievable_flow = result.demand  # greedy assumes success
+        return result
+
+
+class MaxFlowBalancer:
+    """Algorithm 3: Dinic max-flow; reweight first, add edges only if needed."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        per_tenant_shard_limit: float,
+        max_edge_additions: int = 10_000,
+        min_weight: float = 0.02,
+    ) -> None:
+        if per_tenant_shard_limit <= 0:
+            raise ValueError("per_tenant_shard_limit must be positive")
+        if not 0 <= min_weight < 1:
+            raise ValueError("min_weight must be in [0, 1)")
+        self._topology = topology
+        self._edge_limit = per_tenant_shard_limit
+        self._max_additions = max_edge_additions
+        # §4.1.1 "keeping the edges as few as possible": edges that end up
+        # carrying a negligible share of a tenant's flow after the solve
+        # are dropped (their flow is absorbed by the remaining shards).
+        self._min_weight = min_weight
+
+    def schedule(
+        self,
+        sample: TrafficSample,
+        report: HotspotReport,
+        routes: dict[int, dict[int, float]],
+    ) -> BalanceResult:
+        network = TrafficFlowNetwork(self._topology, sample.tenant_traffic, self._edge_limit)
+        demand = network.demand()
+        result = BalanceResult(demand=demand)
+
+        topology_routes: dict[int, set[int]] = {
+            tenant: set(weights) for tenant, weights in routes.items()
+        }
+        for tenant in sample.tenant_traffic:
+            topology_routes.setdefault(tenant, set())
+
+        hot_tenants = pick_hotspot_tenants(sample, report.hot_shards)
+        solution = network.solve(topology_routes)
+        additions = 0
+
+        # Algorithm 3 lines 9-19: add one edge per unsatisfied hot tenant
+        # per iteration until max flow covers demand (or we run out).
+        while solution.max_flow < demand * 0.999 and additions < self._max_additions:
+            tracker = _ShardLoadTracker(self._topology, sample)
+            # Account flows already assigned by the last solve.
+            for flows in solution.tenant_shard_flow.values():
+                for shard, flow in flows.items():
+                    tracker.add_load(shard, flow)
+            progressed = False
+            unsatisfied = [
+                tenant
+                for tenant in (hot_tenants or sorted(sample.tenant_traffic))
+                if sample.tenant_traffic.get(tenant, 0.0)
+                > sum(solution.tenant_shard_flow.get(tenant, {}).values()) + 1e-9
+            ]
+            for tenant in unsatisfied:
+                shard = tracker.least_loaded(exclude=topology_routes[tenant])
+                if shard in topology_routes[tenant]:
+                    continue
+                topology_routes[tenant].add(shard)
+                tracker.add_load(shard, 0.0)
+                additions += 1
+                progressed = True
+            if not progressed:
+                break
+            solution = network.solve(topology_routes)
+
+        result.edges_added = additions
+        result.achievable_flow = solution.max_flow
+
+        # Lines 20-25: weights from the max-flow edge flows.
+        weights = solution.weights()
+        for tenant, tenant_weights in list(weights.items()):
+            kept = {s: w for s, w in tenant_weights.items() if w >= self._min_weight}
+            if kept and len(kept) < len(tenant_weights):
+                total = sum(kept.values())
+                weights[tenant] = {s: w / total for s, w in kept.items()}
+        for tenant, traffic in sample.tenant_traffic.items():
+            if tenant in weights:
+                result.plan[tenant] = weights[tenant]
+            elif topology_routes.get(tenant):
+                # Starved or zero-flow tenant: keep its routes, equal split.
+                shards = sorted(topology_routes[tenant])
+                result.plan[tenant] = {shard: 1.0 / len(shards) for shard in shards}
+        return result
+
+
+@dataclass
+class ControllerEvent:
+    """One Algorithm-1 iteration's outcome (for logging/benches)."""
+
+    time_s: float
+    hot_shards: list[int]
+    rebalanced: bool
+    scaled: bool
+    routes_after: int
+    achievable_flow: float
+    demand: float
+
+
+class GlobalTrafficController:
+    """Algorithm 1: the periodic monitor → balance → route loop."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        monitor: TrafficMonitor,
+        balancer: Balancer,
+        routing_table: RoutingTable,
+        scale_cluster: Callable[[], ClusterTopology] | None = None,
+        balancer_factory: Callable[[ClusterTopology], Balancer] | None = None,
+        interval_s: float = 300.0,
+    ) -> None:
+        self.topology = topology
+        self._monitor = monitor
+        self._balancer = balancer
+        self._routing = routing_table
+        self.scale_cluster = scale_cluster
+        # After ScaleCluster() the balancer must target the new topology;
+        # the factory rebuilds it (Algorithm 1 lines 25-27).
+        self._balancer_factory = balancer_factory
+        self.interval_s = interval_s
+        self.events: list[ControllerEvent] = []
+
+    @property
+    def routing_table(self) -> RoutingTable:
+        return self._routing
+
+    def run_once(self, sample: TrafficSample, now_s: float = 0.0) -> ControllerEvent:
+        """One iteration of the Algorithm 1 loop body."""
+        TrafficMonitor.derive_shard_and_worker_traffic(sample, self.topology)
+        report = self._monitor.check(sample)
+        rebalanced = False
+        scaled = False
+        achievable = 0.0
+        demand = sum(sample.tenant_traffic.values())
+        if report.any_hot:
+            if self._monitor.cluster_headroom(sample):
+                result = self._balancer.schedule(sample, report, self._routing.snapshot())
+                if result.plan:
+                    self._routing.apply_plan(result.plan)
+                    rebalanced = True
+                achievable = result.achievable_flow
+            else:
+                if self.scale_cluster is None:
+                    raise CapacityExceeded(
+                        f"demand {demand:.0f} exceeds high-watermark capacity "
+                        f"{self.topology.alpha * self.topology.total_worker_capacity():.0f} "
+                        "and no scale_cluster hook is configured"
+                    )
+                self.topology = self.scale_cluster()
+                self._monitor = TrafficMonitor(self.topology)
+                if self._balancer_factory is not None:
+                    self._balancer = self._balancer_factory(self.topology)
+                scaled = True
+        event = ControllerEvent(
+            time_s=now_s,
+            hot_shards=list(report.hot_shards),
+            rebalanced=rebalanced,
+            scaled=scaled,
+            routes_after=self._routing.total_routes(),
+            achievable_flow=achievable,
+            demand=demand,
+        )
+        self.events.append(event)
+        return event

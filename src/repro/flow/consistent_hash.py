@@ -1,0 +1,60 @@
+"""Consistent hashing for the initial tenant → shard placement.
+
+Algorithm 1 line 5: ``P_j ← ConsistentHash(K_i)`` — before any
+balancing, each tenant is mapped to one shard by a hash ring with
+virtual nodes, so adding/removing shards relocates only ~1/n of the
+tenants.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+from repro.common.errors import FlowError
+
+
+def _hash64(data: str) -> int:
+    digest = hashlib.sha1(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """A hash ring over shard ids with virtual nodes."""
+
+    def __init__(self, shards: list[int], virtual_nodes: int = 64) -> None:
+        if virtual_nodes <= 0:
+            raise FlowError(f"virtual_nodes must be positive, got {virtual_nodes}")
+        self._virtual_nodes = virtual_nodes
+        self._ring: list[tuple[int, int]] = []  # (hash, shard)
+        self._shards: set[int] = set()
+        for shard in shards:
+            self.add_shard(shard)
+
+    def add_shard(self, shard: int) -> None:
+        if shard in self._shards:
+            raise FlowError(f"shard {shard} already on the ring")
+        self._shards.add(shard)
+        for replica in range(self._virtual_nodes):
+            self._ring.append((_hash64(f"shard:{shard}:{replica}"), shard))
+        self._ring.sort()
+
+    def remove_shard(self, shard: int) -> None:
+        if shard not in self._shards:
+            raise FlowError(f"shard {shard} not on the ring")
+        self._shards.discard(shard)
+        self._ring = [(h, s) for h, s in self._ring if s != shard]
+
+    def shard_for(self, tenant_id: int) -> int:
+        """The shard owning this tenant's position on the ring."""
+        if not self._ring:
+            raise FlowError("hash ring is empty")
+        point = _hash64(f"tenant:{tenant_id}")
+        idx = bisect_right(self._ring, (point, 1 << 62)) % len(self._ring)
+        return self._ring[idx][1]
+
+    def shards(self) -> list[int]:
+        return sorted(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)

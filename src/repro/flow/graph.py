@@ -1,0 +1,162 @@
+"""The LogStore traffic flow network (§4.1.1, Figure 5).
+
+A single-source/single-sink network ``S → tenants → shards → workers →
+T``:
+
+* ``S → K_i``   capacity = f(K_i), the tenant's observed traffic;
+* ``K_i → P_j`` capacity = per-tenant-per-shard processing limit (the
+  paper's "one shard is limited to process up to 100K logs belonging to
+  the same tenant"), present only where a routing rule exists;
+* ``P_j → D_k`` capacity = c(P_j), the shard's capacity, fixed by the
+  shard's placement on its worker;
+* ``D_k → T``   capacity = α · c(D_k), the worker high-watermark.
+
+``max_flow`` then answers: how much of the offered tenant traffic can
+the current topology absorb?  Per-edge flows read back from the Dinic
+run become the routing weights X_ij = f(X_ij)/f(K_i) (§4.1.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import FlowError
+from repro.flow.dinic import DinicGraph
+
+DEFAULT_ALPHA = 0.85
+
+
+@dataclass
+class ClusterTopology:
+    """Static-ish description of shards, workers and their capacities.
+
+    ``shard_worker[p]`` is the worker id hosting shard ``p``; capacities
+    are in records/second.  Heterogeneous workers (§4, "Heterogeneity of
+    ECS nodes") simply get different capacities.
+    """
+
+    shard_worker: dict[int, str]
+    shard_capacity: dict[int, float]
+    worker_capacity: dict[str, float]
+    alpha: float = DEFAULT_ALPHA
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= 1:
+            raise FlowError(f"alpha must be in (0, 1], got {self.alpha}")
+        for shard, worker in self.shard_worker.items():
+            if worker not in self.worker_capacity:
+                raise FlowError(f"shard {shard} placed on unknown worker {worker!r}")
+            if shard not in self.shard_capacity:
+                raise FlowError(f"shard {shard} missing capacity")
+
+    @property
+    def shards(self) -> list[int]:
+        return sorted(self.shard_worker)
+
+    @property
+    def workers(self) -> list[str]:
+        return sorted(self.worker_capacity)
+
+    def shards_on(self, worker: str) -> list[int]:
+        return [s for s, w in sorted(self.shard_worker.items()) if w == worker]
+
+    def total_worker_capacity(self) -> float:
+        return sum(self.worker_capacity.values())
+
+
+@dataclass
+class FlowSolution:
+    """Result of one max-flow evaluation."""
+
+    max_flow: float
+    # tenant → shard → absolute flow assigned (records/s)
+    tenant_shard_flow: dict[int, dict[int, float]] = field(default_factory=dict)
+
+    def weights(self) -> dict[int, dict[int, float]]:
+        """Normalized routing weights X_ij per tenant (sum to 1)."""
+        out: dict[int, dict[int, float]] = {}
+        for tenant, flows in self.tenant_shard_flow.items():
+            total = sum(flows.values())
+            if total <= 0:
+                continue
+            out[tenant] = {shard: flow / total for shard, flow in flows.items() if flow > 0}
+        return out
+
+
+class TrafficFlowNetwork:
+    """Builds and solves the Figure 5 network for given routes."""
+
+    # Traffic values are floats (records/s); Dinic needs integers, so we
+    # scale.  1e-3 resolution on records/s is far below measurement noise.
+    SCALE = 1000
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        tenant_traffic: dict[int, float],
+        per_tenant_shard_limit: float,
+    ) -> None:
+        if per_tenant_shard_limit <= 0:
+            raise FlowError("per_tenant_shard_limit must be positive")
+        self._topology = topology
+        self._traffic = {t: f for t, f in tenant_traffic.items() if f > 0}
+        self._edge_limit = per_tenant_shard_limit
+
+    def solve(self, routes: dict[int, set[int]]) -> FlowSolution:
+        """Max flow under the given tenant→shards topology.
+
+        ``routes[tenant]`` is the set of shards the tenant may use.
+        """
+        tenants = sorted(self._traffic)
+        shards = self._topology.shards
+        workers = self._topology.workers
+
+        # Node numbering: 0 = S, then tenants, shards, workers, sink.
+        tenant_node = {t: 1 + i for i, t in enumerate(tenants)}
+        shard_node = {p: 1 + len(tenants) + i for i, p in enumerate(shards)}
+        worker_node = {w: 1 + len(tenants) + len(shards) + i for i, w in enumerate(workers)}
+        sink = 1 + len(tenants) + len(shards) + len(workers)
+        graph = DinicGraph(sink + 1)
+
+        scale = self.SCALE
+        for tenant in tenants:
+            graph.add_edge(0, tenant_node[tenant], int(self._traffic[tenant] * scale))
+
+        route_edges: dict[tuple[int, int], int] = {}
+        for tenant in tenants:
+            for shard in sorted(routes.get(tenant, ())):
+                if shard not in shard_node:
+                    raise FlowError(f"route references unknown shard {shard}")
+                edge_id = graph.add_edge(
+                    tenant_node[tenant], shard_node[shard], int(self._edge_limit * scale)
+                )
+                route_edges[(tenant, shard)] = edge_id
+
+        for shard in shards:
+            worker = self._topology.shard_worker[shard]
+            graph.add_edge(
+                shard_node[shard],
+                worker_node[worker],
+                int(self._topology.shard_capacity[shard] * scale),
+            )
+
+        for worker in workers:
+            capacity = self._topology.alpha * self._topology.worker_capacity[worker]
+            graph.add_edge(worker_node[worker], sink, int(capacity * scale))
+
+        total = graph.max_flow(0, sink)
+
+        solution = FlowSolution(max_flow=total / scale)
+        for (tenant, shard), edge_id in route_edges.items():
+            flow = graph.edge_flow(edge_id) / scale
+            if flow > 0:
+                solution.tenant_shard_flow.setdefault(tenant, {})[shard] = flow
+        # Tenants whose routes carry zero flow still need an entry so
+        # weight normalization can detect starvation.
+        for tenant in tenants:
+            solution.tenant_shard_flow.setdefault(tenant, {})
+        return solution
+
+    def demand(self) -> float:
+        """Total offered traffic  Σ f(K_i)."""
+        return sum(self._traffic.values())

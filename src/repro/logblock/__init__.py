@@ -1,0 +1,46 @@
+"""LogBlock: read-optimized, full-column-indexed columnar format (§3.2)."""
+
+from repro.logblock.bkd import BkdIndex, BkdIndexBuilder
+from repro.logblock.inverted import InvertedIndex, InvertedIndexBuilder
+from repro.logblock.pruning import (
+    EqPredicate,
+    InPredicate,
+    MatchPredicate,
+    PruneStats,
+    RangePredicate,
+    evaluate_predicates,
+)
+from repro.logblock.reader import LogBlockReader
+from repro.logblock.schema import (
+    ColumnSpec,
+    ColumnType,
+    IndexType,
+    TableSchema,
+    request_log_schema,
+)
+from repro.logblock.sma import Sma, compute_sma, merge_smas
+from repro.logblock.writer import LogBlockMeta, LogBlockWriter
+
+__all__ = [
+    "BkdIndex",
+    "BkdIndexBuilder",
+    "InvertedIndex",
+    "InvertedIndexBuilder",
+    "EqPredicate",
+    "InPredicate",
+    "MatchPredicate",
+    "PruneStats",
+    "RangePredicate",
+    "evaluate_predicates",
+    "LogBlockReader",
+    "ColumnSpec",
+    "ColumnType",
+    "IndexType",
+    "TableSchema",
+    "request_log_schema",
+    "Sma",
+    "compute_sma",
+    "merge_smas",
+    "LogBlockMeta",
+    "LogBlockWriter",
+]

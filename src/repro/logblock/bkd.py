@@ -1,0 +1,163 @@
+"""BKD-style numeric index (§3.2: "BKD tree index ... for numerical type").
+
+Lucene's BKD tree for one dimension degenerates to a sorted
+block-structured value index: points (value, row_id) are sorted by value
+and packed into fixed-size leaf blocks; an in-memory array of per-leaf
+(min, max) lets range queries binary-search to the first candidate leaf
+and scan only leaves whose ranges intersect the query.  We implement
+exactly that — it supports the paper's equality and range predicates on
+numeric columns (``latency >= 100``, ``ts BETWEEN ...``) in
+O(log L + hits).
+
+Values are stored as int64 (timestamps, ints, bools) or float64;
+NaN-free by construction (nulls are not indexed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.bitset import Bitset
+from repro.common.bytesio import BinaryReader, BinaryWriter
+from repro.common.errors import SerializationError
+
+DEFAULT_LEAF_SIZE = 512
+
+
+class BkdIndexBuilder:
+    """Accumulates (row_id, value) points for one numeric column."""
+
+    def __init__(self, is_float: bool, leaf_size: int = DEFAULT_LEAF_SIZE) -> None:
+        if leaf_size <= 0:
+            raise ValueError(f"leaf_size must be positive, got {leaf_size}")
+        self._is_float = is_float
+        self._leaf_size = leaf_size
+        self._rows: list[int] = []
+        self._values: list[float] = []
+        self._row_count = 0
+
+    def add(self, row_id: int, value: int | float | bool | None) -> None:
+        self._row_count = max(self._row_count, row_id + 1)
+        if value is None:
+            return
+        self._rows.append(row_id)
+        self._values.append(float(value) if self._is_float else int(value))
+
+    def build(self) -> "BkdIndex":
+        dtype = np.float64 if self._is_float else np.int64
+        values = np.asarray(self._values, dtype=dtype)
+        rows = np.asarray(self._rows, dtype=np.int64)
+        order = np.argsort(values, kind="stable")
+        return BkdIndex(
+            values=values[order],
+            rows=rows[order],
+            row_count=self._row_count,
+            is_float=self._is_float,
+            leaf_size=self._leaf_size,
+        )
+
+
+class BkdIndex:
+    """Immutable 1-D BKD index supporting equality and range lookup."""
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        rows: np.ndarray,
+        row_count: int,
+        is_float: bool,
+        leaf_size: int = DEFAULT_LEAF_SIZE,
+    ) -> None:
+        if len(values) != len(rows):
+            raise ValueError("values and rows length mismatch")
+        self._values = values
+        self._rows = rows
+        self._row_count = row_count
+        self._is_float = is_float
+        self._leaf_size = leaf_size
+        # Per-leaf (min, max) built eagerly; tiny relative to the points.
+        n_leaves = -(-len(values) // leaf_size) if len(values) else 0
+        self._leaf_min = np.array(
+            [values[i * leaf_size] for i in range(n_leaves)],
+            dtype=values.dtype if len(values) else np.int64,
+        )
+        self._leaf_max = np.array(
+            [values[min((i + 1) * leaf_size, len(values)) - 1] for i in range(n_leaves)],
+            dtype=values.dtype if len(values) else np.int64,
+        )
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    @property
+    def point_count(self) -> int:
+        return len(self._values)
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self._leaf_min)
+
+    def min_value(self):
+        return self._values[0].item() if len(self._values) else None
+
+    def max_value(self):
+        return self._values[-1].item() if len(self._values) else None
+
+    # -- queries ---------------------------------------------------------
+
+    def range_rows(
+        self,
+        low=None,
+        high=None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> np.ndarray:
+        """Row ids whose value lies in the given (possibly open) interval."""
+        if not len(self._values):
+            return np.empty(0, dtype=np.int64)
+        side_lo = "left" if low_inclusive else "right"
+        side_hi = "right" if high_inclusive else "left"
+        start = 0 if low is None else int(np.searchsorted(self._values, low, side=side_lo))
+        end = (
+            len(self._values)
+            if high is None
+            else int(np.searchsorted(self._values, high, side=side_hi))
+        )
+        if start >= end:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(self._rows[start:end])
+
+    def eq_rows(self, value) -> np.ndarray:
+        """Row ids whose value equals ``value``."""
+        return self.range_rows(low=value, high=value)
+
+    def range_bitset(self, low=None, high=None, low_inclusive=True, high_inclusive=True) -> Bitset:
+        rows = self.range_rows(low, high, low_inclusive, high_inclusive)
+        return Bitset.from_indices(self._row_count, rows.tolist())
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        writer = BinaryWriter()
+        writer.write_u8(1 if self._is_float else 0)
+        writer.write_uvarint(self._row_count)
+        writer.write_uvarint(self._leaf_size)
+        writer.write_uvarint(len(self._values))
+        writer.write_bytes(self._values.tobytes())
+        writer.write_bytes(self._rows.astype(np.int64).tobytes())
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BkdIndex":
+        reader = BinaryReader(data)
+        is_float = bool(reader.read_u8())
+        row_count = reader.read_uvarint()
+        leaf_size = reader.read_uvarint()
+        n_points = reader.read_uvarint()
+        dtype = np.float64 if is_float else np.int64
+        values = np.frombuffer(reader.read_bytes(n_points * 8), dtype=dtype).copy()
+        rows = np.frombuffer(reader.read_bytes(n_points * 8), dtype=np.int64).copy()
+        if reader.remaining():
+            raise SerializationError("trailing bytes after BKD index")
+        return cls(values, rows, row_count, is_float, leaf_size)

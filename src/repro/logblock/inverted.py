@@ -1,0 +1,174 @@
+"""Inverted index over a string column (Lucene-style, §3.2).
+
+Maps terms to sorted posting lists of row ids.  For a *tokenized* column
+each row contributes all distinct terms of its tokenized value
+(full-text search over log lines; terms are lowercased by the
+tokenizer).  For an untokenized column each row contributes a single
+term equal to its **raw** whole value — exact-match semantics must agree
+byte-for-byte with the scan path's ``==``, so no case folding happens
+(SQL string equality is case-sensitive).
+
+Serialized layout::
+
+    term_count: uvarint
+    per term:  term (len-prefixed utf-8)
+               postings: delta-encoded uvarint list
+
+Terms are written sorted, so readers can binary-search the decoded term
+dictionary.  Postings are delta-encoded row ids, which compress well for
+clustered terms.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable
+
+import numpy as np
+
+from repro.common.bitset import Bitset
+from repro.common.bytesio import BinaryReader, BinaryWriter
+from repro.logblock.tokenizer import normalize_term, tokenize_unique
+
+
+class InvertedIndexBuilder:
+    """Accumulates term → row-id postings while rows are appended."""
+
+    def __init__(self, tokenize: bool) -> None:
+        self._tokenize = tokenize
+        self._postings: dict[str, list[int]] = {}
+        self._row_count = 0
+
+    def add(self, row_id: int, value: str | None) -> None:
+        """Index ``value`` for ``row_id``.  Nulls are simply absent."""
+        self._row_count = max(self._row_count, row_id + 1)
+        if value is None:
+            return
+        if self._tokenize:
+            terms: Iterable[str] = tokenize_unique(value)
+        else:
+            terms = (value,)  # raw: exact-match must mirror scan equality
+        for term in terms:
+            bucket = self._postings.setdefault(term, [])
+            if not bucket or bucket[-1] != row_id:
+                bucket.append(row_id)
+
+    def build(self) -> "InvertedIndex":
+        terms = sorted(self._postings)
+        postings = [np.asarray(self._postings[term], dtype=np.int64) for term in terms]
+        return InvertedIndex(terms, postings, self._row_count, self._tokenize)
+
+
+class InvertedIndex:
+    """Immutable queryable inverted index."""
+
+    def __init__(
+        self,
+        terms: list[str],
+        postings: list[np.ndarray],
+        row_count: int,
+        tokenize: bool,
+    ) -> None:
+        if len(terms) != len(postings):
+            raise ValueError("terms and postings length mismatch")
+        self._terms = terms
+        self._postings = postings
+        self._row_count = row_count
+        self._tokenize = tokenize
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    @property
+    def tokenized(self) -> bool:
+        return self._tokenize
+
+    @property
+    def term_count(self) -> int:
+        return len(self._terms)
+
+    def terms(self) -> list[str]:
+        return list(self._terms)
+
+    def lookup(self, term: str) -> np.ndarray:
+        """Row ids containing ``term`` (empty array when absent).
+
+        Query terms are normalized only for tokenized (full-text)
+        indexes, mirroring how the indexed terms were produced.
+        """
+        needle = normalize_term(term) if self._tokenize else term
+        idx = bisect_left(self._terms, needle)
+        if idx < len(self._terms) and self._terms[idx] == needle:
+            return self._postings[idx]
+        return np.empty(0, dtype=np.int64)
+
+    def lookup_prefix(self, prefix: str) -> np.ndarray:
+        """Row ids containing any term with the given prefix."""
+        needle = normalize_term(prefix) if self._tokenize else prefix
+        start = bisect_left(self._terms, needle)
+        hits: list[np.ndarray] = []
+        for idx in range(start, len(self._terms)):
+            if not self._terms[idx].startswith(needle):
+                break
+            hits.append(self._postings[idx])
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(hits))
+
+    def match_all(self, terms: Iterable[str]) -> Bitset:
+        """Rows containing *all* the given terms (full-text AND match)."""
+        result: Bitset | None = None
+        for term in terms:
+            rows = self.lookup(term)
+            bits = Bitset.from_indices(self._row_count, rows.tolist())
+            result = bits if result is None else (result & bits)
+            if not result.any():
+                break
+        if result is None:
+            return Bitset.full(self._row_count)
+        return result
+
+    def match_any(self, terms: Iterable[str]) -> Bitset:
+        """Rows containing *any* of the given terms (OR match)."""
+        result = Bitset(self._row_count)
+        for term in terms:
+            rows = self.lookup(term)
+            result = result | Bitset.from_indices(self._row_count, rows.tolist())
+        return result
+
+    # -- serialization -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        writer = BinaryWriter()
+        writer.write_u8(1 if self._tokenize else 0)
+        writer.write_uvarint(self._row_count)
+        writer.write_uvarint(len(self._terms))
+        for term, rows in zip(self._terms, self._postings):
+            writer.write_str(term)
+            writer.write_uvarint(len(rows))
+            prev = 0
+            for row in rows.tolist():
+                writer.write_uvarint(row - prev)
+                prev = row
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "InvertedIndex":
+        reader = BinaryReader(data)
+        tokenize = bool(reader.read_u8())
+        row_count = reader.read_uvarint()
+        term_count = reader.read_uvarint()
+        terms: list[str] = []
+        postings: list[np.ndarray] = []
+        for _ in range(term_count):
+            term = reader.read_str()
+            n_rows = reader.read_uvarint()
+            rows = np.empty(n_rows, dtype=np.int64)
+            prev = 0
+            for i in range(n_rows):
+                prev += reader.read_uvarint()
+                rows[i] = prev
+            terms.append(term)
+            postings.append(rows)
+        return cls(terms, postings, row_count, tokenize)

@@ -1,0 +1,192 @@
+"""LogBlockReader: lazy, part-wise reads of a packed LogBlock.
+
+The reader never fetches the whole blob.  It reads the ``meta`` member
+once, then fetches only the indexes and column blocks the query plan
+needs — each fetch is a single ranged GET against the object store (or a
+cache hit through the multi-level cache when one is attached upstream).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.codec import get_codec
+from repro.common.errors import QueryError
+from repro.logblock.bkd import BkdIndex
+from repro.logblock.column import decode_block
+from repro.logblock.inverted import InvertedIndex
+from repro.logblock.schema import ColumnSpec, IndexType
+from repro.logblock.bloom import BloomFilter
+from repro.logblock.writer import (
+    META_MEMBER,
+    LogBlockMeta,
+    block_member,
+    bloom_member,
+    index_member,
+)
+from repro.tarpack.reader import PackReader
+
+
+class LogBlockReader:
+    """Read-side view of one LogBlock stored in an object store.
+
+    ``decode_charge``, when provided, is called with the *compressed*
+    byte count each time a member is actually decompressed and decoded
+    (memoized re-reads are free) — the hook the virtual-time executor
+    uses to account CPU cost alongside the metered I/O cost.
+    """
+
+    def __init__(self, pack: PackReader, decode_charge=None) -> None:
+        self._pack = pack
+        self._meta: LogBlockMeta | None = None
+        self._decode_charge = decode_charge
+        self._index_cache: dict[str, InvertedIndex | BkdIndex] = {}
+        self._block_cache: dict[tuple[int, int], list] = {}
+
+    @property
+    def pack(self) -> PackReader:
+        return self._pack
+
+    def meta(self) -> LogBlockMeta:
+        """Fetch (once) and parse the meta member."""
+        if self._meta is None:
+            self._meta = LogBlockMeta.from_bytes(self._pack.read_member(META_MEMBER))
+        return self._meta
+
+    def attach_meta(self, meta: LogBlockMeta) -> None:
+        """Install an externally cached meta, skipping the GET."""
+        self._meta = meta
+
+    @property
+    def row_count(self) -> int:
+        return self.meta().row_count
+
+    def column(self, name: str) -> ColumnSpec:
+        return self.meta().schema.column(name)
+
+    # -- indexes ---------------------------------------------------------
+
+    def has_index(self, column: str) -> bool:
+        return self.column(column).index is not IndexType.NONE
+
+    def read_index(self, column: str) -> InvertedIndex | BkdIndex:
+        """Fetch and decode a column's index (memoized per reader)."""
+        if column in self._index_cache:
+            return self._index_cache[column]
+        meta = self.meta()
+        spec = meta.schema.column(column)
+        if spec.index is IndexType.NONE:
+            raise QueryError(f"column {column!r} has no index")
+        codec = get_codec(meta.codec_id)
+        raw = self._pack.read_member(index_member(column))
+        if self._decode_charge is not None:
+            self._decode_charge(len(raw))
+        payload = codec.decompress(raw)
+        index: InvertedIndex | BkdIndex
+        if spec.index is IndexType.INVERTED:
+            index = InvertedIndex.from_bytes(payload)
+        else:
+            index = BkdIndex.from_bytes(payload)
+        self._index_cache[column] = index
+        return index
+
+    def has_bloom(self, column: str) -> bool:
+        return column in self.meta().bloom_sizes
+
+    def read_bloom(self, column: str) -> BloomFilter | None:
+        """Fetch a column's Bloom filter (None when the column has none)."""
+        if not self.has_bloom(column):
+            return None
+        key = f"bloom:{column}"
+        if key in self._index_cache:
+            return self._index_cache[key]  # type: ignore[return-value]
+        payload = self._pack.read_member(bloom_member(column))
+        bloom = BloomFilter.from_bytes(payload)
+        self._index_cache[key] = bloom  # type: ignore[assignment]
+        return bloom
+
+    # -- column blocks -----------------------------------------------------
+
+    def read_block(self, column: str, block_idx: int) -> list:
+        """Fetch and decode one column block (memoized per reader)."""
+        meta = self.meta()
+        col_idx = meta.schema.column_index(column)
+        key = (col_idx, block_idx)
+        if key in self._block_cache:
+            return self._block_cache[key]
+        if not 0 <= block_idx < meta.n_blocks:
+            raise QueryError(f"block index {block_idx} out of range [0, {meta.n_blocks})")
+        codec = get_codec(meta.codec_id)
+        raw = self._pack.read_member(block_member(col_idx, block_idx))
+        if self._decode_charge is not None:
+            self._decode_charge(len(raw))
+        payload = codec.decompress(raw)
+        values = decode_block(payload, meta.schema.column(column).ctype, meta.block_row_counts[block_idx])
+        self._block_cache[key] = values
+        return values
+
+    def read_block_arrays(self, column: str, block_idx: int):
+        """Vectorized block read: ``(values, null_mask)`` numpy arrays.
+
+        Returns ``None`` for string columns (no natural vector form) —
+        callers fall back to :meth:`read_block`.  Backing the §8
+        "vectorized query execution" scan mode.
+        """
+        from repro.logblock.column import decode_block_arrays
+
+        meta = self.meta()
+        col_idx = meta.schema.column_index(column)
+        key = ("vec", col_idx, block_idx)
+        if key in self._block_cache:
+            return self._block_cache[key]
+        if not 0 <= block_idx < meta.n_blocks:
+            raise QueryError(f"block index {block_idx} out of range [0, {meta.n_blocks})")
+        codec = get_codec(meta.codec_id)
+        raw = self._pack.read_member(block_member(col_idx, block_idx))
+        if self._decode_charge is not None:
+            self._decode_charge(len(raw))
+        payload = codec.decompress(raw)
+        arrays = decode_block_arrays(
+            payload, meta.schema.column(column).ctype, meta.block_row_counts[block_idx]
+        )
+        self._block_cache[key] = arrays
+        return arrays
+
+    def read_column(self, column: str) -> list:
+        """Fetch all blocks of one column, concatenated."""
+        meta = self.meta()
+        out: list = []
+        for block_idx in range(meta.n_blocks):
+            out.extend(self.read_block(column, block_idx))
+        return out
+
+    def block_of_row(self, row_id: int) -> tuple[int, int]:
+        """Map a global row id to ``(block_idx, offset_in_block)``."""
+        meta = self.meta()
+        if not 0 <= row_id < meta.row_count:
+            raise QueryError(f"row id {row_id} out of range [0, {meta.row_count})")
+        base = 0
+        for block_idx, count in enumerate(meta.block_row_counts):
+            if row_id < base + count:
+                return block_idx, row_id - base
+            base += count
+        raise AssertionError("unreachable: row counts do not cover row id")
+
+    def read_rows(self, row_ids: Sequence[int], columns: Iterable[str]) -> list[dict]:
+        """Materialize the given rows for the given columns.
+
+        Fetches each needed column block at most once.  ``row_ids`` must
+        be sorted ascending (the query executor produces them that way).
+        """
+        wanted = list(columns)
+        rows = [dict() for _ in row_ids]
+        for column in wanted:
+            for out_idx, row_id in enumerate(row_ids):
+                block_idx, offset = self.block_of_row(row_id)
+                values = self.read_block(column, block_idx)
+                rows[out_idx][column] = values[offset]
+        return rows
+
+    def member_extent(self, member: str) -> tuple[int, int]:
+        """Byte extent of a member (used by the prefetch planner)."""
+        return self._pack.member_extent(member)

@@ -1,0 +1,159 @@
+"""Small Materialized Aggregates (SMA) — per-column and per-block min/max.
+
+§3.2: "We also generate a Small Materialized Aggregates (SMA) for each
+column, including maximum and minimum values for skipping data blocks."
+We additionally keep row and null counts, which the planner uses for
+short-circuiting (an all-null block can never satisfy a comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.common.bytesio import BinaryReader, BinaryWriter
+from repro.logblock.schema import ColumnType
+
+# Value kinds stored in the serialized SMA
+_KIND_NONE = 0
+_KIND_INT = 1
+_KIND_FLOAT = 2
+_KIND_STR = 3
+_KIND_BOOL = 4
+
+
+@dataclass(frozen=True)
+class Sma:
+    """min/max/row-count/null-count summary of one column (or block)."""
+
+    min_value: int | float | str | bool | None
+    max_value: int | float | str | bool | None
+    row_count: int
+    null_count: int
+
+    @property
+    def all_null(self) -> bool:
+        return self.row_count > 0 and self.null_count == self.row_count
+
+    # -- pruning -----------------------------------------------------------
+
+    def may_contain_eq(self, value) -> bool:
+        """Whether some row *might* equal ``value`` (false ⇒ safe to skip)."""
+        if self.all_null or self.min_value is None:
+            return False
+        return self.min_value <= value <= self.max_value
+
+    def may_contain_range(self, low=None, high=None, low_inclusive=True, high_inclusive=True):
+        """Whether rows might fall in the interval [low, high]."""
+        if self.all_null or self.min_value is None:
+            return False
+        if low is not None:
+            if low_inclusive:
+                if self.max_value < low:
+                    return False
+            elif self.max_value <= low:
+                return False
+        if high is not None:
+            if high_inclusive:
+                if self.min_value > high:
+                    return False
+            elif self.min_value >= high:
+                return False
+        return True
+
+    # -- serialization -------------------------------------------------------
+
+    def write_to(self, writer: BinaryWriter) -> None:
+        writer.write_uvarint(self.row_count)
+        writer.write_uvarint(self.null_count)
+        _write_value(writer, self.min_value)
+        _write_value(writer, self.max_value)
+
+    @classmethod
+    def read_from(cls, reader: BinaryReader) -> "Sma":
+        row_count = reader.read_uvarint()
+        null_count = reader.read_uvarint()
+        min_value = _read_value(reader)
+        max_value = _read_value(reader)
+        return cls(min_value, max_value, row_count, null_count)
+
+    def to_bytes(self) -> bytes:
+        writer = BinaryWriter()
+        self.write_to(writer)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Sma":
+        return cls.read_from(BinaryReader(data))
+
+
+def _write_value(writer: BinaryWriter, value) -> None:
+    if value is None:
+        writer.write_u8(_KIND_NONE)
+    elif isinstance(value, bool):
+        writer.write_u8(_KIND_BOOL)
+        writer.write_u8(1 if value else 0)
+    elif isinstance(value, int):
+        writer.write_u8(_KIND_INT)
+        writer.write_i64(value)
+    elif isinstance(value, float):
+        writer.write_u8(_KIND_FLOAT)
+        writer.write_f64(value)
+    elif isinstance(value, str):
+        writer.write_u8(_KIND_STR)
+        writer.write_str(value)
+    else:
+        raise TypeError(f"unsupported SMA value type: {type(value)}")
+
+
+def _read_value(reader: BinaryReader):
+    kind = reader.read_u8()
+    if kind == _KIND_NONE:
+        return None
+    if kind == _KIND_BOOL:
+        return bool(reader.read_u8())
+    if kind == _KIND_INT:
+        return reader.read_i64()
+    if kind == _KIND_FLOAT:
+        return reader.read_f64()
+    if kind == _KIND_STR:
+        return reader.read_str()
+    raise ValueError(f"unknown SMA value kind {kind}")
+
+
+def compute_sma(values: Iterable, ctype: ColumnType) -> Sma:
+    """Compute the SMA of a column (or block) of python values.
+
+    ``None`` entries are nulls and excluded from min/max.  Bools compare
+    as ints, matching the storage encoding.
+    """
+    min_value = None
+    max_value = None
+    row_count = 0
+    null_count = 0
+    for value in values:
+        row_count += 1
+        if value is None:
+            null_count += 1
+            continue
+        if min_value is None or value < min_value:
+            min_value = value
+        if max_value is None or value > max_value:
+            max_value = value
+    return Sma(min_value, max_value, row_count, null_count)
+
+
+def merge_smas(smas: Iterable[Sma]) -> Sma:
+    """Merge block-level SMAs into a column-level SMA."""
+    min_value = None
+    max_value = None
+    row_count = 0
+    null_count = 0
+    for sma in smas:
+        row_count += sma.row_count
+        null_count += sma.null_count
+        if sma.min_value is not None and (min_value is None or sma.min_value < min_value):
+            min_value = sma.min_value
+        if sma.max_value is not None and (max_value is None or sma.max_value > max_value):
+            max_value = sma.max_value
+    return Sma(min_value, max_value, row_count, null_count)

@@ -1,0 +1,40 @@
+"""Log-line tokenizer for full-text inverted indexing.
+
+The paper adds "an inverted index based on Lucene" to LogBlock.  We use a
+Lucene-StandardAnalyzer-flavoured tokenizer suited to machine logs:
+alphanumeric runs (plus a few intra-token connectors common in log
+fields, like ``.`` in IPs/hostnames and ``-``/``_`` in identifiers) are
+emitted lowercased.  Tokenization is deterministic and shared between
+write (index build) and read (query term extraction), which is the only
+property the experiments rely on.
+"""
+
+from __future__ import annotations
+
+import re
+
+# A token is a run of word characters possibly joined by . - _ : /
+# (so "192.168.0.1", "user_id", "GET:/api/v1" survive as useful units),
+# but trailing/leading connectors are trimmed.
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+(?:[._\-:/][A-Za-z0-9]+)*")
+
+MAX_TOKEN_LENGTH = 128
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into lowercase index terms.
+
+    Overlong tokens are truncated to :data:`MAX_TOKEN_LENGTH` so a single
+    pathological log line cannot bloat the term dictionary.
+    """
+    return [match.group(0).lower()[:MAX_TOKEN_LENGTH] for match in _TOKEN_RE.finditer(text)]
+
+
+def tokenize_unique(text: str) -> set[str]:
+    """Distinct terms of ``text`` (postings store each doc once per term)."""
+    return set(tokenize(text))
+
+
+def normalize_term(term: str) -> str:
+    """Normalize a query term the same way indexed terms were normalized."""
+    return term.lower()[:MAX_TOKEN_LENGTH]

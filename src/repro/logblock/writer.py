@@ -1,0 +1,319 @@
+"""LogBlockWriter: rows in, one immutable packed LogBlock out.
+
+Maps the five logical parts of Figure 4 onto pack members so that each
+part can be fetched independently with ranged GETs:
+
+* ``meta``            — part 1 (header: schema, row count, codec) plus
+  part 2 (column meta: per-column SMA, index type) plus part 4 (column
+  block headers: per-block row counts, SMAs, compressed sizes).
+* ``idx/<column>``    — part 3, one member per indexed column.
+* ``col/<c>/<b>``     — part 5, one member per (column, block), holding
+  the null bitset and compressed data for that column block.
+
+The writer is append-only; :meth:`finish` freezes the block.  LogBlocks
+are immutable after packing (§3: "Each LogBlock is an immutable file and
+will no longer be modified").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codec import get_codec
+from repro.codec.registry import DEFAULT_CODEC
+from repro.common.bytesio import BinaryReader, BinaryWriter
+from repro.common.errors import CorruptionError, SerializationError
+from repro.logblock.bkd import BkdIndexBuilder
+from repro.logblock.inverted import InvertedIndexBuilder
+from repro.logblock.column import encode_block
+from repro.logblock.schema import ColumnType, IndexType, TableSchema
+from repro.logblock.sma import Sma, compute_sma, merge_smas
+from repro.tarpack.packer import PackBuilder
+
+META_MEMBER = "meta"
+META_MAGIC = b"LGBK"
+META_VERSION = 2
+
+DEFAULT_BLOCK_ROWS = 4096
+
+
+def index_member(column: str) -> str:
+    """Pack member name of a column's index."""
+    return f"idx/{column}"
+
+
+def bloom_member(column: str) -> str:
+    """Pack member name of a column's Bloom filter."""
+    return f"bloom/{column}"
+
+
+def block_member(column_idx: int, block_idx: int) -> str:
+    """Pack member name of one column block."""
+    return f"col/{column_idx}/{block_idx}"
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Column-block header (part 4): row count, SMA, stored size."""
+
+    row_count: int
+    sma: Sma
+    stored_size: int
+
+
+@dataclass
+class LogBlockMeta:
+    """Parsed ``meta`` member: everything needed to plan reads."""
+
+    schema: TableSchema
+    row_count: int
+    codec_id: int
+    block_rows: int
+    block_row_counts: list[int]
+    column_smas: list[Sma]
+    # block_headers[column_index][block_index]
+    block_headers: list[list[BlockHeader]] = field(default_factory=list)
+    index_sizes: dict[str, int] = field(default_factory=dict)
+    bloom_sizes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.block_row_counts)
+
+    def column_sma(self, column: str) -> Sma:
+        return self.column_smas[self.schema.column_index(column)]
+
+    def block_header(self, column: str, block_idx: int) -> BlockHeader:
+        return self.block_headers[self.schema.column_index(column)][block_idx]
+
+    # -- serialization -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        writer = BinaryWriter()
+        writer.write_bytes(META_MAGIC)
+        writer.write_u8(META_VERSION)
+        schema_bytes = self.schema.to_bytes()
+        writer.write_len_prefixed(schema_bytes)
+        writer.write_uvarint(self.row_count)
+        writer.write_u8(self.codec_id)
+        writer.write_uvarint(self.block_rows)
+        writer.write_uvarint(len(self.block_row_counts))
+        for count in self.block_row_counts:
+            writer.write_uvarint(count)
+        for col_idx in range(len(self.schema)):
+            self.column_smas[col_idx].write_to(writer)
+            headers = self.block_headers[col_idx]
+            if len(headers) != len(self.block_row_counts):
+                raise SerializationError("block header count mismatch")
+            for header in headers:
+                writer.write_uvarint(header.row_count)
+                header.sma.write_to(writer)
+                writer.write_uvarint(header.stored_size)
+        writer.write_uvarint(len(self.index_sizes))
+        for name in sorted(self.index_sizes):
+            writer.write_str(name)
+            writer.write_uvarint(self.index_sizes[name])
+        writer.write_uvarint(len(self.bloom_sizes))
+        for name in sorted(self.bloom_sizes):
+            writer.write_str(name)
+            writer.write_uvarint(self.bloom_sizes[name])
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LogBlockMeta":
+        reader = BinaryReader(data)
+        if reader.read_bytes(4) != META_MAGIC:
+            raise CorruptionError("bad LogBlock meta magic")
+        version = reader.read_u8()
+        if version != META_VERSION:
+            raise SerializationError(f"unsupported LogBlock meta version {version}")
+        schema = TableSchema.from_bytes(reader.read_len_prefixed())
+        row_count = reader.read_uvarint()
+        codec_id = reader.read_u8()
+        block_rows = reader.read_uvarint()
+        n_blocks = reader.read_uvarint()
+        block_row_counts = [reader.read_uvarint() for _ in range(n_blocks)]
+        column_smas: list[Sma] = []
+        block_headers: list[list[BlockHeader]] = []
+        for _col_idx in range(len(schema)):
+            column_smas.append(Sma.read_from(reader))
+            headers = []
+            for _block_idx in range(n_blocks):
+                hdr_rows = reader.read_uvarint()
+                sma = Sma.read_from(reader)
+                stored = reader.read_uvarint()
+                headers.append(BlockHeader(hdr_rows, sma, stored))
+            block_headers.append(headers)
+        index_sizes: dict[str, int] = {}
+        for _ in range(reader.read_uvarint()):
+            name = reader.read_str()
+            index_sizes[name] = reader.read_uvarint()
+        bloom_sizes: dict[str, int] = {}
+        for _ in range(reader.read_uvarint()):
+            name = reader.read_str()
+            bloom_sizes[name] = reader.read_uvarint()
+        return cls(
+            schema=schema,
+            row_count=row_count,
+            codec_id=codec_id,
+            block_rows=block_rows,
+            block_row_counts=block_row_counts,
+            column_smas=column_smas,
+            block_headers=block_headers,
+            index_sizes=index_sizes,
+            bloom_sizes=bloom_sizes,
+        )
+
+
+class LogBlockWriter:
+    """Builds one LogBlock from appended rows.
+
+    Usage::
+
+        writer = LogBlockWriter(schema)
+        for row in rows:
+            writer.append(row)
+        blob = writer.finish()     # the packed LogBlock, ready for PUT
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        codec: str = DEFAULT_CODEC,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+        validate_rows: bool = True,
+        build_indexes: bool = True,
+        build_blooms: bool = True,
+    ) -> None:
+        if block_rows <= 0:
+            raise ValueError(f"block_rows must be positive, got {block_rows}")
+        self._schema = schema
+        self._codec = get_codec(codec)
+        self._block_rows = block_rows
+        self._validate = validate_rows
+        self._build_indexes = build_indexes
+        self._build_blooms = build_blooms
+        self._columns: list[list] = [[] for _ in schema.columns]
+        self._row_count = 0
+        self._finished = False
+        self._index_builders: dict[str, InvertedIndexBuilder | BkdIndexBuilder] = {}
+        if build_indexes:
+            for col in schema.columns:
+                if col.index is IndexType.INVERTED:
+                    self._index_builders[col.name] = InvertedIndexBuilder(tokenize=col.tokenize)
+                elif col.index is IndexType.BKD:
+                    is_float = col.ctype is ColumnType.FLOAT64
+                    self._index_builders[col.name] = BkdIndexBuilder(is_float=is_float)
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    def append(self, row: dict) -> None:
+        """Append one row (a column-name → value mapping)."""
+        if self._finished:
+            raise SerializationError("LogBlockWriter already finished")
+        if self._validate:
+            # Missing columns are nulls: rows ingested before an additive
+            # DDL must still archive under the evolved schema.
+            self._schema.validate_row(row, allow_missing=True)
+        row_id = self._row_count
+        for col_idx, col in enumerate(self._schema.columns):
+            value = row.get(col.name)
+            self._columns[col_idx].append(value)
+            builder = self._index_builders.get(col.name)
+            if builder is not None:
+                builder.add(row_id, value)
+        self._row_count += 1
+
+    def append_many(self, rows: list[dict]) -> None:
+        for row in rows:
+            self.append(row)
+
+    def finish(self) -> bytes:
+        """Freeze the writer and return the packed LogBlock bytes."""
+        if self._finished:
+            raise SerializationError("LogBlockWriter already finished")
+        self._finished = True
+
+        n_blocks = -(-self._row_count // self._block_rows) if self._row_count else 0
+        block_row_counts = [
+            min(self._block_rows, self._row_count - b * self._block_rows) for b in range(n_blocks)
+        ]
+
+        pack = PackBuilder()
+        column_smas: list[Sma] = []
+        block_headers: list[list[BlockHeader]] = []
+        encoded_blocks: list[tuple[str, bytes]] = []
+
+        for col_idx, col in enumerate(self._schema.columns):
+            values = self._columns[col_idx]
+            headers: list[BlockHeader] = []
+            block_smas: list[Sma] = []
+            for block_idx in range(n_blocks):
+                start = block_idx * self._block_rows
+                chunk = values[start : start + block_row_counts[block_idx]]
+                payload = encode_block(chunk, col.ctype)
+                compressed = self._codec.compress(payload)
+                sma = compute_sma(chunk, col.ctype)
+                headers.append(BlockHeader(len(chunk), sma, len(compressed)))
+                block_smas.append(sma)
+                encoded_blocks.append((block_member(col_idx, block_idx), compressed))
+            column_smas.append(merge_smas(block_smas) if block_smas else compute_sma([], col.ctype))
+            block_headers.append(headers)
+
+        index_sizes: dict[str, int] = {}
+        index_payloads: list[tuple[str, bytes]] = []
+        for name, builder in self._index_builders.items():
+            index = builder.build()
+            payload = self._codec.compress(index.to_bytes())
+            index_sizes[name] = len(payload)
+            index_payloads.append((index_member(name), payload))
+
+        # Bloom filters for exact-match string columns: a cheap
+        # "definitely absent" check that skips fetching the (much
+        # larger) inverted index on needle queries.  Bloom bits are
+        # near-incompressible, so they are stored raw.
+        bloom_sizes: dict[str, int] = {}
+        bloom_payloads: list[tuple[str, bytes]] = []
+        if self._build_indexes and self._build_blooms:
+            from repro.logblock.bloom import BloomFilter
+
+            for col_idx, col in enumerate(self._schema.columns):
+                if not (col.ctype.is_string and not col.tokenize
+                        and col.index is IndexType.INVERTED):
+                    continue
+                values = [v for v in self._columns[col_idx] if v is not None]
+                if not values:
+                    continue
+                bloom = BloomFilter.for_items(len(set(values)))
+                for value in values:
+                    bloom.add(value)
+                payload = bloom.to_bytes()
+                bloom_sizes[col.name] = len(payload)
+                bloom_payloads.append((bloom_member(col.name), payload))
+
+        meta = LogBlockMeta(
+            schema=self._schema,
+            row_count=self._row_count,
+            codec_id=self._codec.codec_id,
+            block_rows=self._block_rows,
+            block_row_counts=block_row_counts,
+            column_smas=column_smas,
+            block_headers=block_headers,
+            index_sizes=index_sizes,
+            bloom_sizes=bloom_sizes,
+        )
+
+        pack.add(META_MEMBER, meta.to_bytes())
+        for name, payload in bloom_payloads:
+            pack.add(name, payload)
+        for name, payload in index_payloads:
+            pack.add(name, payload)
+        for name, payload in encoded_blocks:
+            pack.add(name, payload)
+        return pack.build()

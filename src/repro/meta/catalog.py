@@ -1,0 +1,220 @@
+"""Controller-side metadata: tenants, schemas, and the LogBlock map.
+
+§3.1: "the metadata manager in the controller will update the
+information of each tenant, including the path, size and timestamp
+range of the new LogBlocks."  The LogBlock map is the first filter of
+the data-skipping strategy (Figure 8 step 1): given ``tenant_id`` and a
+timestamp range, return only the LogBlocks that can contain matches.
+
+Each tenant owns an OSS directory (``tenants/<id>/``) of LogBlocks in
+chronological order, plus a retention policy used by the expiry task.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import insort
+from dataclasses import dataclass, field
+
+from repro.common.errors import CatalogError, TenantNotFound
+from repro.logblock.schema import TableSchema
+
+
+@dataclass(frozen=True)
+class LogBlockEntry:
+    """One row of the LogBlock map: ``<tenant_id, min_ts, max_ts>`` → path."""
+
+    tenant_id: int
+    min_ts: int
+    max_ts: int
+    path: str
+    size_bytes: int
+    row_count: int
+
+    def overlaps(self, min_ts: int | None, max_ts: int | None) -> bool:
+        """Whether this block's time range intersects [min_ts, max_ts]."""
+        if min_ts is not None and self.max_ts < min_ts:
+            return False
+        if max_ts is not None and self.min_ts > max_ts:
+            return False
+        return True
+
+    def sort_key(self):
+        return (self.min_ts, self.max_ts, self.path)
+
+
+@dataclass
+class TenantInfo:
+    """Registered tenant with its lifecycle policy.
+
+    ``retention_s`` of ``None`` means keep forever (archival tenants);
+    otherwise LogBlocks whose ``max_ts`` is older than ``now -
+    retention_s`` are expired (§3.1 "flexible data expiration policies").
+    """
+
+    tenant_id: int
+    name: str = ""
+    retention_s: float | None = None
+    created_at: float = 0.0
+    total_bytes: int = 0
+    total_rows: int = 0
+    blocks: list[LogBlockEntry] = field(default_factory=list)
+
+    def directory(self) -> str:
+        return f"tenants/{self.tenant_id}/"
+
+
+class Catalog:
+    """Thread-safe tenant + LogBlock-map registry.
+
+    Also the schema authority: §3's controller "manages the database
+    schema and guarantees schema consistency.  When performing DDL
+    operations, the controller will update the catalog and synchronize
+    the changes to each broker" — brokers read :attr:`schema` live, so
+    an :meth:`update_schema` is visible to every subsequent plan.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self._schema = schema
+        self._schema_version = 1
+        self._tenants: dict[int, TenantInfo] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    @property
+    def schema_version(self) -> int:
+        return self._schema_version
+
+    def update_schema(self, new_schema: TableSchema) -> int:
+        """Apply an additive DDL; returns the new schema version.
+
+        Compatibility rules: same table name; every existing column is
+        preserved with identical type/index/tokenize; new columns may
+        only be appended.  LogBlocks written under older versions stay
+        readable (they are self-contained) — readers surface the new
+        columns as nulls for old blocks.
+        """
+        with self._lock:
+            current = self._schema
+            if new_schema.name != current.name:
+                raise CatalogError(
+                    f"cannot rename table {current.name!r} to {new_schema.name!r}"
+                )
+            if len(new_schema.columns) < len(current.columns):
+                raise CatalogError("dropping columns is not supported")
+            for old_col, new_col in zip(current.columns, new_schema.columns):
+                if old_col != new_col:
+                    raise CatalogError(
+                        f"column {old_col.name!r} changed; only additive DDL is allowed"
+                    )
+            self._schema = new_schema
+            self._schema_version += 1
+            return self._schema_version
+
+    def add_column(self, spec) -> int:
+        """Convenience DDL: append one column."""
+        new_schema = TableSchema(self._schema.name, self._schema.columns + (spec,))
+        return self.update_schema(new_schema)
+
+    # -- tenants -----------------------------------------------------------
+
+    def register_tenant(
+        self,
+        tenant_id: int,
+        name: str = "",
+        retention_s: float | None = None,
+        created_at: float = 0.0,
+    ) -> TenantInfo:
+        with self._lock:
+            if tenant_id in self._tenants:
+                raise CatalogError(f"tenant {tenant_id} already registered")
+            info = TenantInfo(tenant_id, name, retention_s, created_at)
+            self._tenants[tenant_id] = info
+            return info
+
+    def ensure_tenant(self, tenant_id: int, created_at: float = 0.0) -> TenantInfo:
+        """Get-or-create (auto-registration on first write)."""
+        with self._lock:
+            info = self._tenants.get(tenant_id)
+            if info is None:
+                info = TenantInfo(tenant_id, created_at=created_at)
+                self._tenants[tenant_id] = info
+            return info
+
+    def tenant(self, tenant_id: int) -> TenantInfo:
+        with self._lock:
+            info = self._tenants.get(tenant_id)
+        if info is None:
+            raise TenantNotFound(f"tenant {tenant_id} is not registered")
+        return info
+
+    def tenants(self) -> list[TenantInfo]:
+        with self._lock:
+            return list(self._tenants.values())
+
+    def set_retention(self, tenant_id: int, retention_s: float | None) -> None:
+        self.tenant(tenant_id).retention_s = retention_s
+
+    def drop_tenant(self, tenant_id: int) -> list[LogBlockEntry]:
+        """Unregister a tenant; returns its blocks for deletion."""
+        with self._lock:
+            info = self._tenants.pop(tenant_id, None)
+        if info is None:
+            raise TenantNotFound(f"tenant {tenant_id} is not registered")
+        return list(info.blocks)
+
+    # -- LogBlock map ------------------------------------------------------
+
+    def add_block(self, entry: LogBlockEntry) -> None:
+        """Record a newly archived LogBlock."""
+        info = self.ensure_tenant(entry.tenant_id)
+        with self._lock:
+            insort(info.blocks, entry, key=LogBlockEntry.sort_key)
+            info.total_bytes += entry.size_bytes
+            info.total_rows += entry.row_count
+
+    def remove_block(self, entry: LogBlockEntry) -> None:
+        info = self.tenant(entry.tenant_id)
+        with self._lock:
+            try:
+                info.blocks.remove(entry)
+            except ValueError:
+                raise CatalogError(f"block {entry.path} not in catalog") from None
+            info.total_bytes -= entry.size_bytes
+            info.total_rows -= entry.row_count
+
+    def blocks_for(
+        self,
+        tenant_id: int,
+        min_ts: int | None = None,
+        max_ts: int | None = None,
+    ) -> list[LogBlockEntry]:
+        """LogBlock-map filter (Figure 8 step 1): prune by tenant + range."""
+        try:
+            info = self.tenant(tenant_id)
+        except TenantNotFound:
+            return []
+        with self._lock:
+            return [block for block in info.blocks if block.overlaps(min_ts, max_ts)]
+
+    def all_blocks(self) -> list[LogBlockEntry]:
+        with self._lock:
+            out: list[LogBlockEntry] = []
+            for info in self._tenants.values():
+                out.extend(info.blocks)
+            return out
+
+    # -- accounting (per-tenant billing, §1/§3.1) ----------------------------
+
+    def tenant_usage(self, tenant_id: int) -> tuple[int, int]:
+        """(bytes, rows) archived for a tenant — the billing quantities."""
+        info = self.tenant(tenant_id)
+        return info.total_bytes, info.total_rows
+
+    def usage_by_tenant(self) -> dict[int, int]:
+        """tenant_id → archived bytes, for skew statistics (Figure 2)."""
+        with self._lock:
+            return {tid: info.total_bytes for tid, info in self._tenants.items()}

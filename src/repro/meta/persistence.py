@@ -1,0 +1,200 @@
+"""Catalog persistence: the controller's metadata DB (Figure 3).
+
+The catalog (tenants, retention policies, schema, LogBlock map) must
+survive controller restarts.  Two mechanisms:
+
+* **Snapshots** — :func:`save_catalog` writes a JSON snapshot into the
+  object store under ``_meta/catalog/<seq>.json`` (objects are
+  immutable, so each save is a new sequence number; old snapshots are
+  pruned).  :func:`load_catalog_into` restores the newest snapshot into
+  a live catalog.
+* **Rebuild by scan** — :func:`rebuild_catalog_from_store` reconstructs
+  the LogBlock map with no snapshot at all, by listing the tenant
+  directories and reading each block's self-contained meta; the §3.2
+  "self-contained" design makes the catalog always recoverable from
+  the data.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.common.errors import CatalogError
+from repro.logblock.reader import LogBlockReader
+from repro.logblock.schema import ColumnSpec, ColumnType, IndexType, TableSchema
+from repro.meta.catalog import Catalog, LogBlockEntry
+from repro.tarpack.reader import PackReader
+
+SNAPSHOT_PREFIX = "_meta/catalog/"
+SNAPSHOT_VERSION = 1
+KEEP_SNAPSHOTS = 3
+
+_BLOCK_PATH_RE = re.compile(r"^tenants/(\d+)/.+\.lgb$")
+
+
+def _schema_to_json(schema: TableSchema) -> dict:
+    return {
+        "name": schema.name,
+        "columns": [
+            {
+                "name": col.name,
+                "ctype": col.ctype.name,
+                "index": col.index.name,
+                "tokenize": col.tokenize,
+            }
+            for col in schema.columns
+        ],
+    }
+
+
+def _schema_from_json(payload: dict) -> TableSchema:
+    columns = tuple(
+        ColumnSpec(
+            col["name"],
+            ColumnType[col["ctype"]],
+            IndexType[col["index"]],
+            col["tokenize"],
+        )
+        for col in payload["columns"]
+    )
+    return TableSchema(payload["name"], columns)
+
+
+def serialize_catalog(catalog: Catalog) -> bytes:
+    """The catalog as a JSON snapshot."""
+    payload = {
+        "version": SNAPSHOT_VERSION,
+        "schema": _schema_to_json(catalog.schema),
+        "schema_version": catalog.schema_version,
+        "tenants": [
+            {
+                "tenant_id": info.tenant_id,
+                "name": info.name,
+                "retention_s": info.retention_s,
+                "created_at": info.created_at,
+                "blocks": [
+                    {
+                        "min_ts": b.min_ts,
+                        "max_ts": b.max_ts,
+                        "path": b.path,
+                        "size_bytes": b.size_bytes,
+                        "row_count": b.row_count,
+                    }
+                    for b in info.blocks
+                ],
+            }
+            for info in sorted(catalog.tenants(), key=lambda t: t.tenant_id)
+        ],
+    }
+    return json.dumps(payload, indent=1).encode("utf-8")
+
+
+def restore_catalog(catalog: Catalog, data: bytes) -> None:
+    """Load a snapshot into a (fresh) catalog in place."""
+    payload = json.loads(data.decode("utf-8"))
+    if payload.get("version") != SNAPSHOT_VERSION:
+        raise CatalogError(f"unsupported catalog snapshot version {payload.get('version')}")
+    if catalog.tenants():
+        raise CatalogError("restore requires an empty catalog")
+    # The snapshot is the schema authority: install it directly (the
+    # additive-DDL check applies to live changes, not to restores).
+    catalog._schema = _schema_from_json(payload["schema"])
+    catalog._schema_version = payload["schema_version"]
+    for tenant in payload["tenants"]:
+        catalog.register_tenant(
+            tenant["tenant_id"],
+            name=tenant["name"],
+            retention_s=tenant["retention_s"],
+            created_at=tenant["created_at"],
+        )
+        for block in tenant["blocks"]:
+            catalog.add_block(
+                LogBlockEntry(
+                    tenant_id=tenant["tenant_id"],
+                    min_ts=block["min_ts"],
+                    max_ts=block["max_ts"],
+                    path=block["path"],
+                    size_bytes=block["size_bytes"],
+                    row_count=block["row_count"],
+                )
+            )
+
+
+def _snapshot_key(sequence: int) -> str:
+    return f"{SNAPSHOT_PREFIX}{sequence:08d}.json"
+
+
+def _existing_snapshots(store, bucket: str) -> list[int]:
+    stats = store.list(bucket, SNAPSHOT_PREFIX)
+    sequences = []
+    for stat in stats:
+        name = stat.key[len(SNAPSHOT_PREFIX):]
+        if name.endswith(".json"):
+            try:
+                sequences.append(int(name[:-5]))
+            except ValueError:
+                continue
+    return sorted(sequences)
+
+
+def save_catalog(catalog: Catalog, store, bucket: str) -> str:
+    """Write a new catalog snapshot; prunes old ones.  Returns its key."""
+    sequences = _existing_snapshots(store, bucket)
+    sequence = (sequences[-1] + 1) if sequences else 0
+    key = _snapshot_key(sequence)
+    store.put(bucket, key, serialize_catalog(catalog))
+    for old in sequences[: max(0, len(sequences) + 1 - KEEP_SNAPSHOTS)]:
+        store.delete(bucket, _snapshot_key(old))
+    return key
+
+
+def load_catalog_into(catalog: Catalog, store, bucket: str) -> bool:
+    """Restore the newest snapshot into ``catalog``.
+
+    Returns False (catalog untouched) when no snapshot exists.
+    """
+    sequences = _existing_snapshots(store, bucket)
+    if not sequences:
+        return False
+    data = store.get(bucket, _snapshot_key(sequences[-1]))
+    restore_catalog(catalog, data)
+    return True
+
+
+def rebuild_catalog_from_store(catalog: Catalog, store, bucket: str) -> int:
+    """Disaster recovery: rebuild the LogBlock map by scanning OSS.
+
+    Lists ``tenants/`` and reads each block's self-contained meta to
+    recover row counts and timestamp ranges.  Tenant lifecycle metadata
+    (names, retention) is not stored in blocks and comes back as
+    defaults.  Returns the number of blocks registered.
+    """
+    if catalog.all_blocks():
+        raise CatalogError("rebuild requires an empty LogBlock map")
+    count = 0
+    for stat in store.list(bucket, "tenants/"):
+        match = _BLOCK_PATH_RE.match(stat.key)
+        if match is None:
+            continue
+        tenant_id = int(match.group(1))
+        reader = LogBlockReader(PackReader(store, bucket, stat.key))
+        meta = reader.meta()
+        ts_values = None
+        if "ts" in meta.schema.column_names():
+            sma = meta.column_sma("ts")
+            ts_values = (sma.min_value, sma.max_value)
+        if ts_values is None or ts_values[0] is None:
+            raise CatalogError(f"block {stat.key} has no ts range; cannot rebuild")
+        catalog.add_block(
+            LogBlockEntry(
+                tenant_id=tenant_id,
+                min_ts=int(ts_values[0]),
+                max_ts=int(ts_values[1]),
+                path=stat.key,
+                size_bytes=stat.size,
+                row_count=meta.row_count,
+            )
+        )
+        count += 1
+    return count

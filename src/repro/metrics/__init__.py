@@ -1,0 +1,5 @@
+"""Counters, histograms and access statistics."""
+
+from repro.metrics.stats import AccessStats, Counter, Histogram, LatencySummary
+
+__all__ = ["AccessStats", "Counter", "Histogram", "LatencySummary"]

@@ -1,0 +1,130 @@
+"""Lightweight metrics: counters, histograms, latency summaries.
+
+Used by workers/brokers for the monitor's runtime metrics (§4.1.3) and
+by the benchmark harness for the figures' series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.utils import mean, percentile, stddev
+
+
+class Counter:
+    """A monotonically increasing counter with windowed deltas."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._value = 0
+        self._last_window = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def window_delta(self) -> int:
+        """Value accumulated since the previous call (monitor windows)."""
+        delta = self._value - self._last_window
+        self._last_window = self._value
+        return delta
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics over a set of latency observations."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p75_s: float
+    p90_s: float
+    p99_s: float
+    max_s: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_s": self.mean_s,
+            "p50_s": self.p50_s,
+            "p75_s": self.p75_s,
+            "p90_s": self.p90_s,
+            "p99_s": self.p99_s,
+            "max_s": self.max_s,
+        }
+
+
+class Histogram:
+    """Collects raw observations; summarizes on demand."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+
+    def observe_many(self, values) -> None:
+        self._values.extend(values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> list[float]:
+        return list(self._values)
+
+    def summary(self) -> LatencySummary:
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        return LatencySummary(
+            count=len(self._values),
+            mean_s=mean(self._values),
+            p50_s=percentile(self._values, 50),
+            p75_s=percentile(self._values, 75),
+            p90_s=percentile(self._values, 90),
+            p99_s=percentile(self._values, 99),
+            max_s=max(self._values),
+        )
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of observations strictly below ``threshold``.
+
+        This is the Figure 17 CDF readout ("99% of the queries return
+        data within 2 seconds").
+        """
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        return sum(1 for v in self._values if v < threshold) / len(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+@dataclass
+class AccessStats:
+    """Per-entity access counts for the Figure 13/14 std-dev metrics."""
+
+    accesses: dict[object, float] = field(default_factory=dict)
+
+    def record(self, key: object, amount: float = 1.0) -> None:
+        self.accesses[key] = self.accesses.get(key, 0.0) + amount
+
+    def stddev(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return stddev(list(self.accesses.values()))
+
+    def mean(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return mean(list(self.accesses.values()))
+
+    def ranked(self) -> list[tuple[object, float]]:
+        """(key, count) sorted descending — rank plots (Figure 14a)."""
+        return sorted(self.accesses.items(), key=lambda kv: kv[1], reverse=True)

@@ -1,0 +1,166 @@
+"""Retry layer for transient object-store failures.
+
+Real object stores throttle and fail transiently (HTTP 5xx, connection
+resets); production clients retry with exponential backoff.  The
+wrapper below adds that behaviour to any backend; :class:`FlakyStore`
+is the deterministic fault injector the tests and chaos benches drive
+it with.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.clock import Clock, VirtualClock
+from repro.common.errors import TransientStoreError
+from repro.oss.store import ObjectStat, ObjectStore
+
+DEFAULT_MAX_ATTEMPTS = 4
+DEFAULT_BACKOFF_S = 0.05
+
+
+@dataclass
+class RetryStats:
+    """How often the retry layer had to intervene."""
+
+    attempts: int = 0
+    retries: int = 0
+    giveups: int = 0
+
+
+class RetryingObjectStore:
+    """Retries transient failures with exponential backoff.
+
+    Backoff sleeps are charged to ``clock`` (simulated time).  After
+    ``max_attempts`` consecutive transient failures, the last error
+    propagates — callers treat that like any other storage outage.
+    """
+
+    def __init__(
+        self,
+        inner: ObjectStore,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_s: float = DEFAULT_BACKOFF_S,
+        clock: Clock | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
+        self._inner = inner
+        self._max_attempts = max_attempts
+        self._backoff = backoff_s
+        self._clock = clock if clock is not None else VirtualClock()
+        self.stats = RetryStats()
+
+    def _call(self, operation, *args):
+        delay = self._backoff
+        for attempt in range(1, self._max_attempts + 1):
+            self.stats.attempts += 1
+            try:
+                return operation(*args)
+            except TransientStoreError:
+                if attempt == self._max_attempts:
+                    self.stats.giveups += 1
+                    raise
+                self.stats.retries += 1
+                self._clock.sleep(delay)
+                delay *= 2
+
+    # -- ObjectStore interface, all routed through _call ---------------------
+
+    def create_bucket(self, bucket: str) -> None:
+        self._call(self._inner.create_bucket, bucket)
+
+    def delete_bucket(self, bucket: str) -> None:
+        self._call(self._inner.delete_bucket, bucket)
+
+    def put(self, bucket: str, key: str, data: bytes) -> None:
+        self._call(self._inner.put, bucket, key, data)
+
+    def get(self, bucket: str, key: str) -> bytes:
+        return self._call(self._inner.get, bucket, key)
+
+    def get_range(self, bucket: str, key: str, start: int, length: int) -> bytes:
+        return self._call(self._inner.get_range, bucket, key, start, length)
+
+    def head(self, bucket: str, key: str) -> ObjectStat:
+        return self._call(self._inner.head, bucket, key)
+
+    def exists(self, bucket: str, key: str) -> bool:
+        return self._call(self._inner.exists, bucket, key)
+
+    def list(self, bucket: str, prefix: str = "") -> list[ObjectStat]:
+        return self._call(self._inner.list, bucket, prefix)
+
+    def delete(self, bucket: str, key: str) -> None:
+        self._call(self._inner.delete, bucket, key)
+
+
+class FlakyStore:
+    """Fault injector: fails a deterministic fraction of operations.
+
+    ``fail_rate`` is the probability each call raises
+    :class:`TransientStoreError` (seeded, reproducible).  ``fail_next``
+    forces the next N calls to fail, for precise test scenarios.
+    Failures happen *before* the inner call, so a failed ``put`` has no
+    partial effect — matching object stores' atomic-PUT semantics.
+    """
+
+    def __init__(self, inner: ObjectStore, fail_rate: float = 0.0, seed: int = 0) -> None:
+        if not 0 <= fail_rate <= 1:
+            raise ValueError(f"fail_rate must be in [0, 1], got {fail_rate}")
+        self._inner = inner
+        self._fail_rate = fail_rate
+        self._rng = random.Random(seed)
+        self._forced_failures = 0
+        self.failures_injected = 0
+
+    def fail_next(self, count: int = 1) -> None:
+        self._forced_failures += count
+
+    def _maybe_fail(self, operation: str) -> None:
+        if self._forced_failures > 0:
+            self._forced_failures -= 1
+            self.failures_injected += 1
+            raise TransientStoreError(f"injected failure in {operation}")
+        if self._fail_rate and self._rng.random() < self._fail_rate:
+            self.failures_injected += 1
+            raise TransientStoreError(f"injected failure in {operation}")
+
+    def create_bucket(self, bucket: str) -> None:
+        self._maybe_fail("create_bucket")
+        self._inner.create_bucket(bucket)
+
+    def delete_bucket(self, bucket: str) -> None:
+        self._maybe_fail("delete_bucket")
+        self._inner.delete_bucket(bucket)
+
+    def put(self, bucket: str, key: str, data: bytes) -> None:
+        self._maybe_fail("put")
+        self._inner.put(bucket, key, data)
+
+    def get(self, bucket: str, key: str) -> bytes:
+        self._maybe_fail("get")
+        return self._inner.get(bucket, key)
+
+    def get_range(self, bucket: str, key: str, start: int, length: int) -> bytes:
+        self._maybe_fail("get_range")
+        return self._inner.get_range(bucket, key, start, length)
+
+    def head(self, bucket: str, key: str) -> ObjectStat:
+        self._maybe_fail("head")
+        return self._inner.head(bucket, key)
+
+    def exists(self, bucket: str, key: str) -> bool:
+        self._maybe_fail("exists")
+        return self._inner.exists(bucket, key)
+
+    def list(self, bucket: str, prefix: str = "") -> list[ObjectStat]:
+        self._maybe_fail("list")
+        return self._inner.list(bucket, prefix)
+
+    def delete(self, bucket: str, key: str) -> None:
+        self._maybe_fail("delete")
+        self._inner.delete(bucket, key)

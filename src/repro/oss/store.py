@@ -1,0 +1,264 @@
+"""Simulated cloud object storage (OSS-like).
+
+Provides the object-store semantics LogStore depends on:
+
+* buckets of immutable objects addressed by string keys;
+* whole-object and ranged ``GET``;
+* prefix ``LIST``;
+* conditional ``PUT`` (objects are immutable — a second PUT to the same
+  key fails, matching how LogBlocks are written exactly once);
+* ``DELETE`` for data expiry.
+
+Two backends are provided: :class:`InMemoryObjectStore` (default for tests
+and simulation) and :class:`LocalFsObjectStore` (real files on disk, for
+examples that want persistence).  Latency/bandwidth accounting lives in
+:class:`~repro.oss.metered.MeteredObjectStore`, which wraps either backend.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.common.errors import (
+    InvalidRange,
+    NoSuchBucket,
+    NoSuchKey,
+    ObjectAlreadyExists,
+)
+
+
+@dataclass(frozen=True)
+class ObjectStat:
+    """Metadata for one stored object."""
+
+    key: str
+    size: int
+
+
+class ObjectStore(Protocol):
+    """Interface every object-store backend implements."""
+
+    def create_bucket(self, bucket: str) -> None: ...
+
+    def delete_bucket(self, bucket: str) -> None: ...
+
+    def put(self, bucket: str, key: str, data: bytes) -> None: ...
+
+    def get(self, bucket: str, key: str) -> bytes: ...
+
+    def get_range(self, bucket: str, key: str, start: int, length: int) -> bytes: ...
+
+    def head(self, bucket: str, key: str) -> ObjectStat: ...
+
+    def exists(self, bucket: str, key: str) -> bool: ...
+
+    def list(self, bucket: str, prefix: str = "") -> list[ObjectStat]: ...
+
+    def delete(self, bucket: str, key: str) -> None: ...
+
+
+def _check_range(size: int, start: int, length: int) -> None:
+    if start < 0 or length < 0 or start + length > size:
+        raise InvalidRange(f"range [{start}, {start + length}) outside object of {size} bytes")
+
+
+class InMemoryObjectStore:
+    """Dictionary-backed object store; thread-safe.
+
+    Objects are immutable after PUT.  This is the default substrate for
+    the full-cluster simulation and the benchmark harness.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: dict[str, dict[str, bytes]] = {}
+        self._lock = threading.Lock()
+
+    def create_bucket(self, bucket: str) -> None:
+        with self._lock:
+            if bucket not in self._buckets:
+                self._buckets[bucket] = {}
+
+    def delete_bucket(self, bucket: str) -> None:
+        with self._lock:
+            if bucket not in self._buckets:
+                raise NoSuchBucket(bucket)
+            del self._buckets[bucket]
+
+    def _bucket(self, bucket: str) -> dict[str, bytes]:
+        try:
+            return self._buckets[bucket]
+        except KeyError:
+            raise NoSuchBucket(bucket) from None
+
+    def put(self, bucket: str, key: str, data: bytes) -> None:
+        with self._lock:
+            objects = self._bucket(bucket)
+            if key in objects:
+                raise ObjectAlreadyExists(f"{bucket}/{key}")
+            objects[key] = bytes(data)
+
+    def get(self, bucket: str, key: str) -> bytes:
+        with self._lock:
+            objects = self._bucket(bucket)
+            try:
+                return objects[key]
+            except KeyError:
+                raise NoSuchKey(f"{bucket}/{key}") from None
+
+    def get_range(self, bucket: str, key: str, start: int, length: int) -> bytes:
+        data = self.get(bucket, key)
+        _check_range(len(data), start, length)
+        return data[start : start + length]
+
+    def head(self, bucket: str, key: str) -> ObjectStat:
+        return ObjectStat(key=key, size=len(self.get(bucket, key)))
+
+    def exists(self, bucket: str, key: str) -> bool:
+        with self._lock:
+            objects = self._buckets.get(bucket)
+            return objects is not None and key in objects
+
+    def list(self, bucket: str, prefix: str = "") -> list[ObjectStat]:
+        with self._lock:
+            objects = self._bucket(bucket)
+            return [
+                ObjectStat(key=key, size=len(data))
+                for key, data in sorted(objects.items())
+                if key.startswith(prefix)
+            ]
+
+    def delete(self, bucket: str, key: str) -> None:
+        with self._lock:
+            objects = self._bucket(bucket)
+            if key not in objects:
+                raise NoSuchKey(f"{bucket}/{key}")
+            del objects[key]
+
+    def total_bytes(self, bucket: str) -> int:
+        """Sum of object sizes in ``bucket`` (for storage accounting)."""
+        with self._lock:
+            return sum(len(data) for data in self._bucket(bucket).values())
+
+
+class LocalFsObjectStore:
+    """Object store persisted as files under a root directory.
+
+    Keys may contain ``/`` which map to subdirectories.  Useful for the
+    examples so users can inspect the LogBlocks the system produces.
+    """
+
+    def __init__(self, root: str) -> None:
+        self._root = root
+        os.makedirs(root, exist_ok=True)
+        self._lock = threading.Lock()
+
+    def _bucket_dir(self, bucket: str) -> str:
+        return os.path.join(self._root, bucket)
+
+    def _object_path(self, bucket: str, key: str) -> str:
+        # Normalize to prevent escaping the bucket directory.
+        safe = os.path.normpath(key)
+        if safe.startswith("..") or os.path.isabs(safe):
+            raise NoSuchKey(f"invalid key {key!r}")
+        return os.path.join(self._bucket_dir(bucket), safe)
+
+    def create_bucket(self, bucket: str) -> None:
+        os.makedirs(self._bucket_dir(bucket), exist_ok=True)
+
+    def delete_bucket(self, bucket: str) -> None:
+        path = self._bucket_dir(bucket)
+        if not os.path.isdir(path):
+            raise NoSuchBucket(bucket)
+        for dirpath, _dirnames, filenames in os.walk(path, topdown=False):
+            for name in filenames:
+                os.unlink(os.path.join(dirpath, name))
+            os.rmdir(dirpath)
+
+    def _require_bucket(self, bucket: str) -> str:
+        path = self._bucket_dir(bucket)
+        if not os.path.isdir(path):
+            raise NoSuchBucket(bucket)
+        return path
+
+    def put(self, bucket: str, key: str, data: bytes) -> None:
+        self._require_bucket(bucket)
+        path = self._object_path(bucket, key)
+        with self._lock:
+            if os.path.exists(path):
+                raise ObjectAlreadyExists(f"{bucket}/{key}")
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+
+    def get(self, bucket: str, key: str) -> bytes:
+        self._require_bucket(bucket)
+        path = self._object_path(bucket, key)
+        try:
+            with open(path, "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            raise NoSuchKey(f"{bucket}/{key}") from None
+
+    def get_range(self, bucket: str, key: str, start: int, length: int) -> bytes:
+        self._require_bucket(bucket)
+        path = self._object_path(bucket, key)
+        try:
+            size = os.path.getsize(path)
+        except FileNotFoundError:
+            raise NoSuchKey(f"{bucket}/{key}") from None
+        _check_range(size, start, length)
+        with open(path, "rb") as handle:
+            handle.seek(start)
+            return handle.read(length)
+
+    def head(self, bucket: str, key: str) -> ObjectStat:
+        self._require_bucket(bucket)
+        path = self._object_path(bucket, key)
+        try:
+            return ObjectStat(key=key, size=os.path.getsize(path))
+        except FileNotFoundError:
+            raise NoSuchKey(f"{bucket}/{key}") from None
+
+    def exists(self, bucket: str, key: str) -> bool:
+        if not os.path.isdir(self._bucket_dir(bucket)):
+            return False
+        return os.path.isfile(self._object_path(bucket, key))
+
+    def list(self, bucket: str, prefix: str = "") -> list[ObjectStat]:
+        root = self._require_bucket(bucket)
+        stats = []
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in filenames:
+                full = os.path.join(dirpath, name)
+                key = os.path.relpath(full, root).replace(os.sep, "/")
+                if key.startswith(prefix):
+                    stats.append(ObjectStat(key=key, size=os.path.getsize(full)))
+        return sorted(stats, key=lambda stat: stat.key)
+
+    def delete(self, bucket: str, key: str) -> None:
+        self._require_bucket(bucket)
+        path = self._object_path(bucket, key)
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            raise NoSuchKey(f"{bucket}/{key}") from None
+
+
+def copy_object(src: ObjectStore, dst: ObjectStore, bucket: str, key: str) -> None:
+    """Copy one object between stores (used by migration/backup tasks)."""
+    dst.put(bucket, key, src.get(bucket, key))
+
+
+def copy_prefix(src: ObjectStore, dst: ObjectStore, bucket: str, prefix: str) -> int:
+    """Copy all objects under ``prefix``; returns the number copied."""
+    stats: Iterable[ObjectStat] = src.list(bucket, prefix)
+    count = 0
+    for stat in stats:
+        copy_object(src, dst, bucket, stat.key)
+        count += 1
+    return count

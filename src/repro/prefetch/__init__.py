@@ -1,0 +1,6 @@
+"""Parallel prefetch: range planning with merge + batched loads (§5.2)."""
+
+from repro.prefetch.executor import ParallelPrefetcher, PrefetchStats
+from repro.prefetch.planner import PrefetchPlan, PrefetchPlanner
+
+__all__ = ["ParallelPrefetcher", "PrefetchStats", "PrefetchPlan", "PrefetchPlanner"]

@@ -1,0 +1,344 @@
+"""Minimal SQL dialect for log retrieval.
+
+LogStore speaks the SQL protocol (Figure 3: "Application (SQL
+Protocol)").  This parser covers the query shapes the paper evaluates::
+
+    SELECT log FROM request_log
+    WHERE tenant_id = 12276
+      AND ts >= '2020-11-11 00:00:00' AND ts <= '2020-11-11 01:00:00'
+      AND ip = '192.168.0.1' AND latency >= 100 AND fail = 'false'
+
+    SELECT ip, COUNT(*) FROM request_log
+    WHERE tenant_id = 3 AND MATCH(log, 'error timeout')
+    GROUP BY ip ORDER BY COUNT(*) DESC LIMIT 10
+
+Supported: SELECT list (columns / * / aggregates COUNT, SUM, AVG, MIN,
+MAX), WHERE with AND/OR/NOT, comparisons, BETWEEN, IN, MATCH(col,
+'terms'), GROUP BY one column, ORDER BY, LIMIT.  Literal coercion to
+the column's type (timestamps from 'YYYY-MM-DD HH:MM:SS', booleans from
+'true'/'false' — note the paper's own sample writes ``fail = 'false'``)
+happens in the planner, which knows the schema.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.common.errors import SqlParseError
+from repro.query.ast import And, Between, CmpOp, Comparison, Expr, In, Like, Match, Not, Or
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')
+      | (?P<number>-?\d+\.\d+|-?\d+)
+      | (?P<op><=|>=|!=|<>|=|<|>)
+      | (?P<punct>[(),*])
+      | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "and", "or", "not", "between", "in",
+    "match", "like", "group", "by", "order", "limit", "asc", "desc",
+    "count", "sum", "avg", "min", "max", "distinct", "approx_count_distinct",
+}
+
+_AGG_FUNCS = {"count", "sum", "avg", "min", "max", "approx_count_distinct"}
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: a plain column or an aggregate call."""
+
+    column: str | None  # None for COUNT(*)
+    aggregate: str | None = None  # None for plain column reference
+    distinct: bool = False  # COUNT(DISTINCT col)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.aggregate is not None
+
+    def label(self) -> str:
+        if self.aggregate is None:
+            return self.column or "*"
+        inner = self.column if self.column is not None else "*"
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.aggregate.upper()}({inner})"
+
+
+@dataclass
+class ParsedQuery:
+    """Result of parsing one SELECT statement."""
+
+    table: str
+    select: list[SelectItem]
+    where: Expr | None = None
+    group_by: str | None = None
+    order_by: str | None = None
+    order_desc: bool = False
+    limit: int | None = None
+    select_star: bool = False
+    raw_sql: str = ""
+
+    @property
+    def is_aggregate(self) -> bool:
+        return any(item.is_aggregate for item in self.select)
+
+    def projected_columns(self) -> list[str]:
+        """Plain (non-aggregate) columns referenced in the select list."""
+        return [item.column for item in self.select if not item.is_aggregate and item.column]
+
+
+class _Tokens:
+    def __init__(self, sql: str) -> None:
+        self._tokens: list[tuple[str, str]] = []
+        pos = 0
+        while pos < len(sql):
+            match = _TOKEN_RE.match(sql, pos)
+            if match is None:
+                remaining = sql[pos:].strip()
+                if not remaining:
+                    break
+                raise SqlParseError(f"unexpected character at: {remaining[:20]!r}")
+            pos = match.end()
+            for kind in ("string", "number", "op", "punct", "word"):
+                text = match.group(kind)
+                if text is not None:
+                    self._tokens.append((kind, text))
+                    break
+        self._pos = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise SqlParseError("unexpected end of query")
+        self._pos += 1
+        return token
+
+    def accept_word(self, word: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == "word" and token[1].lower() == word:
+            self._pos += 1
+            return True
+        return False
+
+    def expect_word(self, word: str) -> None:
+        if not self.accept_word(word):
+            raise SqlParseError(f"expected {word.upper()!r} near {self.peek()}")
+
+    def accept_punct(self, punct: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == "punct" and token[1] == punct:
+            self._pos += 1
+            return True
+        return False
+
+    def expect_punct(self, punct: str) -> None:
+        if not self.accept_punct(punct):
+            raise SqlParseError(f"expected {punct!r} near {self.peek()}")
+
+    def expect_identifier(self) -> str:
+        kind, text = self.next()
+        if kind != "word" or text.lower() in _KEYWORDS:
+            raise SqlParseError(f"expected identifier, got {text!r}")
+        return text
+
+    def at_end(self) -> bool:
+        return self.peek() is None
+
+
+def _unquote(text: str) -> str:
+    return text[1:-1].replace("''", "'")
+
+
+def _parse_literal(tokens: _Tokens):
+    kind, text = tokens.next()
+    if kind == "string":
+        return _unquote(text)
+    if kind == "number":
+        return float(text) if "." in text else int(text)
+    if kind == "word" and text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    raise SqlParseError(f"expected literal, got {text!r}")
+
+
+def _parse_select_item(tokens: _Tokens) -> SelectItem:
+    token = tokens.peek()
+    if token is None:
+        raise SqlParseError("expected select item")
+    if token[0] == "punct" and token[1] == "*":
+        tokens.next()
+        return SelectItem(column=None, aggregate=None)
+    kind, text = tokens.next()
+    if kind != "word":
+        raise SqlParseError(f"expected column or aggregate, got {text!r}")
+    lower = text.lower()
+    if lower in _AGG_FUNCS:
+        tokens.expect_punct("(")
+        if tokens.accept_punct("*"):
+            if lower != "count":
+                raise SqlParseError(f"{lower.upper()}(*) is only valid for COUNT")
+            tokens.expect_punct(")")
+            return SelectItem(column=None, aggregate="count")
+        distinct = tokens.accept_word("distinct")
+        if distinct and lower != "count":
+            raise SqlParseError(f"DISTINCT is only supported inside COUNT, not {lower.upper()}")
+        column = tokens.expect_identifier()
+        tokens.expect_punct(")")
+        return SelectItem(column=column, aggregate=lower, distinct=distinct)
+    if lower in _KEYWORDS:
+        raise SqlParseError(f"unexpected keyword {text!r} in select list")
+    return SelectItem(column=text, aggregate=None)
+
+
+def _parse_or(tokens: _Tokens) -> Expr:
+    left = _parse_and(tokens)
+    children = [left]
+    while tokens.accept_word("or"):
+        children.append(_parse_and(tokens))
+    return children[0] if len(children) == 1 else Or(tuple(children))
+
+
+def _parse_and(tokens: _Tokens) -> Expr:
+    left = _parse_primary(tokens)
+    children = [left]
+    while tokens.accept_word("and"):
+        children.append(_parse_primary(tokens))
+    return children[0] if len(children) == 1 else And(tuple(children))
+
+
+def _parse_primary(tokens: _Tokens) -> Expr:
+    if tokens.accept_word("not"):
+        return Not(_parse_primary(tokens))
+    if tokens.accept_punct("("):
+        inner = _parse_or(tokens)
+        tokens.expect_punct(")")
+        return inner
+    if tokens.accept_word("match"):
+        tokens.expect_punct("(")
+        column = tokens.expect_identifier()
+        tokens.expect_punct(",")
+        kind, text = tokens.next()
+        if kind != "string":
+            raise SqlParseError("MATCH requires a string literal")
+        tokens.expect_punct(")")
+        return Match(column, _unquote(text))
+    column = tokens.expect_identifier()
+    if tokens.accept_word("like"):
+        return _parse_like(tokens, column)
+    if tokens.accept_word("between"):
+        low = _parse_literal(tokens)
+        tokens.expect_word("and")
+        high = _parse_literal(tokens)
+        return Between(column, low, high)
+    if tokens.accept_word("not"):
+        tokens.expect_word("in")
+        return Not(_parse_in(tokens, column))
+    if tokens.accept_word("in"):
+        return _parse_in(tokens, column)
+    kind, text = tokens.next()
+    if kind != "op":
+        raise SqlParseError(f"expected comparison operator after {column!r}, got {text!r}")
+    op_text = "!=" if text == "<>" else text
+    op = CmpOp(op_text)
+    value = _parse_literal(tokens)
+    return Comparison(column, op, value)
+
+
+def _parse_like(tokens: _Tokens, column: str) -> Like:
+    kind, text = tokens.next()
+    if kind != "string":
+        raise SqlParseError("LIKE requires a string literal")
+    pattern = _unquote(text)
+    if not pattern.endswith("%") or "%" in pattern[:-1] or "_" in pattern:
+        raise SqlParseError(
+            f"only prefix LIKE patterns ('abc%') are supported, got {pattern!r}"
+        )
+    return Like(column, pattern[:-1])
+
+
+def _parse_in(tokens: _Tokens, column: str) -> In:
+    tokens.expect_punct("(")
+    values = [_parse_literal(tokens)]
+    while tokens.accept_punct(","):
+        values.append(_parse_literal(tokens))
+    tokens.expect_punct(")")
+    return In(column, tuple(values))
+
+
+def parse_sql(sql: str) -> ParsedQuery:
+    """Parse one SELECT statement of the minimal dialect."""
+    tokens = _Tokens(sql)
+    tokens.expect_word("select")
+    select = [_parse_select_item(tokens)]
+    while tokens.accept_punct(","):
+        select.append(_parse_select_item(tokens))
+    tokens.expect_word("from")
+    table = tokens.expect_identifier()
+    where: Expr | None = None
+    if tokens.accept_word("where"):
+        where = _parse_or(tokens)
+    group_by: str | None = None
+    if tokens.accept_word("group"):
+        tokens.expect_word("by")
+        group_by = tokens.expect_identifier()
+    order_by: str | None = None
+    order_desc = False
+    if tokens.accept_word("order"):
+        tokens.expect_word("by")
+        token = tokens.peek()
+        if token is not None and token[0] == "word" and token[1].lower() in _AGG_FUNCS:
+            item = _parse_select_item(tokens)
+            order_by = item.label()
+        else:
+            order_by = tokens.expect_identifier()
+        if tokens.accept_word("desc"):
+            order_desc = True
+        else:
+            tokens.accept_word("asc")
+    limit: int | None = None
+    if tokens.accept_word("limit"):
+        value = _parse_literal(tokens)
+        if not isinstance(value, int) or value < 0:
+            raise SqlParseError(f"LIMIT requires a non-negative integer, got {value!r}")
+        limit = value
+    if not tokens.at_end():
+        raise SqlParseError(f"trailing tokens near {tokens.peek()}")
+
+    select_star = any(item.column is None and item.aggregate is None for item in select)
+    parsed = ParsedQuery(
+        table=table,
+        select=select,
+        where=where,
+        group_by=group_by,
+        order_by=order_by,
+        order_desc=order_desc,
+        limit=limit,
+        select_star=select_star,
+        raw_sql=sql,
+    )
+    _validate(parsed)
+    return parsed
+
+
+def _validate(query: ParsedQuery) -> None:
+    has_aggregate = query.is_aggregate
+    plain = [item for item in query.select if not item.is_aggregate and item.column is not None]
+    if has_aggregate and plain:
+        if query.group_by is None:
+            raise SqlParseError("mixing columns and aggregates requires GROUP BY")
+        for item in plain:
+            if item.column != query.group_by:
+                raise SqlParseError(
+                    f"column {item.column!r} must appear in GROUP BY"
+                )
+    if query.group_by is not None and not has_aggregate:
+        raise SqlParseError("GROUP BY requires at least one aggregate in SELECT")

@@ -1,0 +1,29 @@
+"""Raft consensus with LogStore's backpressure flow control (§3, §4.2)."""
+
+from repro.raft.backpressure import BackpressureController, BoundedQueue
+from repro.raft.group import RaftGroup
+from repro.raft.messages import (
+    AppendEntries,
+    AppendEntriesReply,
+    LogEntry,
+    RequestVote,
+    RequestVoteReply,
+)
+from repro.raft.network import SimNetwork
+from repro.raft.node import RaftNode
+from repro.raft.state import PersistentState, Role
+
+__all__ = [
+    "BackpressureController",
+    "BoundedQueue",
+    "RaftGroup",
+    "AppendEntries",
+    "AppendEntriesReply",
+    "LogEntry",
+    "RequestVote",
+    "RequestVoteReply",
+    "SimNetwork",
+    "RaftNode",
+    "PersistentState",
+    "Role",
+]

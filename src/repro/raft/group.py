@@ -1,0 +1,152 @@
+"""RaftGroup: a wired three-replica group as LogStore deploys it.
+
+§3: "we use three replicas, of which two replicas have a complete
+row-store, and the remaining one only contains WAL."  The group harness
+creates the replicas over one simulated network, elects a leader by
+advancing the clock, and exposes a convenience ``propose``/``await``
+style API for the row store and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import NotLeaderError, RaftError
+from repro.raft.messages import LogEntry
+from repro.raft.network import SimNetwork
+from repro.raft.node import RaftNode
+
+DEFAULT_REPLICAS = 3
+
+
+class RaftGroup:
+    """A group of replicas sharing one clock and network."""
+
+    def __init__(
+        self,
+        group_id: str,
+        clock: VirtualClock,
+        apply_factory: Callable[[str], Callable[[LogEntry], None] | None],
+        n_replicas: int = DEFAULT_REPLICAS,
+        wal_only_replicas: int = 1,
+        network: SimNetwork | None = None,
+        snapshot_factory: Callable[[str], tuple | None] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_replicas < 1:
+            raise RaftError(f"need at least one replica, got {n_replicas}")
+        if wal_only_replicas >= n_replicas:
+            raise RaftError("at least one replica must keep a full store")
+        self.group_id = group_id
+        self._clock = clock
+        self.network = network if network is not None else SimNetwork(clock, seed=seed)
+        node_ids = [f"{group_id}/r{i}" for i in range(n_replicas)]
+        self.nodes: dict[str, RaftNode] = {}
+        for i, node_id in enumerate(node_ids):
+            # The *last* wal_only_replicas nodes are WAL-only.
+            wal_only = i >= n_replicas - wal_only_replicas
+            apply_cb = None if wal_only else apply_factory(node_id)
+            provider = installer = None
+            if not wal_only and snapshot_factory is not None:
+                hooks = snapshot_factory(node_id)
+                if hooks is not None:
+                    provider, installer = hooks
+            # A WAL-only replica has no row store to serve from, so it
+            # should almost never lead: give it a much longer election
+            # timeout so a full replica wins every normal election.
+            timeout_scale = 4.0 if wal_only else 1.0
+            self.nodes[node_id] = RaftNode(
+                node_id=node_id,
+                peers=node_ids,
+                clock=clock,
+                network=self.network,
+                apply_callback=apply_cb,
+                snapshot_provider=provider,
+                snapshot_installer=installer,
+                election_timeout_s=0.15 * timeout_scale,
+                seed=seed + i,
+            )
+
+    # -- leadership -----------------------------------------------------
+
+    def leader(self) -> RaftNode | None:
+        leaders = [n for n in self.nodes.values() if n.is_leader and not n._stopped]
+        if len(leaders) > 1:
+            # Possible transiently across terms; prefer the highest term.
+            leaders.sort(key=lambda n: n.persistent.current_term)
+            return leaders[-1]
+        return leaders[0] if leaders else None
+
+    def wait_for_leader(self, timeout_s: float = 10.0) -> RaftNode:
+        """Advance the clock until a leader exists."""
+        deadline = self._clock.now() + timeout_s
+        while self._clock.now() < deadline:
+            node = self.leader()
+            if node is not None:
+                return node
+            self._clock.advance(0.01)
+        raise RaftError(f"no leader elected within {timeout_s}s in group {self.group_id}")
+
+    # -- proposals -----------------------------------------------------
+
+    def propose(self, command: bytes, settle_s: float = 0.25) -> int:
+        """Propose on the current leader and advance until committed.
+
+        Convenience for tests/examples; the cluster layer drives nodes
+        asynchronously instead.
+        """
+        leader = self.wait_for_leader()
+        index = leader.propose(command)
+        deadline = self._clock.now() + settle_s
+        while self._clock.now() < deadline:
+            if self.committed_everywhere(index):
+                return index
+            self._clock.advance(0.005)
+        if leader.commit_index >= index:
+            return index
+        raise RaftError(f"entry {index} failed to commit within {settle_s}s")
+
+    def committed_everywhere(self, index: int) -> bool:
+        """Whether every live replica has committed up to ``index``."""
+        live = [n for n in self.nodes.values() if not n._stopped]
+        return all(n.commit_index >= index for n in live)
+
+    def settle(self, seconds: float = 0.5) -> None:
+        """Advance the clock to let replication/elections quiesce."""
+        self._clock.advance(seconds)
+
+    # -- fault injection --------------------------------------------------
+
+    def stop_node(self, node_id: str) -> None:
+        self.nodes[node_id].stop()
+
+    def restart_node(self, node_id: str) -> None:
+        self.nodes[node_id].restart()
+
+    def stop_leader(self) -> str:
+        leader = self.wait_for_leader()
+        leader.stop()
+        return leader.node_id
+
+    # -- storage accounting ---------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Snapshot the leader's log (the §3 periodic checkpoint task).
+
+        Returns the snapshot index (0 when the leader has no provider).
+        """
+        leader = self.wait_for_leader()
+        if leader._snapshot_provider is None:
+            return 0
+        return leader.take_snapshot()
+
+    def wal_bytes(self) -> dict[str, int]:
+        """Per-replica WAL size (shows the WAL-only replica cost saving)."""
+        return {node_id: node._wal.total_bytes() for node_id, node in self.nodes.items()}
+
+    def full_replicas(self) -> list[RaftNode]:
+        return [n for n in self.nodes.values() if not n.is_wal_only]
+
+    def wal_only_replicas(self) -> list[RaftNode]:
+        return [n for n in self.nodes.values() if n.is_wal_only]

@@ -1,0 +1,634 @@
+"""A Raft replica with LogStore's backpressure integration (§3, §4.2).
+
+Features implemented:
+
+* leader election with randomized timeouts, pre-vote-free standard Raft;
+* log replication with conflict rewind (`next_index` backoff);
+* commit advancement restricted to current-term entries (Raft §5.4.2);
+* durable WAL of entries and term/vote changes, with recovery;
+* *WAL-only replica* mode: the paper keeps a complete row store on two
+  replicas and only the WAL on the third ("a trade-off between storage
+  cost and availability") — a WAL-only node persists and acks entries
+  but has no apply callback;
+* BFC queues: ``sync_queue`` for entries awaiting replication and
+  ``apply_queue`` for committed entries awaiting application; when the
+  apply queue saturates, followers flag ``backpressured`` in replies and
+  the leader's :class:`BackpressureController` throttles producers.
+
+The node is event-driven: timers run on a :class:`VirtualClock`, and
+messages arrive through a :class:`SimNetwork`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import zlib
+from typing import Callable
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import BackpressureError, NotLeaderError, RaftError
+from repro.raft.backpressure import BackpressureController, BoundedQueue
+from repro.raft.messages import (
+    AppendEntries,
+    AppendEntriesReply,
+    InstallSnapshot,
+    InstallSnapshotReply,
+    LogEntry,
+    RequestVote,
+    RequestVoteReply,
+)
+from repro.raft.network import SimNetwork
+from repro.raft.state import LeaderState, PersistentState, Role, VolatileState
+from repro.wal.log import WriteAheadLog
+from repro.wal.record import WalEntryEncoder
+
+# WAL entry kinds private to raft
+_WAL_KIND_ENTRY = 10
+_WAL_KIND_TERM = 11
+_WAL_KIND_SNAPSHOT = 12
+
+DEFAULT_ELECTION_TIMEOUT_S = 0.15
+DEFAULT_HEARTBEAT_INTERVAL_S = 0.03
+DEFAULT_MAX_ENTRIES_PER_APPEND = 64
+
+
+class RaftNode:
+    """One replica of a Raft group."""
+
+    def __init__(
+        self,
+        node_id: str,
+        peers: list[str],
+        clock: VirtualClock,
+        network: SimNetwork,
+        apply_callback: Callable[[LogEntry], None] | None = None,
+        snapshot_provider: Callable[[], bytes] | None = None,
+        snapshot_installer: Callable[[bytes], None] | None = None,
+        wal: WriteAheadLog | None = None,
+        election_timeout_s: float = DEFAULT_ELECTION_TIMEOUT_S,
+        heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+        apply_queue_items: int = 1024,
+        apply_queue_bytes: int = 64 * 1024 * 1024,
+        sync_queue_items: int = 4096,
+        sync_queue_bytes: int = 256 * 1024 * 1024,
+        seed: int = 0,
+    ) -> None:
+        self.node_id = node_id
+        self.peers = [p for p in peers if p != node_id]
+        self._clock = clock
+        self._network = network
+        self._apply = apply_callback
+        self._snapshot_provider = snapshot_provider
+        self._snapshot_installer = snapshot_installer
+        self._latest_snapshot_state: bytes = b""
+        self._wal = wal if wal is not None else WriteAheadLog()
+        self._election_timeout = election_timeout_s
+        self._heartbeat_interval = heartbeat_interval_s
+        # zlib.crc32, not hash(): string hashing is salted per process
+        # and would make election timing nondeterministic across runs.
+        self._rng = random.Random(zlib.crc32(f"{seed}:{node_id}".encode()))
+
+        self.persistent = PersistentState()
+        self.volatile = VolatileState()
+        self.leader_state = LeaderState()
+        self.role = Role.FOLLOWER
+        self.leader_id: str | None = None
+        self._stopped = False
+        self._timer_generation = 0
+
+        # §4.2: the two queues added to Raft's blocking points.
+        self.sync_queue: BoundedQueue[LogEntry] = BoundedQueue(
+            f"{node_id}.sync_queue", sync_queue_items, sync_queue_bytes
+        )
+        self.apply_queue: BoundedQueue[LogEntry] = BoundedQueue(
+            f"{node_id}.apply_queue", apply_queue_items, apply_queue_bytes
+        )
+        self.backpressure = BackpressureController([self.sync_queue, self.apply_queue])
+
+        self._recover_from_wal()
+        network.register(node_id, self._on_message)
+        self._reset_election_timer()
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def is_leader(self) -> bool:
+        return self.role is Role.LEADER
+
+    @property
+    def is_wal_only(self) -> bool:
+        """True for the storage-saving replica that never applies."""
+        return self._apply is None
+
+    @property
+    def commit_index(self) -> int:
+        return self.volatile.commit_index
+
+    @property
+    def last_applied(self) -> int:
+        return self.volatile.last_applied
+
+    def stop(self) -> None:
+        """Take the node offline (crash simulation)."""
+        self._stopped = True
+        self._network.unregister(self.node_id)
+
+    def restart(self) -> None:
+        """Bring a stopped node back (state machine NOT rewound here;
+        callers recreate the node from its WAL for true crash recovery)."""
+        if not self._stopped:
+            return
+        self._stopped = False
+        self._network.register(self.node_id, self._on_message)
+        self._become_follower(self.persistent.current_term, None)
+
+    # -- durability -------------------------------------------------------
+
+    def _persist_term_vote(self) -> None:
+        body = pickle.dumps((self.persistent.current_term, self.persistent.voted_for))
+        self._wal.append(_WAL_KIND_TERM, body)
+
+    def _persist_entry(self, entry: LogEntry) -> None:
+        self._wal.append(_WAL_KIND_ENTRY, pickle.dumps(entry))
+
+    def _recover_from_wal(self) -> None:
+        """Rebuild persistent state from the WAL (idempotent on fresh WAL)."""
+        entries: dict[int, LogEntry] = {}
+        snapshot_index = 0
+        snapshot_term = 0
+        snapshot_state = b""
+        for record in self._wal.replay():
+            if record.kind == _WAL_KIND_TERM:
+                term, voted_for = pickle.loads(record.body)
+                self.persistent.current_term = term
+                self.persistent.voted_for = voted_for
+            elif record.kind == _WAL_KIND_ENTRY:
+                entry: LogEntry = pickle.loads(record.body)
+                # A later record for the same index supersedes (conflict
+                # truncation rewrites suffixes).
+                entries[entry.index] = entry
+                for stale in [i for i in entries if i > entry.index]:
+                    if entries[stale].term < entry.term:
+                        del entries[stale]
+            elif record.kind == _WAL_KIND_SNAPSHOT:
+                snapshot_index, snapshot_term, snapshot_state = pickle.loads(record.body)
+                entries = {i: e for i, e in entries.items() if i > snapshot_index}
+        self.persistent.snapshot_index = snapshot_index
+        self.persistent.snapshot_term = snapshot_term
+        self.persistent.log = [entries[i] for i in sorted(entries)]
+        # Drop any gap-suffix (can occur if truncation removed a prefix).
+        compact: list[LogEntry] = []
+        for position, entry in enumerate(
+            self.persistent.log, start=snapshot_index + 1
+        ):
+            if entry.index != position:
+                break
+            compact.append(entry)
+        self.persistent.log = compact
+        if snapshot_index > 0:
+            self._latest_snapshot_state = snapshot_state
+            if self._snapshot_installer is not None:
+                self._snapshot_installer(snapshot_state)
+            self.volatile.commit_index = snapshot_index
+            self.volatile.last_applied = snapshot_index
+
+    # -- timers ------------------------------------------------------------
+
+    def _reset_election_timer(self) -> None:
+        self._timer_generation += 1
+        generation = self._timer_generation
+        timeout = self._election_timeout * (1.0 + self._rng.random())
+        self._clock.call_later(timeout, lambda: self._on_election_timeout(generation))
+
+    def _on_election_timeout(self, generation: int) -> None:
+        if self._stopped or generation != self._timer_generation:
+            return
+        if self.role is not Role.LEADER:
+            self._start_election()
+        self._reset_election_timer()
+
+    def _schedule_heartbeat(self) -> None:
+        generation = self._timer_generation
+        self._clock.call_later(self._heartbeat_interval, lambda: self._on_heartbeat(generation))
+
+    def _on_heartbeat(self, generation: int) -> None:
+        if self._stopped or generation != self._timer_generation:
+            return
+        if self.role is Role.LEADER:
+            self._broadcast_append_entries()
+            self._schedule_heartbeat()
+
+    # -- role transitions ---------------------------------------------------
+
+    def _become_follower(self, term: int, leader_id: str | None) -> None:
+        changed = term != self.persistent.current_term
+        self.persistent.current_term = term
+        if changed:
+            self.persistent.voted_for = None
+            self._persist_term_vote()
+        self.role = Role.FOLLOWER
+        self.leader_id = leader_id
+        self._reset_election_timer()
+
+    def _start_election(self) -> None:
+        self.role = Role.CANDIDATE
+        self.persistent.current_term += 1
+        self.persistent.voted_for = self.node_id
+        self._persist_term_vote()
+        self.leader_id = None
+        self._votes = {self.node_id}
+        request = RequestVote(
+            term=self.persistent.current_term,
+            candidate_id=self.node_id,
+            last_log_index=self.persistent.last_log_index(),
+            last_log_term=self.persistent.last_log_term(),
+        )
+        if not self.peers:  # single-node group elects itself immediately
+            self._become_leader()
+            return
+        for peer in self.peers:
+            self._network.send(self.node_id, peer, request)
+
+    def _become_leader(self) -> None:
+        self.role = Role.LEADER
+        self.leader_id = self.node_id
+        last = self.persistent.last_log_index()
+        self.leader_state = LeaderState(
+            next_index={peer: last + 1 for peer in self.peers},
+            match_index={peer: 0 for peer in self.peers},
+        )
+        self._timer_generation += 1  # cancel follower election timer
+        self._broadcast_append_entries()
+        self._schedule_heartbeat()
+        self._reset_election_timer_as_leader()
+
+    def _reset_election_timer_as_leader(self) -> None:
+        # Leaders do not run election timers; the generation bump above
+        # suffices. Method kept for symmetry/clarity.
+        return
+
+    # -- client API -------------------------------------------------------
+
+    def propose(self, command: bytes) -> int:
+        """Leader-only: replicate ``command``; returns its log index.
+
+        Raises :class:`NotLeaderError` on a follower and
+        :class:`BackpressureError` when the sync queue is saturated
+        (§4.2 — the caller must slow down).
+        """
+        if self._stopped:
+            raise NotLeaderError("node is stopped", None)
+        if self.role is not Role.LEADER:
+            raise NotLeaderError(f"{self.node_id} is not the leader", self.leader_id)
+        entry = LogEntry(
+            term=self.persistent.current_term,
+            index=self.persistent.last_log_index() + 1,
+            command=command,
+        )
+        try:
+            self.sync_queue.push(entry)
+        except BackpressureError:
+            # §4.2: a rejection is the BFC signal — decay the producer
+            # throttle immediately so upstream slows down.
+            self.backpressure.update()
+            raise
+        self.persistent.append(entry)
+        self._persist_entry(entry)
+        self._broadcast_append_entries()
+        if not self.peers:
+            self._advance_commit_index()
+        return entry.index
+
+    def throttle(self) -> float:
+        """Current BFC throttle in (0, 1] — fraction of nominal rate."""
+        return self.backpressure.update()
+
+    # -- snapshotting (LogStore's periodic checkpointing, §3) ----------------
+
+    def take_snapshot(self) -> int:
+        """Compact the log at ``last_applied``; returns the new snapshot index.
+
+        Requires a ``snapshot_provider`` (the state machine's serializer).
+        The snapshot record is persisted, then WAL segments that only
+        contain compacted history are truncated — the actual disk-space
+        reclamation of the checkpoint task.
+        """
+        if self._snapshot_provider is None:
+            raise RaftError(f"{self.node_id} has no snapshot provider")
+        index = self.volatile.last_applied
+        if index <= self.persistent.snapshot_index:
+            return self.persistent.snapshot_index  # nothing new to compact
+        term = self.persistent.term_at(index)
+        state = self._snapshot_provider()
+        self._latest_snapshot_state = state
+        self.persistent.compact_to(index, term)
+        marker_seq = self._wal.append(
+            _WAL_KIND_SNAPSHOT, pickle.dumps((index, term, state))
+        )
+        # Re-persist the live tail (entries past the snapshot) *after*
+        # the marker so truncating older segments cannot drop them.
+        for entry in self.persistent.log:
+            self._persist_entry(entry)
+        self._wal.truncate_before(marker_seq)
+        return index
+
+    def _send_install_snapshot(self, peer: str) -> None:
+        message = InstallSnapshot(
+            term=self.persistent.current_term,
+            leader_id=self.node_id,
+            last_included_index=self.persistent.snapshot_index,
+            last_included_term=self.persistent.snapshot_term,
+            state=self._latest_snapshot_state,
+        )
+        self._network.send(self.node_id, peer, message)
+
+    def _handle_install_snapshot(self, msg: InstallSnapshot) -> None:
+        if msg.term > self.persistent.current_term:
+            self._become_follower(msg.term, msg.leader_id)
+        if msg.term < self.persistent.current_term:
+            reply = InstallSnapshotReply(
+                term=self.persistent.current_term,
+                follower_id=self.node_id,
+                last_included_index=msg.last_included_index,
+                success=False,
+            )
+            self._network.send(self.node_id, msg.leader_id, reply)
+            return
+        self.role = Role.FOLLOWER
+        self.leader_id = msg.leader_id
+        self._reset_election_timer()
+        if msg.last_included_index > self.persistent.snapshot_index:
+            existing = self.persistent.entry_at(msg.last_included_index)
+            if existing is not None and existing.term == msg.last_included_term:
+                # Snapshot covers a prefix we already have: just compact.
+                self.persistent.compact_to(msg.last_included_index, msg.last_included_term)
+            else:
+                self.persistent.reset_to_snapshot(
+                    msg.last_included_index, msg.last_included_term
+                )
+            self._latest_snapshot_state = msg.state
+            if self._snapshot_installer is not None:
+                self._snapshot_installer(msg.state)
+            self.apply_queue.drain()
+            self.volatile.commit_index = max(
+                self.volatile.commit_index, msg.last_included_index
+            )
+            self.volatile.last_applied = msg.last_included_index
+            marker_seq = self._wal.append(
+                _WAL_KIND_SNAPSHOT,
+                pickle.dumps((msg.last_included_index, msg.last_included_term, msg.state)),
+            )
+            self._wal.truncate_before(marker_seq)
+        reply = InstallSnapshotReply(
+            term=self.persistent.current_term,
+            follower_id=self.node_id,
+            last_included_index=msg.last_included_index,
+            success=True,
+        )
+        self._network.send(self.node_id, msg.leader_id, reply)
+
+    def _handle_install_snapshot_reply(self, msg: InstallSnapshotReply) -> None:
+        if msg.term > self.persistent.current_term:
+            self._become_follower(msg.term, None)
+            return
+        if self.role is not Role.LEADER or not msg.success:
+            return
+        self.leader_state.match_index[msg.follower_id] = max(
+            self.leader_state.match_index.get(msg.follower_id, 0),
+            msg.last_included_index,
+        )
+        self.leader_state.next_index[msg.follower_id] = msg.last_included_index + 1
+        if self.leader_state.next_index[msg.follower_id] <= self.persistent.last_log_index():
+            self._send_append_entries(msg.follower_id)
+
+    # -- replication --------------------------------------------------------
+
+    def _broadcast_append_entries(self) -> None:
+        for peer in self.peers:
+            self._send_append_entries(peer)
+
+    def _send_append_entries(self, peer: str) -> None:
+        next_index = self.leader_state.next_index.get(peer, 1)
+        if next_index <= self.persistent.snapshot_index:
+            # The entries this follower needs were compacted away by a
+            # checkpoint: ship the snapshot instead.
+            self._send_install_snapshot(peer)
+            return
+        prev_index = next_index - 1
+        prev_term = self.persistent.term_at(prev_index) if prev_index > 0 else 0
+        entries = self.persistent.entries_from(next_index, DEFAULT_MAX_ENTRIES_PER_APPEND)
+        message = AppendEntries(
+            term=self.persistent.current_term,
+            leader_id=self.node_id,
+            prev_log_index=prev_index,
+            prev_log_term=prev_term,
+            entries=entries,
+            leader_commit=self.volatile.commit_index,
+        )
+        self._network.send(self.node_id, peer, message)
+
+    # -- message dispatch ---------------------------------------------------
+
+    def _on_message(self, source: str, message: object) -> None:
+        if self._stopped:
+            return
+        if isinstance(message, RequestVote):
+            self._handle_request_vote(message)
+        elif isinstance(message, RequestVoteReply):
+            self._handle_vote_reply(message)
+        elif isinstance(message, AppendEntries):
+            self._handle_append_entries(message)
+        elif isinstance(message, AppendEntriesReply):
+            self._handle_append_reply(message)
+        elif isinstance(message, InstallSnapshot):
+            self._handle_install_snapshot(message)
+        elif isinstance(message, InstallSnapshotReply):
+            self._handle_install_snapshot_reply(message)
+
+    def _handle_request_vote(self, msg: RequestVote) -> None:
+        if msg.term > self.persistent.current_term:
+            self._become_follower(msg.term, None)
+        granted = False
+        if msg.term == self.persistent.current_term:
+            not_voted = self.persistent.voted_for in (None, msg.candidate_id)
+            log_ok = (msg.last_log_term, msg.last_log_index) >= (
+                self.persistent.last_log_term(),
+                self.persistent.last_log_index(),
+            )
+            if not_voted and log_ok:
+                granted = True
+                self.persistent.voted_for = msg.candidate_id
+                self._persist_term_vote()
+                self._reset_election_timer()
+        reply = RequestVoteReply(
+            term=self.persistent.current_term, voter_id=self.node_id, vote_granted=granted
+        )
+        self._network.send(self.node_id, msg.candidate_id, reply)
+
+    def _handle_vote_reply(self, msg: RequestVoteReply) -> None:
+        if msg.term > self.persistent.current_term:
+            self._become_follower(msg.term, None)
+            return
+        if self.role is not Role.CANDIDATE or msg.term != self.persistent.current_term:
+            return
+        if msg.vote_granted:
+            self._votes.add(msg.voter_id)
+            if len(self._votes) * 2 > len(self.peers) + 1:
+                self._become_leader()
+
+    def _handle_append_entries(self, msg: AppendEntries) -> None:
+        if msg.term > self.persistent.current_term:
+            self._become_follower(msg.term, msg.leader_id)
+        if msg.term < self.persistent.current_term:
+            self._reply_append(msg.leader_id, success=False, match_index=0)
+            return
+        # Valid leader for our term.
+        self.role = Role.FOLLOWER
+        self.leader_id = msg.leader_id
+        self._reset_election_timer()
+
+        if msg.prev_log_index < self.persistent.snapshot_index:
+            # Everything at or before our snapshot is committed state;
+            # tell the leader where we actually are.
+            self._reply_append(
+                msg.leader_id, success=True, match_index=self.persistent.snapshot_index
+            )
+            return
+
+        prev_ok = (
+            msg.prev_log_index == 0
+            or msg.prev_log_index == self.persistent.snapshot_index
+            or (
+                msg.prev_log_index <= self.persistent.last_log_index()
+                and self.persistent.term_at(msg.prev_log_index) == msg.prev_log_term
+            )
+        )
+        if not prev_ok:
+            hint = min(msg.prev_log_index - 1, self.persistent.last_log_index())
+            self._reply_append(msg.leader_id, success=False, match_index=hint)
+            return
+
+        # §4.2 BFC: refuse new entries while the apply queue is saturated.
+        backpressured = False
+        new_entries = [
+            e for e in msg.entries if e.index > self.persistent.snapshot_index
+        ]
+        for entry in new_entries:
+            existing = self.persistent.entry_at(entry.index)
+            if existing is not None:
+                if existing.term != entry.term:
+                    self.persistent.truncate_from(entry.index)
+                else:
+                    continue  # duplicate of what we already have
+            if self.apply_queue.saturation >= 1.0 and not self.is_wal_only:
+                backpressured = True
+                break
+            self.persistent.append(entry)
+            self._persist_entry(entry)
+
+        match = min(
+            self.persistent.last_log_index(),
+            msg.prev_log_index + len(new_entries) if not backpressured
+            else self.persistent.last_log_index(),
+        )
+        if msg.leader_commit > self.volatile.commit_index:
+            self.volatile.commit_index = min(msg.leader_commit, self.persistent.last_log_index())
+            self._enqueue_committed()
+        self._reply_append(
+            msg.leader_id, success=True, match_index=match, backpressured=backpressured
+        )
+        self._drain_apply_queue()
+
+    def _reply_append(
+        self, leader: str, success: bool, match_index: int, backpressured: bool = False
+    ) -> None:
+        reply = AppendEntriesReply(
+            term=self.persistent.current_term,
+            follower_id=self.node_id,
+            success=success,
+            match_index=match_index,
+            backpressured=backpressured,
+        )
+        self._network.send(self.node_id, leader, reply)
+
+    def _handle_append_reply(self, msg: AppendEntriesReply) -> None:
+        if msg.term > self.persistent.current_term:
+            self._become_follower(msg.term, None)
+            return
+        if self.role is not Role.LEADER or msg.term != self.persistent.current_term:
+            return
+        if msg.backpressured:
+            self.backpressure.update()
+        if msg.success:
+            self.leader_state.match_index[msg.follower_id] = max(
+                self.leader_state.match_index.get(msg.follower_id, 0), msg.match_index
+            )
+            self.leader_state.next_index[msg.follower_id] = (
+                self.leader_state.match_index[msg.follower_id] + 1
+            )
+            self._advance_commit_index()
+            if self.leader_state.next_index[msg.follower_id] <= self.persistent.last_log_index():
+                self._send_append_entries(msg.follower_id)
+        else:
+            rewind = max(1, min(msg.match_index + 1, self.leader_state.next_index.get(msg.follower_id, 1) - 1))
+            self.leader_state.next_index[msg.follower_id] = rewind
+            self._send_append_entries(msg.follower_id)
+
+    def _advance_commit_index(self) -> None:
+        last = self.persistent.last_log_index()
+        if self.peers:
+            # Highest index replicated on a majority: the leader always
+            # counts itself, so we need the p-th largest peer match_index
+            # where 1 + p is a majority of the full group.
+            n_nodes = len(self.peers) + 1
+            peers_needed = (n_nodes // 2 + 1) - 1
+            matches = sorted(self.leader_state.match_index.values(), reverse=True)
+            if peers_needed > len(matches):
+                return
+            candidate = min(last, matches[peers_needed - 1]) if peers_needed else last
+        else:
+            candidate = last
+        if candidate <= self.volatile.commit_index:
+            return
+        # §5.4.2: only an entry from the current term commits by counting.
+        if self.persistent.term_at(candidate) != self.persistent.current_term:
+            return
+        self.volatile.commit_index = candidate
+        self._enqueue_committed()
+        self._drain_apply_queue()
+
+    # -- applying -------------------------------------------------------
+
+    def _enqueue_committed(self) -> None:
+        """Move newly committed entries from the log to the apply queue."""
+        while self.volatile.last_applied + len(self.apply_queue) < self.volatile.commit_index:
+            index = self.volatile.last_applied + len(self.apply_queue) + 1
+            entry = self.persistent.entry_at(index)
+            if entry is None:
+                break
+            try:
+                self.apply_queue.push(entry)
+            except BackpressureError:
+                break
+        # Remove replicated entries from the leader's sync queue.
+        while len(self.sync_queue) and self.sync_queue.peek().index <= self.volatile.commit_index:
+            self.sync_queue.pop()
+
+    def _drain_apply_queue(self, limit: int | None = None) -> None:
+        """Apply committed entries to the local state machine in order."""
+        while len(self.apply_queue) and (limit is None or limit > 0):
+            entry = self.apply_queue.peek()
+            if entry.index != self.volatile.last_applied + 1:
+                # Stale or out-of-order (can happen after leadership churn);
+                # drop anything at-or-below last_applied, otherwise wait.
+                if entry.index <= self.volatile.last_applied:
+                    self.apply_queue.pop()
+                    continue
+                break
+            self.apply_queue.pop()
+            if self._apply is not None:
+                self._apply(entry)
+            self.volatile.last_applied = entry.index
+            if limit is not None:
+                limit -= 1

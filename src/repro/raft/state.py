@@ -1,0 +1,117 @@
+"""Raft roles and persistent/volatile state containers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.raft.messages import LogEntry
+
+
+class Role(enum.Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+@dataclass
+class PersistentState:
+    """State that must survive restarts (§5.1 of the Raft paper).
+
+    The in-memory ``log`` holds entries *after* the snapshot point:
+    ``log[0]`` has index ``snapshot_index + 1``.  With no snapshot taken
+    yet, ``snapshot_index == 0`` and the log is simply 1-indexed.
+    """
+
+    current_term: int = 0
+    voted_for: str | None = None
+    log: list[LogEntry] = field(default_factory=list)
+    snapshot_index: int = 0
+    snapshot_term: int = 0
+
+    def last_log_index(self) -> int:
+        return self.log[-1].index if self.log else self.snapshot_index
+
+    def last_log_term(self) -> int:
+        return self.log[-1].term if self.log else self.snapshot_term
+
+    def entry_at(self, index: int) -> LogEntry | None:
+        """Entry with the given 1-based index, or None.
+
+        Indexes at or below the snapshot point return None — those
+        entries have been compacted away.
+        """
+        position = index - self.snapshot_index - 1
+        if 0 <= position < len(self.log):
+            entry = self.log[position]
+            if entry.index != index:
+                raise AssertionError(f"log index invariant broken at {index}")
+            return entry
+        return None
+
+    def term_at(self, index: int) -> int:
+        """Term of the entry at ``index``.
+
+        Index 0 and the snapshot point have known terms; compacted
+        interior indexes raise."""
+        if index == 0:
+            return 0
+        if index == self.snapshot_index:
+            return self.snapshot_term
+        entry = self.entry_at(index)
+        if entry is None:
+            raise IndexError(f"no log entry at index {index}")
+        return entry.term
+
+    def truncate_from(self, index: int) -> None:
+        """Discard entries with index >= ``index`` (conflict resolution)."""
+        position = index - self.snapshot_index - 1
+        if position < 0:
+            raise AssertionError(f"cannot truncate into the snapshot at {index}")
+        del self.log[position:]
+
+    def append(self, entry: LogEntry) -> None:
+        expected = self.last_log_index() + 1
+        if entry.index != expected:
+            raise AssertionError(f"appending index {entry.index}, expected {expected}")
+        self.log.append(entry)
+
+    def entries_from(self, index: int, limit: int) -> tuple[LogEntry, ...]:
+        """Up to ``limit`` entries starting at ``index`` (post-snapshot)."""
+        position = index - self.snapshot_index - 1
+        if position < 0:
+            raise IndexError(f"index {index} is inside the snapshot")
+        return tuple(self.log[position : position + limit])
+
+    def compact_to(self, index: int, term: int) -> int:
+        """Drop entries up to and including ``index``; returns count dropped."""
+        position = index - self.snapshot_index
+        if position <= 0:
+            return 0
+        dropped = min(position, len(self.log))
+        del self.log[:dropped]
+        self.snapshot_index = index
+        self.snapshot_term = term
+        return dropped
+
+    def reset_to_snapshot(self, index: int, term: int) -> None:
+        """Discard the whole log (InstallSnapshot on a diverged follower)."""
+        self.log = []
+        self.snapshot_index = index
+        self.snapshot_term = term
+
+
+@dataclass
+class VolatileState:
+    """State all servers keep in memory."""
+
+    commit_index: int = 0
+    last_applied: int = 0
+
+
+@dataclass
+class LeaderState:
+    """Per-peer replication bookkeeping, reinitialized on election."""
+
+    next_index: dict[str, int] = field(default_factory=dict)
+    match_index: dict[str, int] = field(default_factory=dict)

@@ -1,0 +1,6 @@
+"""Write-optimized row store (phase 1 of the two-phase write path)."""
+
+from repro.rowstore.memtable import MemTable
+from repro.rowstore.store import RowStore
+
+__all__ = ["MemTable", "RowStore"]

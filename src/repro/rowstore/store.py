@@ -1,0 +1,137 @@
+"""RowStore: the local, write-optimized half of the two-phase write path.
+
+Holds the active memtable plus a list of sealed memtables waiting for
+the data builder.  Queries see *all* of them (real-time visibility, §2:
+"LogStore supports low-latency writes and real-time data visibility"),
+plus whatever has already been archived to OSS — the cluster layer
+merges both sides.
+
+Sealing policy mirrors an LSM flush: when the active memtable exceeds
+``seal_bytes`` or ``seal_rows``, it is sealed and a new one starts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.errors import RowStoreError
+from repro.rowstore.memtable import MemTable
+
+DEFAULT_SEAL_ROWS = 100_000
+DEFAULT_SEAL_BYTES = 64 * 1024 * 1024
+
+
+class RowStore:
+    """Active + sealed memtables for one shard."""
+
+    def __init__(
+        self,
+        ts_column: str = "ts",
+        tenant_column: str = "tenant_id",
+        seal_rows: int = DEFAULT_SEAL_ROWS,
+        seal_bytes: int = DEFAULT_SEAL_BYTES,
+    ) -> None:
+        if seal_rows <= 0 or seal_bytes <= 0:
+            raise RowStoreError("seal thresholds must be positive")
+        self._ts_column = ts_column
+        self._tenant_column = tenant_column
+        self._seal_rows = seal_rows
+        self._seal_bytes = seal_bytes
+        self._active = MemTable(ts_column, tenant_column)
+        self._sealed: list[MemTable] = []
+        self.total_rows_ingested = 0
+
+    @property
+    def active(self) -> MemTable:
+        return self._active
+
+    @property
+    def sealed_tables(self) -> list[MemTable]:
+        return list(self._sealed)
+
+    def append(self, row: dict) -> None:
+        """Ingest one row; seals the active memtable when thresholds hit."""
+        self._active.append(row)
+        self.total_rows_ingested += 1
+        if len(self._active) >= self._seal_rows or self._active.approx_bytes >= self._seal_bytes:
+            self.seal_active()
+
+    def append_many(self, rows: list[dict]) -> None:
+        for row in rows:
+            self.append(row)
+
+    def seal_active(self) -> MemTable | None:
+        """Seal the active memtable (if non-empty); returns it."""
+        if not len(self._active):
+            return None
+        table = self._active
+        table.seal()
+        self._sealed.append(table)
+        self._active = MemTable(self._ts_column, self._tenant_column)
+        return table
+
+    def take_sealed(self) -> list[MemTable]:
+        """Hand all sealed memtables to the data builder (removes them).
+
+        The builder converts them to LogBlocks; after a successful upload
+        the rows live on OSS and the local copy is dropped — this is the
+        "packaged and flushed to OSS" path that also runs when a shard
+        stops carrying a tenant after rebalancing (§4.1.5).
+        """
+        sealed = self._sealed
+        self._sealed = []
+        return sealed
+
+    def row_count(self) -> int:
+        """Rows currently visible locally (active + sealed)."""
+        return len(self._active) + sum(len(t) for t in self._sealed)
+
+    def approx_bytes(self) -> int:
+        return self._active.approx_bytes + sum(t.approx_bytes for t in self._sealed)
+
+    def scan(
+        self,
+        min_ts: int | None = None,
+        max_ts: int | None = None,
+        tenant_id: int | None = None,
+    ) -> Iterator[dict]:
+        """Scan sealed tables then the active one, each in ts order."""
+        for table in self._sealed:
+            yield from table.scan(min_ts, max_ts, tenant_id)
+        yield from self._active.scan(min_ts, max_ts, tenant_id)
+
+    def tenants(self) -> set[int]:
+        found: set[int] = set()
+        for table in self._sealed:
+            found |= table.tenants()
+        found |= self._active.tenants()
+        return found
+
+    # -- checkpoint state (Raft snapshot integration) ----------------------
+
+    def serialize_state(self) -> bytes:
+        """Snapshot of the locally held rows (for Raft checkpointing).
+
+        Captures sealed + active rows and the ingest counter; archived
+        rows live on OSS and are not part of local state.
+        """
+        import pickle
+
+        sealed_rows = [list(table.scan()) for table in self._sealed]
+        active_rows = list(self._active.scan())
+        return pickle.dumps((sealed_rows, active_rows, self.total_rows_ingested))
+
+    def install_state(self, state: bytes) -> None:
+        """Replace local contents with a serialized snapshot, in place."""
+        import pickle
+
+        sealed_rows, active_rows, total = pickle.loads(state)
+        self._sealed = []
+        for rows in sealed_rows:
+            table = MemTable(self._ts_column, self._tenant_column)
+            table.append_many(rows)
+            table.seal()
+            self._sealed.append(table)
+        self._active = MemTable(self._ts_column, self._tenant_column)
+        self._active.append_many(active_rows)
+        self.total_rows_ingested = total

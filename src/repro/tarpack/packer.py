@@ -1,0 +1,84 @@
+"""Packer: bundle many small files into one seekable blob.
+
+Layout of a pack::
+
+    +----------+-------------------+----------------------+
+    | preamble | manifest          | data section         |
+    | 12 bytes | variable          | member blobs, packed |
+    +----------+-------------------+----------------------+
+
+The preamble is ``PACK`` + version + u32 manifest length + u16 reserved,
+so a reader can fetch it with one tiny ranged GET, then fetch the
+manifest with a second, then any member with one more — three round
+trips for the first member and one per member afterwards, regardless of
+how many small files the LogBlock contains.  Member offsets in the
+manifest are relative to the start of the data section.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import CorruptionError, SerializationError
+from repro.tarpack.manifest import Manifest, MemberEntry
+
+PREAMBLE_MAGIC = b"PACK"
+PREAMBLE_VERSION = 1
+PREAMBLE_SIZE = 12  # 4 magic + 1 version + 1 reserved + 4 manifest_len + 2 reserved
+
+
+def write_preamble(manifest_len: int) -> bytes:
+    """Serialize the 12-byte pack preamble."""
+    return struct.pack("<4sBBIH", PREAMBLE_MAGIC, PREAMBLE_VERSION, 0, manifest_len, 0)
+
+
+def read_preamble(data: bytes) -> int:
+    """Parse the preamble; returns the manifest length."""
+    if len(data) < PREAMBLE_SIZE:
+        raise SerializationError("pack preamble truncated")
+    magic, version, _r1, manifest_len, _r2 = struct.unpack("<4sBBIH", data[:PREAMBLE_SIZE])
+    if magic != PREAMBLE_MAGIC:
+        raise CorruptionError("bad pack magic")
+    if version != PREAMBLE_VERSION:
+        raise SerializationError(f"unsupported pack version {version}")
+    return manifest_len
+
+
+class PackBuilder:
+    """Accumulates named members and produces the packed blob."""
+
+    def __init__(self) -> None:
+        self._members: list[tuple[str, bytes]] = []
+        self._names: set[str] = set()
+
+    def add(self, name: str, data: bytes) -> None:
+        """Append a member.  Names must be unique and non-empty."""
+        if not name:
+            raise SerializationError("member name must be non-empty")
+        if name in self._names:
+            raise SerializationError(f"duplicate member name: {name}")
+        self._names.add(name)
+        self._members.append((name, bytes(data)))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def build(self) -> bytes:
+        """Produce the final pack bytes."""
+        manifest = Manifest()
+        offset = 0
+        for name, data in self._members:
+            manifest.add(MemberEntry(name=name, offset=offset, length=len(data)))
+            offset += len(data)
+        manifest_bytes = manifest.to_bytes()
+        parts = [write_preamble(len(manifest_bytes)), manifest_bytes]
+        parts.extend(data for _name, data in self._members)
+        return b"".join(parts)
+
+
+def pack_members(members: dict[str, bytes]) -> bytes:
+    """Convenience: pack a name→bytes mapping (insertion order preserved)."""
+    builder = PackBuilder()
+    for name, data in members.items():
+        builder.add(name, data)
+    return builder.build()

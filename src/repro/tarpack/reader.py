@@ -1,0 +1,114 @@
+"""Seekable reads of pack members via ranged object-store GETs.
+
+A :class:`PackReader` knows the bucket/key of a packed LogBlock on the
+object store and fetches members lazily.  The manifest is fetched once
+(and typically cached by the multi-level cache above this layer); each
+member read is a single ranged GET.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.common.errors import InvalidRange
+from repro.tarpack.manifest import Manifest, MemberEntry
+from repro.tarpack.packer import PREAMBLE_SIZE, read_preamble
+
+
+class RangeReader(Protocol):
+    """Anything that can serve ranged reads of one object."""
+
+    def get_range(self, bucket: str, key: str, start: int, length: int) -> bytes: ...
+
+
+class PackReader:
+    """Lazy reader over one packed blob stored in an object store."""
+
+    def __init__(self, store: RangeReader, bucket: str, key: str) -> None:
+        self._store = store
+        self._bucket = bucket
+        self._key = key
+        self._manifest: Manifest | None = None
+        self._data_start: int | None = None
+        self._head: bytes = b""  # retained head chunk; serves early members
+
+    @property
+    def bucket(self) -> str:
+        return self._bucket
+
+    @property
+    def key(self) -> str:
+        return self._key
+
+    HEAD_CHUNK = 8192
+
+    def manifest(self) -> Manifest:
+        """Fetch (once) and return the manifest.
+
+        The preamble and manifest together are "the header of the tar
+        file" (§3), so they are fetched as one speculative head read;
+        only a pack with an unusually large manifest (or one smaller
+        than the chunk) needs a second ranged GET.
+        """
+        if self._manifest is None:
+            try:
+                head = self._store.get_range(self._bucket, self._key, 0, self.HEAD_CHUNK)
+                self._head = head
+            except InvalidRange:
+                # The whole pack is smaller than the head chunk.
+                head = self._store.get_range(self._bucket, self._key, 0, PREAMBLE_SIZE)
+            manifest_len = read_preamble(head)
+            end = PREAMBLE_SIZE + manifest_len
+            if end <= len(head):
+                manifest_bytes = head[PREAMBLE_SIZE:end]
+            else:
+                manifest_bytes = self._store.get_range(
+                    self._bucket, self._key, PREAMBLE_SIZE, manifest_len
+                )
+            self._manifest = Manifest.from_bytes(manifest_bytes)
+            self._data_start = end
+        return self._manifest
+
+    def attach_manifest(self, manifest: Manifest, data_start: int) -> None:
+        """Install an externally cached manifest, skipping the two GETs."""
+        self._manifest = manifest
+        self._data_start = data_start
+
+    @property
+    def data_start(self) -> int:
+        """Absolute offset of the data section within the blob."""
+        if self._data_start is None:
+            self.manifest()
+        assert self._data_start is not None
+        return self._data_start
+
+    def member_entry(self, name: str) -> MemberEntry:
+        return self.manifest().get(name)
+
+    def member_extent(self, name: str) -> tuple[int, int]:
+        """Absolute ``(start, length)`` of a member within the blob."""
+        entry = self.member_entry(name)
+        return self.data_start + entry.offset, entry.length
+
+    def read_member(self, name: str) -> bytes:
+        """Fetch one member with a single ranged GET.
+
+        Members that fall entirely inside the retained head chunk
+        (meta, bloom filters — the writer packs them first) are served
+        from it with no further request: header locality.
+        """
+        start, length = self.member_extent(name)
+        if length == 0:
+            return b""
+        if start + length <= len(self._head):
+            return self._head[start : start + length]
+        return self._store.get_range(self._bucket, self._key, start, length)
+
+    def covered_by_head(self, name: str) -> bool:
+        """Whether a member is fully inside the retained head chunk
+        (reading it costs no further request)."""
+        start, length = self.member_extent(name)
+        return start + length <= len(self._head)
+
+    def member_names(self) -> list[str]:
+        return self.manifest().names()

@@ -1,0 +1,5 @@
+"""Operational tooling: LogBlock inspection CLI."""
+
+from repro.tools.inspect import main as inspect_main, open_block
+
+__all__ = ["inspect_main", "open_block"]

@@ -1,0 +1,19 @@
+"""Write-ahead logging: framed records, segmented logs, replay."""
+
+from repro.wal.log import (
+    FileSegmentBackend,
+    MemorySegmentBackend,
+    WalEntry,
+    WriteAheadLog,
+)
+from repro.wal.record import WalEntryEncoder, encode_frame, iter_frames
+
+__all__ = [
+    "FileSegmentBackend",
+    "MemorySegmentBackend",
+    "WalEntry",
+    "WriteAheadLog",
+    "WalEntryEncoder",
+    "encode_frame",
+    "iter_frames",
+]

@@ -1,0 +1,177 @@
+"""Segmented write-ahead log.
+
+Entries are framed (:mod:`repro.wal.record`) and appended to the active
+segment; when a segment exceeds ``segment_bytes`` it is sealed and a new
+one starts.  Segments before a checkpoint can be truncated.  Two storage
+backends: in-memory (simulation) and directory-of-files (examples).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterator, Protocol
+
+from repro.common.errors import WalError
+from repro.wal.record import WalEntryEncoder, encode_frame, iter_frames
+
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+
+class SegmentBackend(Protocol):
+    """Persistence for numbered WAL segments."""
+
+    def append(self, segment_id: int, data: bytes) -> None: ...
+
+    def read(self, segment_id: int) -> bytes: ...
+
+    def segments(self) -> list[int]: ...
+
+    def delete(self, segment_id: int) -> None: ...
+
+
+class MemorySegmentBackend:
+    """Segments held in a dict; the simulation default."""
+
+    def __init__(self) -> None:
+        self._segments: dict[int, bytearray] = {}
+
+    def append(self, segment_id: int, data: bytes) -> None:
+        self._segments.setdefault(segment_id, bytearray()).extend(data)
+
+    def read(self, segment_id: int) -> bytes:
+        try:
+            return bytes(self._segments[segment_id])
+        except KeyError:
+            raise WalError(f"no such WAL segment {segment_id}") from None
+
+    def segments(self) -> list[int]:
+        return sorted(self._segments)
+
+    def delete(self, segment_id: int) -> None:
+        self._segments.pop(segment_id, None)
+
+
+class FileSegmentBackend:
+    """Segments as ``NNNNNNNN.wal`` files under a directory."""
+
+    def __init__(self, directory: str) -> None:
+        self._dir = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, segment_id: int) -> str:
+        return os.path.join(self._dir, f"{segment_id:08d}.wal")
+
+    def append(self, segment_id: int, data: bytes) -> None:
+        with open(self._path(segment_id), "ab") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def read(self, segment_id: int) -> bytes:
+        try:
+            with open(self._path(segment_id), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            raise WalError(f"no such WAL segment {segment_id}") from None
+
+    def segments(self) -> list[int]:
+        ids = []
+        for name in os.listdir(self._dir):
+            if name.endswith(".wal"):
+                ids.append(int(name[: -len(".wal")]))
+        return sorted(ids)
+
+    def delete(self, segment_id: int) -> None:
+        try:
+            os.unlink(self._path(segment_id))
+        except FileNotFoundError:
+            pass
+
+
+@dataclass(frozen=True)
+class WalEntry:
+    """One logical WAL entry."""
+
+    sequence: int
+    kind: int
+    body: bytes
+
+
+class WriteAheadLog:
+    """Append-only, replayable, checkpoint-truncatable log."""
+
+    def __init__(
+        self,
+        backend: SegmentBackend | None = None,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> None:
+        if segment_bytes <= 0:
+            raise WalError(f"segment_bytes must be positive, got {segment_bytes}")
+        self._backend = backend if backend is not None else MemorySegmentBackend()
+        self._segment_bytes = segment_bytes
+        existing = self._backend.segments()
+        self._active_segment = existing[-1] if existing else 0
+        self._active_size = len(self._backend.read(self._active_segment)) if existing else 0
+        self._next_sequence = self._recover_next_sequence()
+
+    def _recover_next_sequence(self) -> int:
+        last = -1
+        for segment_id in self._backend.segments():
+            for payload in iter_frames(self._backend.read(segment_id)):
+                sequence, _kind, _body = WalEntryEncoder.decode(payload)
+                if sequence <= last:
+                    raise WalError(
+                        f"non-monotonic WAL sequence {sequence} after {last} "
+                        f"in segment {segment_id}"
+                    )
+                last = sequence
+        return last + 1
+
+    @property
+    def next_sequence(self) -> int:
+        return self._next_sequence
+
+    def append(self, kind: int, body: bytes) -> int:
+        """Append an entry; returns its sequence number."""
+        sequence = self._next_sequence
+        frame = encode_frame(WalEntryEncoder.encode(sequence, kind, body))
+        if self._active_size and self._active_size + len(frame) > self._segment_bytes:
+            self._active_segment += 1
+            self._active_size = 0
+        self._backend.append(self._active_segment, frame)
+        self._active_size += len(frame)
+        self._next_sequence += 1
+        return sequence
+
+    def replay(self, from_sequence: int = 0) -> Iterator[WalEntry]:
+        """Yield entries with ``sequence >= from_sequence`` in order."""
+        for segment_id in self._backend.segments():
+            for payload in iter_frames(self._backend.read(segment_id)):
+                sequence, kind, body = WalEntryEncoder.decode(payload)
+                if sequence >= from_sequence:
+                    yield WalEntry(sequence, kind, body)
+
+    def truncate_before(self, sequence: int) -> int:
+        """Delete whole segments whose entries all precede ``sequence``.
+
+        Returns the number of segments removed.  The active segment is
+        never removed.
+        """
+        removed = 0
+        for segment_id in self._backend.segments():
+            if segment_id == self._active_segment:
+                break
+            max_seq = -1
+            for payload in iter_frames(self._backend.read(segment_id)):
+                max_seq = WalEntryEncoder.decode(payload)[0]
+            if max_seq >= 0 and max_seq < sequence:
+                self._backend.delete(segment_id)
+                removed += 1
+            else:
+                break
+        return removed
+
+    def total_bytes(self) -> int:
+        """Bytes across all live segments (storage-cost accounting)."""
+        return sum(len(self._backend.read(s)) for s in self._backend.segments())

@@ -1,0 +1,101 @@
+"""WAL record framing: length-prefixed, CRC-protected entries.
+
+Frame layout::
+
+    +-----------+----------+-------------------+
+    | len: u32  | crc: u32 | payload (len)     |
+    +-----------+----------+-------------------+
+
+The CRC covers the payload only.  A torn tail (partial frame at the end
+of a segment after a crash) is detected and treated as end-of-log during
+replay, matching standard WAL semantics.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.common.errors import CorruptionError, WalError
+
+_HEADER = struct.Struct("<II")
+HEADER_SIZE = _HEADER.size
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Frame one payload for appending to a WAL segment."""
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return _HEADER.pack(len(payload), crc) + payload
+
+
+@dataclass(frozen=True)
+class FrameResult:
+    """Outcome of decoding one frame at an offset."""
+
+    payload: bytes
+    next_offset: int
+
+
+def decode_frame(data: bytes, offset: int) -> FrameResult | None:
+    """Decode the frame at ``offset``.
+
+    Returns ``None`` for a clean end (offset at end of data) or a torn
+    tail (not enough bytes for a complete frame).  Raises
+    :class:`CorruptionError` for a CRC mismatch, which indicates damage
+    *before* the tail and must not be silently skipped.
+    """
+    if offset == len(data):
+        return None
+    if offset + HEADER_SIZE > len(data):
+        return None  # torn header at tail
+    length, crc = _HEADER.unpack_from(data, offset)
+    start = offset + HEADER_SIZE
+    end = start + length
+    if end > len(data):
+        return None  # torn payload at tail
+    payload = data[start:end]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise CorruptionError(f"WAL CRC mismatch at offset {offset}")
+    return FrameResult(payload=payload, next_offset=end)
+
+
+def iter_frames(data: bytes):
+    """Yield payloads of all complete frames; stops at a torn tail."""
+    offset = 0
+    while True:
+        result = decode_frame(data, offset)
+        if result is None:
+            return
+        yield result.payload
+        offset = result.next_offset
+
+
+def validate_segment(data: bytes) -> int:
+    """Number of complete frames in a segment (raises on mid-log damage)."""
+    count = 0
+    for _ in iter_frames(data):
+        count += 1
+    return count
+
+
+class WalEntryEncoder:
+    """Encodes logical WAL entries: (sequence, kind, body)."""
+
+    KIND_APPEND = 1
+    KIND_SEAL = 2
+    KIND_CHECKPOINT = 3
+
+    @staticmethod
+    def encode(sequence: int, kind: int, body: bytes) -> bytes:
+        if sequence < 0:
+            raise WalError(f"negative WAL sequence {sequence}")
+        head = struct.pack("<QB", sequence, kind)
+        return head + body
+
+    @staticmethod
+    def decode(payload: bytes) -> tuple[int, int, bytes]:
+        if len(payload) < 9:
+            raise CorruptionError("WAL entry shorter than header")
+        sequence, kind = struct.unpack_from("<QB", payload)
+        return sequence, kind, payload[9:]

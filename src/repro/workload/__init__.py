@@ -1,0 +1,23 @@
+"""Workload generation: Zipfian tenants, log records, query sets (§6.1)."""
+
+from repro.workload.generator import (
+    LogRecordGenerator,
+    WorkloadConfig,
+    diurnal_series,
+    diurnal_throughput,
+)
+from repro.workload.queries import QuerySetGenerator, QuerySpec, TEMPLATE_NAMES
+from repro.workload.zipf import ZipfTenantSampler, tenant_traffic, zipf_weights
+
+__all__ = [
+    "LogRecordGenerator",
+    "WorkloadConfig",
+    "diurnal_series",
+    "diurnal_throughput",
+    "QuerySetGenerator",
+    "QuerySpec",
+    "TEMPLATE_NAMES",
+    "ZipfTenantSampler",
+    "tenant_traffic",
+    "zipf_weights",
+]

@@ -1,0 +1,112 @@
+"""Query-set generation for the §6.3 experiments.
+
+"Our query set contains 6000 queries, and six queries with different
+filtering predicates are generated for each tenant" — retrieval of a
+single tenant's logs within a time range, with varying extra predicates.
+The six templates vary selectivity: time-range-only, ip-equality,
+latency threshold, failure filter, full-text match, and a combined
+filter (the paper's §5.1 sample query shape).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.query.planner import format_timestamp
+
+MICROS = 1_000_000
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One generated query with its provenance."""
+
+    tenant_id: int
+    template: str
+    sql: str
+
+
+TEMPLATE_NAMES = [
+    "time_range",
+    "ip_eq",
+    "latency_ge",
+    "fail_eq",
+    "fulltext",
+    "combined",
+]
+
+
+class QuerySetGenerator:
+    """Generates the per-tenant six-template query set."""
+
+    def __init__(
+        self,
+        table: str = "request_log",
+        data_start_ts: int = 0,
+        data_duration_s: float = 48 * 3600,
+        seed: int = 0,
+        ips_per_tenant: int = 8,
+    ) -> None:
+        self._table = table
+        self._start = data_start_ts
+        self._duration = data_duration_s
+        self._rng = random.Random(seed)
+        self._ips_per_tenant = ips_per_tenant
+
+    def _random_window(self, max_fraction: float = 0.5) -> tuple[int, int]:
+        """A random sub-window of the dataset's time span."""
+        span = self._duration * MICROS
+        width = int(span * self._rng.uniform(0.05, max_fraction))
+        start = self._start + self._rng.randrange(max(1, int(span - width)))
+        return start, start + width
+
+    def _tenant_ip(self, tenant_id: int) -> str:
+        host = self._rng.randrange(self._ips_per_tenant)
+        return f"10.{(tenant_id >> 8) & 0xFF}.{tenant_id & 0xFF}.{host + 1}"
+
+    def _time_clause(self, lo: int, hi: int) -> str:
+        return (
+            f"ts >= '{format_timestamp(lo)}' AND ts <= '{format_timestamp(hi)}'"
+        )
+
+    def queries_for_tenant(self, tenant_id: int) -> list[QuerySpec]:
+        """The six templates instantiated for one tenant."""
+        lo, hi = self._random_window()
+        time_clause = self._time_clause(lo, hi)
+        base = f"SELECT log FROM {self._table} WHERE tenant_id = {tenant_id} AND {time_clause}"
+        specs = [
+            QuerySpec(tenant_id, "time_range", base),
+            QuerySpec(
+                tenant_id,
+                "ip_eq",
+                f"{base} AND ip = '{self._tenant_ip(tenant_id)}'",
+            ),
+            QuerySpec(
+                tenant_id,
+                "latency_ge",
+                f"{base} AND latency >= {self._rng.choice([100, 250, 500, 1000])}",
+            ),
+            QuerySpec(tenant_id, "fail_eq", f"{base} AND fail = 'true'"),
+            QuerySpec(
+                tenant_id,
+                "fulltext",
+                f"{base} AND MATCH(log, '{self._rng.choice(['error', 'retry', 'slow', 'status ok'])}')",
+            ),
+            QuerySpec(
+                tenant_id,
+                "combined",
+                (
+                    f"{base} AND ip = '{self._tenant_ip(tenant_id)}' "
+                    f"AND latency >= 100 AND fail = 'false'"
+                ),
+            ),
+        ]
+        return specs
+
+    def query_set(self, tenant_ids: list[int]) -> list[QuerySpec]:
+        """Six queries per tenant, for the given tenants."""
+        out: list[QuerySpec] = []
+        for tenant_id in tenant_ids:
+            out.extend(self.queries_for_tenant(tenant_id))
+        return out

@@ -1,0 +1,76 @@
+"""Zipfian tenant weights (§6.1).
+
+"The tenant logs inserted is under the Zipfian distribution controlled
+by the parameter θ ... the weight of tenant k is proportional to
+(1/k)^θ.  When θ is higher, the workload of the tenant will be more
+skewed.  If θ = 0, then it corresponds to a uniform distribution.  When
+the parameter is set to θ = 0.99, the generated workload is similar to
+the highly skewed data distribution in the production environment."
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+def zipf_weights(n_tenants: int, theta: float) -> np.ndarray:
+    """Normalized weights; tenant rank k (1-based) gets (1/k)^θ / Z."""
+    if n_tenants <= 0:
+        raise ConfigError(f"n_tenants must be positive, got {n_tenants}")
+    if theta < 0:
+        raise ConfigError(f"theta must be non-negative, got {theta}")
+    ranks = np.arange(1, n_tenants + 1, dtype=np.float64)
+    raw = ranks ** (-theta)
+    return raw / raw.sum()
+
+
+def tenant_traffic(n_tenants: int, theta: float, total: float) -> dict[int, float]:
+    """Per-tenant traffic (records/s) for an aggregate offered load."""
+    if total < 0:
+        raise ConfigError(f"total traffic must be non-negative, got {total}")
+    weights = zipf_weights(n_tenants, theta)
+    return {tenant_id: float(total * weights[tenant_id - 1]) for tenant_id in range(1, n_tenants + 1)}
+
+
+class ZipfTenantSampler:
+    """Draws tenant ids (1-based rank ids) with Zipfian probabilities.
+
+    Deterministic for a fixed seed; sampling is O(log n) via the
+    cumulative weight table.
+    """
+
+    def __init__(self, n_tenants: int, theta: float, seed: int = 0) -> None:
+        self._weights = zipf_weights(n_tenants, theta)
+        self._cumulative = np.cumsum(self._weights)
+        self._rng = random.Random(seed)
+        self.n_tenants = n_tenants
+        self.theta = theta
+
+    def sample(self) -> int:
+        point = self._rng.random()
+        return int(np.searchsorted(self._cumulative, point, side="right")) + 1
+
+    def sample_batch(self, count: int) -> list[int]:
+        return [self.sample() for _ in range(count)]
+
+    def counts(self, total_rows: int) -> dict[int, int]:
+        """Deterministic expected row counts per tenant (no sampling noise).
+
+        Largest-remainder apportionment of ``total_rows`` over the
+        weights; used to generate datasets whose rank plot is exactly
+        the Figure 11 shape.
+        """
+        if total_rows < 0:
+            raise ConfigError(f"total_rows must be non-negative, got {total_rows}")
+        exact = self._weights * total_rows
+        floors = np.floor(exact).astype(np.int64)
+        remainder = int(total_rows - floors.sum())
+        if remainder > 0:
+            fractional = exact - floors
+            top = np.argsort(-fractional)[:remainder]
+            floors[top] += 1
+        return {tenant_id: int(floors[tenant_id - 1]) for tenant_id in range(1, self.n_tenants + 1)}

@@ -1,0 +1,165 @@
+"""Block cache, object cache and multi-level cache tests."""
+
+import pytest
+
+from repro.cache.block_cache import LruBlockCache, TieredBlockCache
+from repro.cache.multilevel import CachingRangeReader, MultiLevelCache
+from repro.cache.object_cache import ObjectCache
+from repro.common.clock import VirtualClock
+from repro.oss.costmodel import OssCostModel
+from repro.oss.metered import MeteredObjectStore
+from repro.oss.store import InMemoryObjectStore
+
+
+def key(name: str, start=0, length=10):
+    return ("b", name, start, length)
+
+
+class TestLruBlockCache:
+    def test_hit_miss(self):
+        cache = LruBlockCache("m", 1000)
+        assert cache.get(key("a")) is None
+        cache.put(key("a"), b"0123456789")
+        assert cache.get(key("a")) == b"0123456789"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = LruBlockCache("m", 30)
+        cache.put(key("a"), b"x" * 10)
+        cache.put(key("b"), b"x" * 10)
+        cache.put(key("c"), b"x" * 10)
+        cache.get(key("a"))  # a is now most-recent
+        evicted = cache.put(key("d"), b"x" * 10)
+        assert [k[1] for k, _v in evicted] == ["b"]
+
+    def test_byte_accounting(self):
+        cache = LruBlockCache("m", 100)
+        cache.put(key("a"), b"x" * 40)
+        cache.put(key("a"), b"y" * 10)  # replace
+        assert cache.stats.bytes_cached == 10
+
+    def test_oversized_block_not_cached(self):
+        cache = LruBlockCache("m", 10)
+        assert cache.put(key("big"), b"x" * 100) == []
+        assert cache.get(key("big")) is None
+
+    def test_invalidate_object(self):
+        cache = LruBlockCache("m", 1000)
+        cache.put(("b", "blob1", 0, 5), b"aaaaa")
+        cache.put(("b", "blob1", 5, 5), b"bbbbb")
+        cache.put(("b", "blob2", 0, 5), b"ccccc")
+        assert cache.invalidate_object("b", "blob1") == 2
+        assert cache.get(("b", "blob2", 0, 5)) == b"ccccc"
+        assert cache.stats.bytes_cached == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LruBlockCache("m", 0)
+
+
+class TestTieredBlockCache:
+    def test_demotion_to_ssd(self):
+        tiered = TieredBlockCache(memory_bytes=20, ssd_bytes=1000)
+        tiered.put(key("a"), b"x" * 10)
+        tiered.put(key("b"), b"x" * 10)
+        tiered.put(key("c"), b"x" * 10)  # evicts a → ssd
+        assert tiered.memory.get(key("a")) is None
+        assert tiered.get(key("a")) == b"x" * 10  # served from ssd
+
+    def test_promotion_on_ssd_hit(self):
+        tiered = TieredBlockCache(memory_bytes=20, ssd_bytes=1000)
+        tiered.put(key("a"), b"x" * 10)
+        tiered.put(key("b"), b"x" * 10)
+        tiered.put(key("c"), b"x" * 10)
+        tiered.get(key("a"))  # ssd hit → promote
+        assert tiered.memory.get(key("a")) is not None
+
+    def test_ssd_hit_charges_cost(self):
+        charged = []
+        tiered = TieredBlockCache(
+            memory_bytes=20, ssd_bytes=1000, ssd_read_cost=0.001, charge=charged.append
+        )
+        tiered.put(key("a"), b"x" * 10)
+        tiered.put(key("b"), b"x" * 10)
+        tiered.put(key("c"), b"x" * 10)
+        tiered.get(key("a"))
+        assert charged and charged[0] >= 0.001
+
+
+class TestObjectCache:
+    def test_get_or_load(self):
+        cache = ObjectCache(1000)
+        loads = []
+
+        def loader():
+            loads.append(1)
+            return {"decoded": True}, 100
+
+        first = cache.get_or_load(("b", "k", "meta"), loader)
+        second = cache.get_or_load(("b", "k", "meta"), loader)
+        assert first is second
+        assert loads == [1]
+
+    def test_eviction_by_approx_bytes(self):
+        cache = ObjectCache(100)
+        cache.put(("b", "k", "1"), "a", 60)
+        cache.put(("b", "k", "2"), "b", 60)
+        assert cache.get(("b", "k", "1")) is None
+        assert cache.get(("b", "k", "2")) == "b"
+
+    def test_oversized_not_cached(self):
+        cache = ObjectCache(10)
+        cache.put(("b", "k", "big"), "x", 100)
+        assert len(cache) == 0
+
+    def test_invalidate_blob(self):
+        cache = ObjectCache(1000)
+        cache.put(("b", "k1", "meta"), 1, 10)
+        cache.put(("b", "k1", "idx"), 2, 10)
+        cache.put(("b", "k2", "meta"), 3, 10)
+        assert cache.invalidate_blob("b", "k1") == 2
+        assert cache.get(("b", "k2", "meta")) == 3
+
+
+class TestCachingRangeReader:
+    def _env(self):
+        clock = VirtualClock()
+        model = OssCostModel(request_latency_s=0.01, bandwidth_bytes_per_s=1e9)
+        store = MeteredObjectStore(InMemoryObjectStore(), model, clock)
+        store.create_bucket("b")
+        store.put("b", "k", bytes(range(256)) * 100)
+        cache = MultiLevelCache(memory_bytes=1 << 20, ssd_bytes=1 << 22)
+        return CachingRangeReader(store, cache), store, clock
+
+    def test_second_read_is_free(self):
+        reader, store, clock = self._env()
+        reader.get_range("b", "k", 100, 50)
+        t_after_first = clock.now()
+        data = reader.get_range("b", "k", 100, 50)
+        assert clock.now() == t_after_first  # cache hit: no charge
+        assert data == (bytes(range(256)) * 100)[100:150]
+
+    def test_parallel_only_pays_for_misses(self):
+        reader, store, clock = self._env()
+        reader.get_range("b", "k", 0, 10)
+        requests_before = store.stats.get_requests
+        chunks = reader.get_ranges_parallel("b", "k", [(0, 10), (10, 10)], threads=4)
+        assert len(chunks) == 2
+        assert store.stats.get_requests == requests_before + 1  # only the miss
+
+    def test_summary_counts(self):
+        reader, _store, _clock = self._env()
+        reader.get_range("b", "k", 0, 10)
+        reader.get_range("b", "k", 0, 10)
+        summary = reader.cache.summary()
+        assert summary.memory_hits == 1
+        assert summary.memory_misses >= 1
+
+    def test_invalidation_forces_refetch(self):
+        reader, store, _clock = self._env()
+        reader.get_range("b", "k", 0, 10)
+        reader.cache.invalidate_blob("b", "k")
+        before = store.stats.get_requests
+        reader.get_range("b", "k", 0, 10)
+        assert store.stats.get_requests == before + 1

@@ -1,0 +1,86 @@
+"""ScaleCluster() tests (Algorithm 1 lines 24-27)."""
+
+import pytest
+
+from repro.cluster.config import small_test_config
+from repro.cluster.logstore import LogStore
+from repro.workload import tenant_traffic
+
+from tests.conftest import make_rows
+
+
+@pytest.fixture
+def store():
+    return LogStore.create(config=small_test_config())
+
+
+class TestManualScaleOut:
+    def test_adds_workers_and_shards(self, store):
+        before_workers = len(store.workers)
+        before_shards = store.config.n_shards
+        topology = store.scale_out(2)
+        assert len(store.workers) == before_workers + 2
+        assert store.config.n_shards == before_shards + 2 * store.config.shards_per_worker
+        assert len(topology.workers) == len(store.workers)
+
+    def test_new_shards_on_hash_ring(self, store):
+        before = set(store.controller.ring.shards())
+        store.scale_out(1)
+        after = set(store.controller.ring.shards())
+        assert after > before
+
+    def test_capacity_grows(self, store):
+        before = store.controller.topology.total_worker_capacity()
+        store.scale_out(2)
+        after = store.controller.topology.total_worker_capacity()
+        assert after == before + 2 * store.config.worker_capacity_rps
+
+    def test_invalid_count(self, store):
+        with pytest.raises(ValueError):
+            store.scale_out(0)
+
+    def test_existing_routes_untouched(self, store):
+        store.put(1, make_rows(10, tenant_id=1))
+        rule_before = store.controller.routing.rule_for(1)
+        store.scale_out(1)
+        assert store.controller.routing.rule_for(1) == rule_before
+
+
+class TestAutomaticScaleOut:
+    def test_overload_triggers_scale(self, store):
+        # Offered load above the α-watermark of the initial cluster.
+        watermark = (
+            store.controller.topology.alpha
+            * store.controller.topology.total_worker_capacity()
+        )
+        traffic = tenant_traffic(20, 0.99, watermark * 1.5)
+        event = store.rebalance(traffic)
+        assert event.scaled
+        assert len(store.workers) > 4
+
+    def test_rebalance_succeeds_after_scale(self, store):
+        watermark = (
+            store.controller.topology.alpha
+            * store.controller.topology.total_worker_capacity()
+        )
+        traffic = tenant_traffic(20, 0.99, watermark * 1.5)
+        store.rebalance(traffic)  # scales
+        event = store.rebalance(traffic)  # now balances
+        assert event.rebalanced
+        assert not event.scaled
+
+    def test_writes_and_queries_work_after_scale(self, store):
+        store.scale_out(2)
+        store.put(3, make_rows(200, tenant_id=3))
+        store.flush_all()
+        result = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 3")
+        assert result.rows == [{"COUNT(*)": 200}]
+
+    def test_controller_topology_synced(self, store):
+        watermark = (
+            store.controller.topology.alpha
+            * store.controller.topology.total_worker_capacity()
+        )
+        store.rebalance(tenant_traffic(20, 0.99, watermark * 1.5))
+        assert store.controller.topology is store.controller.hotspot_manager.topology
+        assert len(store.controller.topology.workers) == len(store.workers)

@@ -1,0 +1,139 @@
+"""Virtual clock tests."""
+
+import pytest
+
+from repro.common.clock import VirtualClock, WallClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=5.0).now() == 5.0
+
+    def test_sleep_advances(self):
+        clock = VirtualClock()
+        clock.sleep(2.5)
+        assert clock.now() == 2.5
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().sleep(-1)
+
+    def test_timers_fire_in_order(self):
+        clock = VirtualClock()
+        fired = []
+        clock.call_later(2.0, lambda: fired.append("b"))
+        clock.call_later(1.0, lambda: fired.append("a"))
+        clock.call_later(3.0, lambda: fired.append("c"))
+        clock.advance(2.5)
+        assert fired == ["a", "b"]
+        clock.advance(1.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_timer_sees_its_deadline(self):
+        clock = VirtualClock()
+        seen = []
+        clock.call_later(1.0, lambda: seen.append(clock.now()))
+        clock.advance(5.0)
+        assert seen == [1.0]
+        assert clock.now() == 5.0
+
+    def test_timer_can_schedule_timer(self):
+        clock = VirtualClock()
+        fired = []
+
+        def first():
+            fired.append("first")
+            clock.call_later(1.0, lambda: fired.append("second"))
+
+        clock.call_later(1.0, first)
+        clock.advance(3.0)
+        assert fired == ["first", "second"]
+
+    def test_equal_deadlines_fifo(self):
+        clock = VirtualClock()
+        fired = []
+        for name in ("a", "b", "c"):
+            clock.call_later(1.0, lambda n=name: fired.append(n))
+        clock.advance(1.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_cannot_schedule_in_past(self):
+        clock = VirtualClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.call_at(5.0, lambda: None)
+
+    def test_pending_timers(self):
+        clock = VirtualClock()
+        clock.call_later(1.0, lambda: None)
+        clock.call_later(2.0, lambda: None)
+        assert clock.pending_timers() == 2
+        clock.advance(1.5)
+        assert clock.pending_timers() == 1
+
+
+class TestDeferredCharges:
+    def test_collects_instead_of_advancing(self):
+        clock = VirtualClock()
+        with clock.deferred() as charges:
+            clock.sleep(1.5)
+            clock.sleep(0.5)
+        assert charges.total == 2.0
+        assert clock.now() == 0.0
+
+    def test_restores_sleep_after_exit(self):
+        clock = VirtualClock()
+        with clock.deferred():
+            clock.sleep(3.0)
+        clock.sleep(1.0)
+        assert clock.now() == 1.0
+
+    def test_restores_on_exception(self):
+        clock = VirtualClock()
+        with pytest.raises(RuntimeError):
+            with clock.deferred():
+                clock.sleep(5.0)
+                raise RuntimeError("boom")
+        clock.sleep(1.0)
+        assert clock.now() == 1.0
+
+    def test_nested_innermost_collects(self):
+        clock = VirtualClock()
+        with clock.deferred() as outer:
+            clock.sleep(1.0)
+            with clock.deferred() as inner:
+                clock.sleep(2.0)
+            clock.sleep(0.25)
+        assert inner.total == 2.0
+        assert outer.total == 1.25
+        assert clock.now() == 0.0
+
+    def test_negative_sleep_still_rejected(self):
+        clock = VirtualClock()
+        with clock.deferred():
+            with pytest.raises(ValueError):
+                clock.sleep(-1)
+
+    def test_overlap_modeling(self):
+        """The intended use: concurrent tasks cost their max, not sum."""
+        clock = VirtualClock()
+        durations = []
+        for work in (0.3, 0.7, 0.5):
+            with clock.deferred() as charges:
+                clock.sleep(work)
+            durations.append(charges.total)
+        clock.sleep(max(durations))
+        assert clock.now() == 0.7
+
+
+class TestWallClock:
+    def test_monotonic(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+    def test_zero_sleep_is_noop(self):
+        WallClock().sleep(0)

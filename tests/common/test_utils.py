@@ -1,0 +1,126 @@
+"""Shared-utility tests: percentiles, formatting, range merging."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.utils import (
+    chunked,
+    human_bytes,
+    human_count,
+    mean,
+    merge_ranges,
+    percentile,
+    stddev,
+)
+
+
+class TestPercentile:
+    def test_median_of_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 9, 3]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1))
+    def test_bounded_by_min_max(self, values):
+        for q in (0, 25, 50, 75, 99, 100):
+            assert min(values) <= percentile(values, q) <= max(values)
+
+
+class TestMeanStddev:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_stddev_constant(self):
+        assert stddev([4, 4, 4]) == 0
+
+    def test_stddev_known(self):
+        assert stddev([2, 4]) == 1
+
+
+class TestHumanFormat:
+    def test_bytes(self):
+        assert human_bytes(0) == "0 B"
+        assert human_bytes(1024) == "1.0 KiB"
+        assert human_bytes(1536) == "1.5 KiB"
+        assert human_bytes(5 * 1024**3) == "5.0 GiB"
+
+    def test_counts(self):
+        assert human_count(999) == "999"
+        assert human_count(1_500) == "1.5k"
+        assert human_count(50_000_000) == "50.0M"
+        assert human_count(2_000_000_000) == "2.0B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            human_bytes(-1)
+
+
+class TestChunked:
+    def test_exact_division(self):
+        assert list(chunked([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_remainder(self):
+        assert list(chunked(range(5), 2)) == [[0, 1], [2, 3], [4]]
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+
+class TestMergeRanges:
+    def test_disjoint(self):
+        assert merge_ranges([(0, 5), (10, 15)]) == [(0, 5), (10, 15)]
+
+    def test_overlapping(self):
+        assert merge_ranges([(0, 5), (3, 8)]) == [(0, 8)]
+
+    def test_adjacent(self):
+        assert merge_ranges([(0, 5), (5, 8)]) == [(0, 8)]
+
+    def test_gap_coalescing(self):
+        assert merge_ranges([(0, 5), (7, 10)], gap=2) == [(0, 10)]
+        assert merge_ranges([(0, 5), (8, 10)], gap=2) == [(0, 5), (8, 10)]
+
+    def test_unsorted_input(self):
+        assert merge_ranges([(10, 12), (0, 3)]) == [(0, 3), (10, 12)]
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            merge_ranges([(5, 3)])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=0, max_value=100),
+            ).map(lambda se: (se[0], se[0] + se[1])),
+            max_size=30,
+        )
+    )
+    def test_coverage_preserved(self, ranges):
+        merged = merge_ranges(ranges)
+        covered = set()
+        for start, end in ranges:
+            covered.update(range(start, end))
+        merged_covered = set()
+        for start, end in merged:
+            merged_covered.update(range(start, end))
+        assert covered <= merged_covered
+        # Merged ranges are sorted and non-overlapping.
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+            assert e1 < s2

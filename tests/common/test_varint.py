@@ -1,0 +1,92 @@
+"""Varint and zigzag encoding tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SerializationError
+from repro.common.varint import (
+    decode_svarint,
+    decode_uvarint,
+    decode_uvarint_list,
+    encode_svarint,
+    encode_uvarint,
+    encode_uvarint_list,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestUvarint:
+    def test_zero(self):
+        assert encode_uvarint(0) == b"\x00"
+        assert decode_uvarint(b"\x00") == (0, 1)
+
+    def test_single_byte_boundary(self):
+        assert len(encode_uvarint(127)) == 1
+        assert len(encode_uvarint(128)) == 2
+
+    def test_known_value(self):
+        # 300 = 0b100101100 → LEB128 [0xAC, 0x02]
+        assert encode_uvarint(300) == b"\xac\x02"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1)
+
+    def test_truncated_raises(self):
+        data = encode_uvarint(1 << 40)
+        with pytest.raises(SerializationError):
+            decode_uvarint(data[:-1])
+
+    def test_overlong_raises(self):
+        with pytest.raises(SerializationError):
+            decode_uvarint(b"\x80" * 11)
+
+    def test_offset_decoding(self):
+        data = b"junk" + encode_uvarint(42)
+        value, pos = decode_uvarint(data, offset=4)
+        assert value == 42
+        assert pos == len(data)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip(self, value):
+        encoded = encode_uvarint(value)
+        decoded, pos = decode_uvarint(encoded)
+        assert decoded == value
+        assert pos == len(encoded)
+
+
+class TestZigzag:
+    @pytest.mark.parametrize(
+        "value,expected", [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4)]
+    )
+    def test_known_mapping(self, value, expected):
+        assert zigzag_encode(value) == expected
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_roundtrip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+
+class TestSvarint:
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_roundtrip(self, value):
+        decoded, _pos = decode_svarint(encode_svarint(value))
+        assert decoded == value
+
+    def test_small_negatives_are_small(self):
+        assert len(encode_svarint(-1)) == 1
+        assert len(encode_svarint(-64)) == 1
+
+
+class TestUvarintList:
+    def test_empty(self):
+        values, pos = decode_uvarint_list(encode_uvarint_list([]))
+        assert values == []
+        assert pos == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32), max_size=50))
+    def test_roundtrip(self, values):
+        decoded, _pos = decode_uvarint_list(encode_uvarint_list(values))
+        assert decoded == values

@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in a subprocess (as a user would run it) with
+a generous timeout; a non-zero exit or traceback fails the test.  The
+two heavier simulations are exercised with reduced settings via env
+knobs where available, or given longer timeouts.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    return subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=os.path.dirname(EXAMPLES_DIR),
+    )
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "log_analytics.py",
+        "data_lifecycle.py",
+        "backpressure_surge.py",
+        "operations.py",
+    ],
+)
+def test_example_runs_clean(script):
+    result = run_example(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "Traceback" not in result.stderr
+    assert result.stdout.strip(), "examples should print something"
+
+
+def test_quickstart_shows_cache_speedup():
+    result = run_example("quickstart.py")
+    assert "multi-level cache" in result.stdout
+
+
+def test_balancing_example_runs():
+    # The Figure 12-14 style sweep is the slowest example.
+    result = run_example("multi_tenant_balancing.py", timeout=420)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "maxflow" in result.stdout

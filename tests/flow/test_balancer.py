@@ -1,0 +1,210 @@
+"""Balancer tests: hotspot detection, greedy and max-flow scheduling."""
+
+import pytest
+
+from repro.common.errors import CapacityExceeded
+from repro.flow.balancer import (
+    GlobalTrafficController,
+    GreedyBalancer,
+    MaxFlowBalancer,
+    NoBalancer,
+    pick_hotspot_tenants,
+)
+from repro.flow.graph import ClusterTopology
+from repro.flow.monitor import TrafficMonitor, TrafficSample
+from repro.flow.router import RouteRule, RoutingTable
+
+from tests.flow.test_graph import topology
+
+
+def sample_for(routes: dict[int, dict[int, float]], traffic: dict[int, float]) -> TrafficSample:
+    route_traffic = {
+        tenant: {shard: traffic[tenant] * weight for shard, weight in weights.items()}
+        for tenant, weights in routes.items()
+    }
+    return TrafficSample(tenant_traffic=dict(traffic), route_traffic=route_traffic)
+
+
+class TestMonitor:
+    def test_hot_shard_detection(self):
+        topo = topology(worker_cap=100.0, shard_cap=50.0)
+        monitor = TrafficMonitor(topo, hot_shard_utilization=0.9)
+        sample = sample_for({1: {0: 1.0}}, {1: 49.0})
+        TrafficMonitor.derive_shard_and_worker_traffic(sample, topo)
+        report = monitor.check(sample)
+        assert report.hot_shards == [0]
+
+    def test_cool_shard_not_flagged(self):
+        topo = topology(worker_cap=100.0, shard_cap=50.0)
+        monitor = TrafficMonitor(topo)
+        sample = sample_for({1: {0: 1.0}}, {1: 10.0})
+        TrafficMonitor.derive_shard_and_worker_traffic(sample, topo)
+        assert not monitor.check(sample).any_hot
+
+    def test_queue_saturation_flags(self):
+        topo = topology()
+        monitor = TrafficMonitor(topo, hot_queue_saturation=0.8)
+        sample = sample_for({1: {0: 1.0}}, {1: 1.0})
+        sample.shard_queue_saturation[0] = 0.95
+        TrafficMonitor.derive_shard_and_worker_traffic(sample, topo)
+        assert 0 in monitor.check(sample).hot_shards
+
+    def test_headroom(self):
+        topo = topology(worker_cap=100.0, alpha=0.85)
+        monitor = TrafficMonitor(topo)
+        low = sample_for({1: {0: 1.0}}, {1: 100.0})
+        TrafficMonitor.derive_shard_and_worker_traffic(low, topo)
+        assert monitor.cluster_headroom(low)
+        high = sample_for({1: {0: 0.5, 2: 0.5}}, {1: 180.0})
+        TrafficMonitor.derive_shard_and_worker_traffic(high, topo)
+        assert not monitor.cluster_headroom(high)
+
+
+class TestPickHotspotTenants:
+    def test_largest_tenant_chosen(self):
+        sample = sample_for(
+            {1: {0: 1.0}, 2: {0: 1.0}}, {1: 10.0, 2: 30.0}
+        )
+        assert pick_hotspot_tenants(sample, [0]) == [2]
+
+    def test_deduplication(self):
+        sample = sample_for({1: {0: 0.5, 1: 0.5}}, {1: 100.0})
+        assert pick_hotspot_tenants(sample, [0, 1]) == [1]
+
+    def test_empty_shard(self):
+        sample = sample_for({}, {})
+        assert pick_hotspot_tenants(sample, [0]) == []
+
+
+class TestGreedyBalancer:
+    def test_splits_hot_tenant(self):
+        topo = topology(worker_cap=100.0, shard_cap=60.0)
+        balancer = GreedyBalancer(topo, per_tenant_shard_limit=30.0)
+        routes = {1: {0: 1.0}}
+        sample = sample_for(routes, {1: 90.0})
+        TrafficMonitor.derive_shard_and_worker_traffic(sample, topo)
+        report = TrafficMonitor(topo).check(sample)
+        result = balancer.schedule(sample, report, routes)
+        assert 1 in result.plan
+        assert len(result.plan[1]) == 3  # ceil(90/30)
+        weights = list(result.plan[1].values())
+        assert all(w == pytest.approx(1 / 3) for w in weights)  # equal split
+
+    def test_no_hot_no_plan(self):
+        topo = topology()
+        balancer = GreedyBalancer(topo, per_tenant_shard_limit=100.0)
+        sample = sample_for({1: {0: 1.0}}, {1: 1.0})
+        TrafficMonitor.derive_shard_and_worker_traffic(sample, topo)
+        report = TrafficMonitor(topo).check(sample)
+        assert balancer.schedule(sample, report, {1: {0: 1.0}}).plan == {}
+
+    def test_new_shards_are_least_loaded(self):
+        topo = topology(n_workers=2, shards_per_worker=2, worker_cap=100.0, shard_cap=60.0)
+        balancer = GreedyBalancer(topo, per_tenant_shard_limit=30.0)
+        routes = {1: {0: 1.0}, 2: {1: 1.0}}
+        sample = sample_for(routes, {1: 59.0, 2: 40.0})
+        TrafficMonitor.derive_shard_and_worker_traffic(sample, topo)
+        report = TrafficMonitor(topo).check(sample)
+        result = balancer.schedule(sample, report, routes)
+        # Tenant 1 must expand onto the idle shards (2, 3), not shard 1.
+        new_shards = set(result.plan[1]) - {0}
+        assert new_shards <= {2, 3}
+
+
+class TestMaxFlowBalancer:
+    def test_reweights_before_adding_edges(self):
+        """Algorithm 3: if existing routes can carry the demand, only
+        weights change and no edge is added."""
+        topo = topology(worker_cap=100.0, shard_cap=60.0)
+        balancer = MaxFlowBalancer(topo, per_tenant_shard_limit=60.0)
+        routes = {1: {0: 0.9, 2: 0.1}}
+        sample = sample_for(routes, {1: 80.0})
+        TrafficMonitor.derive_shard_and_worker_traffic(sample, topo)
+        report = TrafficMonitor(topo).check(sample)
+        result = balancer.schedule(sample, report, routes)
+        assert result.edges_added == 0
+        assert result.satisfied
+        assert set(result.plan[1]) <= {0, 2}
+
+    def test_adds_edges_when_infeasible(self):
+        topo = topology(worker_cap=100.0, shard_cap=60.0)
+        balancer = MaxFlowBalancer(topo, per_tenant_shard_limit=25.0)
+        routes = {1: {0: 1.0}}
+        sample = sample_for(routes, {1: 70.0})
+        TrafficMonitor.derive_shard_and_worker_traffic(sample, topo)
+        report = TrafficMonitor(topo).check(sample)
+        result = balancer.schedule(sample, report, routes)
+        assert result.edges_added >= 2
+        assert result.satisfied
+
+    def test_plan_weights_sum_to_one(self):
+        topo = topology(worker_cap=100.0, shard_cap=60.0)
+        balancer = MaxFlowBalancer(topo, per_tenant_shard_limit=25.0)
+        routes = {1: {0: 1.0}, 2: {1: 1.0}}
+        sample = sample_for(routes, {1: 70.0, 2: 10.0})
+        TrafficMonitor.derive_shard_and_worker_traffic(sample, topo)
+        report = TrafficMonitor(topo).check(sample)
+        result = balancer.schedule(sample, report, routes)
+        for weights in result.plan.values():
+            assert sum(weights.values()) == pytest.approx(1.0)
+
+
+class TestGlobalController:
+    def _controller(self, balancer_cls, topo=None, **kwargs):
+        topo = topo or topology(worker_cap=100.0, shard_cap=60.0)
+        routing = RoutingTable()
+        routing.set_rule(RouteRule.from_dict(1, {0: 1.0}))
+        if balancer_cls is NoBalancer:
+            balancer = NoBalancer()
+        else:
+            balancer = balancer_cls(topo, per_tenant_shard_limit=30.0)
+        return (
+            GlobalTrafficController(
+                topo, TrafficMonitor(topo), balancer, routing, **kwargs
+            ),
+            routing,
+        )
+
+    def test_rebalances_on_hotspot(self):
+        controller, routing = self._controller(MaxFlowBalancer)
+        sample = sample_for(routing.snapshot(), {1: 90.0})
+        event = controller.run_once(sample)
+        assert event.rebalanced
+        assert routing.total_routes() >= 2
+
+    def test_no_balancer_never_rebalances(self):
+        controller, routing = self._controller(NoBalancer)
+        sample = sample_for(routing.snapshot(), {1: 90.0})
+        event = controller.run_once(sample)
+        assert not event.rebalanced
+        assert routing.total_routes() == 1
+
+    def test_capacity_exceeded_without_scale_hook(self):
+        controller, routing = self._controller(MaxFlowBalancer)
+        sample = sample_for(routing.snapshot(), {1: 500.0})
+        with pytest.raises(CapacityExceeded):
+            controller.run_once(sample)
+
+    def test_scale_hook_invoked(self):
+        calls = []
+        topo_small = topology(worker_cap=100.0, shard_cap=60.0)
+        topo_big = topology(n_workers=4, worker_cap=100.0, shard_cap=60.0)
+
+        def scale():
+            calls.append(1)
+            return topo_big
+
+        routing = RoutingTable()
+        routing.set_rule(RouteRule.from_dict(1, {0: 1.0}))
+        controller = GlobalTrafficController(
+            topo_small,
+            TrafficMonitor(topo_small),
+            MaxFlowBalancer(topo_small, 30.0),
+            routing,
+            scale_cluster=scale,
+        )
+        sample = sample_for(routing.snapshot(), {1: 500.0})
+        event = controller.run_once(sample)
+        assert event.scaled
+        assert calls == [1]
+        assert controller.topology is topo_big

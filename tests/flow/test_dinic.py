@@ -1,0 +1,111 @@
+"""Dinic max-flow tests, property-verified against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow.dinic import DinicGraph
+
+
+class TestBasics:
+    def test_single_edge(self):
+        graph = DinicGraph(2)
+        graph.add_edge(0, 1, 7)
+        assert graph.max_flow(0, 1) == 7
+
+    def test_series_bottleneck(self):
+        graph = DinicGraph(3)
+        graph.add_edge(0, 1, 10)
+        graph.add_edge(1, 2, 3)
+        assert graph.max_flow(0, 2) == 3
+
+    def test_parallel_paths(self):
+        graph = DinicGraph(4)
+        graph.add_edge(0, 1, 5)
+        graph.add_edge(0, 2, 5)
+        graph.add_edge(1, 3, 5)
+        graph.add_edge(2, 3, 5)
+        assert graph.max_flow(0, 3) == 10
+
+    def test_no_path(self):
+        graph = DinicGraph(3)
+        graph.add_edge(0, 1, 5)
+        assert graph.max_flow(0, 2) == 0
+
+    def test_classic_textbook_graph(self):
+        graph = DinicGraph(6)
+        edges = [
+            (0, 1, 16), (0, 2, 13), (1, 2, 10), (2, 1, 4),
+            (1, 3, 12), (3, 2, 9), (2, 4, 14), (4, 3, 7),
+            (3, 5, 20), (4, 5, 4),
+        ]
+        for u, v, c in edges:
+            graph.add_edge(u, v, c)
+        assert graph.max_flow(0, 5) == 23  # CLRS figure 26.6
+
+    def test_edge_flow_readback(self):
+        graph = DinicGraph(3)
+        e1 = graph.add_edge(0, 1, 10)
+        e2 = graph.add_edge(1, 2, 4)
+        graph.max_flow(0, 2)
+        assert graph.edge_flow(e1) == 4
+        assert graph.edge_flow(e2) == 4
+
+    def test_flow_conservation(self):
+        graph = DinicGraph(5)
+        edges = {}
+        layout = [(0, 1, 8), (0, 2, 5), (1, 3, 4), (1, 2, 3), (2, 3, 6), (3, 4, 9), (2, 4, 2)]
+        for u, v, c in layout:
+            edges[(u, v)] = graph.add_edge(u, v, c)
+        total = graph.max_flow(0, 4)
+        # At every internal node, inflow == outflow.
+        for node in (1, 2, 3):
+            inflow = sum(
+                graph.edge_flow(eid) for (u, v), eid in edges.items() if v == node
+            )
+            outflow = sum(
+                graph.edge_flow(eid) for (u, v), eid in edges.items() if u == node
+            )
+            assert inflow == outflow
+        source_out = sum(graph.edge_flow(eid) for (u, _v), eid in edges.items() if u == 0)
+        assert source_out == total
+
+    def test_validation(self):
+        graph = DinicGraph(2)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1, -1)
+        with pytest.raises(IndexError):
+            graph.add_edge(0, 5, 1)
+        with pytest.raises(ValueError):
+            graph.max_flow(0, 0)
+        with pytest.raises(ValueError):
+            DinicGraph(0)
+
+
+edges_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=50),
+    ).filter(lambda e: e[0] != e[1]),
+    max_size=40,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(edges=edges_strategy)
+def test_property_matches_networkx(edges):
+    """Dinic's result equals networkx's max flow on random graphs."""
+    n = 8
+    ours = DinicGraph(n)
+    reference = nx.DiGraph()
+    reference.add_nodes_from(range(n))
+    merged: dict[tuple[int, int], int] = {}
+    for u, v, c in edges:
+        merged[(u, v)] = merged.get((u, v), 0) + c
+    for (u, v), c in merged.items():
+        ours.add_edge(u, v, c)
+        reference.add_edge(u, v, capacity=c)
+    expected = nx.maximum_flow_value(reference, 0, n - 1)
+    assert ours.max_flow(0, n - 1) == expected

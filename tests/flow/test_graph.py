@@ -1,0 +1,103 @@
+"""Traffic flow network tests (Figure 5 model)."""
+
+import pytest
+
+from repro.common.errors import FlowError
+from repro.flow.graph import ClusterTopology, TrafficFlowNetwork
+
+
+def topology(n_workers=2, shards_per_worker=2, worker_cap=100.0, shard_cap=60.0, alpha=1.0):
+    shard_worker = {}
+    shard_capacity = {}
+    sid = 0
+    for w in range(n_workers):
+        for _ in range(shards_per_worker):
+            shard_worker[sid] = f"w{w}"
+            shard_capacity[sid] = shard_cap
+            sid += 1
+    worker_capacity = {f"w{w}": worker_cap for w in range(n_workers)}
+    return ClusterTopology(shard_worker, shard_capacity, worker_capacity, alpha=alpha)
+
+
+class TestTopology:
+    def test_validation(self):
+        with pytest.raises(FlowError):
+            ClusterTopology({0: "w0"}, {0: 10.0}, {"w1": 10.0})
+        with pytest.raises(FlowError):
+            ClusterTopology({0: "w0"}, {}, {"w0": 10.0})
+        with pytest.raises(FlowError):
+            topology(alpha=1.5)
+
+    def test_shards_on(self):
+        topo = topology()
+        assert topo.shards_on("w0") == [0, 1]
+        assert topo.shards_on("w1") == [2, 3]
+
+    def test_total_capacity(self):
+        assert topology().total_worker_capacity() == 200.0
+
+
+class TestFlowSolve:
+    def test_single_tenant_single_shard(self):
+        topo = topology()
+        network = TrafficFlowNetwork(topo, {1: 50.0}, per_tenant_shard_limit=100.0)
+        solution = network.solve({1: {0}})
+        assert solution.max_flow == pytest.approx(50.0)
+        assert solution.tenant_shard_flow[1][0] == pytest.approx(50.0)
+
+    def test_edge_limit_binds(self):
+        topo = topology()
+        network = TrafficFlowNetwork(topo, {1: 50.0}, per_tenant_shard_limit=30.0)
+        solution = network.solve({1: {0}})
+        assert solution.max_flow == pytest.approx(30.0)
+
+    def test_adding_route_raises_max_flow(self):
+        topo = topology()
+        network = TrafficFlowNetwork(topo, {1: 50.0}, per_tenant_shard_limit=30.0)
+        solution = network.solve({1: {0, 1}})
+        assert solution.max_flow == pytest.approx(50.0)
+
+    def test_shard_capacity_binds(self):
+        topo = topology(shard_cap=20.0)
+        network = TrafficFlowNetwork(topo, {1: 50.0}, per_tenant_shard_limit=100.0)
+        solution = network.solve({1: {0}})
+        assert solution.max_flow == pytest.approx(20.0)
+
+    def test_worker_watermark_binds(self):
+        topo = topology(worker_cap=100.0, shard_cap=80.0, alpha=0.5)
+        network = TrafficFlowNetwork(topo, {1: 200.0}, per_tenant_shard_limit=1000.0)
+        solution = network.solve({1: {0, 1}})  # both shards on w0
+        assert solution.max_flow == pytest.approx(50.0)  # 0.5 * 100
+
+    def test_multi_tenant_share(self):
+        topo = topology()
+        network = TrafficFlowNetwork(topo, {1: 40.0, 2: 40.0}, per_tenant_shard_limit=100.0)
+        solution = network.solve({1: {0}, 2: {1}})
+        assert solution.max_flow == pytest.approx(80.0)
+
+    def test_weights_normalized(self):
+        topo = topology()
+        network = TrafficFlowNetwork(topo, {1: 100.0}, per_tenant_shard_limit=60.0)
+        solution = network.solve({1: {0, 2}})
+        weights = solution.weights()[1]
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert set(weights) <= {0, 2}
+
+    def test_zero_traffic_tenant_ignored(self):
+        topo = topology()
+        network = TrafficFlowNetwork(topo, {1: 0.0, 2: 10.0}, per_tenant_shard_limit=100.0)
+        solution = network.solve({2: {0}})
+        assert solution.max_flow == pytest.approx(10.0)
+
+    def test_demand(self):
+        network = TrafficFlowNetwork(topology(), {1: 30.0, 2: 12.5}, 10.0)
+        assert network.demand() == pytest.approx(42.5)
+
+    def test_unknown_shard_in_route(self):
+        network = TrafficFlowNetwork(topology(), {1: 10.0}, 10.0)
+        with pytest.raises(FlowError):
+            network.solve({1: {99}})
+
+    def test_bad_edge_limit(self):
+        with pytest.raises(FlowError):
+            TrafficFlowNetwork(topology(), {1: 10.0}, per_tenant_shard_limit=0)

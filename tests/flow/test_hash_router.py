@@ -1,0 +1,139 @@
+"""Consistent hashing and routing table tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import FlowError
+from repro.flow.consistent_hash import ConsistentHashRing
+from repro.flow.router import RouteRule, RoutingTable
+
+
+class TestConsistentHashRing:
+    def test_deterministic(self):
+        ring_a = ConsistentHashRing([0, 1, 2, 3])
+        ring_b = ConsistentHashRing([0, 1, 2, 3])
+        for tenant in range(100):
+            assert ring_a.shard_for(tenant) == ring_b.shard_for(tenant)
+
+    def test_all_shards_used(self):
+        ring = ConsistentHashRing(list(range(8)))
+        hit = {ring.shard_for(t) for t in range(2000)}
+        assert hit == set(range(8))
+
+    def test_minimal_disruption_on_add(self):
+        ring = ConsistentHashRing(list(range(10)))
+        before = {t: ring.shard_for(t) for t in range(1000)}
+        ring.add_shard(10)
+        moved = sum(1 for t in range(1000) if ring.shard_for(t) != before[t])
+        # Adding 1 of 11 shards should move roughly 1/11 of tenants.
+        assert moved < 1000 * 0.25
+
+    def test_remove_shard(self):
+        ring = ConsistentHashRing([0, 1, 2])
+        ring.remove_shard(1)
+        assert all(ring.shard_for(t) != 1 for t in range(500))
+
+    def test_duplicate_add_rejected(self):
+        ring = ConsistentHashRing([0])
+        with pytest.raises(FlowError):
+            ring.add_shard(0)
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(FlowError):
+            ConsistentHashRing([0]).remove_shard(5)
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(FlowError):
+            ConsistentHashRing([]).shard_for(1)
+
+
+class TestRouteRule:
+    def test_normalization(self):
+        rule = RouteRule.from_dict(1, {0: 2.0, 1: 2.0})
+        assert rule.as_dict() == {0: 0.5, 1: 0.5}
+
+    def test_negligible_weights_dropped(self):
+        rule = RouteRule.from_dict(1, {0: 1.0, 1: 1e-15})
+        assert rule.shards() == [0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(FlowError):
+            RouteRule.from_dict(1, {})
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(FlowError):
+            RouteRule.from_dict(1, {0: 0.0})
+
+    def test_route_count(self):
+        assert RouteRule.from_dict(1, {0: 0.6, 3: 0.4}).route_count == 2
+
+
+class TestRoutingTable:
+    def test_route_write_single_shard(self):
+        table = RoutingTable()
+        table.set_rule(RouteRule.from_dict(1, {5: 1.0}))
+        assert all(table.route_write(1) == 5 for _ in range(10))
+
+    def test_route_write_respects_weights(self):
+        table = RoutingTable()
+        table.set_rule(RouteRule.from_dict(1, {0: 0.25, 1: 0.75}))
+        counts = {0: 0, 1: 0}
+        for _ in range(1000):
+            counts[table.route_write(1)] += 1
+        assert abs(counts[1] / 1000 - 0.75) < 0.05
+
+    def test_route_write_unknown_tenant(self):
+        with pytest.raises(FlowError):
+            RoutingTable().route_write(99)
+
+    def test_split_batch_exact(self):
+        table = RoutingTable()
+        table.set_rule(RouteRule.from_dict(1, {0: 0.5, 1: 0.3, 2: 0.2}))
+        split = table.split_batch(1, 10)
+        assert sum(split.values()) == 10
+        assert split[0] == 5 and split[1] == 3 and split[2] == 2
+
+    def test_split_batch_largest_remainder(self):
+        table = RoutingTable()
+        table.set_rule(RouteRule.from_dict(1, {0: 1 / 3, 1: 1 / 3, 2: 1 / 3}))
+        split = table.split_batch(1, 10)
+        assert sum(split.values()) == 10
+        assert sorted(split.values()) == [3, 3, 4]
+
+    def test_read_route_includes_old_shards(self):
+        """§4.1.5: reads go to old AND new plans until data is flushed."""
+        table = RoutingTable()
+        table.set_rule(RouteRule.from_dict(1, {0: 1.0}))
+        table.set_rule(RouteRule.from_dict(1, {1: 0.5, 2: 0.5}))
+        assert table.route_read(1) == [0, 1, 2]
+        table.clear_read_extra(1, 0)
+        assert table.route_read(1) == [1, 2]
+
+    def test_apply_plan_bumps_version(self):
+        table = RoutingTable()
+        table.apply_plan({1: {0: 1.0}, 2: {1: 1.0}})
+        assert table.version == 1
+        assert table.total_routes() == 2
+
+    def test_total_routes(self):
+        table = RoutingTable()
+        table.set_rule(RouteRule.from_dict(1, {0: 0.5, 1: 0.5}))
+        table.set_rule(RouteRule.from_dict(2, {2: 1.0}))
+        assert table.total_routes() == 3
+
+    @given(
+        weights=st.dictionaries(
+            st.integers(min_value=0, max_value=9),
+            st.floats(min_value=0.01, max_value=1.0),
+            min_size=1,
+            max_size=5,
+        ),
+        batch=st.integers(min_value=0, max_value=500),
+    )
+    def test_split_batch_property(self, weights, batch):
+        table = RoutingTable()
+        table.set_rule(RouteRule.from_dict(1, weights))
+        split = table.split_batch(1, batch)
+        assert sum(split.values()) == batch
+        assert all(count > 0 for count in split.values())

@@ -1,0 +1,117 @@
+"""Additive DDL tests: the controller's schema management (§3)."""
+
+import pytest
+
+from repro.cluster.config import small_test_config
+from repro.cluster.logstore import LogStore
+from repro.common.errors import CatalogError
+from repro.logblock.schema import ColumnSpec, ColumnType, TableSchema, request_log_schema
+from repro.meta.catalog import Catalog
+
+from tests.conftest import BASE_TS, MICROS, make_rows
+
+
+class TestCatalogDdl:
+    def test_add_column_bumps_version(self):
+        catalog = Catalog(request_log_schema())
+        assert catalog.schema_version == 1
+        version = catalog.add_column(ColumnSpec("region", ColumnType.STRING))
+        assert version == 2
+        assert catalog.schema.column("region").ctype is ColumnType.STRING
+
+    def test_rename_rejected(self):
+        catalog = Catalog(request_log_schema())
+        other = TableSchema("other_table", request_log_schema().columns)
+        with pytest.raises(CatalogError):
+            catalog.update_schema(other)
+
+    def test_drop_rejected(self):
+        catalog = Catalog(request_log_schema())
+        truncated = TableSchema("request_log", request_log_schema().columns[:-1])
+        with pytest.raises(CatalogError):
+            catalog.update_schema(truncated)
+
+    def test_type_change_rejected(self):
+        catalog = Catalog(request_log_schema())
+        columns = list(request_log_schema().columns)
+        columns[4] = ColumnSpec("latency", ColumnType.FLOAT64)
+        with pytest.raises(CatalogError):
+            catalog.update_schema(TableSchema("request_log", tuple(columns)))
+
+    def test_idempotent_same_schema(self):
+        catalog = Catalog(request_log_schema())
+        version = catalog.update_schema(request_log_schema())
+        assert version == 2  # versions advance even for a no-op DDL
+
+
+class TestEndToEndEvolution:
+    @pytest.fixture
+    def store(self):
+        return LogStore.create(config=small_test_config())
+
+    def _evolved_rows(self, count, start_ts):
+        rows = make_rows(count, tenant_id=1, start_ts=start_ts)
+        for i, row in enumerate(rows):
+            row["region"] = f"zone-{i % 3}"
+        return rows
+
+    def test_old_blocks_surface_new_column_as_null(self, store):
+        store.put(1, make_rows(100, tenant_id=1))
+        store.flush_all()  # archived under schema v1
+        store.catalog.add_column(ColumnSpec("region", ColumnType.STRING))
+        result = store.query("SELECT region FROM request_log WHERE tenant_id = 1")
+        assert len(result.rows) == 100
+        assert all(row["region"] is None for row in result.rows)
+
+    def test_new_blocks_carry_new_column(self, store):
+        store.put(1, make_rows(50, tenant_id=1))
+        store.flush_all()
+        store.catalog.add_column(ColumnSpec("region", ColumnType.STRING))
+        new_rows = self._evolved_rows(50, BASE_TS + 100 * MICROS)
+        store.put(1, new_rows)
+        store.flush_all()
+        result = store.query(
+            "SELECT region FROM request_log WHERE tenant_id = 1 AND region = 'zone-1'"
+        )
+        expected = sum(1 for row in new_rows if row["region"] == "zone-1")
+        assert len(result.rows) == expected
+
+    def test_predicate_on_new_column_skips_old_blocks(self, store):
+        store.put(1, make_rows(80, tenant_id=1))
+        store.flush_all()
+        store.catalog.add_column(ColumnSpec("region", ColumnType.STRING))
+        result = store.query(
+            "SELECT log FROM request_log WHERE tenant_id = 1 AND region = 'zone-0'"
+        )
+        assert result.rows == []  # old rows have null region → no match
+
+    def test_unflushed_old_rows_archive_under_new_schema(self, store):
+        """Rows ingested before the DDL but archived after it."""
+        store.put(1, make_rows(60, tenant_id=1))
+        store.catalog.add_column(ColumnSpec("region", ColumnType.STRING))
+        store.flush_all()  # archives old rows under schema v2
+        result = store.query("SELECT region, log FROM request_log WHERE tenant_id = 1")
+        assert len(result.rows) == 60
+        assert all(row["region"] is None for row in result.rows)
+
+    def test_realtime_rows_see_new_column(self, store):
+        store.catalog.add_column(ColumnSpec("region", ColumnType.STRING))
+        store.put(1, self._evolved_rows(30, BASE_TS))
+        result = store.query(
+            "SELECT region FROM request_log WHERE tenant_id = 1 AND region = 'zone-2'"
+        )
+        assert all(row["region"] == "zone-2" for row in result.rows)
+        assert len(result.rows) == 10
+
+    def test_aggregate_across_schema_versions(self, store):
+        store.put(1, make_rows(40, tenant_id=1))
+        store.flush_all()
+        store.catalog.add_column(ColumnSpec("region", ColumnType.STRING))
+        store.put(1, self._evolved_rows(60, BASE_TS + 100 * MICROS))
+        store.flush_all()
+        result = store.query(
+            "SELECT region, COUNT(*) FROM request_log WHERE tenant_id = 1 GROUP BY region"
+        )
+        counts = {row["region"]: row["COUNT(*)"] for row in result.rows}
+        assert counts[None] == 40
+        assert counts["zone-0"] + counts["zone-1"] + counts["zone-2"] == 60

@@ -1,0 +1,95 @@
+"""Inverted index tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logblock.inverted import InvertedIndex, InvertedIndexBuilder
+from repro.logblock.tokenizer import tokenize
+
+
+def build(values: list[str | None], tokenize_values: bool) -> InvertedIndex:
+    builder = InvertedIndexBuilder(tokenize=tokenize_values)
+    for row_id, value in enumerate(values):
+        builder.add(row_id, value)
+    return builder.build()
+
+
+class TestExactMatchIndex:
+    def test_lookup(self):
+        index = build(["a", "b", "a", None, "c"], tokenize_values=False)
+        assert list(index.lookup("a")) == [0, 2]
+        assert list(index.lookup("b")) == [1]
+        assert list(index.lookup("zzz")) == []
+
+    def test_exact_match_is_case_sensitive(self):
+        """Untokenized indexes store raw values: exact-match semantics
+        must agree byte-for-byte with scan-path ``==``."""
+        index = build(["ERROR"], tokenize_values=False)
+        assert list(index.lookup("ERROR")) == [0]
+        assert list(index.lookup("error")) == []
+
+    def test_tokenized_lookup_is_case_insensitive(self):
+        index = build(["ERROR happened"], tokenize_values=True)
+        assert list(index.lookup("error")) == [0]
+        assert list(index.lookup("Error")) == [0]
+
+    def test_nulls_not_indexed(self):
+        index = build([None, None], tokenize_values=False)
+        assert index.term_count == 0
+        assert index.row_count == 2
+
+    def test_prefix_lookup(self):
+        index = build(["apple", "apricot", "banana"], tokenize_values=False)
+        assert list(index.lookup_prefix("ap")) == [0, 1]
+        assert list(index.lookup_prefix("z")) == []
+
+
+class TestFullTextIndex:
+    def test_match_all(self):
+        index = build(
+            ["error timeout on api", "error ok", "all fine here"], tokenize_values=True
+        )
+        assert list(index.match_all(["error"])) == [0, 1]
+        assert list(index.match_all(["error", "timeout"])) == [0]
+        assert list(index.match_all(["error", "fine"])) == []
+
+    def test_match_any(self):
+        index = build(["alpha beta", "gamma", "beta gamma"], tokenize_values=True)
+        assert list(index.match_any(["alpha", "gamma"])) == [0, 1, 2]
+
+    def test_duplicate_terms_in_doc_stored_once(self):
+        index = build(["spam spam spam"], tokenize_values=True)
+        assert list(index.lookup("spam")) == [0]
+
+    def test_empty_terms_matches_all(self):
+        index = build(["a", "b"], tokenize_values=True)
+        assert index.match_all([]).count() == 2
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        index = build(["error timeout", None, "error ok"], tokenize_values=True)
+        decoded = InvertedIndex.from_bytes(index.to_bytes())
+        assert decoded.row_count == index.row_count
+        assert decoded.tokenized == index.tokenized
+        assert decoded.terms() == index.terms()
+        for term in index.terms():
+            assert list(decoded.lookup(term)) == list(index.lookup(term))
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.text(alphabet="abc xyz0", max_size=20)),
+            max_size=50,
+        )
+    )
+    def test_property_consistency(self, values):
+        """Index lookups agree with direct tokenization of the rows."""
+        index = build(values, tokenize_values=True)
+        decoded = InvertedIndex.from_bytes(index.to_bytes())
+        for term in decoded.terms():
+            expected = [
+                row_id
+                for row_id, value in enumerate(values)
+                if value is not None and term in tokenize(value)
+            ]
+            assert list(decoded.lookup(term)) == expected

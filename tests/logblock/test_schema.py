@@ -1,0 +1,122 @@
+"""TableSchema and ColumnSpec tests."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.logblock.schema import (
+    ColumnSpec,
+    ColumnType,
+    IndexType,
+    TableSchema,
+    default_index_for,
+    request_log_schema,
+)
+
+
+class TestColumnSpec:
+    def test_default_index_string(self):
+        spec = ColumnSpec("msg", ColumnType.STRING)
+        assert spec.index is IndexType.INVERTED
+
+    def test_default_index_numeric(self):
+        assert ColumnSpec("n", ColumnType.INT64).index is IndexType.BKD
+        assert ColumnSpec("f", ColumnType.FLOAT64).index is IndexType.BKD
+        assert ColumnSpec("t", ColumnType.TIMESTAMP).index is IndexType.BKD
+        assert ColumnSpec("b", ColumnType.BOOL).index is IndexType.BKD
+
+    def test_invalid_combinations(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("n", ColumnType.INT64, IndexType.INVERTED)
+        with pytest.raises(SchemaError):
+            ColumnSpec("s", ColumnType.STRING, IndexType.BKD)
+        with pytest.raises(SchemaError):
+            ColumnSpec("n", ColumnType.INT64, tokenize=True)
+
+    def test_empty_name(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("", ColumnType.INT64)
+
+    def test_explicit_no_index(self):
+        spec = ColumnSpec("raw", ColumnType.STRING, IndexType.NONE)
+        assert spec.index is IndexType.NONE
+
+    def test_default_index_helper(self):
+        assert default_index_for(ColumnType.STRING) is IndexType.INVERTED
+        assert default_index_for(ColumnType.INT64) is IndexType.BKD
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                (ColumnSpec("a", ColumnType.INT64), ColumnSpec("a", ColumnType.STRING)),
+            )
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", ())
+
+    def test_column_lookup(self, schema):
+        assert schema.column("ip").ctype is ColumnType.STRING
+        assert schema.column_index("ts") == 1
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+
+    def test_serialization_roundtrip(self, schema):
+        decoded = TableSchema.from_bytes(schema.to_bytes())
+        assert decoded == schema
+
+    def test_request_log_shape(self):
+        schema = request_log_schema()
+        assert schema.name == "request_log"
+        assert schema.column("log").tokenize
+        assert not schema.column("ip").tokenize
+        # Full-column indexing: every column has an index (§3.2).
+        assert all(col.index is not IndexType.NONE for col in schema.columns)
+
+
+class TestRowValidation:
+    def test_valid_row(self, schema):
+        schema.validate_row(
+            {
+                "tenant_id": 1,
+                "ts": 123,
+                "ip": "1.2.3.4",
+                "api": "/x",
+                "latency": 5,
+                "fail": False,
+                "log": "hello",
+            }
+        )
+
+    def test_missing_column(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_row({"tenant_id": 1})
+
+    def test_wrong_types(self, schema):
+        base = {
+            "tenant_id": 1,
+            "ts": 123,
+            "ip": "x",
+            "api": "/x",
+            "latency": 5,
+            "fail": False,
+            "log": "hello",
+        }
+        for column, bad in [
+            ("tenant_id", "1"),
+            ("ts", 1.5),
+            ("ip", 42),
+            ("latency", True),  # bool is not an int here
+            ("fail", "false"),
+            ("log", b"bytes"),
+        ]:
+            row = dict(base)
+            row[column] = bad
+            with pytest.raises(SchemaError):
+                schema.validate_row(row)
+
+    def test_nulls_allowed(self, schema):
+        row = {name: None for name in schema.column_names()}
+        schema.validate_row(row)

@@ -1,0 +1,149 @@
+"""Small Materialized Aggregates tests, including pruning soundness."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bytesio import BinaryReader, BinaryWriter
+from repro.logblock.schema import ColumnType
+from repro.logblock.sma import Sma, compute_sma, merge_smas
+
+
+class TestCompute:
+    def test_basic(self):
+        sma = compute_sma([3, 1, 4, 1, 5], ColumnType.INT64)
+        assert sma.min_value == 1
+        assert sma.max_value == 5
+        assert sma.row_count == 5
+        assert sma.null_count == 0
+
+    def test_nulls_excluded(self):
+        sma = compute_sma([None, 2, None], ColumnType.INT64)
+        assert sma.min_value == 2
+        assert sma.max_value == 2
+        assert sma.null_count == 2
+
+    def test_all_null(self):
+        sma = compute_sma([None, None], ColumnType.STRING)
+        assert sma.all_null
+        assert sma.min_value is None
+
+    def test_empty(self):
+        sma = compute_sma([], ColumnType.INT64)
+        assert sma.row_count == 0
+        assert not sma.all_null
+
+    def test_strings(self):
+        sma = compute_sma(["banana", "apple", "cherry"], ColumnType.STRING)
+        assert sma.min_value == "apple"
+        assert sma.max_value == "cherry"
+
+
+class TestPruning:
+    def test_eq_inside_and_outside(self):
+        sma = compute_sma([10, 20, 30], ColumnType.INT64)
+        assert sma.may_contain_eq(20)
+        assert sma.may_contain_eq(10)
+        assert not sma.may_contain_eq(5)
+        assert not sma.may_contain_eq(31)
+
+    def test_range_overlap(self):
+        sma = compute_sma([10, 30], ColumnType.INT64)
+        assert sma.may_contain_range(low=5, high=15)
+        assert sma.may_contain_range(low=25)
+        assert sma.may_contain_range(high=12)
+        assert not sma.may_contain_range(low=31)
+        assert not sma.may_contain_range(high=9)
+
+    def test_exclusive_bounds(self):
+        sma = compute_sma([10, 30], ColumnType.INT64)
+        assert not sma.may_contain_range(low=30, low_inclusive=False)
+        assert sma.may_contain_range(low=30, low_inclusive=True)
+        assert not sma.may_contain_range(high=10, high_inclusive=False)
+        assert sma.may_contain_range(high=10, high_inclusive=True)
+
+    def test_all_null_prunes_everything(self):
+        sma = compute_sma([None], ColumnType.INT64)
+        assert not sma.may_contain_eq(1)
+        assert not sma.may_contain_range(low=0)
+
+
+class TestMerge:
+    def test_merge_covers_all(self):
+        parts = [
+            compute_sma([1, 5], ColumnType.INT64),
+            compute_sma([None, 10], ColumnType.INT64),
+            compute_sma([-3], ColumnType.INT64),
+        ]
+        merged = merge_smas(parts)
+        assert merged.min_value == -3
+        assert merged.max_value == 10
+        assert merged.row_count == 5
+        assert merged.null_count == 1
+
+    def test_merge_empty(self):
+        merged = merge_smas([])
+        assert merged.row_count == 0
+
+
+class TestSerialization:
+    def _roundtrip(self, sma: Sma) -> Sma:
+        writer = BinaryWriter()
+        sma.write_to(writer)
+        return Sma.read_from(BinaryReader(writer.getvalue()))
+
+    def test_int(self):
+        assert self._roundtrip(Sma(-5, 10, 3, 0)) == Sma(-5, 10, 3, 0)
+
+    def test_float(self):
+        assert self._roundtrip(Sma(-1.5, 2.25, 2, 0)) == Sma(-1.5, 2.25, 2, 0)
+
+    def test_string(self):
+        assert self._roundtrip(Sma("a", "z", 9, 1)) == Sma("a", "z", 9, 1)
+
+    def test_bool(self):
+        assert self._roundtrip(Sma(False, True, 2, 0)) == Sma(False, True, 2, 0)
+
+    def test_none(self):
+        assert self._roundtrip(Sma(None, None, 4, 4)) == Sma(None, None, 4, 4)
+
+    def test_bytes_roundtrip(self):
+        sma = Sma(1, 2, 3, 0)
+        assert Sma.from_bytes(sma.to_bytes()) == sma
+
+
+values_strategy = st.lists(
+    st.one_of(st.none(), st.integers(min_value=-(10**9), max_value=10**9)),
+    min_size=1,
+    max_size=100,
+)
+
+
+class TestSoundnessProperties:
+    """The SMA must never prune a region that actually contains a match.
+
+    This is the invariant the entire data-skipping strategy rests on.
+    """
+
+    @given(values_strategy, st.integers(min_value=-(10**9), max_value=10**9))
+    def test_eq_soundness(self, values, needle):
+        sma = compute_sma(values, ColumnType.INT64)
+        actually_present = needle in [v for v in values if v is not None]
+        if actually_present:
+            assert sma.may_contain_eq(needle)
+
+    @given(
+        values_strategy,
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_range_soundness(self, values, low, width):
+        high = low + width
+        sma = compute_sma(values, ColumnType.INT64)
+        has_match = any(v is not None and low <= v <= high for v in values)
+        if has_match:
+            assert sma.may_contain_range(low=low, high=high)
+
+    @given(values_strategy)
+    def test_serialization_roundtrip(self, values):
+        sma = compute_sma(values, ColumnType.INT64)
+        assert Sma.from_bytes(sma.to_bytes()) == sma

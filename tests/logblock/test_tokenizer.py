@@ -1,0 +1,62 @@
+"""Tokenizer tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logblock.tokenizer import (
+    MAX_TOKEN_LENGTH,
+    normalize_term,
+    tokenize,
+    tokenize_unique,
+)
+
+
+class TestTokenize:
+    def test_simple_words(self):
+        assert tokenize("GET request failed") == ["get", "request", "failed"]
+
+    def test_ip_stays_whole(self):
+        assert "192.168.0.1" in tokenize("from 192.168.0.1 port 80")
+
+    def test_identifier_connectors(self):
+        tokens = tokenize("user_id=42 span-id abc:def")
+        assert "user_id" in tokens
+        assert "42" in tokens
+        assert "span-id" in tokens
+        assert "abc:def" in tokens
+
+    def test_path_like(self):
+        assert "api/v1/items" in tokenize("POST /api/v1/items done")
+
+    def test_punctuation_dropped(self):
+        assert tokenize("!!!") == []
+        assert tokenize("(error)") == ["error"]
+
+    def test_lowercasing(self):
+        assert tokenize("ERROR Timeout") == ["error", "timeout"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_overlong_token_truncated(self):
+        token = "a" * 500
+        assert tokenize(token) == ["a" * MAX_TOKEN_LENGTH]
+
+    def test_unique(self):
+        assert tokenize_unique("a b a b c") == {"a", "b", "c"}
+
+
+class TestNormalizeTerm:
+    def test_matches_tokenizer_casing(self):
+        assert normalize_term("ERROR") == "error"
+
+    def test_truncation_matches(self):
+        assert normalize_term("x" * 500) == "x" * MAX_TOKEN_LENGTH
+
+    @given(st.text(max_size=300))
+    def test_query_terms_find_their_source(self, text):
+        """Every token emitted at index time must be re-derivable at
+        query time — the write/read tokenization agreement."""
+        for token in tokenize(text):
+            assert normalize_term(token) == token
+            assert token in tokenize(text)

@@ -1,0 +1,191 @@
+"""LogBlock write/read roundtrip tests."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import QueryError, SerializationError
+from repro.logblock.bkd import BkdIndex
+from repro.logblock.inverted import InvertedIndex
+from repro.logblock.reader import LogBlockReader
+from repro.logblock.schema import request_log_schema
+from repro.logblock.writer import LogBlockMeta, LogBlockWriter
+from repro.oss.store import InMemoryObjectStore
+from repro.tarpack.reader import PackReader
+
+from tests.conftest import make_rows, write_logblock
+
+
+def reader_for(blob: bytes) -> LogBlockReader:
+    store = InMemoryObjectStore()
+    store.create_bucket("b")
+    store.put("b", "k", blob)
+    return LogBlockReader(PackReader(store, "b", "k"))
+
+
+class TestWriter:
+    def test_row_count_tracking(self):
+        writer = LogBlockWriter(request_log_schema(), codec="zlib")
+        writer.append_many(make_rows(10))
+        assert writer.row_count == 10
+
+    def test_finish_twice_rejected(self):
+        writer = LogBlockWriter(request_log_schema(), codec="zlib")
+        writer.append_many(make_rows(1))
+        writer.finish()
+        with pytest.raises(SerializationError):
+            writer.finish()
+
+    def test_append_after_finish_rejected(self):
+        writer = LogBlockWriter(request_log_schema(), codec="zlib")
+        writer.finish()
+        with pytest.raises(SerializationError):
+            writer.append(make_rows(1)[0])
+
+    def test_validation_catches_bad_rows(self):
+        writer = LogBlockWriter(request_log_schema(), codec="zlib")
+        with pytest.raises(Exception):
+            writer.append({"tenant_id": "not an int"})
+
+    def test_bad_block_rows(self):
+        with pytest.raises(ValueError):
+            LogBlockWriter(request_log_schema(), block_rows=0)
+
+
+class TestMetaRoundtrip:
+    def test_meta_fields(self):
+        rows = make_rows(300)
+        reader = reader_for(write_logblock(rows, block_rows=64))
+        meta = reader.meta()
+        assert meta.row_count == 300
+        assert meta.n_blocks == 5
+        assert meta.block_row_counts == [64, 64, 64, 64, 44]
+        assert meta.schema == request_log_schema()
+
+    def test_meta_bytes_roundtrip(self):
+        rows = make_rows(100)
+        reader = reader_for(write_logblock(rows))
+        meta = reader.meta()
+        decoded = LogBlockMeta.from_bytes(meta.to_bytes())
+        assert decoded.row_count == meta.row_count
+        assert decoded.block_row_counts == meta.block_row_counts
+        assert decoded.index_sizes == meta.index_sizes
+
+    def test_column_sma(self):
+        rows = make_rows(100)
+        reader = reader_for(write_logblock(rows))
+        sma = reader.meta().column_sma("ts")
+        assert sma.min_value == rows[0]["ts"]
+        assert sma.max_value == rows[-1]["ts"]
+
+    def test_self_contained_after_rename(self):
+        """§3.2: a LogBlock 'can still be resolved after being renamed'."""
+        blob = write_logblock(make_rows(50))
+        store = InMemoryObjectStore()
+        store.create_bucket("b")
+        store.put("b", "totally/different/name.bin", blob)
+        reader = LogBlockReader(PackReader(store, "b", "totally/different/name.bin"))
+        assert reader.row_count == 50
+        assert reader.meta().schema.name == "request_log"
+
+
+class TestColumnReads:
+    def test_full_column(self):
+        rows = make_rows(150)
+        reader = reader_for(write_logblock(rows, block_rows=40))
+        assert reader.read_column("latency") == [r["latency"] for r in rows]
+        assert reader.read_column("log") == [r["log"] for r in rows]
+        assert reader.read_column("fail") == [r["fail"] for r in rows]
+
+    def test_single_block(self):
+        rows = make_rows(100)
+        reader = reader_for(write_logblock(rows, block_rows=30))
+        assert reader.read_block("ip", 1) == [r["ip"] for r in rows[30:60]]
+
+    def test_block_out_of_range(self):
+        reader = reader_for(write_logblock(make_rows(10)))
+        with pytest.raises(QueryError):
+            reader.read_block("ip", 5)
+
+    def test_block_of_row(self):
+        reader = reader_for(write_logblock(make_rows(100), block_rows=30))
+        assert reader.block_of_row(0) == (0, 0)
+        assert reader.block_of_row(29) == (0, 29)
+        assert reader.block_of_row(30) == (1, 0)
+        assert reader.block_of_row(99) == (3, 9)
+        with pytest.raises(QueryError):
+            reader.block_of_row(100)
+
+    def test_read_rows_projection(self):
+        rows = make_rows(50)
+        reader = reader_for(write_logblock(rows, block_rows=16))
+        out = reader.read_rows([0, 17, 49], ["ts", "ip"])
+        assert out == [
+            {"ts": rows[i]["ts"], "ip": rows[i]["ip"]} for i in (0, 17, 49)
+        ]
+
+
+class TestIndexes:
+    def test_inverted_index_types(self):
+        reader = reader_for(write_logblock(make_rows(50)))
+        assert isinstance(reader.read_index("ip"), InvertedIndex)
+        assert isinstance(reader.read_index("log"), InvertedIndex)
+        assert isinstance(reader.read_index("latency"), BkdIndex)
+        assert isinstance(reader.read_index("fail"), BkdIndex)
+
+    def test_index_content(self):
+        rows = make_rows(100)
+        reader = reader_for(write_logblock(rows))
+        ip_index = reader.read_index("ip")
+        expected = [i for i, r in enumerate(rows) if r["ip"] == "192.168.0.3"]
+        assert list(ip_index.lookup("192.168.0.3")) == expected
+
+    def test_indexes_disabled(self):
+        writer = LogBlockWriter(request_log_schema(), codec="zlib", build_indexes=False)
+        writer.append_many(make_rows(10))
+        reader = reader_for(writer.finish())
+        assert reader.meta().index_sizes == {}
+
+    @pytest.mark.parametrize("codec", ["none", "zlib", "lzma"])
+    def test_codecs(self, codec):
+        rows = make_rows(60)
+        reader = reader_for(write_logblock(rows, codec=codec))
+        assert reader.read_column("ts") == [r["ts"] for r in rows]
+
+
+class TestEmptyAndEdge:
+    def test_empty_block(self):
+        reader = reader_for(write_logblock([]))
+        assert reader.row_count == 0
+        assert reader.meta().n_blocks == 0
+
+    def test_single_row(self):
+        rows = make_rows(1)
+        reader = reader_for(write_logblock(rows))
+        assert reader.read_column("log") == [rows[0]["log"]]
+
+    def test_nulls_roundtrip(self):
+        rows = make_rows(10)
+        for row in rows[::2]:
+            row["ip"] = None
+            row["latency"] = None
+        writer = LogBlockWriter(request_log_schema(), codec="zlib", validate_rows=False)
+        writer.append_many(rows)
+        reader = reader_for(writer.finish())
+        assert reader.read_column("ip") == [r["ip"] for r in rows]
+        assert reader.read_column("latency") == [r["latency"] for r in rows]
+
+
+@settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(
+    n_rows=st.integers(min_value=0, max_value=200),
+    block_rows=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=10),
+)
+def test_property_full_roundtrip(n_rows, block_rows, seed):
+    """Any (row count, block size) combination roundtrips exactly."""
+    rows = make_rows(n_rows, seed=seed)
+    reader = reader_for(write_logblock(rows, block_rows=block_rows))
+    schema = request_log_schema()
+    for column in schema.column_names():
+        assert reader.read_column(column) == [r[column] for r in rows]

@@ -1,0 +1,113 @@
+"""Catalog (tenant registry + LogBlock map) tests."""
+
+import pytest
+
+from repro.common.errors import CatalogError, TenantNotFound
+from repro.meta.catalog import Catalog, LogBlockEntry
+from repro.logblock.schema import request_log_schema
+
+
+def entry(tenant=1, min_ts=0, max_ts=10, path=None, size=100, rows=10):
+    return LogBlockEntry(
+        tenant_id=tenant,
+        min_ts=min_ts,
+        max_ts=max_ts,
+        path=path or f"tenants/{tenant}/{min_ts}-{max_ts}.lgb",
+        size_bytes=size,
+        row_count=rows,
+    )
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(request_log_schema())
+
+
+class TestTenants:
+    def test_register_and_lookup(self, catalog):
+        catalog.register_tenant(1, name="acme", retention_s=86400)
+        info = catalog.tenant(1)
+        assert info.name == "acme"
+        assert info.retention_s == 86400
+
+    def test_duplicate_registration_rejected(self, catalog):
+        catalog.register_tenant(1)
+        with pytest.raises(CatalogError):
+            catalog.register_tenant(1)
+
+    def test_unknown_tenant(self, catalog):
+        with pytest.raises(TenantNotFound):
+            catalog.tenant(404)
+
+    def test_ensure_tenant_idempotent(self, catalog):
+        first = catalog.ensure_tenant(5)
+        second = catalog.ensure_tenant(5)
+        assert first is second
+
+    def test_set_retention(self, catalog):
+        catalog.ensure_tenant(1)
+        catalog.set_retention(1, 3600)
+        assert catalog.tenant(1).retention_s == 3600
+
+    def test_drop_tenant_returns_blocks(self, catalog):
+        catalog.add_block(entry(tenant=1))
+        blocks = catalog.drop_tenant(1)
+        assert len(blocks) == 1
+        with pytest.raises(TenantNotFound):
+            catalog.tenant(1)
+
+
+class TestLogBlockMap:
+    def test_add_updates_usage(self, catalog):
+        catalog.add_block(entry(size=500, rows=50))
+        assert catalog.tenant_usage(1) == (500, 50)
+
+    def test_remove_updates_usage(self, catalog):
+        block = entry(size=500, rows=50)
+        catalog.add_block(block)
+        catalog.remove_block(block)
+        assert catalog.tenant_usage(1) == (0, 0)
+
+    def test_remove_missing_raises(self, catalog):
+        catalog.ensure_tenant(1)
+        with pytest.raises(CatalogError):
+            catalog.remove_block(entry())
+
+    def test_blocks_sorted_by_time(self, catalog):
+        catalog.add_block(entry(min_ts=20, max_ts=30, path="b"))
+        catalog.add_block(entry(min_ts=0, max_ts=10, path="a"))
+        blocks = catalog.blocks_for(1)
+        assert [b.path for b in blocks] == ["a", "b"]
+
+    def test_range_filter(self, catalog):
+        catalog.add_block(entry(min_ts=0, max_ts=10, path="a"))
+        catalog.add_block(entry(min_ts=20, max_ts=30, path="b"))
+        catalog.add_block(entry(min_ts=40, max_ts=50, path="c"))
+        hits = catalog.blocks_for(1, min_ts=5, max_ts=25)
+        assert [b.path for b in hits] == ["a", "b"]
+
+    def test_boundary_overlap_inclusive(self, catalog):
+        catalog.add_block(entry(min_ts=0, max_ts=10, path="a"))
+        assert catalog.blocks_for(1, min_ts=10, max_ts=20)
+        assert catalog.blocks_for(1, min_ts=-5, max_ts=0)
+        assert not catalog.blocks_for(1, min_ts=11)
+        assert not catalog.blocks_for(1, max_ts=-1)
+
+    def test_isolation_between_tenants(self, catalog):
+        catalog.add_block(entry(tenant=1, path="t1"))
+        catalog.add_block(entry(tenant=2, path="t2"))
+        assert [b.path for b in catalog.blocks_for(1)] == ["t1"]
+        assert [b.path for b in catalog.blocks_for(2)] == ["t2"]
+
+    def test_unknown_tenant_empty(self, catalog):
+        assert catalog.blocks_for(999) == []
+
+    def test_all_blocks(self, catalog):
+        catalog.add_block(entry(tenant=1, path="a"))
+        catalog.add_block(entry(tenant=2, path="b"))
+        assert len(catalog.all_blocks()) == 2
+
+    def test_usage_by_tenant(self, catalog):
+        catalog.add_block(entry(tenant=1, size=100))
+        catalog.add_block(entry(tenant=2, size=900, path="x"))
+        assert catalog.usage_by_tenant() == {1: 100, 2: 900}

@@ -1,0 +1,148 @@
+"""Catalog persistence + restart/disaster-recovery tests."""
+
+import pytest
+
+from repro.cluster.config import small_test_config
+from repro.cluster.logstore import LogStore
+from repro.common.errors import CatalogError
+from repro.logblock.schema import ColumnSpec, ColumnType, request_log_schema
+from repro.meta.catalog import Catalog
+from repro.meta.persistence import (
+    load_catalog_into,
+    rebuild_catalog_from_store,
+    restore_catalog,
+    save_catalog,
+    serialize_catalog,
+)
+from repro.oss.store import InMemoryObjectStore
+
+from tests.conftest import make_rows
+
+
+def loaded_cluster(backend=None):
+    store = LogStore.create(config=small_test_config(), backend=backend)
+    store.register_tenant(1, name="alpha", retention_s=3600)
+    store.register_tenant(2, name="beta")
+    store.put(1, make_rows(300, tenant_id=1))
+    store.put(2, make_rows(100, tenant_id=2))
+    store.flush_all()
+    return store
+
+
+class TestSnapshotRoundtrip:
+    def test_serialize_restore(self):
+        store = loaded_cluster()
+        fresh = Catalog(request_log_schema())
+        restore_catalog(fresh, serialize_catalog(store.catalog))
+        assert fresh.tenant(1).name == "alpha"
+        assert fresh.tenant(1).retention_s == 3600
+        assert [b.path for b in fresh.blocks_for(1)] == [
+            b.path for b in store.catalog.blocks_for(1)
+        ]
+        assert fresh.tenant_usage(2) == store.catalog.tenant_usage(2)
+
+    def test_schema_evolution_survives(self):
+        store = loaded_cluster()
+        store.catalog.add_column(ColumnSpec("region", ColumnType.STRING))
+        fresh = Catalog(request_log_schema())
+        restore_catalog(fresh, serialize_catalog(store.catalog))
+        assert "region" in fresh.schema.column_names()
+        assert fresh.schema_version == store.catalog.schema_version
+
+    def test_restore_requires_empty(self):
+        store = loaded_cluster()
+        with pytest.raises(CatalogError):
+            restore_catalog(store.catalog, serialize_catalog(store.catalog))
+
+
+class TestSnapshotsInStore:
+    def test_save_load(self):
+        store = loaded_cluster()
+        key = store.persist_catalog()
+        assert store.oss.exists(store.config.bucket, key)
+        fresh = Catalog(request_log_schema())
+        assert load_catalog_into(fresh, store.oss, store.config.bucket)
+        assert len(fresh.blocks_for(1)) == len(store.catalog.blocks_for(1))
+
+    def test_newest_snapshot_wins(self):
+        store = loaded_cluster()
+        store.persist_catalog()
+        store.register_tenant(9, name="late")
+        store.persist_catalog()
+        fresh = Catalog(request_log_schema())
+        load_catalog_into(fresh, store.oss, store.config.bucket)
+        assert fresh.tenant(9).name == "late"
+
+    def test_old_snapshots_pruned(self):
+        store = loaded_cluster()
+        for _ in range(6):
+            store.persist_catalog()
+        snapshots = store.oss.list(store.config.bucket, "_meta/catalog/")
+        assert len(snapshots) == 3  # KEEP_SNAPSHOTS
+
+    def test_load_without_snapshot_returns_false(self):
+        inner = InMemoryObjectStore()
+        inner.create_bucket("b")
+        fresh = Catalog(request_log_schema())
+        from repro.oss.costmodel import free
+        from repro.oss.metered import MeteredObjectStore
+        from repro.common.clock import VirtualClock
+
+        metered = MeteredObjectStore(inner, free(), VirtualClock())
+        assert not load_catalog_into(fresh, metered, "b")
+
+
+class TestClusterRestart:
+    def test_attach_restores_queries(self):
+        backend = InMemoryObjectStore()
+        store = loaded_cluster(backend=backend)
+        store.persist_catalog()
+        counts_before = store.query(
+            "SELECT COUNT(*) FROM request_log WHERE tenant_id = 1"
+        ).rows
+
+        # "Restart": a brand-new cluster over the same bucket.
+        reopened = LogStore.attach(backend, config=small_test_config())
+        counts_after = reopened.query(
+            "SELECT COUNT(*) FROM request_log WHERE tenant_id = 1"
+        ).rows
+        assert counts_after == counts_before
+        assert reopened.catalog.tenant(1).retention_s == 3600
+
+    def test_attach_without_snapshot_rebuilds_by_scan(self):
+        backend = InMemoryObjectStore()
+        store = loaded_cluster(backend=backend)
+        # No persist_catalog(): the reopened cluster must scan OSS.
+        reopened = LogStore.attach(backend, config=small_test_config())
+        result = reopened.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1")
+        assert result.rows == [{"COUNT(*)": 300}]
+        # Lifecycle metadata is defaulted (blocks don't carry it).
+        assert reopened.catalog.tenant(1).retention_s is None
+
+
+class TestRebuildByScan:
+    def test_rebuild_matches_original(self):
+        store = loaded_cluster()
+        fresh = Catalog(request_log_schema())
+        count = rebuild_catalog_from_store(fresh, store.oss, store.config.bucket)
+        assert count == len(store.catalog.all_blocks())
+        for tenant in (1, 2):
+            original = store.catalog.blocks_for(tenant)
+            rebuilt = fresh.blocks_for(tenant)
+            assert [b.path for b in rebuilt] == [b.path for b in original]
+            assert [b.row_count for b in rebuilt] == [b.row_count for b in original]
+            assert [(b.min_ts, b.max_ts) for b in rebuilt] == [
+                (b.min_ts, b.max_ts) for b in original
+            ]
+
+    def test_rebuild_requires_empty_map(self):
+        store = loaded_cluster()
+        with pytest.raises(CatalogError):
+            rebuild_catalog_from_store(store.catalog, store.oss, store.config.bucket)
+
+    def test_rebuild_ignores_non_block_objects(self):
+        store = loaded_cluster()
+        store.oss.put(store.config.bucket, "tenants/1/notes.txt", b"hello")
+        fresh = Catalog(request_log_schema())
+        count = rebuild_catalog_from_store(fresh, store.oss, store.config.bucket)
+        assert count == len(store.catalog.all_blocks())

@@ -1,0 +1,84 @@
+"""Metrics primitives tests."""
+
+import pytest
+
+from repro.metrics.stats import AccessStats, Counter, Histogram
+
+
+class TestCounter:
+    def test_add(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(5)
+        assert counter.value == 6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+    def test_window_delta(self):
+        counter = Counter()
+        counter.add(10)
+        assert counter.window_delta() == 10
+        counter.add(3)
+        assert counter.window_delta() == 3
+        assert counter.window_delta() == 0
+
+
+class TestHistogram:
+    def test_summary(self):
+        histogram = Histogram("lat")
+        histogram.observe_many([0.1, 0.2, 0.3, 0.4])
+        summary = histogram.summary()
+        assert summary.count == 4
+        assert summary.mean_s == pytest.approx(0.25)
+        assert summary.max_s == 0.4
+        assert summary.p50_s == pytest.approx(0.25)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().summary()
+        with pytest.raises(ValueError):
+            Histogram().fraction_below(1)
+
+    def test_fraction_below(self):
+        histogram = Histogram()
+        histogram.observe_many([0.05, 0.5, 1.5, 3.0])
+        assert histogram.fraction_below(1.0) == 0.5
+        assert histogram.fraction_below(10.0) == 1.0
+        assert histogram.fraction_below(0.01) == 0.0
+
+    def test_reset(self):
+        histogram = Histogram()
+        histogram.observe(1)
+        histogram.reset()
+        assert len(histogram) == 0
+
+    def test_summary_dict(self):
+        histogram = Histogram()
+        histogram.observe(2.0)
+        data = histogram.summary().as_dict()
+        assert data["count"] == 1
+        assert data["p99_s"] == 2.0
+
+
+class TestAccessStats:
+    def test_record_and_rank(self):
+        stats = AccessStats()
+        stats.record("a", 5)
+        stats.record("b", 10)
+        stats.record("a", 1)
+        assert stats.ranked() == [("b", 10), ("a", 6)]
+
+    def test_stddev(self):
+        stats = AccessStats()
+        stats.record("a", 2)
+        stats.record("b", 4)
+        assert stats.stddev() == 1.0
+        assert stats.mean() == 3.0
+
+    def test_empty(self):
+        stats = AccessStats()
+        assert stats.stddev() == 0.0
+        assert stats.mean() == 0.0
+        assert stats.ranked() == []

@@ -1,0 +1,78 @@
+"""Cost model arithmetic tests."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.oss.costmodel import OssCostModel, free, local_ssd, oss_default
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            OssCostModel(request_latency_s=-1)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigError):
+            OssCostModel(bandwidth_bytes_per_s=0)
+
+    def test_zero_streams_rejected(self):
+        with pytest.raises(ConfigError):
+            OssCostModel(concurrent_streams=0)
+
+
+class TestSingleRequestCosts:
+    def test_get_cost_components(self):
+        model = OssCostModel(request_latency_s=0.03, bandwidth_bytes_per_s=1e6)
+        assert model.get_cost(0) == pytest.approx(0.03)
+        assert model.get_cost(1_000_000) == pytest.approx(1.03)
+
+    def test_put_equals_get(self):
+        model = oss_default()
+        assert model.put_cost(12345) == model.get_cost(12345)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            oss_default().get_cost(-1)
+
+    def test_list_batches_per_1000(self):
+        model = OssCostModel(list_latency_s=0.05)
+        assert model.list_cost(0) == pytest.approx(0.05)
+        assert model.list_cost(1000) == pytest.approx(0.05)
+        assert model.list_cost(1001) == pytest.approx(0.10)
+
+
+class TestParallelCost:
+    def test_empty(self):
+        assert oss_default().parallel_get_cost([], threads=8) == 0.0
+
+    def test_parallelism_overlaps_latency(self):
+        model = OssCostModel(request_latency_s=0.03, bandwidth_bytes_per_s=1e9)
+        sizes = [1000] * 32
+        serial = sum(model.get_cost(s) for s in sizes)
+        parallel = model.parallel_get_cost(sizes, threads=32)
+        assert parallel < serial / 10
+
+    def test_thread_cap(self):
+        model = OssCostModel(request_latency_s=0.03, concurrent_streams=4)
+        wide = model.parallel_get_cost([100] * 16, threads=64)
+        narrow = model.parallel_get_cost([100] * 16, threads=4)
+        assert wide == pytest.approx(narrow)
+
+    def test_bandwidth_still_charged(self):
+        model = OssCostModel(request_latency_s=0.0, bandwidth_bytes_per_s=1e6)
+        cost = model.parallel_get_cost([500_000, 500_000], threads=2)
+        assert cost == pytest.approx(1.0)
+
+    def test_bad_threads(self):
+        with pytest.raises(ValueError):
+            oss_default().parallel_get_cost([1], threads=0)
+
+
+class TestPresets:
+    def test_local_ssd_much_faster_than_oss(self):
+        # The Figure 16 premise: local storage dwarfs OSS on small reads.
+        size = 64 * 1024
+        assert oss_default().get_cost(size) > 50 * local_ssd().get_cost(size)
+
+    def test_free_model_is_negligible(self):
+        assert free().get_cost(10**9) < 1e-6

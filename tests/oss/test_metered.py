@@ -1,0 +1,83 @@
+"""Metered store tests: cost charging and stats accounting."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.oss.costmodel import OssCostModel
+from repro.oss.metered import MeteredObjectStore
+from repro.oss.store import InMemoryObjectStore
+
+
+@pytest.fixture
+def metered():
+    clock = VirtualClock()
+    model = OssCostModel(request_latency_s=0.01, bandwidth_bytes_per_s=1e6)
+    store = MeteredObjectStore(InMemoryObjectStore(), model, clock)
+    store.create_bucket("b")
+    return store
+
+
+class TestCharging:
+    def test_put_charges_clock(self, metered):
+        before = metered.clock.now()
+        metered.put("b", "k", b"x" * 10_000)
+        assert metered.clock.now() - before == pytest.approx(0.01 + 0.01)
+
+    def test_get_charges_clock(self, metered):
+        metered.put("b", "k", b"x" * 500_000)
+        before = metered.clock.now()
+        metered.get("b", "k")
+        assert metered.clock.now() - before == pytest.approx(0.01 + 0.5)
+
+    def test_range_charges_for_range_only(self, metered):
+        metered.put("b", "k", b"x" * 1_000_000)
+        before = metered.clock.now()
+        metered.get_range("b", "k", 0, 1000)
+        charged = metered.clock.now() - before
+        assert charged == pytest.approx(0.01 + 0.001)
+
+    def test_parallel_cheaper_than_serial(self, metered):
+        metered.put("b", "k", b"x" * 100_000)
+        ranges = [(i * 1000, 1000) for i in range(16)]
+        before = metered.clock.now()
+        chunks = metered.get_ranges_parallel("b", "k", ranges, threads=16)
+        parallel_time = metered.clock.now() - before
+        assert len(chunks) == 16
+        before = metered.clock.now()
+        for start, length in ranges:
+            metered.get_range("b", "k", start, length)
+        serial_time = metered.clock.now() - before
+        assert parallel_time < serial_time / 4
+
+    def test_delete_charges(self, metered):
+        metered.put("b", "k", b"x")
+        before = metered.clock.now()
+        metered.delete("b", "k")
+        assert metered.clock.now() - before == pytest.approx(0.01)
+
+
+class TestStats:
+    def test_counters(self, metered):
+        metered.put("b", "k", b"abcde")
+        metered.get("b", "k")
+        metered.get_range("b", "k", 0, 2)
+        metered.list("b")
+        assert metered.stats.put_requests == 1
+        assert metered.stats.get_requests == 2
+        assert metered.stats.list_requests == 1
+        assert metered.stats.bytes_written == 5
+        assert metered.stats.bytes_read == 7
+        assert metered.stats.time_charged_s > 0
+
+    def test_snapshot_and_reset(self, metered):
+        metered.put("b", "k", b"x")
+        snap = metered.stats.snapshot()
+        metered.stats.reset()
+        assert snap.put_requests == 1
+        assert metered.stats.put_requests == 0
+
+    def test_data_integrity_preserved(self, metered):
+        payload = bytes(range(256)) * 10
+        metered.put("b", "k", payload)
+        assert metered.get("b", "k") == payload
+        assert metered.get_range("b", "k", 100, 50) == payload[100:150]

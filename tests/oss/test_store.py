@@ -1,0 +1,139 @@
+"""Object store backend tests (in-memory and filesystem)."""
+
+import pytest
+
+from repro.common.errors import (
+    InvalidRange,
+    NoSuchBucket,
+    NoSuchKey,
+    ObjectAlreadyExists,
+)
+from repro.oss.store import (
+    InMemoryObjectStore,
+    LocalFsObjectStore,
+    copy_prefix,
+)
+
+
+@pytest.fixture(params=["memory", "fs"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        backend = InMemoryObjectStore()
+    else:
+        backend = LocalFsObjectStore(str(tmp_path / "oss"))
+    backend.create_bucket("b")
+    return backend
+
+
+class TestBasicOps:
+    def test_put_get(self, store):
+        store.put("b", "k", b"hello")
+        assert store.get("b", "k") == b"hello"
+
+    def test_get_missing(self, store):
+        with pytest.raises(NoSuchKey):
+            store.get("b", "nope")
+
+    def test_missing_bucket(self, store):
+        with pytest.raises(NoSuchBucket):
+            store.get("nobucket", "k")
+
+    def test_immutability(self, store):
+        store.put("b", "k", b"v1")
+        with pytest.raises(ObjectAlreadyExists):
+            store.put("b", "k", b"v2")
+        assert store.get("b", "k") == b"v1"
+
+    def test_delete(self, store):
+        store.put("b", "k", b"x")
+        store.delete("b", "k")
+        assert not store.exists("b", "k")
+        with pytest.raises(NoSuchKey):
+            store.delete("b", "k")
+
+    def test_head(self, store):
+        store.put("b", "k", b"12345")
+        assert store.head("b", "k").size == 5
+
+    def test_exists(self, store):
+        assert not store.exists("b", "k")
+        store.put("b", "k", b"x")
+        assert store.exists("b", "k")
+
+
+class TestRangedReads:
+    def test_middle_range(self, store):
+        store.put("b", "k", b"0123456789")
+        assert store.get_range("b", "k", 2, 4) == b"2345"
+
+    def test_zero_length(self, store):
+        store.put("b", "k", b"abc")
+        assert store.get_range("b", "k", 1, 0) == b""
+
+    def test_full_object(self, store):
+        store.put("b", "k", b"abc")
+        assert store.get_range("b", "k", 0, 3) == b"abc"
+
+    def test_out_of_bounds(self, store):
+        store.put("b", "k", b"abc")
+        with pytest.raises(InvalidRange):
+            store.get_range("b", "k", 2, 5)
+        with pytest.raises(InvalidRange):
+            store.get_range("b", "k", -1, 1)
+
+
+class TestListing:
+    def test_prefix_listing(self, store):
+        store.put("b", "tenants/1/a", b"x")
+        store.put("b", "tenants/1/b", b"yy")
+        store.put("b", "tenants/2/a", b"z")
+        stats = store.list("b", prefix="tenants/1/")
+        assert [s.key for s in stats] == ["tenants/1/a", "tenants/1/b"]
+        assert [s.size for s in stats] == [1, 2]
+
+    def test_list_all_sorted(self, store):
+        store.put("b", "z", b"1")
+        store.put("b", "a", b"2")
+        assert [s.key for s in store.list("b")] == ["a", "z"]
+
+
+class TestBuckets:
+    def test_create_idempotent(self, store):
+        store.create_bucket("b")  # no error
+
+    def test_delete_bucket(self, store):
+        store.create_bucket("tmp")
+        store.put("tmp", "k", b"x")
+        store.delete_bucket("tmp")
+        with pytest.raises(NoSuchBucket):
+            store.get("tmp", "k")
+
+
+class TestCopy:
+    def test_copy_prefix(self):
+        src = InMemoryObjectStore()
+        dst = InMemoryObjectStore()
+        src.create_bucket("b")
+        dst.create_bucket("b")
+        src.put("b", "t/1", b"a")
+        src.put("b", "t/2", b"b")
+        src.put("b", "u/1", b"c")
+        assert copy_prefix(src, dst, "b", "t/") == 2
+        assert dst.get("b", "t/1") == b"a"
+        assert not dst.exists("b", "u/1")
+
+
+class TestFsSpecifics:
+    def test_key_escape_rejected(self, tmp_path):
+        store = LocalFsObjectStore(str(tmp_path / "oss"))
+        store.create_bucket("b")
+        with pytest.raises(NoSuchKey):
+            store.put("b", "../../etc/passwd", b"x")
+
+    def test_persistence_across_instances(self, tmp_path):
+        root = str(tmp_path / "oss")
+        first = LocalFsObjectStore(root)
+        first.create_bucket("b")
+        first.put("b", "dir/k", b"persisted")
+        second = LocalFsObjectStore(root)
+        assert second.get("b", "dir/k") == b"persisted"

@@ -1,0 +1,117 @@
+"""Aggregation tests."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.query.aggregate import Aggregator, apply_order_limit
+from repro.query.sql import parse_sql
+
+
+ROWS = [
+    {"ip": "a", "latency": 10},
+    {"ip": "a", "latency": 30},
+    {"ip": "b", "latency": 20},
+    {"ip": "b", "latency": None},
+    {"ip": None, "latency": 5},
+]
+
+
+class TestAggregates:
+    def test_count_star(self):
+        agg = Aggregator(parse_sql("SELECT COUNT(*) FROM t"))
+        agg.consume_many(ROWS)
+        assert agg.results() == [{"COUNT(*)": 5}]
+
+    def test_count_column_skips_nulls(self):
+        agg = Aggregator(parse_sql("SELECT COUNT(latency) FROM t"))
+        agg.consume_many(ROWS)
+        assert agg.results() == [{"COUNT(latency)": 4}]
+
+    def test_sum_avg_min_max(self):
+        agg = Aggregator(
+            parse_sql("SELECT SUM(latency), AVG(latency), MIN(latency), MAX(latency) FROM t")
+        )
+        agg.consume_many(ROWS)
+        row = agg.results()[0]
+        assert row["SUM(latency)"] == 65
+        assert row["AVG(latency)"] == pytest.approx(65 / 4)
+        assert row["MIN(latency)"] == 5
+        assert row["MAX(latency)"] == 30
+
+    def test_empty_input_yields_zero_row(self):
+        agg = Aggregator(parse_sql("SELECT COUNT(*), SUM(latency) FROM t"))
+        assert agg.results() == [{"COUNT(*)": 0, "SUM(latency)": None}]
+
+    def test_empty_grouped_input_yields_no_rows(self):
+        agg = Aggregator(parse_sql("SELECT ip, COUNT(*) FROM t GROUP BY ip"))
+        assert agg.results() == []
+
+    def test_group_by(self):
+        agg = Aggregator(parse_sql("SELECT ip, COUNT(*) FROM t GROUP BY ip"))
+        agg.consume_many(ROWS)
+        rows = agg.results()
+        by_ip = {r["ip"]: r["COUNT(*)"] for r in rows}
+        assert by_ip == {"a": 2, "b": 2, None: 1}
+
+    def test_group_by_sorted_with_none_last(self):
+        agg = Aggregator(parse_sql("SELECT ip, COUNT(*) FROM t GROUP BY ip"))
+        agg.consume_many(ROWS)
+        ips = [r["ip"] for r in agg.results()]
+        assert ips == ["a", "b", None]
+
+    def test_top_n(self):
+        agg = Aggregator(
+            parse_sql(
+                "SELECT ip, COUNT(*) FROM t GROUP BY ip ORDER BY COUNT(*) DESC LIMIT 1"
+            )
+        )
+        agg.consume_many(ROWS + [{"ip": "a", "latency": 1}])
+        assert agg.results() == [{"ip": "a", "COUNT(*)": 3}]
+
+    def test_non_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            Aggregator(parse_sql("SELECT ip FROM t"))
+
+
+class TestMerge:
+    def test_partial_merge_equals_global(self):
+        """Broker-side merge of shard partials must equal one-pass agg."""
+        query = parse_sql(
+            "SELECT ip, COUNT(*), SUM(latency), MIN(latency), MAX(latency), AVG(latency) "
+            "FROM t GROUP BY ip"
+        )
+        whole = Aggregator(query)
+        whole.consume_many(ROWS)
+
+        left = Aggregator(query)
+        left.consume_many(ROWS[:2])
+        right = Aggregator(query)
+        right.consume_many(ROWS[2:])
+        left.merge(right)
+        assert left.results() == whole.results()
+
+    def test_merge_disjoint_groups(self):
+        query = parse_sql("SELECT ip, COUNT(*) FROM t GROUP BY ip")
+        left = Aggregator(query)
+        left.consume({"ip": "x"})
+        right = Aggregator(query)
+        right.consume({"ip": "y"})
+        left.merge(right)
+        assert {r["ip"] for r in left.results()} == {"x", "y"}
+
+
+class TestOrderLimit:
+    def test_order_asc(self):
+        query = parse_sql("SELECT latency FROM t ORDER BY latency")
+        rows = apply_order_limit(query, [{"latency": 3}, {"latency": 1}, {"latency": None}])
+        assert [r["latency"] for r in rows] == [1, 3, None]
+
+    def test_order_desc_limit(self):
+        query = parse_sql("SELECT latency FROM t ORDER BY latency DESC LIMIT 2")
+        rows = apply_order_limit(query, [{"latency": 3}, {"latency": 1}, {"latency": 9}])
+        assert [r["latency"] for r in rows] == [9, 3]
+
+    def test_no_order(self):
+        query = parse_sql("SELECT latency FROM t LIMIT 2")
+        rows = apply_order_limit(query, [{"latency": 3}, {"latency": 1}, {"latency": 9}])
+        assert len(rows) == 2

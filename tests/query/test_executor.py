@@ -1,0 +1,162 @@
+"""Block executor tests: correctness and optimization equivalence."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.builder.builder import DataBuilder
+from repro.cache.multilevel import CachingRangeReader, MultiLevelCache
+from repro.logblock.schema import request_log_schema
+from repro.meta.catalog import Catalog
+from repro.query.executor import BlockExecutor, ExecutionOptions, filter_realtime_rows
+from repro.query.planner import QueryPlanner, format_timestamp
+from repro.query.sql import parse_sql
+from repro.rowstore.memtable import MemTable
+
+from tests.conftest import BASE_TS, MICROS, make_rows
+
+
+@pytest.fixture
+def env(free_store):
+    catalog = Catalog(request_log_schema())
+    builder = DataBuilder(
+        request_log_schema(), free_store, "test", catalog,
+        codec="zlib", block_rows=64, target_rows=150,
+    )
+    rows = {}
+    for tenant in (1, 2):
+        tenant_rows = make_rows(400, tenant_id=tenant, seed=tenant)
+        rows[tenant] = tenant_rows
+        table = MemTable()
+        table.append_many(tenant_rows)
+        table.seal()
+        builder.archive_memtable(table)
+    cache = MultiLevelCache(memory_bytes=1 << 22, ssd_bytes=1 << 24)
+    reader = CachingRangeReader(free_store, cache)
+    planner = QueryPlanner(catalog)
+    return rows, planner, reader
+
+
+def brute(rows, fn, columns):
+    return [
+        {c: r[c] for c in columns}
+        for r in rows
+        if fn(r)
+    ]
+
+
+class TestCorrectness:
+    def test_paper_query_shape(self, env):
+        rows, planner, reader = env
+        executor = BlockExecutor(reader, "test")
+        lo = format_timestamp(BASE_TS + 50 * MICROS)
+        hi = format_timestamp(BASE_TS + 250 * MICROS)
+        plan = planner.plan(parse_sql(
+            f"SELECT log FROM request_log WHERE tenant_id = 1 AND ts >= '{lo}' "
+            f"AND ts <= '{hi}' AND ip = '192.168.0.1' AND latency >= 100 AND fail = 'false'"
+        ))
+        got, stats = executor.execute(plan)
+        expected = brute(
+            rows[1],
+            lambda r: BASE_TS + 50 * MICROS <= r["ts"] <= BASE_TS + 250 * MICROS
+            and r["ip"] == "192.168.0.1"
+            and r["latency"] >= 100
+            and r["fail"] is False,
+            ["log"],
+        )
+        assert got == expected
+        assert stats.blocks_visited >= 1
+
+    def test_tenant_isolation(self, env):
+        rows, planner, reader = env
+        executor = BlockExecutor(reader, "test")
+        plan = planner.plan(parse_sql("SELECT log FROM request_log WHERE tenant_id = 2"))
+        got, _stats = executor.execute(plan)
+        assert len(got) == 400
+        expected_logs = {r["log"] for r in rows[2]}
+        assert all(r["log"] in expected_logs for r in got)
+
+    def test_or_across_columns(self, env):
+        rows, planner, reader = env
+        executor = BlockExecutor(reader, "test")
+        plan = planner.plan(parse_sql(
+            "SELECT ts FROM request_log WHERE tenant_id = 1 "
+            "AND (ip = '192.168.0.1' OR latency >= 450)"
+        ))
+        got, _ = executor.execute(plan)
+        expected = brute(
+            rows[1],
+            lambda r: r["ip"] == "192.168.0.1" or r["latency"] >= 450,
+            ["ts"],
+        )
+        assert sorted(r["ts"] for r in got) == sorted(r["ts"] for r in expected)
+
+    def test_not(self, env):
+        rows, planner, reader = env
+        executor = BlockExecutor(reader, "test")
+        plan = planner.plan(parse_sql(
+            "SELECT ts FROM request_log WHERE tenant_id = 1 AND NOT ip = '192.168.0.1'"
+        ))
+        got, _ = executor.execute(plan)
+        expected = [r for r in rows[1] if r["ip"] != "192.168.0.1"]
+        assert len(got) == len(expected)
+
+    def test_match_fulltext(self, env):
+        rows, planner, reader = env
+        executor = BlockExecutor(reader, "test")
+        plan = planner.plan(parse_sql(
+            "SELECT log FROM request_log WHERE tenant_id = 1 AND MATCH(log, 'status error')"
+        ))
+        got, _ = executor.execute(plan)
+        expected = [r for r in rows[1] if "error" in r["log"].split()]
+        assert len(got) == len(expected)
+
+    def test_no_where(self, env):
+        rows, planner, reader = env
+        executor = BlockExecutor(reader, "test")
+        plan = planner.plan(parse_sql("SELECT ts FROM request_log WHERE tenant_id = 1"))
+        got, _ = executor.execute(plan)
+        assert len(got) == 400
+
+
+class TestOptimizationEquivalence:
+    """All optimization combinations must return identical results."""
+
+    @pytest.mark.parametrize("skipping", [True, False])
+    @pytest.mark.parametrize("prefetch", [True, False])
+    @pytest.mark.parametrize("indexes", [True, False])
+    def test_all_combinations(self, env, skipping, prefetch, indexes):
+        rows, planner, reader = env
+        options = ExecutionOptions(
+            use_skipping=skipping, use_prefetch=prefetch, use_indexes=indexes
+        )
+        executor = BlockExecutor(reader, "test", options)
+        plan = planner.plan(parse_sql(
+            "SELECT ts, log FROM request_log WHERE tenant_id = 1 "
+            "AND latency BETWEEN 100 AND 300 AND MATCH(log, 'ok')"
+        ))
+        got, _ = executor.execute(plan)
+        expected = brute(
+            rows[1],
+            lambda r: 100 <= r["latency"] <= 300 and "ok" in r["log"].split(),
+            ["ts", "log"],
+        )
+        assert sorted(r["ts"] for r in got) == sorted(r["ts"] for r in expected)
+
+
+class TestRealtimeFilter:
+    def test_projection_and_filter(self, env):
+        _rows, planner, _reader = env
+        plan = planner.plan(parse_sql(
+            "SELECT log FROM request_log WHERE tenant_id = 1 AND latency >= 400"
+        ))
+        realtime = make_rows(20, tenant_id=1, seed=99)
+        got = filter_realtime_rows(plan, realtime)
+        expected = [{"log": r["log"]} for r in realtime if r["latency"] >= 400]
+        assert got == expected
+
+    def test_no_where_passes_all(self, env):
+        _rows, planner, _reader = env
+        plan = planner.plan(parse_sql("SELECT ts FROM request_log WHERE tenant_id = 1"))
+        realtime = make_rows(5, tenant_id=1)
+        assert len(filter_realtime_rows(plan, realtime)) == 5

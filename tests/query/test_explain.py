@@ -1,0 +1,60 @@
+"""EXPLAIN output tests."""
+
+import pytest
+
+from repro.cluster.config import small_test_config
+from repro.cluster.logstore import LogStore
+
+from tests.conftest import BASE_TS, MICROS, make_rows
+
+
+@pytest.fixture
+def store():
+    store = LogStore.create(config=small_test_config(target_rows_per_logblock=200))
+    store.put(1, make_rows(600, tenant_id=1))
+    store.put(2, make_rows(100, tenant_id=2))
+    store.flush_all()
+    return store
+
+
+class TestExplain:
+    def test_shows_scope_and_pruning(self, store):
+        text = store.explain(
+            "SELECT log FROM request_log WHERE tenant_id = 1 AND latency >= 100"
+        )
+        assert "tenant 1" in text
+        assert "LogBlock map: 3 of 3 blocks survive" in text
+        assert "predicates:" in text
+        assert "output columns: ['log']" in text
+
+    def test_shows_time_pruning(self, store):
+        from repro.query.planner import format_timestamp
+
+        hi = format_timestamp(BASE_TS + 100 * MICROS)
+        text = store.explain(
+            "SELECT log FROM request_log WHERE tenant_id = 1 "
+            f"AND ts <= '{hi}'"
+        )
+        assert "time range:" in text
+        assert "pruned)" in text
+        # Only the first chronological block survives a 100-second cap.
+        assert "1 of 3 blocks survive" in text
+
+    def test_shows_limit_pushdown(self, store):
+        text = store.explain("SELECT ts FROM request_log WHERE tenant_id = 1 LIMIT 5")
+        assert "LIMIT pushdown: stop after 5 rows" in text
+
+    def test_shows_aggregation(self, store):
+        text = store.explain(
+            "SELECT ip, COUNT(*) FROM request_log WHERE tenant_id = 1 GROUP BY ip"
+        )
+        assert "aggregation: COUNT(*) GROUP BY ip" in text
+
+    def test_cross_tenant_flagged(self, store):
+        text = store.explain("SELECT log FROM request_log WHERE latency >= 1")
+        assert "ALL tenants" in text
+
+    def test_explain_does_not_execute(self, store):
+        requests_before = store.oss.stats.get_requests
+        store.explain("SELECT log FROM request_log WHERE tenant_id = 1")
+        assert store.oss.stats.get_requests == requests_before

@@ -1,0 +1,158 @@
+"""Query planner tests: coercion and LogBlock-map pruning."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.logblock.schema import request_log_schema
+from repro.meta.catalog import Catalog, LogBlockEntry
+from repro.query.planner import (
+    QueryPlanner,
+    format_timestamp,
+    parse_timestamp,
+)
+from repro.query.sql import parse_sql
+
+MICROS = 1_000_000
+
+
+class TestTimestamps:
+    def test_parse_known_value(self):
+        # 2020-11-11 00:00:00 UTC
+        assert parse_timestamp("2020-11-11 00:00:00") == 1_605_052_800 * MICROS
+
+    def test_parse_with_fraction(self):
+        assert parse_timestamp("2020-11-11 00:00:00.500000") == 1_605_052_800 * MICROS + 500_000
+
+    def test_parse_date_only(self):
+        assert parse_timestamp("2020-11-11") == 1_605_052_800 * MICROS
+
+    def test_roundtrip(self):
+        text = "2021-06-20 12:34:56"
+        assert format_timestamp(parse_timestamp(text)) == text
+
+    def test_invalid(self):
+        with pytest.raises(QueryError):
+            parse_timestamp("not a time")
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog(request_log_schema())
+    base = parse_timestamp("2020-11-11 00:00:00")
+    hour = 3600 * MICROS
+    for tenant in (1, 2):
+        for i in range(4):
+            catalog.add_block(
+                LogBlockEntry(
+                    tenant_id=tenant,
+                    min_ts=base + i * hour,
+                    max_ts=base + (i + 1) * hour - 1,
+                    path=f"tenants/{tenant}/block{i}",
+                    size_bytes=1000,
+                    row_count=100,
+                )
+            )
+    return catalog
+
+
+@pytest.fixture
+def planner(catalog):
+    return QueryPlanner(catalog)
+
+
+class TestCoercion:
+    def test_timestamp_literal_coerced(self, planner):
+        plan = planner.plan(
+            parse_sql(
+                "SELECT log FROM request_log WHERE tenant_id = 1 "
+                "AND ts >= '2020-11-11 01:00:00'"
+            )
+        )
+        assert plan.min_ts == parse_timestamp("2020-11-11 01:00:00")
+
+    def test_bool_string_coerced(self, planner):
+        """The paper's own sample writes ``fail = 'false'``."""
+        plan = planner.plan(
+            parse_sql("SELECT log FROM request_log WHERE tenant_id = 1 AND fail = 'false'")
+        )
+        # The coerced tree has a python False in it.
+        fails = [c for c in plan.where.children if getattr(c, "column", None) == "fail"]
+        assert fails[0].value is False
+
+    def test_float_to_int_column(self, planner):
+        plan = planner.plan(
+            parse_sql("SELECT log FROM request_log WHERE tenant_id = 1 AND latency >= 100")
+        )
+        assert plan.tenant_id == 1
+
+    def test_uncoercible_rejected(self, planner):
+        with pytest.raises(QueryError):
+            planner.plan(
+                parse_sql("SELECT log FROM request_log WHERE tenant_id = 1 AND fail = 'maybe'")
+            )
+
+    def test_unknown_table(self, planner):
+        with pytest.raises(QueryError):
+            planner.plan(parse_sql("SELECT a FROM nope WHERE x = 1"))
+
+    def test_unknown_column(self, planner):
+        with pytest.raises(QueryError):
+            planner.plan(parse_sql("SELECT ghost FROM request_log"))
+
+
+class TestLogBlockMapPruning:
+    def test_tenant_filter(self, planner):
+        plan = planner.plan(parse_sql("SELECT log FROM request_log WHERE tenant_id = 1"))
+        assert len(plan.blocks) == 4
+        assert all(b.tenant_id == 1 for b in plan.blocks)
+
+    def test_time_range_prunes(self, planner):
+        plan = planner.plan(
+            parse_sql(
+                "SELECT log FROM request_log WHERE tenant_id = 1 "
+                "AND ts >= '2020-11-11 01:30:00' AND ts <= '2020-11-11 02:30:00'"
+            )
+        )
+        assert [b.path for b in plan.blocks] == ["tenants/1/block1", "tenants/1/block2"]
+        assert plan.blocks_pruned_by_map == 2
+
+    def test_no_tenant_scans_all(self, planner):
+        plan = planner.plan(parse_sql("SELECT log FROM request_log WHERE latency >= 1"))
+        assert len(plan.blocks) == 8
+        assert plan.tenant_id is None
+
+    def test_empty_range(self, planner):
+        plan = planner.plan(
+            parse_sql(
+                "SELECT log FROM request_log WHERE tenant_id = 1 "
+                "AND ts >= '2020-11-12 00:00:00'"
+            )
+        )
+        assert plan.blocks == []
+
+    def test_blocks_sorted_chronologically(self, planner):
+        plan = planner.plan(parse_sql("SELECT log FROM request_log WHERE tenant_id = 2"))
+        starts = [b.min_ts for b in plan.blocks]
+        assert starts == sorted(starts)
+
+
+class TestOutputColumns:
+    def test_star(self, planner):
+        plan = planner.plan(parse_sql("SELECT * FROM request_log WHERE tenant_id = 1"))
+        assert plan.output_columns == request_log_schema().column_names()
+
+    def test_projection(self, planner):
+        plan = planner.plan(parse_sql("SELECT log, ip FROM request_log WHERE tenant_id = 1"))
+        assert plan.output_columns == ["log", "ip"]
+
+    def test_group_by_column_included(self, planner):
+        plan = planner.plan(
+            parse_sql("SELECT ip, COUNT(*) FROM request_log WHERE tenant_id = 1 GROUP BY ip")
+        )
+        assert "ip" in plan.output_columns
+
+    def test_aggregate_input_included(self, planner):
+        plan = planner.plan(
+            parse_sql("SELECT MAX(latency) FROM request_log WHERE tenant_id = 1")
+        )
+        assert "latency" in plan.output_columns

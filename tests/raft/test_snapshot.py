@@ -1,0 +1,255 @@
+"""Raft log compaction / InstallSnapshot tests (§3 checkpointing)."""
+
+import pickle
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import RaftError
+from repro.raft.network import SimNetwork
+from repro.raft.node import RaftNode
+from repro.raft.state import PersistentState
+from repro.raft.messages import LogEntry
+
+
+class SnapshotStateMachine:
+    """A dict state machine with serialize/install hooks."""
+
+    def __init__(self) -> None:
+        self.applied: list[bytes] = []
+
+    def apply(self, entry: LogEntry) -> None:
+        self.applied.append(entry.command)
+
+    def serialize(self) -> bytes:
+        return pickle.dumps(self.applied)
+
+    def install(self, state: bytes) -> None:
+        self.applied = pickle.loads(state)
+
+
+def make_cluster(n=3, seed=0, wal_segment_bytes=512):
+    from repro.wal.log import WriteAheadLog
+
+    clock = VirtualClock()
+    network = SimNetwork(clock, seed=seed)
+    node_ids = [f"n{i}" for i in range(n)]
+    machines = {}
+    nodes = {}
+    for i, node_id in enumerate(node_ids):
+        machine = SnapshotStateMachine()
+        machines[node_id] = machine
+        nodes[node_id] = RaftNode(
+            node_id=node_id,
+            peers=node_ids,
+            clock=clock,
+            network=network,
+            apply_callback=machine.apply,
+            snapshot_provider=machine.serialize,
+            snapshot_installer=machine.install,
+            # Small segments so snapshot-driven WAL truncation is visible.
+            wal=WriteAheadLog(segment_bytes=wal_segment_bytes),
+            seed=seed + i,
+        )
+    return clock, network, nodes, machines
+
+
+def elect_leader(clock, nodes, timeout=10.0):
+    deadline = clock.now() + timeout
+    while clock.now() < deadline:
+        leaders = [n for n in nodes.values() if n.is_leader and not n._stopped]
+        if leaders:
+            return leaders[-1]
+        clock.advance(0.01)
+    raise AssertionError("no leader")
+
+
+class TestPersistentStateCompaction:
+    def test_compact_and_lookup(self):
+        state = PersistentState()
+        for i in range(1, 11):
+            state.append(LogEntry(term=1, index=i, command=b"%d" % i))
+        dropped = state.compact_to(5, 1)
+        assert dropped == 5
+        assert state.snapshot_index == 5
+        assert state.entry_at(5) is None
+        assert state.entry_at(6).command == b"6"
+        assert state.last_log_index() == 10
+        assert state.term_at(5) == 1
+
+    def test_compact_everything(self):
+        state = PersistentState()
+        for i in range(1, 4):
+            state.append(LogEntry(term=2, index=i, command=b"x"))
+        state.compact_to(3, 2)
+        assert state.log == []
+        assert state.last_log_index() == 3
+        assert state.last_log_term() == 2
+        state.append(LogEntry(term=2, index=4, command=b"y"))
+        assert state.entry_at(4).index == 4
+
+    def test_entries_from_after_compaction(self):
+        state = PersistentState()
+        for i in range(1, 8):
+            state.append(LogEntry(term=1, index=i, command=b"%d" % i))
+        state.compact_to(3, 1)
+        entries = state.entries_from(4, limit=2)
+        assert [e.index for e in entries] == [4, 5]
+        with pytest.raises(IndexError):
+            state.entries_from(2, limit=1)
+
+    def test_reset_to_snapshot(self):
+        state = PersistentState()
+        for i in range(1, 5):
+            state.append(LogEntry(term=1, index=i, command=b"x"))
+        state.reset_to_snapshot(10, 3)
+        assert state.log == []
+        assert state.last_log_index() == 10
+        assert state.last_log_term() == 3
+
+
+class TestTakeSnapshot:
+    def test_compacts_log_and_wal(self):
+        clock, _network, nodes, machines = make_cluster()
+        leader = elect_leader(clock, nodes)
+        for i in range(30):
+            leader.propose(b"cmd%d" % i)
+            clock.advance(0.05)
+        clock.advance(1.0)
+        wal_before = leader._wal.total_bytes()
+        log_before = len(leader.persistent.log)
+        index = leader.take_snapshot()
+        assert index == leader.volatile.last_applied
+        assert len(leader.persistent.log) < log_before
+        assert leader._wal.total_bytes() <= wal_before  # segments reclaimed
+
+    def test_snapshot_without_provider_rejected(self):
+        clock = VirtualClock()
+        network = SimNetwork(clock)
+        node = RaftNode("solo", ["solo"], clock, network)
+        with pytest.raises(RaftError):
+            node.take_snapshot()
+
+    def test_snapshot_is_idempotent(self):
+        clock, _network, nodes, _machines = make_cluster()
+        leader = elect_leader(clock, nodes)
+        for i in range(5):
+            leader.propose(b"x")
+            clock.advance(0.05)
+        clock.advance(0.5)
+        first = leader.take_snapshot()
+        second = leader.take_snapshot()
+        assert first == second
+
+    def test_progress_continues_after_snapshot(self):
+        clock, _network, nodes, machines = make_cluster()
+        leader = elect_leader(clock, nodes)
+        for i in range(10):
+            leader.propose(b"a%d" % i)
+            clock.advance(0.05)
+        clock.advance(0.5)
+        leader.take_snapshot()
+        for i in range(10):
+            leader.propose(b"b%d" % i)
+            clock.advance(0.05)
+        clock.advance(1.0)
+        full = [n for n in nodes.values() if not n.is_wal_only]
+        for node in full:
+            assert machines[node.node_id].applied[-1] == b"b9"
+            assert len(machines[node.node_id].applied) == 20
+
+
+class TestUncommittedTailSurvival:
+    def test_snapshot_preserves_uncommitted_tail_in_wal(self):
+        """A snapshot taken while uncommitted entries sit past
+        last_applied must not lose those entries' WAL records when old
+        segments are truncated."""
+        clock, network, nodes, _machines = make_cluster(wal_segment_bytes=256)
+        leader = elect_leader(clock, nodes)
+        for i in range(20):
+            leader.propose(b"a%d" % i)
+            clock.advance(0.05)
+        clock.advance(0.5)
+        for peer in leader.peers:  # isolate: tail stays uncommitted
+            network.partition(leader.node_id, peer)
+        for i in range(5):
+            leader.propose(b"tail%d" % i)
+        leader.take_snapshot()
+        machine = SnapshotStateMachine()
+        rebuilt = RaftNode(
+            "rb",
+            ["rb"],
+            VirtualClock(),
+            SimNetwork(VirtualClock()),
+            apply_callback=machine.apply,
+            snapshot_provider=machine.serialize,
+            snapshot_installer=machine.install,
+            wal=leader._wal,
+        )
+        assert rebuilt.persistent.last_log_index() == 25
+        assert rebuilt.persistent.snapshot_index == 20
+
+
+class TestInstallSnapshot:
+    def test_lagging_follower_catches_up_via_snapshot(self):
+        clock, _network, nodes, machines = make_cluster()
+        leader = elect_leader(clock, nodes)
+        follower = next(n for n in nodes.values() if n is not leader)
+        follower.stop()
+        for i in range(40):
+            leader.propose(b"v%d" % i)
+            clock.advance(0.02)
+        clock.advance(1.0)
+        leader.take_snapshot()  # compacts away everything the follower needs
+        assert leader.persistent.snapshot_index > 0
+        follower.restart()
+        clock.advance(3.0)
+        assert follower.persistent.snapshot_index == leader.persistent.snapshot_index
+        assert follower.commit_index == leader.commit_index
+        assert machines[follower.node_id].applied == machines[leader.node_id].applied
+
+    def test_follower_applies_entries_after_snapshot(self):
+        clock, _network, nodes, machines = make_cluster()
+        leader = elect_leader(clock, nodes)
+        follower = next(n for n in nodes.values() if n is not leader)
+        follower.stop()
+        for i in range(30):
+            leader.propose(b"s%d" % i)
+            clock.advance(0.02)
+        clock.advance(1.0)
+        leader.take_snapshot()
+        for i in range(10):
+            leader.propose(b"post%d" % i)
+            clock.advance(0.02)
+        follower.restart()
+        clock.advance(3.0)
+        assert machines[follower.node_id].applied == machines[leader.node_id].applied
+        assert machines[follower.node_id].applied[-1] == b"post9"
+
+    def test_recovery_from_wal_with_snapshot(self):
+        clock, _network, nodes, machines = make_cluster()
+        leader = elect_leader(clock, nodes)
+        for i in range(20):
+            leader.propose(b"r%d" % i)
+            clock.advance(0.05)
+        clock.advance(0.5)
+        leader.take_snapshot()
+        leader.propose(b"tail")
+        clock.advance(1.0)
+
+        machine = SnapshotStateMachine()
+        rebuilt = RaftNode(
+            node_id="rebuilt",
+            peers=["rebuilt"],
+            clock=VirtualClock(),
+            network=SimNetwork(VirtualClock()),
+            apply_callback=machine.apply,
+            snapshot_provider=machine.serialize,
+            snapshot_installer=machine.install,
+            wal=leader._wal,
+        )
+        assert rebuilt.persistent.snapshot_index == leader.persistent.snapshot_index
+        # The installer restored the pre-snapshot state...
+        assert machine.applied[:20] == machines[leader.node_id].applied[:20]
+        # ...and the post-snapshot tail survives in the log.
+        assert rebuilt.persistent.last_log_index() == leader.persistent.last_log_index()

@@ -1,0 +1,165 @@
+"""WAL framing, segmentation, replay and recovery tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import CorruptionError, WalError
+from repro.wal.log import (
+    FileSegmentBackend,
+    MemorySegmentBackend,
+    WriteAheadLog,
+)
+from repro.wal.record import (
+    WalEntryEncoder,
+    decode_frame,
+    encode_frame,
+    iter_frames,
+    validate_segment,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        data = encode_frame(b"hello") + encode_frame(b"world")
+        assert list(iter_frames(data)) == [b"hello", b"world"]
+
+    def test_empty_payload(self):
+        assert list(iter_frames(encode_frame(b""))) == [b""]
+
+    def test_torn_tail_is_end_of_log(self):
+        data = encode_frame(b"complete") + encode_frame(b"torn-away")[:-3]
+        assert list(iter_frames(data)) == [b"complete"]
+
+    def test_torn_header(self):
+        data = encode_frame(b"ok") + b"\x05"
+        assert list(iter_frames(data)) == [b"ok"]
+
+    def test_corruption_mid_log_raises(self):
+        frames = bytearray(encode_frame(b"aaaa") + encode_frame(b"bbbb"))
+        frames[8] ^= 0xFF  # flip a payload byte of the first frame
+        with pytest.raises(CorruptionError):
+            list(iter_frames(bytes(frames)))
+
+    def test_validate_segment(self):
+        data = encode_frame(b"x") * 3
+        assert validate_segment(data) == 3
+
+    def test_decode_at_end_returns_none(self):
+        data = encode_frame(b"x")
+        result = decode_frame(data, len(data))
+        assert result is None
+
+    @given(st.lists(st.binary(max_size=100), max_size=20))
+    def test_property_roundtrip(self, payloads):
+        data = b"".join(encode_frame(p) for p in payloads)
+        assert list(iter_frames(data)) == payloads
+
+
+class TestEntryEncoder:
+    def test_roundtrip(self):
+        payload = WalEntryEncoder.encode(42, WalEntryEncoder.KIND_APPEND, b"body")
+        assert WalEntryEncoder.decode(payload) == (42, WalEntryEncoder.KIND_APPEND, b"body")
+
+    def test_negative_sequence_rejected(self):
+        with pytest.raises(WalError):
+            WalEntryEncoder.encode(-1, 1, b"")
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(CorruptionError):
+            WalEntryEncoder.decode(b"tiny")
+
+
+@pytest.fixture(params=["memory", "file"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        return MemorySegmentBackend()
+    return FileSegmentBackend(str(tmp_path / "wal"))
+
+
+class TestWriteAheadLog:
+    def test_sequences_monotonic(self, backend):
+        wal = WriteAheadLog(backend)
+        assert wal.append(1, b"a") == 0
+        assert wal.append(1, b"b") == 1
+        assert wal.next_sequence == 2
+
+    def test_replay_all(self, backend):
+        wal = WriteAheadLog(backend)
+        for i in range(5):
+            wal.append(1, bytes([i]))
+        entries = list(wal.replay())
+        assert [e.sequence for e in entries] == [0, 1, 2, 3, 4]
+        assert [e.body for e in entries] == [bytes([i]) for i in range(5)]
+
+    def test_replay_from(self, backend):
+        wal = WriteAheadLog(backend)
+        for i in range(5):
+            wal.append(2, b"x")
+        assert [e.sequence for e in wal.replay(from_sequence=3)] == [3, 4]
+
+    def test_recovery_resumes_sequence(self, backend):
+        wal = WriteAheadLog(backend)
+        wal.append(1, b"a")
+        wal.append(1, b"b")
+        recovered = WriteAheadLog(backend)
+        assert recovered.next_sequence == 2
+        recovered.append(1, b"c")
+        assert [e.body for e in recovered.replay()] == [b"a", b"b", b"c"]
+
+    def test_segment_rollover(self, backend):
+        wal = WriteAheadLog(backend, segment_bytes=64)
+        for i in range(20):
+            wal.append(1, b"payload-%02d" % i)
+        assert len(backend.segments()) > 1
+        assert [e.sequence for e in wal.replay()] == list(range(20))
+
+    def test_truncate_before(self, backend):
+        wal = WriteAheadLog(backend, segment_bytes=64)
+        for i in range(20):
+            wal.append(1, b"payload-%02d" % i)
+        segments_before = len(backend.segments())
+        removed = wal.truncate_before(15)
+        assert removed > 0
+        assert len(backend.segments()) == segments_before - removed
+        remaining = [e.sequence for e in wal.replay()]
+        assert remaining[-1] == 19
+        assert all(s >= removed for s in [remaining[0]])
+
+    def test_total_bytes(self, backend):
+        wal = WriteAheadLog(backend)
+        assert wal.total_bytes() == 0
+        wal.append(1, b"12345")
+        assert wal.total_bytes() > 5
+
+    def test_bad_segment_bytes(self):
+        with pytest.raises(WalError):
+            WriteAheadLog(segment_bytes=0)
+
+
+class TestFileBackendDurability:
+    def test_survives_reopen(self, tmp_path):
+        root = str(tmp_path / "wal")
+        wal = WriteAheadLog(FileSegmentBackend(root))
+        wal.append(7, b"persisted")
+        fresh = WriteAheadLog(FileSegmentBackend(root))
+        entries = list(fresh.replay())
+        assert entries[0].kind == 7
+        assert entries[0].body == b"persisted"
+
+    def test_torn_tail_after_crash(self, tmp_path):
+        root = str(tmp_path / "wal")
+        backend = FileSegmentBackend(root)
+        wal = WriteAheadLog(backend)
+        wal.append(1, b"good")
+        wal.append(1, b"torn")
+        # Simulate a crash mid-write: chop bytes off the segment file.
+        segment = backend.segments()[-1]
+        path = backend._path(segment)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-3])
+        recovered = WriteAheadLog(FileSegmentBackend(root))
+        assert [e.body for e in recovered.replay()] == [b"good"]
+        assert recovered.next_sequence == 1

@@ -1,0 +1,158 @@
+"""Workload generation tests: Zipf weights, records, query sets."""
+
+import math
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.common.errors import ConfigError
+from repro.logblock.schema import request_log_schema
+from repro.workload.generator import (
+    LogRecordGenerator,
+    WorkloadConfig,
+    diurnal_series,
+    diurnal_throughput,
+)
+from repro.workload.queries import QuerySetGenerator, TEMPLATE_NAMES
+from repro.workload.zipf import ZipfTenantSampler, tenant_traffic, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert zipf_weights(100, 0.99).sum() == pytest.approx(1.0)
+
+    def test_theta_zero_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert all(w == pytest.approx(0.1) for w in weights)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 0.99)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_exact_ratio(self):
+        weights = zipf_weights(10, 1.0)
+        assert weights[0] / weights[4] == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            zipf_weights(0, 0.5)
+        with pytest.raises(ConfigError):
+            zipf_weights(10, -1)
+
+    def test_tenant_traffic_sums_to_total(self):
+        traffic = tenant_traffic(100, 0.99, 5000.0)
+        assert sum(traffic.values()) == pytest.approx(5000.0)
+        assert set(traffic) == set(range(1, 101))
+
+
+class TestSampler:
+    def test_deterministic(self):
+        a = ZipfTenantSampler(100, 0.99, seed=1).sample_batch(50)
+        b = ZipfTenantSampler(100, 0.99, seed=1).sample_batch(50)
+        assert a == b
+
+    def test_empirical_distribution_matches(self):
+        """Chi-square check of samples vs theoretical Zipf weights."""
+        n = 20
+        sampler = ZipfTenantSampler(n, 0.99, seed=7)
+        samples = sampler.sample_batch(20_000)
+        observed = [samples.count(k) for k in range(1, n + 1)]
+        expected = [20_000 * w for w in zipf_weights(n, 0.99)]
+        _stat, p_value = scipy_stats.chisquare(observed, expected)
+        assert p_value > 0.001  # not obviously different
+
+    def test_counts_exact_total(self):
+        sampler = ZipfTenantSampler(100, 0.99, seed=0)
+        counts = sampler.counts(12_345)
+        assert sum(counts.values()) == 12_345
+
+    def test_counts_rank_shape(self):
+        """Figure 11: rank-1 tenant dwarfs rank-1000 under θ=0.99."""
+        sampler = ZipfTenantSampler(1000, 0.99, seed=0)
+        counts = sampler.counts(1_000_000)
+        assert counts[1] > 100 * counts[1000]
+        ranked = [counts[k] for k in range(1, 1001)]
+        assert all(a >= b for a, b in zip(ranked, ranked[1:]))
+
+
+class TestRecordGenerator:
+    def test_schema_compatible(self):
+        generator = LogRecordGenerator(WorkloadConfig(n_tenants=10, seed=1))
+        schema = request_log_schema()
+        for row in generator.stream(0, duration_s=1, records_per_second=100):
+            schema.validate_row(row)
+
+    def test_stream_count_and_ts_monotone(self):
+        generator = LogRecordGenerator(WorkloadConfig(n_tenants=10))
+        rows = list(generator.stream(1000, duration_s=2, records_per_second=50))
+        assert len(rows) == 100
+        timestamps = [r["ts"] for r in rows]
+        assert timestamps == sorted(timestamps)
+
+    def test_dataset_deterministic_counts(self):
+        generator = LogRecordGenerator(WorkloadConfig(n_tenants=20, theta=0.99, seed=2))
+        rows = list(generator.dataset(0, duration_s=10, total_rows=5000))
+        assert len(rows) == 5000
+        counts = {}
+        for row in rows:
+            counts[row["tenant_id"]] = counts.get(row["tenant_id"], 0) + 1
+        expected = generator.sampler.counts(5000)
+        assert counts == {k: v for k, v in expected.items() if v > 0}
+
+    def test_dataset_ts_ordered(self):
+        generator = LogRecordGenerator(WorkloadConfig(n_tenants=5, seed=3))
+        rows = list(generator.dataset(0, duration_s=10, total_rows=500))
+        timestamps = [r["ts"] for r in rows]
+        assert timestamps == sorted(timestamps)
+
+    def test_log_line_contains_queryable_tokens(self):
+        generator = LogRecordGenerator(WorkloadConfig(n_tenants=2, seed=4))
+        row = generator.record(1, 1000)
+        assert str(row["latency"]) in row["log"]
+        assert row["ip"] in row["log"]
+
+
+class TestDiurnal:
+    def test_peak_midday(self):
+        assert diurnal_throughput(13) == pytest.approx(50e6)
+
+    def test_trough_overnight(self):
+        assert diurnal_throughput(1) < 0.55 * 50e6
+
+    def test_series_length(self):
+        series = diurnal_series(points_per_hour=2)
+        assert len(series) == 49
+        hours = [h for h, _v in series]
+        assert hours[0] == 0 and hours[-1] == 24
+
+    def test_bounds(self):
+        for hour, value in diurnal_series(4):
+            assert 0 < value <= 50e6 + 1e-6
+
+    def test_bad_hour(self):
+        with pytest.raises(ValueError):
+            diurnal_throughput(25)
+
+
+class TestQuerySet:
+    def test_six_templates_per_tenant(self):
+        generator = QuerySetGenerator(data_start_ts=0, data_duration_s=3600, seed=1)
+        specs = generator.query_set([1, 2, 3])
+        assert len(specs) == 18
+        templates = {s.template for s in specs}
+        assert templates == set(TEMPLATE_NAMES)
+
+    def test_queries_parse_and_mention_tenant(self):
+        from repro.query.sql import parse_sql
+        from repro.query.ast import extract_eq
+
+        generator = QuerySetGenerator(data_start_ts=0, data_duration_s=3600, seed=2)
+        for spec in generator.queries_for_tenant(42):
+            parsed = parse_sql(spec.sql)
+            assert parsed.table == "request_log"
+            assert extract_eq(parsed.where, "tenant_id") == 42
+
+    def test_deterministic_per_seed(self):
+        a = QuerySetGenerator(seed=5).query_set([1])
+        b = QuerySetGenerator(seed=5).query_set([1])
+        assert [s.sql for s in a] == [s.sql for s in b]
