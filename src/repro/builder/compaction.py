@@ -1,0 +1,205 @@
+"""Background compaction: merge a tenant's small LogBlocks (§3.1).
+
+Frequent archiving of a lightly loaded tenant produces many small
+LogBlocks, each costing a catalog entry, an OSS object, and extra GET
+round-trips at query time.  The compactor rewrites runs of small blocks
+into right-sized ones: read the victims back, merge their rows by
+timestamp, re-encode at ``target_rows`` per block, upload the
+replacements, then delete the superseded objects and catalog entries.
+
+Because LogBlocks are immutable and self-contained, compaction is
+crash-safe by ordering alone: new blocks are uploaded and registered
+before any old block is removed, so every intermediate state is
+queryable (at worst with transiently duplicated rows mid-swap, the same
+window any LSM compaction has).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codec.registry import DEFAULT_CODEC
+from repro.common.clock import Clock, VirtualClock
+from repro.common.errors import BuildError, NoSuchKey
+from repro.logblock.reader import LogBlockReader
+from repro.logblock.schema import TableSchema
+from repro.logblock.writer import DEFAULT_BLOCK_ROWS, LogBlockWriter
+from repro.meta.catalog import Catalog, LogBlockEntry
+from repro.oss.retry import (
+    DEFAULT_BACKOFF_S,
+    DEFAULT_MAX_ATTEMPTS,
+    RetryingObjectStore,
+)
+from repro.tarpack.reader import PackReader
+
+
+@dataclass
+class CompactionResult:
+    """What one :meth:`Compactor.compact_tenant` call did."""
+
+    tenant_id: int
+    blocks_before: int = 0
+    blocks_after: int = 0
+    rows_rewritten: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+    upload_retries: int = 0
+
+    @property
+    def compacted(self) -> bool:
+        return self.blocks_after > 0
+
+
+def compacted_block_path(
+    tenant_id: int, generation: int, chunk_idx: int, min_ts: int, max_ts: int
+) -> str:
+    """OSS key for a compaction output block (``tenants/<id>/*.lgb``)."""
+    return (
+        f"tenants/{tenant_id}/"
+        f"cp{generation:06d}-{chunk_idx:04d}-{min_ts}-{max_ts}.lgb"
+    )
+
+
+class Compactor:
+    """Merges one tenant's small LogBlocks into ``target_rows``-sized ones."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        oss,
+        bucket: str,
+        catalog: Catalog,
+        codec: str = DEFAULT_CODEC,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+        small_threshold_rows: int = 10_000,
+        target_rows: int = 200_000,
+        build_indexes: bool = True,
+        max_upload_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        upload_backoff_s: float = DEFAULT_BACKOFF_S,
+        retry_clock: Clock | None = None,
+    ) -> None:
+        if small_threshold_rows <= 0:
+            raise BuildError(
+                f"small_threshold_rows must be positive, got {small_threshold_rows}"
+            )
+        if target_rows < small_threshold_rows:
+            raise BuildError(
+                f"target_rows ({target_rows}) must be >= small_threshold_rows "
+                f"({small_threshold_rows}); compaction output would stay small"
+            )
+        self._schema = schema
+        self._oss = oss
+        self._bucket = bucket
+        self._catalog = catalog
+        self._codec = codec
+        self._block_rows = block_rows
+        self._small_threshold = small_threshold_rows
+        self._target_rows = target_rows
+        self._build_indexes = build_indexes
+        self._upload = RetryingObjectStore(
+            oss,
+            max_attempts=max_upload_attempts,
+            backoff_s=upload_backoff_s,
+            clock=retry_clock if retry_clock is not None else VirtualClock(),
+        )
+        self._generation = 0
+
+    def candidates(self, tenant_id: int) -> list[LogBlockEntry]:
+        """The tenant's blocks below the small-block threshold."""
+        return [
+            block
+            for block in self._catalog.blocks_for(tenant_id)
+            if block.row_count < self._small_threshold
+        ]
+
+    def compact_tenant(self, tenant_id: int) -> CompactionResult:
+        """Merge the tenant's small blocks; no-op below two victims."""
+        result = CompactionResult(tenant_id=tenant_id)
+        victims = self.candidates(tenant_id)
+        if len(victims) < 2:
+            return result
+        result.blocks_before = len(victims)
+        result.bytes_before = sum(block.size_bytes for block in victims)
+        retries_before = self._upload.stats.retries
+
+        rows: list[dict] = []
+        for block in victims:
+            rows.extend(self._read_rows(block))
+        ts_column = self._ts_column()
+        rows.sort(key=lambda row: row[ts_column])
+
+        generation = self._generation
+        self._generation += 1
+        new_entries: list[LogBlockEntry] = []
+        for chunk_start in range(0, len(rows), self._target_rows):
+            chunk = rows[chunk_start : chunk_start + self._target_rows]
+            writer = LogBlockWriter(
+                self._schema,
+                codec=self._codec,
+                block_rows=self._block_rows,
+                build_indexes=self._build_indexes,
+            )
+            writer.append_many(chunk)
+            blob = writer.finish()
+            min_ts = int(chunk[0][ts_column])
+            max_ts = int(chunk[-1][ts_column])
+            path = compacted_block_path(
+                tenant_id, generation, chunk_start // self._target_rows, min_ts, max_ts
+            )
+            self._upload.put(self._bucket, path, blob)
+            entry = LogBlockEntry(
+                tenant_id=tenant_id,
+                min_ts=min_ts,
+                max_ts=max_ts,
+                path=path,
+                size_bytes=len(blob),
+                row_count=len(chunk),
+            )
+            self._catalog.add_block(entry)
+            new_entries.append(entry)
+            result.bytes_after += len(blob)
+            result.rows_rewritten += len(chunk)
+        result.blocks_after = len(new_entries)
+
+        # New data is live; now retire the superseded blocks.
+        for block in victims:
+            try:
+                self._upload.delete(self._bucket, block.path)
+            except NoSuchKey:
+                pass  # object already gone; still drop the map entry
+            self._catalog.remove_block(block)
+        result.upload_retries = self._upload.stats.retries - retries_before
+        return result
+
+    def compact_all(self) -> list[CompactionResult]:
+        """Run :meth:`compact_tenant` for every registered tenant."""
+        results = []
+        for info in sorted(self._catalog.tenants(), key=lambda t: t.tenant_id):
+            result = self.compact_tenant(info.tenant_id)
+            if result.compacted:
+                results.append(result)
+        return results
+
+    # -- helpers -----------------------------------------------------------
+
+    def _ts_column(self) -> str:
+        names = self._schema.column_names()
+        if "ts" in names:
+            return "ts"
+        raise BuildError(f"schema {self._schema.name!r} has no 'ts' column to merge by")
+
+    def _read_rows(self, block: LogBlockEntry) -> list[dict]:
+        """Materialize every row of one LogBlock (all columns)."""
+        reader = LogBlockReader(PackReader(self._upload, self._bucket, block.path))
+        # Read under the block's own (self-contained) schema: blocks
+        # written before an additive DDL lack the newest columns, and
+        # the rewrite surfaces those as nulls.
+        columns = {
+            name: reader.read_column(name)
+            for name in reader.meta().schema.column_names()
+        }
+        names = list(columns)
+        return [
+            {name: columns[name][i] for name in names}
+            for i in range(reader.row_count)
+        ]

@@ -1,0 +1,37 @@
+"""Thread-pooled execution of per-tenant build tasks.
+
+The CPU-heavy half of remote archiving — columnar encoding,
+compression, index construction — is embarrassingly parallel across
+tenants (each tenant's rows become independent LogBlocks).  The upload
+and catalog-registration half stays serial in the caller so that the
+resulting object store and LogBlock map are byte-identical regardless
+of thread count or scheduling.
+
+``run_build_tasks`` is deliberately tiny: it runs callables and returns
+their results *in submission order*, which is what makes the parallel
+build deterministically equivalent to the serial one.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def run_build_tasks(tasks: Sequence[Callable[[], T]], threads: int = 1) -> list[T]:
+    """Execute ``tasks``; results come back in submission order.
+
+    ``threads <= 1`` (or a single task) runs everything inline on the
+    calling thread — the serial reference path.  With more threads a
+    pool sized ``min(threads, len(tasks))`` is used.  The first task
+    exception propagates to the caller either way.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if threads == 1 or len(tasks) <= 1:
+        return [task() for task in tasks]
+    with ThreadPoolExecutor(max_workers=min(threads, len(tasks))) as pool:
+        futures = [pool.submit(task) for task in tasks]
+        return [future.result() for future in futures]

@@ -133,24 +133,14 @@ class Controller:
         """Run the data builder on every worker (checkpoint task)."""
         report = BuildReport()
         for worker in self.workers.values():
-            partial = worker.archive_once()
-            report.memtables_converted += partial.memtables_converted
-            report.blocks_written += partial.blocks_written
-            report.rows_archived += partial.rows_archived
-            report.bytes_uploaded += partial.bytes_uploaded
-            report.entries.extend(partial.entries)
+            report.merge(worker.archive_once())
         return report
 
     def flush_all(self) -> BuildReport:
         """Seal + archive everything on every worker."""
         report = BuildReport()
         for worker in self.workers.values():
-            partial = worker.flush_all()
-            report.memtables_converted += partial.memtables_converted
-            report.blocks_written += partial.blocks_written
-            report.rows_archived += partial.rows_archived
-            report.bytes_uploaded += partial.bytes_uploaded
-            report.entries.extend(partial.entries)
+            report.merge(worker.flush_all())
         return report
 
     def expire_data(self, now_ts: int) -> ExpiryReport:

@@ -68,6 +68,7 @@ class LogStore:
             block_rows=config.block_rows,
             target_rows=config.target_rows_per_logblock,
             build_indexes=config.build_indexes,
+            builder_threads=config.builder_threads,
         )
 
         self._builder = builder

@@ -84,6 +84,10 @@ class RowStoreError(LogStoreError):
     """Row store failure (sealed segment mutation, bad scan range, ...)."""
 
 
+class BuildError(LogStoreError):
+    """Data-builder failure (unsealed memtable, bad build parameters)."""
+
+
 class CatalogError(LogStoreError):
     """Metadata catalog failure (unknown tenant, conflicting registration)."""
 

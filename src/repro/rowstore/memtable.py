@@ -121,10 +121,9 @@ class MemTable:
         columnar tables according to tenants").
         """
         grouped: dict[int, list[dict]] = {}
-        for ts, position in self._view():
+        for _ts, position in self._view():
             row = self._rows[position]
             grouped.setdefault(row[self._tenant_column], []).append(row)
-        del ts
         return grouped
 
 

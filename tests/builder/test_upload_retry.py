@@ -1,0 +1,85 @@
+"""Upload robustness: the builder retries transient OSS failures."""
+
+import pytest
+
+from repro.builder.builder import DataBuilder
+from repro.builder.compaction import Compactor
+from repro.common.errors import TransientStoreError
+from repro.logblock.schema import request_log_schema
+from repro.meta.catalog import Catalog
+from repro.oss.retry import FlakyStore
+from repro.oss.store import InMemoryObjectStore
+from repro.rowstore.memtable import MemTable
+
+from tests.conftest import make_rows
+
+
+def sealed(count: int, tenant_id: int = 1, seed: int = 0) -> MemTable:
+    table = MemTable()
+    table.append_many(make_rows(count, tenant_id=tenant_id, seed=seed))
+    table.seal()
+    return table
+
+
+@pytest.fixture
+def flaky():
+    inner = InMemoryObjectStore()
+    inner.create_bucket("test")
+    return FlakyStore(inner)
+
+
+def make_builder(store, catalog, **overrides) -> DataBuilder:
+    params = dict(codec="zlib", block_rows=64, target_rows=500)
+    params.update(overrides)
+    return DataBuilder(request_log_schema(), store, "test", catalog, **params)
+
+
+class TestUploadRetry:
+    def test_transient_failures_retried_and_counted(self, flaky):
+        catalog = Catalog(request_log_schema())
+        builder = make_builder(flaky, catalog)
+        flaky.fail_next(2)  # first PUT fails twice, then succeeds
+        report = builder.archive_memtable(sealed(100))
+        assert report.upload_retries == 2
+        assert report.blocks_written == 1
+        assert len(catalog.blocks_for(1)) == 1
+
+    def test_clean_run_reports_zero_retries(self, flaky):
+        catalog = Catalog(request_log_schema())
+        report = make_builder(flaky, catalog).archive_memtable(sealed(100))
+        assert report.upload_retries == 0
+
+    def test_bounded_attempts_then_giveup(self, flaky):
+        catalog = Catalog(request_log_schema())
+        builder = make_builder(flaky, catalog, max_upload_attempts=3)
+        flaky.fail_next(3)  # as many failures as attempts → PUT gives up
+        with pytest.raises(TransientStoreError):
+            builder.archive_memtable(sealed(100))
+        # The failed block was never registered: no dangling catalog entry.
+        assert catalog.blocks_for(1) == []
+        assert builder.upload_stats.giveups == 1
+
+    def test_flaky_rate_survives_multi_block_archive(self):
+        inner = InMemoryObjectStore()
+        inner.create_bucket("test")
+        flaky = FlakyStore(inner, fail_rate=0.3, seed=7)
+        catalog = Catalog(request_log_schema())
+        builder = make_builder(flaky, catalog, max_upload_attempts=10)
+        report = builder.archive_memtable(sealed(2_000))  # 4 blocks at 500 rows
+        assert report.blocks_written == 4
+        assert report.upload_retries > 0
+        assert report.upload_retries == builder.upload_stats.retries
+
+    def test_compactor_uploads_also_retry(self, flaky):
+        catalog = Catalog(request_log_schema())
+        builder = make_builder(flaky, catalog, target_rows=100)
+        builder.archive_memtable(sealed(300))  # 3 small blocks
+        compactor = Compactor(
+            request_log_schema(), flaky, "test", catalog,
+            codec="zlib", block_rows=64, small_threshold_rows=200, target_rows=1_000,
+        )
+        flaky.fail_next(2)
+        result = compactor.compact_tenant(1)
+        assert result.upload_retries == 2
+        assert result.blocks_after == 1
+        assert result.rows_rewritten == 300

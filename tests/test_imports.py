@@ -1,0 +1,28 @@
+"""Module-import smoke test.
+
+Importing every module under ``repro`` in one targeted test means a
+missing or broken module fails *here*, with its name in the message,
+instead of killing collection for the whole suite (which is exactly how
+the absence of ``repro.builder`` used to present).
+"""
+
+import importlib
+import pkgutil
+
+import repro
+
+
+def test_every_repro_module_imports():
+    failures = []
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        try:
+            importlib.import_module(module.name)
+        except Exception as exc:  # noqa: BLE001 - report all failures at once
+            failures.append(f"{module.name}: {exc!r}")
+    assert not failures, "modules failed to import:\n" + "\n".join(failures)
+
+
+def test_walk_found_the_expected_packages():
+    names = {m.name for m in pkgutil.walk_packages(repro.__path__, prefix="repro.")}
+    for expected in ("repro.builder.builder", "repro.cluster.logstore", "repro.query.executor"):
+        assert expected in names
