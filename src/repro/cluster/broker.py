@@ -106,8 +106,17 @@ class Broker:
         parsed = parse_sql(sql)
         plan = self._planner.plan(parsed)
 
-        # Archived data (OSS LogBlocks).
-        archived_rows, stats = self._executor.execute(plan)
+        # Archived data (OSS LogBlocks).  Aggregates take the pushdown
+        # path: the executor returns a mergeable partial aggregator (the
+        # same MPP shape shard merging uses) instead of matched rows.
+        aggregator: Aggregator | None = None
+        archived_rows: list[dict] = []
+        if parsed.is_aggregate:
+            aggregator, stats = self._executor.execute_aggregate(plan)
+            archived_count = stats.rows_matched
+        else:
+            archived_rows, stats = self._executor.execute(plan)
+            archived_count = len(archived_rows)
 
         # Real-time data from the row stores of the read route.
         realtime_rows: list[dict] = []
@@ -125,13 +134,11 @@ class Broker:
             )
             realtime_rows.extend(filter_realtime_rows(plan, raw))
 
-        merged = archived_rows + realtime_rows
-        if parsed.is_aggregate:
-            aggregator = Aggregator(parsed)
-            aggregator.consume_many(merged)
+        if aggregator is not None:
+            aggregator.consume_many(realtime_rows)
             final = aggregator.results()
         else:
-            final = apply_order_limit(parsed, merged)
+            final = apply_order_limit(parsed, archived_rows + realtime_rows)
 
         self.queries_served.add()
         return QueryResult(
@@ -140,5 +147,5 @@ class Broker:
             plan=plan,
             stats=stats,
             realtime_rows=len(realtime_rows),
-            archived_rows=len(archived_rows),
+            archived_rows=archived_count,
         )

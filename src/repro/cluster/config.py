@@ -60,6 +60,9 @@ class LogStoreConfig:
     prefetch_threads: int = 32
     use_skipping: bool = True
     use_prefetch: bool = True
+    # Aggregate pushdown ceiling: 0 = off, 1 = catalog-only,
+    # 2 = +SMA fold, 3 = +columnar late materialization.
+    agg_pushdown_level: int = 3
 
     seed: int = 0
 
@@ -78,6 +81,8 @@ class LogStoreConfig:
             raise ConfigError("need at least one full replica")
         if self.balancer not in ("none", "greedy", "maxflow"):
             raise ConfigError(f"unknown balancer {self.balancer!r}")
+        if self.agg_pushdown_level not in (0, 1, 2, 3):
+            raise ConfigError("agg_pushdown_level must be 0..3")
         if self.per_tenant_shard_limit_rps <= 0:
             raise ConfigError("per_tenant_shard_limit_rps must be positive")
         if self.builder_threads < 1:

@@ -90,6 +90,7 @@ class LogStore:
             use_skipping=config.use_skipping,
             use_prefetch=config.use_prefetch,
             prefetch_threads=config.prefetch_threads,
+            agg_pushdown_level=config.agg_pushdown_level,
         )
         self.brokers = [
             Broker(f"broker-{i}", self.controller, self.workers, self._range_reader, self.clock, options)

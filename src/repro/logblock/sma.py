@@ -3,7 +3,11 @@
 §3.2: "We also generate a Small Materialized Aggregates (SMA) for each
 column, including maximum and minimum values for skipping data blocks."
 We additionally keep row and null counts, which the planner uses for
-short-circuiting (an all-null block can never satisfy a comparison).
+short-circuiting (an all-null block can never satisfy a comparison),
+and — since meta format v3 — the sum of numeric columns, which lets the
+aggregate pushdown answer SUM/AVG for a fully matched block without
+touching its column blocks.  ``sum_value`` is ``None`` for non-numeric
+columns and for SMAs deserialized from legacy (v2) LogBlocks.
 """
 
 from __future__ import annotations
@@ -30,6 +34,9 @@ class Sma:
     max_value: int | float | str | bool | None
     row_count: int
     null_count: int
+    # Sum over the non-null values of a numeric column; None when the
+    # column is not numeric or the block predates the v3 meta format.
+    sum_value: int | float | None = None
 
     @property
     def all_null(self) -> bool:
@@ -63,19 +70,22 @@ class Sma:
 
     # -- serialization -------------------------------------------------------
 
-    def write_to(self, writer: BinaryWriter) -> None:
+    def write_to(self, writer: BinaryWriter, include_sum: bool = True) -> None:
         writer.write_uvarint(self.row_count)
         writer.write_uvarint(self.null_count)
         _write_value(writer, self.min_value)
         _write_value(writer, self.max_value)
+        if include_sum:
+            _write_value(writer, self.sum_value)
 
     @classmethod
-    def read_from(cls, reader: BinaryReader) -> "Sma":
+    def read_from(cls, reader: BinaryReader, include_sum: bool = True) -> "Sma":
         row_count = reader.read_uvarint()
         null_count = reader.read_uvarint()
         min_value = _read_value(reader)
         max_value = _read_value(reader)
-        return cls(min_value, max_value, row_count, null_count)
+        sum_value = _read_value(reader) if include_sum else None
+        return cls(min_value, max_value, row_count, null_count, sum_value)
 
     def to_bytes(self) -> bytes:
         writer = BinaryWriter()
@@ -124,13 +134,16 @@ def _read_value(reader: BinaryReader):
 def compute_sma(values: Iterable, ctype: ColumnType) -> Sma:
     """Compute the SMA of a column (or block) of python values.
 
-    ``None`` entries are nulls and excluded from min/max.  Bools compare
-    as ints, matching the storage encoding.
+    ``None`` entries are nulls and excluded from min/max (and the sum).
+    Bools compare as ints, matching the storage encoding.  The sum is
+    only maintained for numeric columns (INT64/FLOAT64/TIMESTAMP).
     """
+    numeric = ctype in (ColumnType.INT64, ColumnType.FLOAT64, ColumnType.TIMESTAMP)
     min_value = None
     max_value = None
     row_count = 0
     null_count = 0
+    total = 0 if ctype is not ColumnType.FLOAT64 else 0.0
     for value in values:
         row_count += 1
         if value is None:
@@ -140,7 +153,9 @@ def compute_sma(values: Iterable, ctype: ColumnType) -> Sma:
             min_value = value
         if max_value is None or value > max_value:
             max_value = value
-    return Sma(min_value, max_value, row_count, null_count)
+        if numeric:
+            total += value
+    return Sma(min_value, max_value, row_count, null_count, total if numeric else None)
 
 
 def merge_smas(smas: Iterable[Sma]) -> Sma:
@@ -149,11 +164,19 @@ def merge_smas(smas: Iterable[Sma]) -> Sma:
     max_value = None
     row_count = 0
     null_count = 0
+    # The merged sum is only known when every child carries one.
+    total: int | float | None = 0
+    any_child = False
     for sma in smas:
+        any_child = True
         row_count += sma.row_count
         null_count += sma.null_count
         if sma.min_value is not None and (min_value is None or sma.min_value < min_value):
             min_value = sma.min_value
         if sma.max_value is not None and (max_value is None or sma.max_value > max_value):
             max_value = sma.max_value
-    return Sma(min_value, max_value, row_count, null_count)
+        if total is not None:
+            total = None if sma.sum_value is None else total + sma.sum_value
+    if not any_child:
+        total = None
+    return Sma(min_value, max_value, row_count, null_count, total)

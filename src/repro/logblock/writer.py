@@ -32,7 +32,10 @@ from repro.tarpack.packer import PackBuilder
 
 META_MEMBER = "meta"
 META_MAGIC = b"LGBK"
-META_VERSION = 2
+# v2: schema + SMAs (min/max/counts); v3 adds a per-column and per-block
+# sum to every SMA (aggregate pushdown tier 2).  Readers accept both.
+META_VERSION = 3
+_LEGACY_META_VERSION = 2
 
 DEFAULT_BLOCK_ROWS = 4096
 
@@ -88,10 +91,13 @@ class LogBlockMeta:
 
     # -- serialization -------------------------------------------------------
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, version: int = META_VERSION) -> bytes:
+        if version not in (META_VERSION, _LEGACY_META_VERSION):
+            raise SerializationError(f"cannot write LogBlock meta version {version}")
+        include_sum = version >= META_VERSION
         writer = BinaryWriter()
         writer.write_bytes(META_MAGIC)
-        writer.write_u8(META_VERSION)
+        writer.write_u8(version)
         schema_bytes = self.schema.to_bytes()
         writer.write_len_prefixed(schema_bytes)
         writer.write_uvarint(self.row_count)
@@ -101,13 +107,13 @@ class LogBlockMeta:
         for count in self.block_row_counts:
             writer.write_uvarint(count)
         for col_idx in range(len(self.schema)):
-            self.column_smas[col_idx].write_to(writer)
+            self.column_smas[col_idx].write_to(writer, include_sum=include_sum)
             headers = self.block_headers[col_idx]
             if len(headers) != len(self.block_row_counts):
                 raise SerializationError("block header count mismatch")
             for header in headers:
                 writer.write_uvarint(header.row_count)
-                header.sma.write_to(writer)
+                header.sma.write_to(writer, include_sum=include_sum)
                 writer.write_uvarint(header.stored_size)
         writer.write_uvarint(len(self.index_sizes))
         for name in sorted(self.index_sizes):
@@ -125,8 +131,9 @@ class LogBlockMeta:
         if reader.read_bytes(4) != META_MAGIC:
             raise CorruptionError("bad LogBlock meta magic")
         version = reader.read_u8()
-        if version != META_VERSION:
+        if version not in (META_VERSION, _LEGACY_META_VERSION):
             raise SerializationError(f"unsupported LogBlock meta version {version}")
+        include_sum = version >= META_VERSION
         schema = TableSchema.from_bytes(reader.read_len_prefixed())
         row_count = reader.read_uvarint()
         codec_id = reader.read_u8()
@@ -136,11 +143,11 @@ class LogBlockMeta:
         column_smas: list[Sma] = []
         block_headers: list[list[BlockHeader]] = []
         for _col_idx in range(len(schema)):
-            column_smas.append(Sma.read_from(reader))
+            column_smas.append(Sma.read_from(reader, include_sum=include_sum))
             headers = []
             for _block_idx in range(n_blocks):
                 hdr_rows = reader.read_uvarint()
-                sma = Sma.read_from(reader)
+                sma = Sma.read_from(reader, include_sum=include_sum)
                 stored = reader.read_uvarint()
                 headers.append(BlockHeader(hdr_rows, sma, stored))
             block_headers.append(headers)
@@ -184,9 +191,11 @@ class LogBlockWriter:
         validate_rows: bool = True,
         build_indexes: bool = True,
         build_blooms: bool = True,
+        meta_version: int = META_VERSION,
     ) -> None:
         if block_rows <= 0:
             raise ValueError(f"block_rows must be positive, got {block_rows}")
+        self._meta_version = meta_version
         self._schema = schema
         self._codec = get_codec(codec)
         self._block_rows = block_rows
@@ -309,7 +318,7 @@ class LogBlockWriter:
             bloom_sizes=bloom_sizes,
         )
 
-        pack.add(META_MEMBER, meta.to_bytes())
+        pack.add(META_MEMBER, meta.to_bytes(version=self._meta_version))
         for name, payload in bloom_payloads:
             pack.add(name, payload)
         for name, payload in index_payloads:

@@ -39,6 +39,33 @@ class LogBlockEntry:
             return False
         return True
 
+    def covered_by(
+        self,
+        low: int | None,
+        high: int | None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> bool:
+        """Whether every row's timestamp provably falls inside the bound.
+
+        The builder guarantees ``[min_ts, max_ts]`` brackets every row
+        of the block, so full coverage lets the tier-1 aggregate
+        pushdown answer COUNT(*)/MIN(ts)/MAX(ts) from this entry alone.
+        """
+        if low is not None:
+            if low_inclusive:
+                if self.min_ts < low:
+                    return False
+            elif self.min_ts <= low:
+                return False
+        if high is not None:
+            if high_inclusive:
+                if self.max_ts > high:
+                    return False
+            elif self.max_ts >= high:
+                return False
+        return True
+
     def sort_key(self):
         return (self.min_ts, self.max_ts, self.path)
 

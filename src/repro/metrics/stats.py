@@ -107,6 +107,43 @@ class Histogram:
 
 
 @dataclass
+class PushdownCounters:
+    """Per-query aggregate-pushdown work accounting.
+
+    Recorded by the block executor and surfaced through
+    ``ExecutionStats`` so benchmarks and EXPLAIN ANALYZE can report how
+    each block of an aggregate query was answered:
+
+    * ``agg_catalog_hits`` — tier 1: answered from the LogBlock-map
+      entry alone (zero requests, zero bytes);
+    * ``agg_sma_blocks`` — tier 2: folded from the block's SMAs in the
+      already-loaded meta (no column blocks read);
+    * ``agg_columnar_blocks`` — tier 3: aggregated from late-
+      materialized column vectors (only the aggregated columns read);
+    * ``agg_row_blocks`` — fallback: full row-dict materialization.
+    """
+
+    agg_catalog_hits: int = 0
+    agg_sma_blocks: int = 0
+    agg_columnar_blocks: int = 0
+    agg_row_blocks: int = 0
+
+    def merge(self, other: "PushdownCounters") -> None:
+        self.agg_catalog_hits += other.agg_catalog_hits
+        self.agg_sma_blocks += other.agg_sma_blocks
+        self.agg_columnar_blocks += other.agg_columnar_blocks
+        self.agg_row_blocks += other.agg_row_blocks
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "agg_catalog_hits": self.agg_catalog_hits,
+            "agg_sma_blocks": self.agg_sma_blocks,
+            "agg_columnar_blocks": self.agg_columnar_blocks,
+            "agg_row_blocks": self.agg_row_blocks,
+        }
+
+
+@dataclass
 class AccessStats:
     """Per-entity access counts for the Figure 13/14 std-dev metrics."""
 

@@ -41,6 +41,26 @@ class AggState:
     def update_count_star(self) -> None:
         self.count += 1
 
+    def merge_sma(self, sma) -> None:
+        """Fold a column SMA as if :meth:`update` ran on every non-null value.
+
+        The tier-2 pushdown path: when a block's predicate bitset is
+        all-rows-match, COUNT/MIN/MAX (and SUM, when the block meta
+        records per-column sums) fold straight from the SMA without
+        reading a single column block.  Only valid for non-DISTINCT
+        states — the planner never routes DISTINCT aggregates here.
+        """
+        non_null = sma.row_count - sma.null_count
+        if not non_null:
+            return
+        self.count += non_null
+        if sma.sum_value is not None:
+            self.total += sma.sum_value
+        if sma.min_value is not None and (self.minimum is None or sma.min_value < self.minimum):
+            self.minimum = sma.min_value
+        if sma.max_value is not None and (self.maximum is None or sma.max_value > self.maximum):
+            self.maximum = sma.max_value
+
     def merge(self, other: "AggState") -> None:
         self.count += other.count
         self.total += other.total
@@ -112,6 +132,62 @@ class Aggregator:
     def consume_many(self, rows) -> None:
         for row in rows:
             self.consume(row)
+
+    def consume_sma(self, smas: dict, row_count: int) -> None:
+        """Tier-1/2 pushdown: fold one whole block from its column SMAs.
+
+        ``smas`` maps column name → :class:`~repro.logblock.sma.Sma` for
+        the columns present in the block; a column absent from the dict
+        (added by DDL after the block was written) reads as all-null and
+        contributes nothing.  Only valid for ungrouped queries whose
+        every row matches — the executor checks both.
+        """
+        states = self._states_for(None)
+        for item, state in zip(self._items, states):
+            if not item.is_aggregate:
+                continue
+            if item.column is None:
+                state.count += row_count  # COUNT(*)
+                continue
+            sma = smas.get(item.column)
+            if sma is not None:
+                state.merge_sma(sma)
+
+    def consume_columns(self, group_keys, columns: dict, row_count: int) -> None:
+        """Tier-3 pushdown: consume per-column value vectors.
+
+        ``group_keys`` is the GROUP BY column's value vector (or None
+        for ungrouped queries); ``columns`` maps each aggregated column
+        to its matched-row value vector.  Columns missing from the dict
+        read as null.  Equivalent to :meth:`consume` over materialized
+        row dicts, without ever building the dicts.
+        """
+        if self._group_by is None:
+            states = self._states_for(None)
+            for item, state in zip(self._items, states):
+                if not item.is_aggregate:
+                    continue
+                if item.column is None:
+                    state.count += row_count  # COUNT(*)
+                    continue
+                vector = columns.get(item.column)
+                if vector is None:
+                    continue
+                for value in vector:
+                    state.update(value)
+            return
+        if group_keys is None:
+            group_keys = [None] * row_count
+        for i in range(row_count):
+            states = self._states_for(group_keys[i])
+            for item, state in zip(self._items, states):
+                if not item.is_aggregate:
+                    continue
+                if item.column is None:
+                    state.update_count_star()
+                    continue
+                vector = columns.get(item.column)
+                state.update(vector[i] if vector is not None else None)
 
     def merge(self, other: "Aggregator") -> None:
         """Combine another shard's partial aggregation into this one."""

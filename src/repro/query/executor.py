@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cache.multilevel import CachingRangeReader, MultiLevelCache
 from repro.common.bitset import Bitset
 from repro.logblock.pruning import PruneStats, evaluate_predicates
@@ -31,9 +33,12 @@ from repro.logblock.writer import (
     bloom_member,
     index_member,
 )
+from repro.logblock.sma import Sma
 from repro.meta.catalog import LogBlockEntry
+from repro.metrics.stats import PushdownCounters
 from repro.prefetch.executor import ParallelPrefetcher
 from repro.prefetch.planner import PrefetchPlanner
+from repro.query.aggregate import Aggregator
 from repro.query.ast import And, CmpOp, Comparison, Expr, In, Not, Or
 from repro.query.planner import QueryPlan
 from repro.tarpack.reader import PackReader
@@ -50,6 +55,12 @@ class ExecutionOptions:
     prefetch_merge_gap: int = 4096
     use_vectorized_scan: bool = False  # §8 future work, implemented
 
+    # Aggregate pushdown tier ceiling: 0 = off (row materialization),
+    # 1 = catalog-only, 2 = +SMA fold, 3 = +columnar late
+    # materialization.  Tiers are cumulative; a block ineligible for
+    # the enabled tiers falls through to the next one down.
+    agg_pushdown_level: int = 3
+
     # CPU cost model, charged to the same virtual clock as the I/O.
     # These bound the OSS-vs-local and first-vs-repeat latency ratios
     # exactly the way real decode/evaluation CPU does in the paper.
@@ -57,6 +68,10 @@ class ExecutionOptions:
     cpu_scan_rows_per_s: float = 2e6       # predicate evaluation by scan
     cpu_index_lookup_s: float = 0.0005     # one index probe + bitset merge
     cpu_per_block_s: float = 0.001         # per-LogBlock plan/merge overhead
+    # Row-dict materialization vs columnar aggregation fold, per value.
+    # Building python dicts is the slow path the tier-3 pushdown avoids.
+    cpu_materialize_values_per_s: float = 5e6
+    cpu_agg_values_per_s: float = 20e6
 
 
 @dataclass
@@ -68,6 +83,7 @@ class ExecutionStats:
     prune: PruneStats = field(default_factory=PruneStats)
     prefetch_requests: int = 0
     prefetch_bytes: int = 0
+    pushdown: PushdownCounters = field(default_factory=PushdownCounters)
 
 
 def _equality_string_leaves(expr: Expr) -> dict[str, list]:
@@ -234,16 +250,18 @@ class BlockExecutor:
         columns: list[str],
         stats: ExecutionStats,
     ) -> None:
-        """Batch-load exactly the column blocks holding matched rows."""
+        """Batch-load exactly the column blocks holding matched rows.
+
+        The needed block set comes from one vectorized pass over the
+        bitset's indices against the block row boundaries — O(blocks)
+        distinct results, never a per-matched-row ``block_of_row`` walk.
+        """
         meta = reader.meta()
-        needed_blocks: set[int] = set()
-        for row_id in matched:
-            block_idx, _offset = reader.block_of_row(row_id)
-            needed_blocks.add(block_idx)
+        needed_blocks = np.unique(reader.blocks_of_rows(matched.indices())).tolist()
         members = [
             block_member(meta.schema.column_index(column), block_idx)
             for column in columns
-            for block_idx in sorted(needed_blocks)
+            for block_idx in needed_blocks
         ]
         if not members:
             return
@@ -294,13 +312,13 @@ class BlockExecutor:
 
     # -- entry points ------------------------------------------------------
 
-    def execute_block(
+    def _match_block(
         self,
         entry: LogBlockEntry,
         plan: QueryPlan,
         stats: ExecutionStats,
-    ) -> list[dict]:
-        """Matched, projected rows of one LogBlock."""
+    ) -> tuple[LogBlockReader, Bitset]:
+        """Open one LogBlock and evaluate the predicate to a bitset."""
         if self.options.use_prefetch:
             pack = PackReader(self._reader, self._bucket, entry.path)
             meta_cached = (
@@ -329,23 +347,189 @@ class BlockExecutor:
             self._charge(rows_scanned / self.options.cpu_scan_rows_per_s)
         if lookups:
             self._charge(lookups * self.options.cpu_index_lookup_s)
-        count = matched.count()
-        if not count:
-            return []
-        stats.rows_matched += count
-        columns = plan.output_columns or plan.schema.column_names()
-        # Columns added by DDL after this block was written read as null.
+        return reader, matched
+
+    def _materialize_rows(
+        self,
+        reader: LogBlockReader,
+        matched: Bitset,
+        columns: list[str],
+        stats: ExecutionStats,
+    ) -> list[dict]:
+        """Row-dict materialization of the matched rows (the slow path)."""
         block_columns = set(reader.meta().schema.column_names())
+        # Columns added by DDL after this block was written read as null.
         present = [c for c in columns if c in block_columns]
         missing = [c for c in columns if c not in block_columns]
         if self.options.use_prefetch and present:
             self._prefetch_output_blocks(reader, matched, present, stats)
         rows = reader.read_rows(matched.indices().tolist(), present)
+        self._charge(
+            len(rows) * max(1, len(present)) / self.options.cpu_materialize_values_per_s
+        )
         if missing:
             for row in rows:
                 for column in missing:
                     row[column] = None
         return rows
+
+    def execute_block(
+        self,
+        entry: LogBlockEntry,
+        plan: QueryPlan,
+        stats: ExecutionStats,
+    ) -> list[dict]:
+        """Matched, projected rows of one LogBlock."""
+        reader, matched = self._match_block(entry, plan, stats)
+        count = matched.count()
+        if not count:
+            return []
+        stats.rows_matched += count
+        columns = plan.output_columns or plan.schema.column_names()
+        return self._materialize_rows(reader, matched, columns, stats)
+
+    # -- aggregate pushdown (tiers 2/3 are per-block; tier 1 is per-entry) --
+
+    def _sma_foldable(self, plan: QueryPlan, reader: LogBlockReader) -> bool:
+        """Whether every aggregate folds from this block's meta alone.
+
+        SUM/AVG require the per-column sum recorded by meta format v3;
+        legacy (v2) blocks report ``sum_value=None`` for columns that
+        actually hold values, which sends the block down to tier 3.
+        """
+        meta = reader.meta()
+        block_columns = set(meta.schema.column_names())
+        for item in plan.query.select:
+            if item.column is None or item.column not in block_columns:
+                continue  # COUNT(*) / DDL-added column (reads as null)
+            if item.aggregate in ("sum", "avg"):
+                sma = meta.column_smas[meta.schema.column_index(item.column)]
+                if sma.sum_value is None and sma.row_count > sma.null_count:
+                    return False
+        return True
+
+    def _aggregate_block(
+        self,
+        entry: LogBlockEntry,
+        plan: QueryPlan,
+        aggregator: Aggregator,
+        stats: ExecutionStats,
+    ) -> None:
+        """Fold one LogBlock into the aggregator by the cheapest tier."""
+        pushdown = plan.agg_pushdown
+        level = self.options.agg_pushdown_level
+        reader, matched = self._match_block(entry, plan, stats)
+        count = matched.count()
+        if not count:
+            return
+        stats.rows_matched += count
+        meta = reader.meta()
+
+        # Tier 2: every row matches — fold from the (already loaded)
+        # meta's column SMAs; zero column blocks are read.
+        if (
+            level >= 2
+            and pushdown is not None
+            and pushdown.sma_eligible
+            and count == meta.row_count
+            and self._sma_foldable(plan, reader)
+        ):
+            block_columns = set(meta.schema.column_names())
+            smas = {
+                column: meta.column_smas[meta.schema.column_index(column)]
+                for column in pushdown.input_columns
+                if column in block_columns
+            }
+            aggregator.consume_sma(smas, meta.row_count)
+            stats.pushdown.agg_sma_blocks += 1
+            return
+
+        # Tier 3: late materialization — read only the aggregated
+        # columns as value vectors, never build row dicts.
+        if level >= 3 and pushdown is not None:
+            block_columns = set(meta.schema.column_names())
+            present = [c for c in pushdown.input_columns if c in block_columns]
+            if self.options.use_prefetch and present:
+                self._prefetch_output_blocks(reader, matched, present, stats)
+            vectors = {c: reader.read_column_values(c, matched) for c in present}
+            group_by = plan.query.group_by
+            group_keys = vectors.get(group_by) if group_by is not None else None
+            aggregator.consume_columns(group_keys, vectors, count)
+            self._charge(
+                count * max(1, len(present)) / self.options.cpu_agg_values_per_s
+            )
+            stats.pushdown.agg_columnar_blocks += 1
+            return
+
+        # Fallback: the naive path — materialize dicts and fold per row.
+        columns = plan.output_columns or plan.schema.column_names()
+        rows = self._materialize_rows(reader, matched, columns, stats)
+        aggregator.consume_many(rows)
+        stats.pushdown.agg_row_blocks += 1
+
+    def execute_aggregate(self, plan: QueryPlan) -> tuple[Aggregator, ExecutionStats]:
+        """Run an aggregate plan; returns a mergeable partial aggregator.
+
+        Tier 1 (catalog-only): when the plan is COUNT(*)/MIN(ts)/MAX(ts)
+        over a tenant/ts-only predicate, every LogBlock whose catalog
+        time range is fully covered is folded from its
+        :class:`LogBlockEntry` — the pack is never opened, so such
+        entries cost zero requests, zero bytes, and zero virtual time.
+        Remaining blocks run tiers 2/3 under the same §5.2 parallel
+        overlap model as row execution.
+        """
+        stats = ExecutionStats()
+        aggregator = Aggregator(plan.query)
+        pushdown = plan.agg_pushdown
+        level = self.options.agg_pushdown_level
+        catalog_tier = (
+            level >= 1 and pushdown is not None and pushdown.catalog_eligible
+        )
+        remaining: list[LogBlockEntry] = []
+        for entry in plan.blocks:
+            if catalog_tier and entry.covered_by(
+                pushdown.ts_low,
+                pushdown.ts_high,
+                pushdown.ts_low_inclusive,
+                pushdown.ts_high_inclusive,
+            ):
+                aggregator.consume_sma(
+                    {
+                        pushdown.ts_column: Sma(
+                            entry.min_ts, entry.max_ts, entry.row_count, 0
+                        )
+                    },
+                    entry.row_count,
+                )
+                stats.rows_matched += entry.row_count
+                stats.pushdown.agg_catalog_hits += 1
+            else:
+                remaining.append(entry)
+
+        clock = getattr(self._reader.store, "clock", None)
+        overlap = (
+            self.options.use_prefetch
+            and len(remaining) > 1
+            and clock is not None
+            and hasattr(clock, "deferred")
+        )
+        if not overlap:
+            for entry in remaining:
+                self._aggregate_block(entry, plan, aggregator, stats)
+            return aggregator, stats
+        durations: list[float] = []
+        for entry in remaining:
+            with clock.deferred() as charges:
+                self._aggregate_block(entry, plan, aggregator, stats)
+            durations.append(charges.total)
+        clock.sleep(self._wave_elapsed(durations))
+        return aggregator, stats
+
+    def _wave_elapsed(self, durations: list[float]) -> float:
+        """Total time of `prefetch_threads`-wide waves, slowest per wave."""
+        width = max(1, self.options.prefetch_threads)
+        ordered = sorted(durations, reverse=True)
+        return sum(ordered[i] for i in range(0, len(ordered), width))
 
     def execute(self, plan: QueryPlan) -> tuple[list[dict], ExecutionStats]:
         """Run the plan over all its LogBlocks; returns (rows, stats).
@@ -381,11 +565,9 @@ class BlockExecutor:
             durations.append(charges.total)
             if limit is not None and len(rows) >= limit:
                 break
-        width = max(1, self.options.prefetch_threads)
-        # Waves of `width` concurrent blocks; each wave costs its slowest.
-        ordered = sorted(durations, reverse=True)
-        elapsed = sum(ordered[i] for i in range(0, len(ordered), width))
-        clock.sleep(elapsed)
+        # Waves of `prefetch_threads` concurrent blocks; each wave costs
+        # its slowest member.
+        clock.sleep(self._wave_elapsed(durations))
         return rows, stats
 
 

@@ -16,6 +16,7 @@ from repro.meta.catalog import Catalog, LogBlockEntry
 from repro.query.ast import (
     And,
     Between,
+    CmpOp,
     Comparison,
     Expr,
     In,
@@ -23,6 +24,7 @@ from repro.query.ast import (
     Match,
     Not,
     Or,
+    conjuncts,
     extract_eq,
     extract_ts_range,
 )
@@ -115,6 +117,150 @@ def coerce_expr(expr: Expr, schema: TableSchema) -> Expr:
     raise QueryError(f"unknown expression node {type(expr).__name__}")
 
 
+@dataclass(frozen=True)
+class AggPushdown:
+    """Planner decision on the aggregate fast path (tiers 1–3).
+
+    * tier 1 (``catalog_eligible``): the query is COUNT(*) (optionally
+      with MIN/MAX of the timestamp column), ungrouped, and its
+      predicate constrains only ``tenant_id`` (equality) and the
+      timestamp — any LogBlock whose catalog time range is fully inside
+      the bound is answered from its :class:`LogBlockEntry` alone;
+    * tier 2 (``sma_eligible``): every aggregate is a non-DISTINCT
+      COUNT/SUM/AVG/MIN/MAX, ungrouped — blocks whose predicate bitset
+      matches every row fold from the meta's column SMAs;
+    * tier 3: always available for aggregates — partially matched
+      blocks aggregate from late-materialized column vectors
+      (``input_columns``) instead of row dicts.
+    """
+
+    catalog_eligible: bool
+    sma_eligible: bool
+    ts_column: str = "ts"
+    ts_low: int | None = None
+    ts_low_inclusive: bool = True
+    ts_high: int | None = None
+    ts_high_inclusive: bool = True
+    input_columns: tuple[str, ...] = ()
+
+    def mode(self) -> str:
+        if self.catalog_eligible:
+            return "catalog-only"
+        if self.sma_eligible:
+            return "sma+columnar"
+        return "columnar"
+
+
+def _tier1_time_bound(
+    where: Expr | None, tenant_column: str, ts_column: str
+) -> tuple[bool, int | None, bool, int | None, bool]:
+    """Whether the predicate is tier-1 shaped, and its exact ts interval.
+
+    Tier-1 shape: a conjunction whose every leaf is ``tenant_id = k``
+    (one value) or a range/equality bound on the timestamp column.
+    Unlike :func:`extract_ts_range` this keeps strict-vs-inclusive
+    bounds exact, because catalog-only answers must not over-count rows
+    sitting exactly on an open endpoint.
+    """
+    if where is None:
+        return True, None, True, None, True
+    low: int | None = None
+    high: int | None = None
+    low_inclusive = True
+    high_inclusive = True
+    tenant_values: list = []
+
+    def tighten_low(value, inclusive: bool) -> None:
+        nonlocal low, low_inclusive
+        if low is None or value > low:
+            low, low_inclusive = value, inclusive
+        elif value == low:
+            low_inclusive = low_inclusive and inclusive
+
+    def tighten_high(value, inclusive: bool) -> None:
+        nonlocal high, high_inclusive
+        if high is None or value < high:
+            high, high_inclusive = value, inclusive
+        elif value == high:
+            high_inclusive = high_inclusive and inclusive
+
+    for node in conjuncts(where):
+        if isinstance(node, Comparison) and node.column == tenant_column and node.op is CmpOp.EQ:
+            tenant_values.append(node.value)
+            continue
+        if isinstance(node, In) and node.column == tenant_column and len(node.values) == 1:
+            tenant_values.append(node.values[0])
+            continue
+        if isinstance(node, Between) and node.column == ts_column:
+            tighten_low(node.low, True)
+            tighten_high(node.high, True)
+            continue
+        if isinstance(node, Comparison) and node.column == ts_column:
+            if node.op is CmpOp.GE:
+                tighten_low(node.value, True)
+            elif node.op is CmpOp.GT:
+                tighten_low(node.value, False)
+            elif node.op is CmpOp.LE:
+                tighten_high(node.value, True)
+            elif node.op is CmpOp.LT:
+                tighten_high(node.value, False)
+            elif node.op is CmpOp.EQ:
+                tighten_low(node.value, True)
+                tighten_high(node.value, True)
+            else:  # != cannot be answered from a coverage check
+                return False, None, True, None, True
+            continue
+        return False, None, True, None, True
+    if len(set(tenant_values)) > 1:
+        # Contradictory tenant equalities: let the normal path prove 0.
+        return False, None, True, None, True
+    return True, low, low_inclusive, high, high_inclusive
+
+
+_TIER1_TIME_AGGS = ("min", "max")
+_SMA_FOLDABLE_AGGS = ("count", "sum", "avg", "min", "max")
+
+
+def _plan_agg_pushdown(
+    query: ParsedQuery, where: Expr | None, tenant_column: str, ts_column: str
+) -> AggPushdown:
+    """Classify an aggregate query for the executor's tiered fast path.
+
+    ``where`` is the *coerced* predicate tree — timestamp literals must
+    already be microseconds so the coverage bound compares against
+    catalog entries directly.
+    """
+    ungrouped = query.group_by is None
+    sma_eligible = ungrouped and all(
+        item.is_aggregate
+        and not item.distinct
+        and item.aggregate in _SMA_FOLDABLE_AGGS
+        for item in query.select
+    )
+    catalog_items = ungrouped and all(
+        item.is_aggregate
+        and not item.distinct
+        and (
+            (item.aggregate == "count" and item.column is None)
+            or (item.aggregate in _TIER1_TIME_AGGS and item.column == ts_column)
+        )
+        for item in query.select
+    )
+    tier1_shape, low, low_inc, high, high_inc = _tier1_time_bound(
+        where, tenant_column, ts_column
+    )
+    return AggPushdown(
+        catalog_eligible=catalog_items and tier1_shape,
+        sma_eligible=sma_eligible,
+        ts_column=ts_column,
+        ts_low=low,
+        ts_low_inclusive=low_inc,
+        ts_high=high,
+        ts_high_inclusive=high_inc,
+        input_columns=tuple(query.aggregate_input_columns()),
+    )
+
+
 @dataclass
 class QueryPlan:
     """Everything the executor needs to run one query."""
@@ -132,6 +278,8 @@ class QueryPlan:
     # aggregation, any `row_limit` matching rows satisfy it — the
     # executor stops visiting LogBlocks once it has enough.
     row_limit: int | None = None
+    # Aggregate pushdown decision; set iff the query aggregates.
+    agg_pushdown: AggPushdown | None = None
 
 
 def explain_plan(plan: QueryPlan) -> str:
@@ -172,6 +320,8 @@ def explain_plan(plan: QueryPlan) -> str:
             + ", ".join(item.label() for item in plan.query.select if item.is_aggregate)
             + (f" GROUP BY {plan.query.group_by}" if plan.query.group_by else "")
         )
+        if plan.agg_pushdown is not None:
+            lines.append(f"agg pushdown: {plan.agg_pushdown.mode()}")
     return "\n".join(lines)
 
 
@@ -195,6 +345,16 @@ class QueryPlanner:
                 schema.column(query.group_by)
         except SchemaError as exc:
             raise QueryError(str(exc)) from exc
+        for item in query.select:
+            # SUM/AVG over non-numeric columns silently totalled 0.0 in
+            # the row-fold path; reject at plan time instead.
+            if item.aggregate in ("sum", "avg") and item.column is not None:
+                ctype = schema.column(item.column).ctype
+                if ctype in (ColumnType.STRING, ColumnType.BOOL):
+                    raise QueryError(
+                        f"{item.aggregate.upper()}({item.column}) is not defined "
+                        f"for {ctype.name} columns"
+                    )
 
         where = coerce_expr(query.where, schema) if query.where is not None else None
 
@@ -237,6 +397,12 @@ class QueryPlanner:
         if query.limit is not None and query.order_by is None and not query.is_aggregate:
             row_limit = query.limit
 
+        agg_pushdown = None
+        if query.is_aggregate:
+            agg_pushdown = _plan_agg_pushdown(
+                query, where, self._tenant_column, self._ts_column
+            )
+
         return QueryPlan(
             query=query,
             schema=schema,
@@ -248,4 +414,5 @@ class QueryPlanner:
             blocks_pruned_by_map=pruned,
             output_columns=output_columns,
             row_limit=row_limit,
+            agg_pushdown=agg_pushdown,
         )

@@ -93,6 +93,21 @@ class ParsedQuery:
         """Plain (non-aggregate) columns referenced in the select list."""
         return [item.column for item in self.select if not item.is_aggregate and item.column]
 
+    def aggregate_input_columns(self) -> list[str]:
+        """Columns whose values aggregation actually consumes.
+
+        The GROUP BY key plus every aggregated column — the exact set
+        the tier-3 columnar path reads; COUNT(*) consumes none.  Order
+        is deterministic (GROUP BY first, then select-list order).
+        """
+        out: list[str] = []
+        if self.group_by is not None:
+            out.append(self.group_by)
+        for item in self.select:
+            if item.is_aggregate and item.column is not None and item.column not in out:
+                out.append(item.column)
+        return out
+
 
 class _Tokens:
     def __init__(self, sql: str) -> None:

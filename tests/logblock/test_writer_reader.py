@@ -78,6 +78,40 @@ class TestMetaRoundtrip:
         assert sma.min_value == rows[0]["ts"]
         assert sma.max_value == rows[-1]["ts"]
 
+    def test_column_sma_sum(self):
+        rows = make_rows(100)
+        reader = reader_for(write_logblock(rows))
+        sma = reader.meta().column_sma("latency")
+        assert sma.sum_value == sum(r["latency"] for r in rows)
+        # Non-numeric columns carry no sum even in the v3 format.
+        assert reader.meta().column_sma("ip").sum_value is None
+
+    def test_legacy_v2_meta_roundtrip(self):
+        """v2 metas (no per-column sums) must stay writable and readable."""
+        rows = make_rows(100)
+        writer = LogBlockWriter(
+            request_log_schema(), codec="zlib", block_rows=64, meta_version=2
+        )
+        writer.append_many(rows)
+        reader = reader_for(writer.finish())
+        meta = reader.meta()
+        assert meta.row_count == 100
+        sma = meta.column_sma("latency")
+        assert sma.sum_value is None
+        assert sma.min_value == min(r["latency"] for r in rows)
+        assert reader.read_column("latency") == [r["latency"] for r in rows]
+
+    def test_v3_to_bytes_legacy_version(self):
+        meta = reader_for(write_logblock(make_rows(50))).meta()
+        decoded = LogBlockMeta.from_bytes(meta.to_bytes(version=2))
+        assert decoded.row_count == meta.row_count
+        assert decoded.column_sma("latency").sum_value is None
+
+    def test_unknown_meta_version_rejected(self):
+        meta = reader_for(write_logblock(make_rows(10))).meta()
+        with pytest.raises(SerializationError):
+            meta.to_bytes(version=7)
+
     def test_self_contained_after_rename(self):
         """§3.2: a LogBlock 'can still be resolved after being renamed'."""
         blob = write_logblock(make_rows(50))

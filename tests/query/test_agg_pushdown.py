@@ -1,0 +1,398 @@
+"""Aggregate pushdown tests: tier eligibility, zero-I/O catalog answers,
+and differential equality against the naive row path.
+
+The acceptance bar for the fast path is *exact* result equality with
+the tiers disabled (``agg_pushdown_level=0``) across full-match,
+partial-match, empty-match and DDL-added-column blocks — plus hard
+stats assertions that tier 1 never opens a pack.
+"""
+
+import random
+
+import pytest
+
+from repro.builder.builder import DataBuilder
+from repro.cache.multilevel import CachingRangeReader, MultiLevelCache
+from repro.common.clock import VirtualClock
+from repro.common.errors import QueryError
+from repro.logblock.schema import ColumnSpec, ColumnType, request_log_schema
+from repro.logblock.writer import LogBlockWriter
+from repro.meta.catalog import Catalog, LogBlockEntry
+from repro.metrics.stats import PushdownCounters
+from repro.oss.costmodel import free
+from repro.oss.metered import MeteredObjectStore
+from repro.oss.store import InMemoryObjectStore
+from repro.query.executor import BlockExecutor, ExecutionOptions
+from repro.query.planner import QueryPlanner, format_timestamp
+from repro.query.sql import parse_sql
+from repro.rowstore.memtable import MemTable
+
+from tests.conftest import BASE_TS, MICROS, make_rows
+
+BUCKET = "agg"
+
+
+def ts_literal(offset_s: int) -> str:
+    return format_timestamp(BASE_TS + offset_s * MICROS)
+
+
+class Env:
+    """An archived corpus plus one executor per pushdown level."""
+
+    def __init__(self):
+        self.schema = request_log_schema()
+        self.catalog = Catalog(self.schema)
+        self.clock = VirtualClock()
+        self.store = MeteredObjectStore(InMemoryObjectStore(), free(), self.clock)
+        self.store.create_bucket(BUCKET)
+        self.builder = DataBuilder(
+            self.schema, self.store, BUCKET, self.catalog,
+            codec="zlib", block_rows=64, target_rows=200,
+        )
+        self.rows: list[dict] = []
+        self.planner = QueryPlanner(self.catalog)
+        self._cache = {}
+
+    def archive(self, rows: list[dict]) -> None:
+        table = MemTable()
+        table.append_many(rows)
+        table.seal()
+        self.builder.archive_memtable(table)
+        self.rows.extend(rows)
+
+    def executor(self, level: int) -> BlockExecutor:
+        executor = self._cache.get(level)
+        if executor is None:
+            cache = MultiLevelCache(memory_bytes=1 << 22, ssd_bytes=1 << 24)
+            executor = BlockExecutor(
+                CachingRangeReader(self.store, cache),
+                BUCKET,
+                ExecutionOptions(agg_pushdown_level=level),
+            )
+            self._cache[level] = executor
+        return executor
+
+    def run(self, sql: str, level: int):
+        parsed = parse_sql(sql)
+        plan = self.planner.plan(parsed)
+        aggregator, stats = self.executor(level).execute_aggregate(plan)
+        return aggregator.results(), stats
+
+
+@pytest.fixture(scope="module")
+def env() -> Env:
+    built = Env()
+    built.archive(make_rows(600, tenant_id=1, seed=7))
+    built.archive(make_rows(100, tenant_id=2, seed=8))
+    # Additive DDL: blocks written above lack ``extra`` (reads as null);
+    # the batch below archives under the evolved schema and carries it.
+    built.catalog.add_column(ColumnSpec("extra", ColumnType.INT64))
+    late = make_rows(200, tenant_id=1, seed=9, start_ts=BASE_TS + 600 * MICROS)
+    for i, row in enumerate(late):
+        row["extra"] = i if i % 3 else None
+    built.archive(late)
+    return built
+
+
+class TestTier1CatalogOnly:
+    """COUNT(*)/MIN(ts)/MAX(ts) over covered blocks never touch OSS."""
+
+    SQL = (
+        "SELECT COUNT(*), MIN(ts), MAX(ts) FROM request_log "
+        f"WHERE tenant_id = 1 AND ts BETWEEN '{ts_literal(0)}' AND '{ts_literal(1000)}'"
+    )
+
+    def test_zero_requests_zero_bytes(self, env):
+        gets_before = env.store.stats.get_requests
+        rows, stats = env.run(self.SQL, level=3)
+        # The acceptance criterion: catalog-only answers issue *zero*
+        # prefetch requests and read zero bytes — no pack is opened.
+        assert env.store.stats.get_requests == gets_before
+        assert stats.prefetch_requests == 0
+        assert stats.prefetch_bytes == 0
+        assert stats.blocks_visited == 0
+        assert stats.pushdown.agg_catalog_hits > 0
+        assert stats.pushdown.agg_sma_blocks == 0
+        assert stats.pushdown.agg_columnar_blocks == 0
+
+    def test_answers_match_brute_force(self, env):
+        rows, _stats = env.run(self.SQL, level=3)
+        mine = [r["ts"] for r in env.rows if r["tenant_id"] == 1]
+        assert rows == [
+            {"COUNT(*)": len(mine), "MIN(ts)": min(mine), "MAX(ts)": max(mine)}
+        ]
+
+    def test_zero_virtual_time(self, env):
+        before = env.clock.now()
+        env.run(self.SQL, level=3)
+        assert env.clock.now() == before
+
+    def test_partial_coverage_falls_through(self, env):
+        # A bound cutting through block interiors: uncovered blocks must
+        # run a lower tier, and the count must stay exact.
+        sql = (
+            "SELECT COUNT(*) FROM request_log WHERE tenant_id = 1 "
+            f"AND ts BETWEEN '{ts_literal(150)}' AND '{ts_literal(450)}'"
+        )
+        rows, stats = env.run(sql, level=3)
+        expected = sum(
+            1
+            for r in env.rows
+            if r["tenant_id"] == 1
+            and BASE_TS + 150 * MICROS <= r["ts"] <= BASE_TS + 450 * MICROS
+        )
+        assert rows[0]["COUNT(*)"] == expected
+        assert stats.pushdown.agg_catalog_hits >= 1  # interior blocks covered
+        assert stats.blocks_visited >= 1  # boundary blocks were opened
+
+    def test_strict_bound_not_overcounted(self, env):
+        # ts < X must not count a row sitting exactly at X even when a
+        # block's max_ts == X (covered_by must respect strictness).
+        edge = ts_literal(100)
+        sql = f"SELECT COUNT(*) FROM request_log WHERE tenant_id = 1 AND ts < '{edge}'"
+        rows, _stats = env.run(sql, level=3)
+        expected = sum(
+            1
+            for r in env.rows
+            if r["tenant_id"] == 1 and r["ts"] < BASE_TS + 100 * MICROS
+        )
+        assert rows[0]["COUNT(*)"] == expected
+
+    def test_non_ts_predicate_disables_tier1(self, env):
+        sql = "SELECT COUNT(*) FROM request_log WHERE tenant_id = 1 AND latency >= 0"
+        parsed = parse_sql(sql)
+        plan = env.planner.plan(parsed)
+        assert plan.agg_pushdown is not None
+        assert not plan.agg_pushdown.catalog_eligible
+        assert plan.agg_pushdown.sma_eligible
+
+
+class TestTier2SmaFold:
+    def test_full_match_blocks_fold_from_meta(self, env):
+        sql = (
+            "SELECT COUNT(*), SUM(latency), AVG(latency), MIN(latency), MAX(latency) "
+            "FROM request_log WHERE tenant_id = 1 AND latency >= 0"
+        )
+        rows, stats = env.run(sql, level=3)
+        latencies = [r["latency"] for r in env.rows if r["tenant_id"] == 1]
+        assert rows[0]["COUNT(*)"] == len(latencies)
+        assert rows[0]["SUM(latency)"] == sum(latencies)
+        assert rows[0]["MIN(latency)"] == min(latencies)
+        assert rows[0]["MAX(latency)"] == max(latencies)
+        assert rows[0]["AVG(latency)"] == pytest.approx(sum(latencies) / len(latencies))
+        # latency >= 0 matches every row of every block → all SMA-folded.
+        assert stats.pushdown.agg_sma_blocks > 0
+        assert stats.pushdown.agg_columnar_blocks == 0
+        assert stats.pushdown.agg_row_blocks == 0
+
+    def test_ddl_added_column_reads_as_null(self, env):
+        sql = "SELECT COUNT(extra), SUM(extra) FROM request_log WHERE tenant_id = 1"
+        rows, _stats = env.run(sql, level=3)
+        extras = [
+            r.get("extra")
+            for r in env.rows
+            if r["tenant_id"] == 1 and r.get("extra") is not None
+        ]
+        assert rows[0]["COUNT(extra)"] == len(extras)
+        assert rows[0]["SUM(extra)"] == sum(extras)
+
+
+class TestTier3Columnar:
+    def test_partial_match_uses_columnar(self, env):
+        sql = (
+            "SELECT COUNT(*), SUM(latency) FROM request_log "
+            "WHERE tenant_id = 1 AND latency >= 250"
+        )
+        rows, stats = env.run(sql, level=3)
+        matched = [
+            r["latency"]
+            for r in env.rows
+            if r["tenant_id"] == 1 and r["latency"] >= 250
+        ]
+        assert rows[0]["COUNT(*)"] == len(matched)
+        assert rows[0]["SUM(latency)"] == sum(matched)
+        assert stats.pushdown.agg_columnar_blocks > 0
+        assert stats.pushdown.agg_row_blocks == 0
+
+    def test_grouped_aggregate(self, env):
+        sql = (
+            "SELECT ip, COUNT(*), MAX(latency) FROM request_log "
+            "WHERE tenant_id = 1 AND latency < 250 GROUP BY ip"
+        )
+        rows, stats = env.run(sql, level=3)
+        groups: dict = {}
+        for r in env.rows:
+            if r["tenant_id"] == 1 and r["latency"] < 250:
+                groups.setdefault(r["ip"], []).append(r["latency"])
+        assert {row["ip"]: row["COUNT(*)"] for row in rows} == {
+            k: len(v) for k, v in groups.items()
+        }
+        assert {row["ip"]: row["MAX(latency)"] for row in rows} == {
+            k: max(v) for k, v in groups.items()
+        }
+        assert stats.pushdown.agg_columnar_blocks > 0
+
+    def test_empty_match(self, env):
+        sql = "SELECT COUNT(*), SUM(latency) FROM request_log WHERE tenant_id = 1 AND latency > 100000"
+        rows, stats = env.run(sql, level=3)
+        assert rows == [{"COUNT(*)": 0, "SUM(latency)": None}]
+        assert stats.rows_matched == 0
+
+    def test_distinct_goes_columnar(self, env):
+        sql = "SELECT COUNT(DISTINCT ip) FROM request_log WHERE tenant_id = 1"
+        parsed = parse_sql(sql)
+        plan = env.planner.plan(parsed)
+        assert not plan.agg_pushdown.catalog_eligible
+        assert not plan.agg_pushdown.sma_eligible
+        rows, stats = env.run(sql, level=3)
+        assert rows[0]["COUNT(DISTINCT ip)"] == 10
+        assert stats.pushdown.agg_columnar_blocks > 0
+
+
+AGG_CHOICES = [
+    "COUNT(*)",
+    "COUNT(latency)",
+    "COUNT(extra)",
+    "SUM(latency)",
+    "AVG(latency)",
+    "MIN(latency)",
+    "MAX(latency)",
+    "SUM(extra)",
+    "MIN(ts)",
+    "MAX(ts)",
+]
+PREDICATE_CHOICES = [
+    None,
+    f"ts BETWEEN '{ts_literal(0)}' AND '{ts_literal(1000)}'",  # covers all
+    f"ts BETWEEN '{ts_literal(120)}' AND '{ts_literal(480)}'",  # partial
+    f"ts > '{ts_literal(700)}'",
+    f"ts < '{ts_literal(0)}'",  # empty
+    "latency >= 0",  # full match, non-ts
+    "latency BETWEEN 100 AND 300",
+    "latency > 100000",  # empty
+    "ip = '192.168.0.3'",
+    "fail = true",
+    "extra >= 50",  # null on pre-DDL blocks
+]
+GROUP_CHOICES = [None, "ip", "api", "fail"]
+
+
+class TestDifferential:
+    """Level-3 pushdown must return *exactly* the naive level-0 rows."""
+
+    def test_randomized_queries_match_naive(self, env):
+        rng = random.Random(20211111)
+        for _ in range(60):
+            aggs = rng.sample(AGG_CHOICES, rng.randint(1, 3))
+            predicate = rng.choice(PREDICATE_CHOICES)
+            group = rng.choice(GROUP_CHOICES)
+            select = (([group] if group else []) + aggs)
+            sql = f"SELECT {', '.join(select)} FROM request_log WHERE tenant_id = 1"
+            if predicate:
+                sql += f" AND ({predicate})"
+            if group:
+                sql += f" GROUP BY {group}"
+            naive, naive_stats = env.run(sql, level=0)
+            pushed, _stats = env.run(sql, level=3)
+            assert pushed == naive, sql
+            assert naive_stats.pushdown.agg_catalog_hits == 0
+            assert naive_stats.pushdown.agg_sma_blocks == 0
+            assert naive_stats.pushdown.agg_columnar_blocks == 0
+
+    def test_every_level_agrees(self, env):
+        sql = (
+            "SELECT COUNT(*), SUM(latency), MIN(ts), MAX(ts) FROM request_log "
+            f"WHERE tenant_id = 1 AND ts BETWEEN '{ts_literal(100)}' AND '{ts_literal(700)}'"
+        )
+        results = [env.run(sql, level=level)[0] for level in (0, 1, 2, 3)]
+        assert results[0] == results[1] == results[2] == results[3]
+
+
+class TestLegacyMetaFallback:
+    """v2-meta blocks carry no sums: SUM must fall down to tier 3."""
+
+    @pytest.fixture()
+    def legacy_env(self):
+        built = Env()
+        rows = make_rows(300, tenant_id=1, seed=11)
+        writer = LogBlockWriter(
+            built.schema, codec="zlib", block_rows=64, meta_version=2
+        )
+        writer.append_many(rows)
+        data = writer.finish()
+        path = "tenants/1/legacy-0.lgb"
+        built.store.put(BUCKET, path, data)
+        built.catalog.add_block(
+            LogBlockEntry(
+                tenant_id=1,
+                min_ts=rows[0]["ts"],
+                max_ts=rows[-1]["ts"],
+                path=path,
+                size_bytes=len(data),
+                row_count=len(rows),
+            )
+        )
+        built.rows.extend(rows)
+        return built
+
+    def test_sum_falls_back_to_columnar(self, legacy_env):
+        sql = "SELECT SUM(latency) FROM request_log WHERE tenant_id = 1"
+        rows, stats = legacy_env.run(sql, level=3)
+        assert rows[0]["SUM(latency)"] == sum(r["latency"] for r in legacy_env.rows)
+        assert stats.pushdown.agg_sma_blocks == 0
+        assert stats.pushdown.agg_columnar_blocks > 0
+
+    def test_count_min_max_still_fold(self, legacy_env):
+        # v2 SMAs keep min/max/counts, so non-SUM aggregates still tier 2.
+        sql = "SELECT COUNT(*), MIN(latency), MAX(latency) FROM request_log WHERE tenant_id = 1 AND latency >= 0"
+        rows, stats = legacy_env.run(sql, level=3)
+        latencies = [r["latency"] for r in legacy_env.rows]
+        assert rows[0]["COUNT(*)"] == len(latencies)
+        assert rows[0]["MIN(latency)"] == min(latencies)
+        assert stats.pushdown.agg_sma_blocks > 0
+
+    def test_tier1_unaffected_by_meta_version(self, legacy_env):
+        sql = "SELECT COUNT(*) FROM request_log WHERE tenant_id = 1"
+        rows, stats = legacy_env.run(sql, level=3)
+        assert rows[0]["COUNT(*)"] == len(legacy_env.rows)
+        assert stats.pushdown.agg_catalog_hits == 1
+        assert stats.blocks_visited == 0
+
+
+class TestPlanTimeValidation:
+    def test_sum_on_string_rejected(self, env):
+        with pytest.raises(QueryError, match="SUM\\(ip\\) is not defined"):
+            env.planner.plan(parse_sql("SELECT SUM(ip) FROM request_log WHERE tenant_id = 1"))
+
+    def test_avg_on_bool_rejected(self, env):
+        with pytest.raises(QueryError, match="AVG\\(fail\\) is not defined"):
+            env.planner.plan(parse_sql("SELECT AVG(fail) FROM request_log WHERE tenant_id = 1"))
+
+    def test_min_max_count_on_string_allowed(self, env):
+        rows, _stats = env.run(
+            "SELECT MIN(ip), MAX(ip), COUNT(ip) FROM request_log WHERE tenant_id = 2",
+            level=3,
+        )
+        ips = [r["ip"] for r in env.rows if r["tenant_id"] == 2]
+        assert rows == [
+            {"MIN(ip)": min(ips), "MAX(ip)": max(ips), "COUNT(ip)": len(ips)}
+        ]
+
+
+class TestCounters:
+    def test_pushdown_counters_merge_and_dict(self):
+        first = PushdownCounters(agg_catalog_hits=1, agg_sma_blocks=2)
+        second = PushdownCounters(agg_columnar_blocks=3, agg_row_blocks=4)
+        first.merge(second)
+        assert first.as_dict() == {
+            "agg_catalog_hits": 1,
+            "agg_sma_blocks": 2,
+            "agg_columnar_blocks": 3,
+            "agg_row_blocks": 4,
+        }
+
+    def test_level0_counts_row_blocks(self, env):
+        sql = "SELECT COUNT(*) FROM request_log WHERE tenant_id = 2"
+        _rows, stats = env.run(sql, level=0)
+        assert stats.pushdown.agg_row_blocks > 0
+        assert stats.pushdown.agg_catalog_hits == 0

@@ -49,6 +49,24 @@ class TestExplain:
             "SELECT ip, COUNT(*) FROM request_log WHERE tenant_id = 1 GROUP BY ip"
         )
         assert "aggregation: COUNT(*) GROUP BY ip" in text
+        # GROUP BY rules out the catalog/SMA tiers.
+        assert "agg pushdown: columnar" in text
+
+    def test_shows_catalog_only_pushdown(self, store):
+        text = store.explain(
+            "SELECT COUNT(*) FROM request_log WHERE tenant_id = 1"
+        )
+        assert "agg pushdown: catalog-only" in text
+
+    def test_shows_sma_pushdown(self, store):
+        text = store.explain(
+            "SELECT SUM(latency) FROM request_log WHERE tenant_id = 1 AND latency >= 0"
+        )
+        assert "agg pushdown: sma+columnar" in text
+
+    def test_no_pushdown_line_without_aggregation(self, store):
+        text = store.explain("SELECT log FROM request_log WHERE tenant_id = 1")
+        assert "agg pushdown" not in text
 
     def test_cross_tenant_flagged(self, store):
         text = store.explain("SELECT log FROM request_log WHERE latency >= 1")
