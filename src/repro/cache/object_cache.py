@@ -51,6 +51,16 @@ class ObjectCache:
             self.stats.hits += 1
             return entry[0]
 
+    def contains(self, key: ObjectKey) -> bool:
+        """Presence probe that does NOT touch hit/miss stats or LRU order.
+
+        Prefetch planning uses this to skip loading raw bytes for
+        members whose decoded form is already cached, without skewing
+        the hit-rate accounting of real lookups.
+        """
+        with self._lock:
+            return key in self._entries
+
     def put(self, key: ObjectKey, value: object, approx_bytes: int) -> None:
         if approx_bytes > self._capacity:
             return

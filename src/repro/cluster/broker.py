@@ -21,6 +21,7 @@ from repro.cluster.controller import Controller
 from repro.cluster.worker import Worker
 from repro.common.clock import VirtualClock
 from repro.common.errors import ShardNotFound, WorkerNotFound
+from repro.common.utils import wave_elapsed
 from repro.metrics.stats import Counter
 from repro.query.aggregate import Aggregator, apply_order_limit
 from repro.query.executor import (
@@ -69,6 +70,7 @@ class Broker:
         self._executor = BlockExecutor(range_reader, controller.config.bucket, self.options)
         self.writes_routed = Counter(f"{broker_id}.writes")
         self.queries_served = Counter(f"{broker_id}.queries")
+        self._pending_shards: set[int] = set()
 
     # -- write path ---------------------------------------------------------
 
@@ -82,21 +84,58 @@ class Broker:
         return worker
 
     def write(self, tenant_id: int, rows: list[dict]) -> dict[int, int]:
-        """Route one tenant batch; returns shard → record count."""
+        """Route one tenant batch; returns shard → record count.
+
+        Per-shard dispatches are charged under the deferred-clock wave
+        model — a K-shard batch pays its slowest dispatch, not the sum
+        — then one settle wave drives every touched shard's replication
+        concurrently (the shards share the clock, so advancing it for
+        the first shard progresses all of them).
+        """
+        dispatched = self._dispatch(tenant_id, rows)
+        self.settle_writes()
+        return dispatched
+
+    def write_nowait(self, tenant_id: int, rows: list[dict]) -> dict[int, int]:
+        """Route a batch without the durability barrier.
+
+        Admitted pieces flow into the shards' group-commit queues and
+        replication pipelines; call :meth:`settle_writes` when the
+        client needs the ack.  Raises :class:`BackpressureError` when
+        §4.2 flow control rejects a piece (already-admitted pieces stay
+        in flight and settle normally).
+        """
+        return self._dispatch(tenant_id, rows)
+
+    def _dispatch(self, tenant_id: int, rows: list[dict]) -> dict[int, int]:
         if not rows:
             return {}
         self._controller.catalog.ensure_tenant(tenant_id, created_at=self._clock.now())
         self._controller.ensure_route(tenant_id)
         split = self._controller.routing.split_batch(tenant_id, len(rows))
         dispatched: dict[int, int] = {}
+        durations: list[float] = []
         cursor = 0
         for shard_id, count in split.items():
             piece = rows[cursor : cursor + count]
             cursor += count
-            self._shard_worker(shard_id).write(shard_id, piece)
+            worker = self._shard_worker(shard_id)
+            with self._clock.deferred() as charges:
+                worker.write_async(shard_id, piece)
+            durations.append(charges.total)
+            self._pending_shards.add(shard_id)
             dispatched[shard_id] = count
+        self._clock.sleep(
+            wave_elapsed(durations, max(1, self.options.prefetch_threads))
+        )
         self.writes_routed.add(len(rows))
         return dispatched
+
+    def settle_writes(self) -> None:
+        """Durability barrier for every shard this broker dispatched to."""
+        pending, self._pending_shards = self._pending_shards, set()
+        for shard_id in sorted(pending):
+            self._shard_worker(shard_id).settle_writes(shard_id)
 
     # -- query path ---------------------------------------------------------
 
@@ -124,7 +163,17 @@ class Broker:
             shard_ids = self._controller.routing.route_read(plan.tenant_id)
         else:
             shard_ids = self._controller.topology.shards
+        # LIMIT short-circuit: plan.row_limit is only set for plain
+        # SELECT ... LIMIT N (no ORDER BY, no aggregation), where any N
+        # matching rows answer the query — so once archived + realtime
+        # matches reach N there is no reason to scan further shards.
+        row_limit = plan.row_limit
         for shard_id in shard_ids:
+            remaining = None
+            if row_limit is not None:
+                remaining = row_limit - archived_count - len(realtime_rows)
+                if remaining <= 0:
+                    break
             worker = self._shard_worker(shard_id)
             shard = worker.shards.get(shard_id)
             if shard is None:
@@ -132,7 +181,7 @@ class Broker:
             raw = shard.scan_realtime(
                 min_ts=plan.min_ts, max_ts=plan.max_ts, tenant_id=plan.tenant_id
             )
-            realtime_rows.extend(filter_realtime_rows(plan, raw))
+            realtime_rows.extend(filter_realtime_rows(plan, raw, limit=remaining))
 
         if aggregator is not None:
             aggregator.consume_many(realtime_rows)

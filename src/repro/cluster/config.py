@@ -30,6 +30,15 @@ class LogStoreConfig:
     wal_only_replicas: int = 1
     use_raft: bool = False  # full Raft per shard; heavier, on-demand
 
+    # write path (§3 group commit + pipelined replication)
+    group_commit: bool = False  # coalesce admitted batches into one proposal
+    group_commit_batches: int = 8  # max client batches per group
+    group_commit_bytes: int = 1024 * 1024  # max payload bytes per group
+    group_commit_linger_s: float = 0.002  # flush deadline for partial groups
+    pipeline_depth: int = 8  # in-flight proposals per shard before settling
+    write_ack: str = "quorum"  # "quorum" (majority commit) | "all" replicas
+    wal_fsync_s: float = 0.0  # simulated fsync charge per non-raft WAL flush
+
     # traffic control (§4.1)
     balancer: str = "maxflow"  # "none" | "greedy" | "maxflow"
     per_tenant_shard_limit_rps: float = 100_000.0  # §4.1.4 example: 100K/shard
@@ -87,6 +96,18 @@ class LogStoreConfig:
             raise ConfigError("per_tenant_shard_limit_rps must be positive")
         if self.builder_threads < 1:
             raise ConfigError("builder_threads must be >= 1")
+        if self.group_commit_batches < 1:
+            raise ConfigError("group_commit_batches must be >= 1")
+        if self.group_commit_bytes <= 0:
+            raise ConfigError("group_commit_bytes must be positive")
+        if self.group_commit_linger_s < 0:
+            raise ConfigError("group_commit_linger_s must be non-negative")
+        if self.pipeline_depth < 1:
+            raise ConfigError("pipeline_depth must be >= 1")
+        if self.write_ack not in ("quorum", "all"):
+            raise ConfigError(f"unknown write_ack {self.write_ack!r}")
+        if self.wal_fsync_s < 0:
+            raise ConfigError("wal_fsync_s must be non-negative")
 
     @property
     def n_shards(self) -> int:

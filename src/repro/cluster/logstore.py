@@ -124,6 +124,13 @@ class LogStore:
             use_raft=self.config.use_raft,
             replicas=self.config.replicas,
             wal_only_replicas=self.config.wal_only_replicas,
+            group_commit=self.config.group_commit,
+            group_commit_batches=self.config.group_commit_batches,
+            group_commit_bytes=self.config.group_commit_bytes,
+            group_commit_linger_s=self.config.group_commit_linger_s,
+            pipeline_depth=self.config.pipeline_depth,
+            write_ack=self.config.write_ack,
+            wal_fsync_s=self.config.wal_fsync_s,
             seed=self.config.seed,
         )
         self.workers[worker_id].add_shard(shard)
@@ -273,6 +280,26 @@ class LogStore:
                 )
         self.traffic_tracker.record(tenant_id, len(rows))
         return self._broker().write(tenant_id, rows)
+
+    def put_nowait(self, tenant_id: int, rows: list[dict]) -> dict[int, int]:
+        """Write a batch without waiting for replication to settle.
+
+        The pipelined ingest API: batches coalesce in the shards'
+        group-commit queues and settle in waves; call
+        :meth:`settle_writes` for the durability barrier.
+        """
+        for row in rows:
+            if row.get("tenant_id") != tenant_id:
+                raise ValueError(
+                    f"row tenant_id {row.get('tenant_id')!r} does not match {tenant_id}"
+                )
+        self.traffic_tracker.record(tenant_id, len(rows))
+        return self._broker().write_nowait(tenant_id, rows)
+
+    def settle_writes(self) -> None:
+        """Settle every broker's outstanding dispatches (ack barrier)."""
+        for broker in self.brokers:
+            broker.settle_writes()
 
     def start_hotspot_loop(self) -> None:
         """Arm the §4.1.3 monitor loop (every ``monitor_interval_s`` of

@@ -15,9 +15,10 @@ from __future__ import annotations
 import pickle
 
 from repro.common.clock import VirtualClock
-from repro.common.errors import ClusterError
-from repro.metrics.stats import Counter
+from repro.common.errors import BackpressureError, ClusterError
+from repro.metrics.stats import Counter, WritePathStats
 from repro.raft.group import RaftGroup
+from repro.raft.group_commit import GroupCommitQueue, ReplicationPipeline
 from repro.raft.messages import LogEntry
 from repro.rowstore.store import RowStore
 from repro.wal.log import SegmentBackend, WriteAheadLog
@@ -42,14 +43,24 @@ class Shard:
         replicas: int = 3,
         wal_only_replicas: int = 1,
         wal_backend: SegmentBackend | None = None,
+        group_commit: bool = False,
+        group_commit_batches: int = 8,
+        group_commit_bytes: int = 1024 * 1024,
+        group_commit_linger_s: float = 0.002,
+        pipeline_depth: int = 8,
+        write_ack: str = "quorum",
+        wal_fsync_s: float = 0.0,
         seed: int = 0,
     ) -> None:
         self.shard_id = shard_id
         self.worker_id = worker_id
         self.capacity_rps = capacity_rps
         self._clock = clock
+        self._write_ack = write_ack
+        self._wal_fsync_s = wal_fsync_s
         self.write_count = Counter(f"shard{shard_id}.writes")
         self.access_count = Counter(f"shard{shard_id}.accesses")
+        self.write_stats = WritePathStats()
 
         self._use_raft = use_raft
         if use_raft:
@@ -80,12 +91,39 @@ class Shard:
                 snapshot_factory=snapshot_factory,
                 seed=seed + shard_id,
             )
-            self._raft.wait_for_leader()
-            # The "primary" store is the first full replica's.
-            first_full = self._raft.full_replicas()[0]
-            self.rowstore = self._replica_stores[first_full.node_id]
+            leader = self._raft.wait_for_leader()
+            # The "primary" store is the leader's: with quorum acks the
+            # leader is the one replica guaranteed to have applied a
+            # settled write (followers learn the commit index a
+            # heartbeat later).  A WAL-only leader never applies, so
+            # fall back to the first full replica then.
+            if leader.node_id not in self._replica_stores:
+                leader = self._raft.full_replicas()[0]
+            self.rowstore = self._replica_stores[leader.node_id]
+            self._pipeline = ReplicationPipeline(
+                self._raft,
+                clock,
+                depth=pipeline_depth,
+                ack=write_ack,
+                stats=self.write_stats,
+            )
+            self._group_queue = None
+            if group_commit:
+                self._group_queue = GroupCommitQueue(
+                    self._flush_group,
+                    clock,
+                    max_batches=group_commit_batches,
+                    max_bytes=group_commit_bytes,
+                    linger_s=group_commit_linger_s,
+                    size_of=self._batch_bytes,
+                    admit=self._admit_batch,
+                    throttle_fn=self._leader_throttle,
+                    stats=self.write_stats,
+                )
         else:
             self._raft = None
+            self._pipeline = None
+            self._group_queue = None
             self.rowstore = RowStore(seal_rows=seal_rows, seal_bytes=seal_bytes)
             self._wal = WriteAheadLog(wal_backend)
             self._recover_from_wal()
@@ -115,17 +153,94 @@ class Shard:
         for body in batches:
             self.rowstore.append_many(pickle.loads(body))
 
+    # -- write path -----------------------------------------------------
+
+    @staticmethod
+    def _batch_bytes(rows: list[dict]) -> int:
+        return len(pickle.dumps(rows))
+
+    def _leader_throttle(self) -> float:
+        leader = self._raft.leader() if self._raft is not None else None
+        return leader.backpressure.throttle if leader is not None else 1.0
+
+    def _admit_batch(self, batch: list[dict]) -> None:
+        """§4.2 admission gate: reject before buffering when the leader's
+        sync queue cannot hold the whole pending group plus this batch."""
+        leader = self._raft.leader()
+        if leader is None:
+            return  # election in flight; replication settles it later
+        # The whole pending group flushes as ONE log entry carrying the
+        # concatenated rows, so gate on one entry of the combined size.
+        nbytes = self._group_queue.pending_bytes + self._batch_bytes(batch)
+        if not leader.sync_queue.can_accept(1, nbytes):
+            leader.sync_queue.stats.rejected += 1
+            leader.backpressure.update()
+            raise BackpressureError(
+                f"shard {self.shard_id}: sync queue cannot admit batch "
+                f"({len(self._group_queue) + 1} pending batches, {nbytes} bytes)"
+            )
+
+    def _flush_group(self, batches: list[list[dict]]) -> None:
+        """Commit a coalesced group: one command, one Raft entry."""
+        rows = [row for batch in batches for row in batch]
+        self._pipeline.submit(pickle.dumps(rows))
+        self.write_stats.rows_committed += len(rows)
+
     def write(self, rows: list[dict]) -> None:
-        """Ingest a batch of rows (WAL first, then the row store)."""
+        """Ingest a batch of rows and wait for the configured ack."""
+        self.write_async(rows)
+        self.settle_writes()
+
+    def write_async(self, rows: list[dict]) -> None:
+        """Admit a batch without waiting for replication to settle.
+
+        Raft shards push into the group-commit queue (when enabled) or
+        straight into the bounded replication pipeline; a later
+        :meth:`settle_writes` is the durability barrier.  Non-raft
+        shards write through synchronously as before.  Raises
+        :class:`BackpressureError` when §4.2 flow control rejects the
+        batch — nothing is admitted in that case.
+        """
         if not rows:
             return
         if self._raft is not None:
-            self._raft.propose(pickle.dumps(rows))
+            if self._group_queue is not None:
+                self._group_queue.offer(list(rows))
+            else:
+                self._pipeline.submit(pickle.dumps(rows))
+                self.write_stats.groups_committed += 1
+                self.write_stats.batches_coalesced += 1
+                self.write_stats.rows_committed += len(rows)
         else:
+            if self._wal_fsync_s > 0:
+                self._clock.sleep(self._wal_fsync_s)
             self._wal.append(_WAL_KIND_BATCH, pickle.dumps(rows))
             self.rowstore.append_many(rows)
         self.write_count.add(len(rows))
         self.access_count.add(len(rows))
+
+    def settle_writes(self, timeout_s: float = 5.0) -> None:
+        """Flush any partial group and drain the replication window.
+
+        A flush refused by replication backpressure is retried after
+        settling the in-flight window (which drains the leader's sync
+        queue), so this is the barrier after which every admitted batch
+        has reached the configured ack.
+        """
+        if self._raft is None:
+            return
+        if self._group_queue is not None:
+            deadline = self._clock.now() + timeout_s
+            while True:
+                try:
+                    self._group_queue.flush()
+                    break
+                except BackpressureError:
+                    if self._clock.now() >= deadline:
+                        raise
+                    self._pipeline.settle()
+                    self._clock.advance(0.01)
+        self._pipeline.settle()
 
     def checkpoint(self) -> int:
         """The §3 checkpoint task.

@@ -34,6 +34,19 @@ class Worker:
         self.shards[shard_id].write(rows)
         self.access_count.add(len(rows))
 
+    def write_async(self, shard_id: int, rows: list[dict]) -> None:
+        """Admit a batch without settling replication (see Shard)."""
+        self.shards[shard_id].write_async(rows)
+        self.access_count.add(len(rows))
+
+    def settle_writes(self, shard_id: int | None = None) -> None:
+        """Durability barrier for one shard (or every hosted shard)."""
+        if shard_id is not None:
+            self.shards[shard_id].settle_writes()
+            return
+        for shard in self.shards.values():
+            shard.settle_writes()
+
     def archive_once(self) -> BuildReport:
         """Run the background data builder over every shard."""
         report = BuildReport()

@@ -73,6 +73,20 @@ def human_count(count: float) -> str:
     return str(int(count))
 
 
+def wave_elapsed(durations: Sequence[float], width: int) -> float:
+    """Elapsed time of ``width``-wide concurrent waves over ``durations``.
+
+    The deferred-clock overlap model shared by the prefetching executor
+    and the broker's write fan-out: tasks run ``width`` at a time and
+    each wave costs its slowest member, so K parallel tasks pay the
+    slowest, not the sum.
+    """
+    if width < 1:
+        raise ValueError(f"wave width must be >= 1, got {width}")
+    ordered = sorted(durations, reverse=True)
+    return sum(ordered[i] for i in range(0, len(ordered), width))
+
+
 def chunked(items: Iterable[T], size: int) -> Iterator[list[T]]:
     """Yield successive lists of up to ``size`` items."""
     if size <= 0:

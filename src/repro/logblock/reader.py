@@ -45,6 +45,21 @@ class LogBlockReader:
         self._decode_charge = decode_charge
         self._index_cache: dict[str, InvertedIndex | BkdIndex] = {}
         self._block_cache: dict[tuple[int, int], list] = {}
+        self._objects = None  # shared decoded-object cache (ObjectCache)
+        self._objects_bucket = ""
+
+    def attach_shared_cache(self, objects, bucket: str) -> None:
+        """Share decoded indexes/Blooms across readers via ``objects``.
+
+        Entries are keyed ``(bucket, blob_key, member)`` exactly like the
+        cached meta, so :meth:`ObjectCache.invalidate_blob` drops them
+        together with the meta when a blob is deleted.
+        """
+        self._objects = objects
+        self._objects_bucket = bucket
+
+    def _shared_key(self, member: str):
+        return (self._objects_bucket, self._pack.key, member)
 
     @property
     def pack(self) -> PackReader:
@@ -73,15 +88,26 @@ class LogBlockReader:
         return self.column(column).index is not IndexType.NONE
 
     def read_index(self, column: str) -> InvertedIndex | BkdIndex:
-        """Fetch and decode a column's index (memoized per reader)."""
+        """Fetch and decode a column's index (memoized per reader).
+
+        A shared decoded-object cache, when attached, serves repeat
+        readers of the same blob without the GET, decompression, or
+        parse (and therefore without the decode charge).
+        """
         if column in self._index_cache:
             return self._index_cache[column]
         meta = self.meta()
         spec = meta.schema.column(column)
         if spec.index is IndexType.NONE:
             raise QueryError(f"column {column!r} has no index")
+        member = index_member(column)
+        if self._objects is not None:
+            cached = self._objects.get(self._shared_key(member))
+            if cached is not None:
+                self._index_cache[column] = cached
+                return cached
         codec = get_codec(meta.codec_id)
-        raw = self._pack.read_member(index_member(column))
+        raw = self._pack.read_member(member)
         if self._decode_charge is not None:
             self._decode_charge(len(raw))
         payload = codec.decompress(raw)
@@ -91,6 +117,8 @@ class LogBlockReader:
         else:
             index = BkdIndex.from_bytes(payload)
         self._index_cache[column] = index
+        if self._objects is not None:
+            self._objects.put(self._shared_key(member), index, approx_bytes=len(payload))
         return index
 
     def has_bloom(self, column: str) -> bool:
@@ -103,9 +131,17 @@ class LogBlockReader:
         key = f"bloom:{column}"
         if key in self._index_cache:
             return self._index_cache[key]  # type: ignore[return-value]
-        payload = self._pack.read_member(bloom_member(column))
+        member = bloom_member(column)
+        if self._objects is not None:
+            cached = self._objects.get(self._shared_key(member))
+            if cached is not None:
+                self._index_cache[key] = cached  # type: ignore[assignment]
+                return cached  # type: ignore[return-value]
+        payload = self._pack.read_member(member)
         bloom = BloomFilter.from_bytes(payload)
         self._index_cache[key] = bloom  # type: ignore[assignment]
+        if self._objects is not None:
+            self._objects.put(self._shared_key(member), bloom, approx_bytes=len(payload))
         return bloom
 
     # -- column blocks -----------------------------------------------------

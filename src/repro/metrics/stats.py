@@ -144,6 +144,50 @@ class PushdownCounters:
 
 
 @dataclass
+class WritePathStats:
+    """Group-commit and replication-pipeline accounting (§3, §4.2).
+
+    Recorded by the shard write path and surfaced to the benchmarks:
+
+    * ``groups_committed`` — proposals actually issued (one Raft entry /
+      one WAL flush each);
+    * ``batches_coalesced`` — client batches folded into those groups;
+    * ``group_sizes`` — batches-per-group distribution (BFC shrinks it
+      under pressure);
+    * ``commit_latency`` — virtual seconds from proposal submit to the
+      configured ack (quorum or all-replica);
+    * ``reproposals`` — groups re-submitted after a leader crash
+      displaced their entry;
+    * ``inflight_peak`` — widest observed in-flight proposal window.
+    """
+
+    groups_committed: int = 0
+    batches_coalesced: int = 0
+    rows_committed: int = 0
+    bytes_committed: int = 0
+    reproposals: int = 0
+    inflight_peak: int = 0
+    group_sizes: Histogram = field(default_factory=lambda: Histogram("group_sizes"))
+    commit_latency: Histogram = field(default_factory=lambda: Histogram("commit_latency"))
+
+    def mean_group_size(self) -> float:
+        if not self.groups_committed:
+            return 0.0
+        return self.batches_coalesced / self.groups_committed
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "groups_committed": self.groups_committed,
+            "batches_coalesced": self.batches_coalesced,
+            "rows_committed": self.rows_committed,
+            "bytes_committed": self.bytes_committed,
+            "reproposals": self.reproposals,
+            "inflight_peak": self.inflight_peak,
+            "mean_group_size": self.mean_group_size(),
+        }
+
+
+@dataclass
 class AccessStats:
     """Per-entity access counts for the Figure 13/14 std-dev metrics."""
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.cache.multilevel import CachingRangeReader, MultiLevelCache
 from repro.common.bitset import Bitset
+from repro.common.utils import wave_elapsed
 from repro.logblock.pruning import PruneStats, evaluate_predicates
 from repro.logblock.reader import LogBlockReader
 from repro.logblock.schema import IndexType
@@ -166,6 +167,9 @@ class BlockExecutor:
             meta = LogBlockMeta.from_bytes(pack.read_member(META_MEMBER))
             self.cache.objects.put(meta_key, meta, approx_bytes=4096 + 64 * meta.n_blocks)
         reader.attach_meta(meta)
+        # Bloom filters and index members decoded by any reader of this
+        # blob are shared the same way (keys: (bucket, key, member)).
+        reader.attach_shared_cache(self.cache.objects, self._bucket)
         return reader
 
     def _open_block(self, entry: LogBlockEntry) -> LogBlockReader:
@@ -210,7 +214,10 @@ class BlockExecutor:
         eq_leaves = _equality_string_leaves(expr) if expr is not None else {}
         for column in sorted(eq_leaves):
             member = bloom_member(column)
-            if member in manifest:
+            # A cached decoded Bloom needs no byte prefetch at all.
+            if member in manifest and not self.cache.objects.contains(
+                (self._bucket, pack.key, member)
+            ):
                 stage1.append(member)
         self._prefetch_batch(pack, stage1, stats)
 
@@ -224,6 +231,8 @@ class BlockExecutor:
             member = index_member(column)
             if spec.index is IndexType.NONE or member not in manifest:
                 continue
+            if self.cache.objects.contains((self._bucket, pack.key, member)):
+                continue  # decoded index already shared; skip the bytes
             leaves = eq_leaves.get(column)
             if leaves is not None and leaves and reader.has_bloom(column):
                 bloom = reader.read_bloom(column)
@@ -527,9 +536,7 @@ class BlockExecutor:
 
     def _wave_elapsed(self, durations: list[float]) -> float:
         """Total time of `prefetch_threads`-wide waves, slowest per wave."""
-        width = max(1, self.options.prefetch_threads)
-        ordered = sorted(durations, reverse=True)
-        return sum(ordered[i] for i in range(0, len(ordered), width))
+        return wave_elapsed(durations, max(1, self.options.prefetch_threads))
 
     def execute(self, plan: QueryPlan) -> tuple[list[dict], ExecutionStats]:
         """Run the plan over all its LogBlocks; returns (rows, stats).
@@ -571,11 +578,18 @@ class BlockExecutor:
         return rows, stats
 
 
-def filter_realtime_rows(plan: QueryPlan, rows) -> list[dict]:
-    """Apply the plan's predicate + projection to row-store rows."""
+def filter_realtime_rows(plan: QueryPlan, rows, limit: int | None = None) -> list[dict]:
+    """Apply the plan's predicate + projection to row-store rows.
+
+    ``limit`` stops the scan after that many matches — safe only when
+    the plan has no ORDER BY or aggregation (i.e. ``plan.row_limit``
+    semantics: any N matching rows satisfy the query).
+    """
     matched: list[dict] = []
     columns = plan.output_columns or plan.schema.column_names()
     for row in rows:
         if plan.where is None or plan.where.evaluate_row(row):
             matched.append({column: row.get(column) for column in columns})
+            if limit is not None and len(matched) >= limit:
+                break
     return matched

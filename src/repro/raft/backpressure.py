@@ -85,6 +85,18 @@ class BoundedQueue(Generic[T]):
         size = self._size_of(item)
         return len(self._items) < self._max_items and self._bytes + size <= self._max_bytes
 
+    def can_accept(self, count: int, nbytes: int) -> bool:
+        """Whether ``count`` items totalling ``nbytes`` would all fit.
+
+        The group-commit admission check: a leader proposing a batch of
+        entries verifies capacity for the whole group up front so a
+        rejection never leaves a half-admitted group behind.
+        """
+        return (
+            len(self._items) + count <= self._max_items
+            and self._bytes + nbytes <= self._max_bytes
+        )
+
     def push(self, item: T) -> None:
         """Enqueue or raise :class:`BackpressureError`."""
         size = self._size_of(item)
@@ -182,4 +194,15 @@ class BackpressureController:
             self._throttle = max(0.01, self._throttle * self._decay)
         elif saturation <= self._low:
             self._throttle = min(1.0, self._throttle + self._recovery)
+        return self._throttle
+
+    def penalize(self) -> float:
+        """Multiplicative decay for *remote* pressure signals.
+
+        A follower's ``backpressured`` reply reports saturation the
+        leader's own queues cannot see; :meth:`update` would read the
+        calm local queues and recover instead.  Recovery still goes
+        through :meth:`update` once the remote pressure stops arriving.
+        """
+        self._throttle = max(0.01, self._throttle * self._decay)
         return self._throttle

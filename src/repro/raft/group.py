@@ -90,27 +90,73 @@ class RaftGroup:
 
     # -- proposals -----------------------------------------------------
 
-    def propose(self, command: bytes, settle_s: float = 0.25) -> int:
-        """Propose on the current leader and advance until committed.
+    def propose(self, command: bytes, settle_s: float = 0.25, ack: str = "all") -> int:
+        """Propose on the current leader and advance until acknowledged.
 
-        Convenience for tests/examples; the cluster layer drives nodes
-        asynchronously instead.
+        ``ack`` selects the durability bar to wait for: ``"all"`` (the
+        conservative default — every live replica has committed) or
+        ``"quorum"`` (majority commit, i.e. the leader's own commit
+        index has advanced past the entry — the paper's cloud-native
+        setting, one replication round-trip instead of a full fan-in).
+        Convenience for tests/examples; the cluster layer pipelines
+        :meth:`propose_async` + :meth:`settle_acked` instead.
         """
         leader = self.wait_for_leader()
         index = leader.propose(command)
         deadline = self._clock.now() + settle_s
         while self._clock.now() < deadline:
-            if self.committed_everywhere(index):
+            if self.acked(index, ack):
                 return index
             self._clock.advance(0.005)
         if leader.commit_index >= index:
             return index
         raise RaftError(f"entry {index} failed to commit within {settle_s}s")
 
+    def propose_async(self, command: bytes) -> int:
+        """Propose on the current leader *without* advancing the clock.
+
+        Returns the entry's log index immediately; the caller tracks it
+        in an in-flight window and later settles a whole wave at once
+        (see :class:`~repro.raft.group_commit.ReplicationPipeline`).
+        Raises :class:`NotLeaderError` / :class:`BackpressureError`
+        exactly like :meth:`RaftNode.propose`.
+        """
+        leader = self.wait_for_leader()
+        return leader.propose(command)
+
     def committed_everywhere(self, index: int) -> bool:
         """Whether every live replica has committed up to ``index``."""
         live = [n for n in self.nodes.values() if not n._stopped]
         return all(n.commit_index >= index for n in live)
+
+    def committed_quorum(self, index: int) -> bool:
+        """Whether a majority has durably committed up to ``index``.
+
+        The leader only advances its own commit index once a majority
+        of the group has persisted the entry (Raft §5.3), so quorum
+        durability is exactly "some live leader has committed it".
+        """
+        leader = self.leader()
+        return leader is not None and leader.commit_index >= index
+
+    def acked(self, index: int, ack: str = "quorum") -> bool:
+        """Whether ``index`` meets the ``ack`` durability bar."""
+        if ack == "quorum":
+            return self.committed_quorum(index)
+        if ack == "all":
+            return self.committed_everywhere(index)
+        raise RaftError(f"unknown ack mode {ack!r}")
+
+    def settle_acked(self, index: int, ack: str = "quorum", timeout_s: float = 5.0) -> None:
+        """Advance the clock until ``index`` is acknowledged at ``ack``."""
+        deadline = self._clock.now() + timeout_s
+        while self._clock.now() < deadline:
+            if self.acked(index, ack):
+                return
+            self._clock.advance(0.005)
+        raise RaftError(
+            f"entry {index} failed to reach {ack!r} ack within {timeout_s}s"
+        )
 
     def settle(self, seconds: float = 0.5) -> None:
         """Advance the clock to let replication/elections quiesce."""

@@ -48,6 +48,12 @@ _WAL_KIND_ENTRY = 10
 _WAL_KIND_TERM = 11
 _WAL_KIND_SNAPSHOT = 12
 
+# Barrier entry a new leader appends when it inherits an uncommitted
+# tail from prior terms.  §5.4.2 forbids committing prior-term entries
+# by counting replicas; committing one entry of the *current* term
+# commits the whole prefix.  Never handed to the apply callback.
+NOOP_COMMAND = b"\x00raft-noop"
+
 DEFAULT_ELECTION_TIMEOUT_S = 0.15
 DEFAULT_HEARTBEAT_INTERVAL_S = 0.03
 DEFAULT_MAX_ENTRIES_PER_APPEND = 64
@@ -151,6 +157,14 @@ class RaftNode:
 
     def _persist_entry(self, entry: LogEntry) -> None:
         self._wal.append(_WAL_KIND_ENTRY, pickle.dumps(entry))
+
+    def _persist_entries(self, entries: list[LogEntry]) -> None:
+        """Durably record a batch of entries with one coalesced WAL flush."""
+        if not entries:
+            return
+        self._wal.append_many(
+            [(_WAL_KIND_ENTRY, pickle.dumps(entry)) for entry in entries]
+        )
 
     def _recover_from_wal(self) -> None:
         """Rebuild persistent state from the WAL (idempotent on fresh WAL)."""
@@ -259,7 +273,25 @@ class RaftNode:
             match_index={peer: 0 for peer in self.peers},
         )
         self._timer_generation += 1  # cancel follower election timer
+        if last > self.volatile.commit_index:
+            # Uncommitted tail inherited from prior terms: §5.4.2 blocks
+            # committing it by counting, so seed one no-op entry of the
+            # new term — committing it commits everything before it.
+            entry = LogEntry(
+                term=self.persistent.current_term,
+                index=last + 1,
+                command=NOOP_COMMAND,
+            )
+            try:
+                self.sync_queue.push(entry)
+            except BackpressureError:
+                self.backpressure.update()
+            else:
+                self.persistent.append(entry)
+                self._persist_entry(entry)
         self._broadcast_append_entries()
+        if not self.peers:
+            self._advance_commit_index()
         self._schedule_heartbeat()
         self._reset_election_timer_as_leader()
 
@@ -300,6 +332,48 @@ class RaftNode:
             self._advance_commit_index()
         return entry.index
 
+    def propose_many(self, commands: list[bytes]) -> list[int]:
+        """Leader-only: replicate a batch of commands as consecutive entries.
+
+        The pipelined variant of :meth:`propose`: admission is
+        all-or-nothing against the sync queue (a rejection never leaves
+        a half-admitted group), the WAL write is one coalesced frame
+        flush (:meth:`WriteAheadLog.append_many`), and the whole group
+        goes out in one ``AppendEntries`` broadcast.
+        """
+        if self._stopped:
+            raise NotLeaderError("node is stopped", None)
+        if self.role is not Role.LEADER:
+            raise NotLeaderError(f"{self.node_id} is not the leader", self.leader_id)
+        if not commands:
+            return []
+        total_bytes = sum(len(command) for command in commands)
+        if not self.sync_queue.can_accept(len(commands), total_bytes):
+            self.sync_queue.stats.rejected += 1
+            self.backpressure.update()
+            raise BackpressureError(
+                f"queue {self.sync_queue.name!r} cannot admit group of "
+                f"{len(commands)} entries / {total_bytes} bytes"
+            )
+        entries = []
+        next_index = self.persistent.last_log_index() + 1
+        for offset, command in enumerate(commands):
+            entries.append(
+                LogEntry(
+                    term=self.persistent.current_term,
+                    index=next_index + offset,
+                    command=command,
+                )
+            )
+        for entry in entries:
+            self.sync_queue.push(entry)
+            self.persistent.append(entry)
+        self._persist_entries(entries)
+        self._broadcast_append_entries()
+        if not self.peers:
+            self._advance_commit_index()
+        return [entry.index for entry in entries]
+
     def throttle(self) -> float:
         """Current BFC throttle in (0, 1] — fraction of nominal rate."""
         return self.backpressure.update()
@@ -328,8 +402,7 @@ class RaftNode:
         )
         # Re-persist the live tail (entries past the snapshot) *after*
         # the marker so truncating older segments cannot drop them.
-        for entry in self.persistent.log:
-            self._persist_entry(entry)
+        self._persist_entries(list(self.persistent.log))
         self._wal.truncate_before(marker_seq)
         return index
 
@@ -514,6 +587,7 @@ class RaftNode:
         new_entries = [
             e for e in msg.entries if e.index > self.persistent.snapshot_index
         ]
+        accepted: list[LogEntry] = []
         for entry in new_entries:
             existing = self.persistent.entry_at(entry.index)
             if existing is not None:
@@ -525,7 +599,10 @@ class RaftNode:
                 backpressured = True
                 break
             self.persistent.append(entry)
-            self._persist_entry(entry)
+            accepted.append(entry)
+        # One coalesced WAL flush for the whole accepted run (§3 group
+        # commit: followers pay one fsync per AppendEntries, not per entry).
+        self._persist_entries(accepted)
 
         match = min(
             self.persistent.last_log_index(),
@@ -559,6 +636,9 @@ class RaftNode:
         if self.role is not Role.LEADER or msg.term != self.persistent.current_term:
             return
         if msg.backpressured:
+            self.backpressure.penalize()
+        elif msg.success:
+            # Calm round trip: let the throttle recover from local state.
             self.backpressure.update()
         if msg.success:
             self.leader_state.match_index[msg.follower_id] = max(
@@ -627,7 +707,7 @@ class RaftNode:
                     continue
                 break
             self.apply_queue.pop()
-            if self._apply is not None:
+            if self._apply is not None and entry.command != NOOP_COMMAND:
                 self._apply(entry)
             self.volatile.last_applied = entry.index
             if limit is not None:

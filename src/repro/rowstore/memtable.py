@@ -64,10 +64,30 @@ class MemTable:
         self._sorted_view = None
 
     def append_many(self, rows: Iterable[dict]) -> int:
+        """Append a batch with ONE sorted-view invalidation, not one per
+        row.  Matches :meth:`append` semantics exactly: sealed-check up
+        front, per-row validation, and on an invalid row the valid
+        prefix before it is appended and the error raised.
+        """
+        if self._sealed:
+            raise RowStoreError("cannot append to a sealed memtable")
         count = 0
-        for row in rows:
-            self.append(row)
-            count += 1
+        try:
+            for row in rows:
+                if self._ts_column not in row:
+                    raise RowStoreError(
+                        f"row missing timestamp column {self._ts_column!r}"
+                    )
+                if self._tenant_column not in row:
+                    raise RowStoreError(
+                        f"row missing tenant column {self._tenant_column!r}"
+                    )
+                self._rows.append(row)
+                self._approx_bytes += _approx_row_bytes(row)
+                count += 1
+        finally:
+            if count:
+                self._sorted_view = None
         return count
 
     def seal(self) -> None:

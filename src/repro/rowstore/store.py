@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.common.errors import RowStoreError
-from repro.rowstore.memtable import MemTable
+from repro.rowstore.memtable import MemTable, _approx_row_bytes
 
 DEFAULT_SEAL_ROWS = 100_000
 DEFAULT_SEAL_BYTES = 64 * 1024 * 1024
@@ -57,8 +57,39 @@ class RowStore:
             self.seal_active()
 
     def append_many(self, rows: list[dict]) -> None:
-        for row in rows:
-            self.append(row)
+        """Bulk ingest with chunks cut at the exact seal boundaries.
+
+        Equivalent to per-row :meth:`append` — the active memtable seals
+        after the same row it would have per-row — but each chunk pays
+        one memtable call and one sorted-view invalidation instead of
+        one per row.
+        """
+        i = 0
+        n = len(rows)
+        while i < n:
+            budget_rows = self._seal_rows - len(self._active)
+            budget_bytes = self._seal_bytes - self._active.approx_bytes
+            # Grow the chunk until it contains the row that crosses a
+            # threshold (that row still lands in this memtable, exactly
+            # as the per-row path appends-then-seals).
+            j = i
+            acc = 0
+            while j < n and (j - i) < budget_rows and acc < budget_bytes:
+                acc += _approx_row_bytes(rows[j])
+                j += 1
+            before = len(self._active)
+            try:
+                self._active.append_many(rows[i:j])
+            finally:
+                # On an invalid row mid-chunk the memtable kept the
+                # valid prefix; count it like per-row appends would.
+                self.total_rows_ingested += len(self._active) - before
+            if (
+                len(self._active) >= self._seal_rows
+                or self._active.approx_bytes >= self._seal_bytes
+            ):
+                self.seal_active()
+            i = j
 
     def seal_active(self) -> MemTable | None:
         """Seal the active memtable (if non-empty); returns it."""

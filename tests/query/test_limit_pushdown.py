@@ -102,6 +102,48 @@ class TestEarlyTermination:
         final = apply_order_limit(parsed, got)
         assert len(final) == 7
 
+    def test_realtime_shard_short_circuit(self):
+        """The broker stops scanning row stores once LIMIT is satisfied."""
+        from repro.cluster.config import small_test_config
+        from repro.cluster.logstore import LogStore
+
+        store = LogStore.create(config=small_test_config())
+        # Several tenants → realtime rows land on several distinct shards.
+        for tenant in (1, 2, 3, 4):
+            store.put(tenant, make_rows(100, tenant_id=tenant, seed=tenant))
+        shards = {
+            shard_id: shard
+            for worker in store.workers.values()
+            for shard_id, shard in worker.shards.items()
+        }
+        populated = [s for s, sh in shards.items() if sh.pending_rows() > 3]
+        assert len(populated) > 1, "need several populated shards to show early stop"
+
+        # A tenant-less scan walks every topology shard; LIMIT stops it.
+        before = {s: sh.access_count.value for s, sh in shards.items()}
+        result = store.query("SELECT log FROM request_log LIMIT 3")
+        assert len(result.rows) == 3
+        scanned = [s for s, sh in shards.items() if sh.access_count.value > before[s]]
+        assert len(scanned) < len(shards)
+
+        # ORDER BY disables the short-circuit: every shard must
+        # contribute before the global sort, so all of them are scanned.
+        before = {s: sh.access_count.value for s, sh in shards.items()}
+        result = store.query("SELECT ts FROM request_log ORDER BY ts LIMIT 3")
+        assert len(result.rows) == 3
+        scanned = [s for s, sh in shards.items() if sh.access_count.value > before[s]]
+        assert len(scanned) == len(shards)
+
+    def test_realtime_limit_larger_than_data(self):
+        """A LIMIT above the row count still returns everything."""
+        from repro.cluster.config import small_test_config
+        from repro.cluster.logstore import LogStore
+
+        store = LogStore.create(config=small_test_config())
+        store.put(1, make_rows(100, tenant_id=1))
+        result = store.query("SELECT log FROM request_log WHERE tenant_id = 1 LIMIT 5000")
+        assert len(result.rows) == 100
+
     def test_io_benefit(self, env):
         """Pushdown reads far fewer bytes; with serial (no-overlap)
         execution the latency benefit is direct too."""

@@ -1,0 +1,132 @@
+"""Differential tests: bulk append_many vs the per-row append path."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import RowStoreError
+from repro.rowstore.memtable import MemTable
+from repro.rowstore.store import RowStore
+
+from tests.conftest import make_rows
+
+
+def store_pair(**kwargs):
+    return RowStore(**kwargs), RowStore(**kwargs)
+
+
+def append_per_row(store: RowStore, rows) -> None:
+    for row in rows:
+        store.append(row)
+
+
+def state_of(store: RowStore):
+    return (
+        store.total_rows_ingested,
+        [list(t.scan()) for t in store.sealed_tables],
+        list(store.active.scan()),
+        store.approx_bytes(),
+    )
+
+
+class TestMemTableBulk:
+    def test_single_invalidation(self):
+        table = MemTable()
+        rows = make_rows(50, tenant_id=1)
+        table.append_many(rows[:25])
+        list(table.scan())  # materialize the sorted view
+        assert table._sorted_view is not None
+        table.append_many(rows[25:])
+        assert table._sorted_view is None  # invalidated once, lazily rebuilt
+        assert len(list(table.scan())) == 50
+
+    def test_empty_batch_keeps_view(self):
+        table = MemTable()
+        table.append_many(make_rows(10, tenant_id=1))
+        list(table.scan())
+        table.append_many([])
+        assert table._sorted_view is not None
+
+    def test_sealed_rejects_batch(self):
+        table = MemTable()
+        table.seal()
+        with pytest.raises(RowStoreError):
+            table.append_many(make_rows(3, tenant_id=1))
+        assert len(table) == 0
+
+    def test_invalid_row_keeps_valid_prefix(self):
+        """Per-row semantics: the prefix before the bad row is appended."""
+        rows = make_rows(5, tenant_id=1)
+        bad = dict(rows[2])
+        del bad["ts"]
+        batch = rows[:2] + [bad] + rows[3:]
+
+        per_row = MemTable()
+        with pytest.raises(RowStoreError):
+            for row in batch:
+                per_row.append(row)
+
+        bulk = MemTable()
+        with pytest.raises(RowStoreError):
+            bulk.append_many(batch)
+
+        assert list(bulk.scan()) == list(per_row.scan())
+        assert bulk.approx_bytes == per_row.approx_bytes
+
+    def test_missing_tenant_column(self):
+        table = MemTable()
+        with pytest.raises(RowStoreError, match="tenant"):
+            table.append_many([{"ts": 1}])
+
+
+class TestRowStoreBulkDifferential:
+    @pytest.mark.parametrize("seal_rows", [1, 3, 7, 100, 10_000])
+    def test_same_seal_boundaries(self, seal_rows):
+        rows = make_rows(40, tenant_id=1)
+        bulk, per_row = store_pair(seal_rows=seal_rows, seal_bytes=1 << 30)
+        bulk.append_many(rows)
+        append_per_row(per_row, rows)
+        assert state_of(bulk) == state_of(per_row)
+
+    def test_byte_threshold_boundaries(self):
+        rows = make_rows(60, tenant_id=1)
+        bulk, per_row = store_pair(seal_rows=10_000, seal_bytes=2_000)
+        bulk.append_many(rows)
+        append_per_row(per_row, rows)
+        assert len(bulk.sealed_tables) >= 1  # the threshold actually fired
+        assert state_of(bulk) == state_of(per_row)
+
+    def test_incremental_batches(self):
+        bulk, per_row = store_pair(seal_rows=17, seal_bytes=1 << 30)
+        for seed in range(5):
+            rows = make_rows(13, tenant_id=seed + 1, seed=seed)
+            bulk.append_many(rows)
+            append_per_row(per_row, rows)
+        assert state_of(bulk) == state_of(per_row)
+
+    def test_invalid_row_counts_prefix(self):
+        rows = make_rows(12, tenant_id=1)
+        bad = dict(rows[7])
+        del bad["tenant_id"]
+        batch = rows[:7] + [bad] + rows[8:]
+
+        bulk, per_row = store_pair(seal_rows=3, seal_bytes=1 << 30)
+        with pytest.raises(RowStoreError):
+            bulk.append_many(batch)
+        with pytest.raises(RowStoreError):
+            append_per_row(per_row, batch)
+        assert state_of(bulk) == state_of(per_row)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seal_rows=st.integers(min_value=1, max_value=25),
+        seal_bytes=st.integers(min_value=200, max_value=5_000),
+        sizes=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=5),
+    )
+    def test_fuzz_equivalence(self, seal_rows, seal_bytes, sizes):
+        bulk, per_row = store_pair(seal_rows=seal_rows, seal_bytes=seal_bytes)
+        for seed, size in enumerate(sizes):
+            rows = make_rows(size, tenant_id=1, seed=seed)
+            bulk.append_many(rows)
+            append_per_row(per_row, rows)
+        assert state_of(bulk) == state_of(per_row)
