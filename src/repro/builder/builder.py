@@ -35,6 +35,7 @@ from repro.common.errors import BuildError
 from repro.logblock.schema import TableSchema
 from repro.logblock.writer import DEFAULT_BLOCK_ROWS, LogBlockWriter
 from repro.meta.catalog import Catalog, LogBlockEntry
+from repro.obs.context import Observability
 from repro.oss.retry import (
     DEFAULT_BACKOFF_S,
     DEFAULT_MAX_ATTEMPTS,
@@ -149,11 +150,26 @@ class DataBuilder:
         max_upload_attempts: int = DEFAULT_MAX_ATTEMPTS,
         upload_backoff_s: float = DEFAULT_BACKOFF_S,
         retry_clock: Clock | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if target_rows <= 0:
             raise BuildError(f"target_rows must be positive, got {target_rows}")
         if builder_threads < 1:
             raise BuildError(f"builder_threads must be >= 1, got {builder_threads}")
+        self._obs = obs if obs is not None else Observability.noop()
+        registry = self._obs.registry
+        self._memtables_total = registry.counter(
+            "logstore_builder_memtables_total", "Sealed memtables archived."
+        )
+        self._blocks_total = registry.counter(
+            "logstore_builder_blocks_written_total", "LogBlocks written to OSS."
+        )
+        self._rows_total = registry.counter(
+            "logstore_builder_rows_archived_total", "Rows archived to OSS."
+        )
+        self._bytes_total = registry.counter(
+            "logstore_builder_bytes_uploaded_total", "LogBlock bytes uploaded."
+        )
         self._schema = schema
         self._oss = oss
         self._bucket = bucket
@@ -208,7 +224,9 @@ class DataBuilder:
             raise BuildError("cannot archive an unsealed memtable; seal it first")
         if report is None:
             report = BuildReport()
-        with self._lock:
+        with self._obs.tracer.span(
+            "builder.archive", rows=len(memtable)
+        ), self._lock:
             memtable_seq = self._memtable_seq
             self._memtable_seq += 1
 
@@ -236,6 +254,7 @@ class DataBuilder:
             report.upload_s += time.perf_counter() - upload_start
 
             report.memtables_converted += 1
+            self._memtables_total.add()
         return report
 
     def _tenant_build_task(
@@ -299,6 +318,9 @@ class DataBuilder:
         report.blocks_written += 1
         report.rows_archived += built.row_count
         report.bytes_uploaded += len(built.blob)
+        self._blocks_total.add()
+        self._rows_total.add(built.row_count)
+        self._bytes_total.add(len(built.blob))
         stats = report.tenant(built.tenant_id)
         stats.blocks_written += 1
         stats.rows_archived += built.row_count

@@ -25,6 +25,7 @@ from repro.logblock.reader import LogBlockReader
 from repro.logblock.schema import TableSchema
 from repro.logblock.writer import DEFAULT_BLOCK_ROWS, LogBlockWriter
 from repro.meta.catalog import Catalog, LogBlockEntry
+from repro.obs.context import Observability
 from repro.oss.retry import (
     DEFAULT_BACKOFF_S,
     DEFAULT_MAX_ATTEMPTS,
@@ -77,6 +78,7 @@ class Compactor:
         max_upload_attempts: int = DEFAULT_MAX_ATTEMPTS,
         upload_backoff_s: float = DEFAULT_BACKOFF_S,
         retry_clock: Clock | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if small_threshold_rows <= 0:
             raise BuildError(
@@ -103,6 +105,17 @@ class Compactor:
             clock=retry_clock if retry_clock is not None else VirtualClock(),
         )
         self._generation = 0
+        self._obs = obs if obs is not None else Observability.noop()
+        registry = self._obs.registry
+        self._runs_total = registry.counter(
+            "logstore_compaction_runs_total", "Compaction runs that merged blocks."
+        )
+        self._blocks_merged_total = registry.counter(
+            "logstore_compaction_blocks_merged_total", "Small blocks retired."
+        )
+        self._rows_rewritten_total = registry.counter(
+            "logstore_compaction_rows_rewritten_total", "Rows rewritten by compaction."
+        )
 
     def candidates(self, tenant_id: int) -> list[LogBlockEntry]:
         """The tenant's blocks below the small-block threshold."""
@@ -118,6 +131,18 @@ class Compactor:
         victims = self.candidates(tenant_id)
         if len(victims) < 2:
             return result
+        with self._obs.tracer.span(
+            "builder.compact", tenant=tenant_id, victims=len(victims)
+        ):
+            self._compact(tenant_id, victims, result)
+        self._runs_total.add()
+        self._blocks_merged_total.add(result.blocks_before)
+        self._rows_rewritten_total.add(result.rows_rewritten)
+        return result
+
+    def _compact(
+        self, tenant_id: int, victims: list[LogBlockEntry], result: CompactionResult
+    ) -> None:
         result.blocks_before = len(victims)
         result.bytes_before = sum(block.size_bytes for block in victims)
         retries_before = self._upload.stats.retries
@@ -169,7 +194,6 @@ class Compactor:
                 pass  # object already gone; still drop the map entry
             self._catalog.remove_block(block)
         result.upload_retries = self._upload.stats.retries - retries_before
-        return result
 
     def compact_all(self) -> list[CompactionResult]:
         """Run :meth:`compact_tenant` for every registered tenant."""

@@ -17,7 +17,10 @@ from dataclasses import dataclass
 
 from repro.cache.block_cache import TieredBlockCache
 from repro.cache.object_cache import ObjectCache
+from repro.obs.tracing import Tracer
 from repro.oss.metered import MeteredObjectStore
+
+_NOOP_TRACER = Tracer(None, enabled=False)
 
 
 @dataclass
@@ -79,9 +82,15 @@ class MultiLevelCache:
 class CachingRangeReader:
     """RangeReader over OSS with the tiered block cache in front."""
 
-    def __init__(self, store: MeteredObjectStore, cache: MultiLevelCache) -> None:
+    def __init__(
+        self,
+        store: MeteredObjectStore,
+        cache: MultiLevelCache,
+        tracer: Tracer | None = None,
+    ) -> None:
         self._store = store
         self._cache = cache
+        self._tracer = tracer if tracer is not None else _NOOP_TRACER
 
     @property
     def store(self) -> MeteredObjectStore:
@@ -95,6 +104,8 @@ class CachingRangeReader:
         block_key = (bucket, key, start, length)
         data = self._cache.blocks.get(block_key)
         if data is not None:
+            with self._tracer.span("cache.hit", key=key, start=start, bytes=len(data)):
+                pass
             return data
         data = self._store.get_range(bucket, key, start, length)
         self._cache.blocks.put(block_key, data)
@@ -119,6 +130,15 @@ class CachingRangeReader:
             else:
                 miss_positions.append(position)
                 miss_ranges.append((start, length))
+        hits = len(ranges) - len(miss_ranges)
+        if hits:
+            with self._tracer.span(
+                "cache.hit",
+                key=key,
+                blocks=hits,
+                bytes=sum(len(d) for d in out if d is not None),
+            ):
+                pass
         if miss_ranges:
             fetched = self._store.get_ranges_parallel(bucket, key, miss_ranges, threads)
             for position, (start, length), data in zip(miss_positions, miss_ranges, fetched):

@@ -22,7 +22,15 @@ from repro.cluster.worker import Worker
 from repro.common.clock import VirtualClock
 from repro.common.errors import ShardNotFound, WorkerNotFound
 from repro.common.utils import wave_elapsed
-from repro.metrics.stats import Counter
+from repro.obs.context import Observability
+from repro.obs.recorders import PushdownRecorder
+from repro.obs.report import (
+    BROKER_QUERIES,
+    BROKER_WRITE_ROWS,
+    QUERY_LATENCY,
+    TENANT_READ_ROWS,
+)
+from repro.obs.slowlog import SlowQueryEntry
 from repro.query.aggregate import Aggregator, apply_order_limit
 from repro.query.executor import (
     BlockExecutor,
@@ -44,6 +52,12 @@ class QueryResult:
     stats: ExecutionStats = field(default_factory=ExecutionStats)
     realtime_rows: int = 0
     archived_rows: int = 0
+    # I/O attribution for EXPLAIN ANALYZE: deltas of the shared OSS /
+    # cache counters across this query's execution.
+    oss_requests: int = 0
+    bytes_fetched: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -60,6 +74,7 @@ class Broker:
         range_reader: CachingRangeReader,
         clock: VirtualClock,
         options: ExecutionOptions | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.broker_id = broker_id
         self._controller = controller
@@ -67,9 +82,20 @@ class Broker:
         self._clock = clock
         self.options = options if options is not None else ExecutionOptions()
         self._planner = QueryPlanner(controller.catalog)
+        self._range_reader = range_reader
         self._executor = BlockExecutor(range_reader, controller.config.bucket, self.options)
-        self.writes_routed = Counter(f"{broker_id}.writes")
-        self.queries_served = Counter(f"{broker_id}.queries")
+        self._obs = obs if obs is not None else Observability.noop()
+        registry = self._obs.registry
+        self.writes_routed = registry.counter(
+            BROKER_WRITE_ROWS, "Rows routed to shards by this broker.", broker=broker_id
+        )
+        self.queries_served = registry.counter(
+            BROKER_QUERIES, "Queries answered by this broker.", broker=broker_id
+        )
+        self._query_latency = registry.histogram(
+            QUERY_LATENCY, "Virtual end-to-end query latency.", broker=broker_id
+        )
+        self._pushdown = PushdownRecorder(registry)
         self._pending_shards: set[int] = set()
 
     # -- write path ---------------------------------------------------------
@@ -92,8 +118,11 @@ class Broker:
         concurrently (the shards share the clock, so advancing it for
         the first shard progresses all of them).
         """
-        dispatched = self._dispatch(tenant_id, rows)
-        self.settle_writes()
+        with self._obs.tracer.span(
+            "broker.write", broker=self.broker_id, tenant=tenant_id, rows=len(rows)
+        ):
+            dispatched = self._dispatch(tenant_id, rows)
+            self.settle_writes()
         return dispatched
 
     def write_nowait(self, tenant_id: int, rows: list[dict]) -> dict[int, int]:
@@ -142,59 +171,102 @@ class Broker:
     def query(self, sql: str) -> QueryResult:
         """Parse, plan, execute, merge.  Latency is virtual-clock time."""
         start = self._clock.now()
-        parsed = parse_sql(sql)
-        plan = self._planner.plan(parsed)
+        oss_before = self._range_reader.store.stats.snapshot()
+        cache_before = self._range_reader.cache.summary()
+        tracer = self._obs.tracer
+        with tracer.span("broker.query", broker=self.broker_id) as query_span:
+            with tracer.span("broker.plan"):
+                parsed = parse_sql(sql)
+                plan = self._planner.plan(parsed)
+            tenant_label = plan.tenant_id if plan.tenant_id is not None else "*"
+            query_span.set(tenant=tenant_label)
 
-        # Archived data (OSS LogBlocks).  Aggregates take the pushdown
-        # path: the executor returns a mergeable partial aggregator (the
-        # same MPP shape shard merging uses) instead of matched rows.
-        aggregator: Aggregator | None = None
-        archived_rows: list[dict] = []
-        if parsed.is_aggregate:
-            aggregator, stats = self._executor.execute_aggregate(plan)
-            archived_count = stats.rows_matched
-        else:
-            archived_rows, stats = self._executor.execute(plan)
-            archived_count = len(archived_rows)
+            # Archived data (OSS LogBlocks).  Aggregates take the pushdown
+            # path: the executor returns a mergeable partial aggregator (the
+            # same MPP shape shard merging uses) instead of matched rows.
+            aggregator: Aggregator | None = None
+            archived_rows: list[dict] = []
+            with tracer.span("broker.archived_scan"):
+                if parsed.is_aggregate:
+                    aggregator, stats = self._executor.execute_aggregate(plan)
+                    archived_count = stats.rows_matched
+                else:
+                    archived_rows, stats = self._executor.execute(plan)
+                    archived_count = len(archived_rows)
 
-        # Real-time data from the row stores of the read route.
-        realtime_rows: list[dict] = []
-        if plan.tenant_id is not None:
-            shard_ids = self._controller.routing.route_read(plan.tenant_id)
-        else:
-            shard_ids = self._controller.topology.shards
-        # LIMIT short-circuit: plan.row_limit is only set for plain
-        # SELECT ... LIMIT N (no ORDER BY, no aggregation), where any N
-        # matching rows answer the query — so once archived + realtime
-        # matches reach N there is no reason to scan further shards.
-        row_limit = plan.row_limit
-        for shard_id in shard_ids:
-            remaining = None
-            if row_limit is not None:
-                remaining = row_limit - archived_count - len(realtime_rows)
-                if remaining <= 0:
-                    break
-            worker = self._shard_worker(shard_id)
-            shard = worker.shards.get(shard_id)
-            if shard is None:
-                continue
-            raw = shard.scan_realtime(
-                min_ts=plan.min_ts, max_ts=plan.max_ts, tenant_id=plan.tenant_id
-            )
-            realtime_rows.extend(filter_realtime_rows(plan, raw, limit=remaining))
+            # Real-time data from the row stores of the read route.
+            realtime_rows: list[dict] = []
+            if plan.tenant_id is not None:
+                shard_ids = self._controller.routing.route_read(plan.tenant_id)
+            else:
+                shard_ids = self._controller.topology.shards
+            # LIMIT short-circuit: plan.row_limit is only set for plain
+            # SELECT ... LIMIT N (no ORDER BY, no aggregation), where any N
+            # matching rows answer the query — so once archived + realtime
+            # matches reach N there is no reason to scan further shards.
+            row_limit = plan.row_limit
+            with tracer.span("broker.realtime_scan"):
+                for shard_id in shard_ids:
+                    remaining = None
+                    if row_limit is not None:
+                        remaining = row_limit - archived_count - len(realtime_rows)
+                        if remaining <= 0:
+                            break
+                    worker = self._shard_worker(shard_id)
+                    shard = worker.shards.get(shard_id)
+                    if shard is None:
+                        continue
+                    raw = shard.scan_realtime(
+                        min_ts=plan.min_ts, max_ts=plan.max_ts, tenant_id=plan.tenant_id
+                    )
+                    realtime_rows.extend(filter_realtime_rows(plan, raw, limit=remaining))
 
-        if aggregator is not None:
-            aggregator.consume_many(realtime_rows)
-            final = aggregator.results()
-        else:
-            final = apply_order_limit(parsed, archived_rows + realtime_rows)
+            with tracer.span("broker.merge"):
+                if aggregator is not None:
+                    aggregator.consume_many(realtime_rows)
+                    final = aggregator.results()
+                else:
+                    final = apply_order_limit(parsed, archived_rows + realtime_rows)
+            query_span.set(rows=len(final))
 
-        self.queries_served.add()
-        return QueryResult(
+        latency_s = self._clock.now() - start
+        oss_after = self._range_reader.store.stats
+        cache_after = self._range_reader.cache.summary()
+        cache_hits = (
+            cache_after.object_hits + cache_after.memory_hits + cache_after.ssd_hits
+        ) - (
+            cache_before.object_hits + cache_before.memory_hits + cache_before.ssd_hits
+        )
+        result = QueryResult(
             rows=final,
-            latency_s=self._clock.now() - start,
+            latency_s=latency_s,
             plan=plan,
             stats=stats,
             realtime_rows=len(realtime_rows),
             archived_rows=archived_count,
+            oss_requests=oss_after.get_requests - oss_before.get_requests,
+            bytes_fetched=oss_after.bytes_read - oss_before.bytes_read,
+            cache_hits=cache_hits,
+            cache_misses=cache_after.oss_reads - cache_before.oss_reads,
         )
+
+        self.queries_served.add()
+        self._query_latency.observe(latency_s)
+        self._obs.registry.counter(
+            TENANT_READ_ROWS,
+            "Rows returned to clients per tenant.",
+            tenant=tenant_label,
+        ).add(len(final))
+        self._pushdown.record(stats.pushdown)
+        self._obs.slow_queries.observe(
+            SlowQueryEntry(
+                at_s=self._clock.now(),
+                tenant_id=plan.tenant_id if plan.tenant_id is not None else -1,
+                query=sql,
+                latency_s=latency_s,
+                rows_returned=len(final),
+                blocks_visited=stats.blocks_visited,
+                bytes_fetched=result.bytes_fetched,
+            )
+        )
+        return result

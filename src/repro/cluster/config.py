@@ -73,6 +73,11 @@ class LogStoreConfig:
     # 2 = +SMA fold, 3 = +columnar late materialization.
     agg_pushdown_level: int = 3
 
+    # observability
+    tracing_enabled: bool = True  # hierarchical virtual-clock spans
+    trace_max_traces: int = 256  # bounded ring of retained root traces
+    slow_query_s: float | None = 2.0  # virtual-latency threshold; None = off
+
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -108,6 +113,10 @@ class LogStoreConfig:
             raise ConfigError(f"unknown write_ack {self.write_ack!r}")
         if self.wal_fsync_s < 0:
             raise ConfigError("wal_fsync_s must be non-negative")
+        if self.trace_max_traces < 1:
+            raise ConfigError("trace_max_traces must be >= 1")
+        if self.slow_query_s is not None and self.slow_query_s < 0:
+            raise ConfigError("slow_query_s must be non-negative (or None)")
 
     @property
     def n_shards(self) -> int:

@@ -18,18 +18,33 @@ from repro.common.clock import VirtualClock
 from repro.flow.balancer import ControllerEvent
 from repro.flow.monitor import TrafficSample
 from repro.metrics.stats import Counter
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import TENANT_WRITE_ROWS
 
 
 class TenantTrafficTracker:
-    """Per-tenant write counters with monitor-window deltas."""
+    """Per-tenant write counters with monitor-window deltas.
 
-    def __init__(self) -> None:
+    The counters are children of the cluster registry's
+    ``logstore_tenant_write_rows_total`` family, so the hotspot loop and
+    :meth:`LogStore.metrics_report` read the same numbers.  The tracker
+    is the family's single *windowing* consumer (see
+    :meth:`Counter.window_delta`'s contract); everyone else reads
+    snapshots.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
         self._counters: dict[int, Counter] = {}
 
     def record(self, tenant_id: int, records: int) -> None:
         counter = self._counters.get(tenant_id)
         if counter is None:
-            counter = Counter(f"tenant{tenant_id}.writes")
+            counter = self._registry.counter(
+                TENANT_WRITE_ROWS,
+                "Rows ingested per tenant (Figure 13 input).",
+                tenant=tenant_id,
+            )
             self._counters[tenant_id] = counter
         counter.add(records)
 

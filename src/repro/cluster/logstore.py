@@ -34,6 +34,10 @@ from repro.flow.monitor import TrafficSample
 from repro.logblock.schema import TableSchema, request_log_schema
 from repro.meta.catalog import Catalog
 from repro.meta.expiry import ExpiryReport
+from repro.obs.analyze import render_explain_analyze
+from repro.obs.context import Observability
+from repro.obs.report import MetricsReport
+from repro.obs.tracing import Span, format_trace
 from repro.oss.metered import MeteredObjectStore
 from repro.oss.store import InMemoryObjectStore, ObjectStore
 from repro.query.executor import ExecutionOptions
@@ -52,8 +56,16 @@ class LogStore:
         self.config = config
         self.schema = schema
         self.clock = clock if clock is not None else VirtualClock()
+        self.obs = Observability(
+            clock=self.clock,
+            tracing_enabled=config.tracing_enabled,
+            trace_max_traces=config.trace_max_traces,
+            slow_query_s=config.slow_query_s,
+        )
         inner = backend if backend is not None else InMemoryObjectStore()
-        self.oss = MeteredObjectStore(inner, config.oss_model, self.clock)
+        self.oss = MeteredObjectStore(
+            inner, config.oss_model, self.clock, tracer=self.obs.tracer
+        )
         self.oss.create_bucket(config.bucket)
 
         self.catalog = Catalog(schema)
@@ -69,6 +81,7 @@ class LogStore:
             target_rows=config.target_rows_per_logblock,
             build_indexes=config.build_indexes,
             builder_threads=config.builder_threads,
+            obs=self.obs,
         )
 
         self._builder = builder
@@ -85,7 +98,9 @@ class LogStore:
             object_bytes=config.cache_object_bytes,
             charge=self.clock.sleep,
         )
-        self._range_reader = CachingRangeReader(self.oss, self.cache)
+        self._range_reader = CachingRangeReader(
+            self.oss, self.cache, tracer=self.obs.tracer
+        )
         options = ExecutionOptions(
             use_skipping=config.use_skipping,
             use_prefetch=config.use_prefetch,
@@ -93,21 +108,31 @@ class LogStore:
             agg_pushdown_level=config.agg_pushdown_level,
         )
         self.brokers = [
-            Broker(f"broker-{i}", self.controller, self.workers, self._range_reader, self.clock, options)
+            Broker(
+                f"broker-{i}",
+                self.controller,
+                self.workers,
+                self._range_reader,
+                self.clock,
+                options,
+                obs=self.obs,
+            )
             for i in range(2)
         ]
         self._broker_cycle = itertools.cycle(self.brokers)
 
         from repro.cluster.hotspot_loop import HotspotLoop, TenantTrafficTracker
 
-        self.traffic_tracker = TenantTrafficTracker()
+        self.traffic_tracker = TenantTrafficTracker(self.obs.registry)
         self.hotspot_loop = HotspotLoop(self.controller, self.traffic_tracker, self.clock)
 
     # -- provisioning ----------------------------------------------------
 
     def _provision_worker(self, worker_index: int) -> Worker:
         worker_id = self.config.worker_id(worker_index)
-        worker = Worker(worker_id, self.config.worker_capacity_rps, self._builder)
+        worker = Worker(
+            worker_id, self.config.worker_capacity_rps, self._builder, obs=self.obs
+        )
         self.workers[worker_id] = worker
         self.controller.register_worker(worker)
         return worker
@@ -132,6 +157,7 @@ class LogStore:
             write_ack=self.config.write_ack,
             wal_fsync_s=self.config.wal_fsync_s,
             seed=self.config.seed,
+            obs=self.obs,
         )
         self.workers[worker_id].add_shard(shard)
         return shard
@@ -317,6 +343,65 @@ class LogStore:
 
         plan = QueryPlanner(self.catalog).plan(parse_sql(sql))
         return explain_plan(plan)
+
+    def explain_analyze(self, sql: str) -> str:
+        """Execute the query and report what execution actually did.
+
+        Renders the plan followed by per-stage virtual timings (from
+        the ``broker.query`` trace), block pruning counters, pushdown
+        tier counts, cache hit rate and bytes fetched — all driven by
+        the virtual clock, so the output is deterministic.
+        """
+        result = self._broker().query(sql)
+        trace = self.obs.tracer.last_trace("broker.query")
+        return render_explain_analyze(result, trace)
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def tracer(self):
+        return self.obs.tracer
+
+    @property
+    def registry(self):
+        return self.obs.registry
+
+    @property
+    def slow_queries(self):
+        return self.obs.slow_queries
+
+    def metrics_report(self) -> MetricsReport:
+        """The cluster-wide metric readout.
+
+        Mirrors the OSS/cache counters into registry gauges right
+        before snapshotting (collect-on-read: those subsystems keep
+        their own counters on the hot path) and returns a
+        :class:`MetricsReport` over the merged snapshot.
+        """
+        registry = self.obs.registry
+        summary = self.cache.summary()
+        registry.gauge(
+            "logstore_cache_hits", "Block+object cache hits (collect-on-read)."
+        ).set(summary.object_hits + summary.memory_hits + summary.ssd_hits)
+        registry.gauge(
+            "logstore_cache_misses", "Requests that fell through to OSS."
+        ).set(summary.oss_reads)
+        registry.gauge(
+            "logstore_oss_bytes_read", "Cumulative OSS bytes read."
+        ).set(self.oss.stats.bytes_read)
+        registry.gauge(
+            "logstore_oss_bytes_written", "Cumulative OSS bytes written."
+        ).set(self.oss.stats.bytes_written)
+        return MetricsReport(registry.snapshot())
+
+    def last_trace(self, name: str | None = None) -> Span | None:
+        """Most recent completed trace (optionally filtered by root name)."""
+        return self.obs.tracer.last_trace(name)
+
+    def dump_last_trace(self, name: str | None = None) -> str:
+        """Indented text dump of the most recent trace (deterministic)."""
+        trace = self.obs.tracer.last_trace(name)
+        return format_trace(trace) if trace is not None else "(no traces recorded)"
 
     # -- admin / background ---------------------------------------------------
 

@@ -16,7 +16,9 @@ import pickle
 
 from repro.common.clock import VirtualClock
 from repro.common.errors import BackpressureError, ClusterError
-from repro.metrics.stats import Counter, WritePathStats
+from repro.metrics.stats import WritePathStats
+from repro.obs.context import Observability
+from repro.obs.recorders import WritePathRecorder
 from repro.raft.group import RaftGroup
 from repro.raft.group_commit import GroupCommitQueue, ReplicationPipeline
 from repro.raft.messages import LogEntry
@@ -51,6 +53,7 @@ class Shard:
         write_ack: str = "quorum",
         wal_fsync_s: float = 0.0,
         seed: int = 0,
+        obs: Observability | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.worker_id = worker_id
@@ -58,9 +61,22 @@ class Shard:
         self._clock = clock
         self._write_ack = write_ack
         self._wal_fsync_s = wal_fsync_s
-        self.write_count = Counter(f"shard{shard_id}.writes")
-        self.access_count = Counter(f"shard{shard_id}.accesses")
-        self.write_stats = WritePathStats()
+        self._obs = obs if obs is not None else Observability.noop()
+        registry = self._obs.registry
+        self.write_count = registry.counter(
+            "logstore_shard_write_rows_total",
+            "Rows written per shard (Figure 13 input).",
+            shard=shard_id,
+        )
+        self.access_count = registry.counter(
+            "logstore_shard_accesses_total",
+            "Write + scan accesses per shard (Figure 13 input).",
+            shard=shard_id,
+        )
+        # One recorder shared by the group-commit queue and the
+        # replication pipeline: all write-path metrics of this shard
+        # land in one ``shard=…`` label set.
+        self._write_recorder = WritePathRecorder(registry, shard=shard_id)
 
         self._use_raft = use_raft
         if use_raft:
@@ -90,6 +106,7 @@ class Shard:
                 wal_only_replicas=wal_only_replicas,
                 snapshot_factory=snapshot_factory,
                 seed=seed + shard_id,
+                tracer=self._obs.tracer if self._obs.tracer.enabled else None,
             )
             leader = self._raft.wait_for_leader()
             # The "primary" store is the leader's: with quorum acks the
@@ -105,7 +122,9 @@ class Shard:
                 clock,
                 depth=pipeline_depth,
                 ack=write_ack,
-                stats=self.write_stats,
+                recorder=self._write_recorder,
+                tracer=self._obs.tracer,
+                span_attrs={"shard": shard_id},
             )
             self._group_queue = None
             if group_commit:
@@ -118,7 +137,9 @@ class Shard:
                     size_of=self._batch_bytes,
                     admit=self._admit_batch,
                     throttle_fn=self._leader_throttle,
-                    stats=self.write_stats,
+                    recorder=self._write_recorder,
+                    tracer=self._obs.tracer,
+                    span_attrs={"shard": shard_id},
                 )
         else:
             self._raft = None
@@ -131,6 +152,11 @@ class Shard:
     @property
     def raft(self) -> RaftGroup | None:
         return self._raft
+
+    @property
+    def write_stats(self) -> WritePathStats:
+        """Typed view over this shard's write-path metrics."""
+        return self._write_recorder.view()
 
     def _recover_from_wal(self) -> None:
         """Rebuild the row store from the shard WAL (crash recovery).
@@ -184,7 +210,7 @@ class Shard:
         """Commit a coalesced group: one command, one Raft entry."""
         rows = [row for batch in batches for row in batch]
         self._pipeline.submit(pickle.dumps(rows))
-        self.write_stats.rows_committed += len(rows)
+        self._write_recorder.rows_committed.add(len(rows))
 
     def write(self, rows: list[dict]) -> None:
         """Ingest a batch of rows and wait for the configured ack."""
@@ -203,19 +229,22 @@ class Shard:
         """
         if not rows:
             return
-        if self._raft is not None:
-            if self._group_queue is not None:
-                self._group_queue.offer(list(rows))
+        with self._obs.tracer.span(
+            "shard.write", shard=self.shard_id, rows=len(rows)
+        ):
+            if self._raft is not None:
+                if self._group_queue is not None:
+                    self._group_queue.offer(list(rows))
+                else:
+                    self._pipeline.submit(pickle.dumps(rows))
+                    self._write_recorder.groups_committed.add()
+                    self._write_recorder.batches_coalesced.add()
+                    self._write_recorder.rows_committed.add(len(rows))
             else:
-                self._pipeline.submit(pickle.dumps(rows))
-                self.write_stats.groups_committed += 1
-                self.write_stats.batches_coalesced += 1
-                self.write_stats.rows_committed += len(rows)
-        else:
-            if self._wal_fsync_s > 0:
-                self._clock.sleep(self._wal_fsync_s)
-            self._wal.append(_WAL_KIND_BATCH, pickle.dumps(rows))
-            self.rowstore.append_many(rows)
+                if self._wal_fsync_s > 0:
+                    self._clock.sleep(self._wal_fsync_s)
+                self._wal.append(_WAL_KIND_BATCH, pickle.dumps(rows))
+                self.rowstore.append_many(rows)
         self.write_count.add(len(rows))
         self.access_count.add(len(rows))
 
@@ -259,7 +288,14 @@ class Shard:
     def scan_realtime(self, min_ts=None, max_ts=None, tenant_id=None):
         """Rows still in the local row store (not yet archived)."""
         self.access_count.add()
-        return self.rowstore.scan(min_ts=min_ts, max_ts=max_ts, tenant_id=tenant_id)
+        if not self._obs.tracer.enabled:
+            return self.rowstore.scan(min_ts=min_ts, max_ts=max_ts, tenant_id=tenant_id)
+        with self._obs.tracer.span("shard.scan", shard=self.shard_id) as span:
+            rows = list(
+                self.rowstore.scan(min_ts=min_ts, max_ts=max_ts, tenant_id=tenant_id)
+            )
+            span.set(rows=len(rows))
+        return rows
 
     def pending_rows(self) -> int:
         return self.rowstore.row_count()

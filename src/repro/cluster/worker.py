@@ -10,18 +10,29 @@ from __future__ import annotations
 
 from repro.builder.builder import BuildReport, DataBuilder
 from repro.cluster.shard import Shard
-from repro.metrics.stats import Counter
+from repro.obs.context import Observability
 
 
 class Worker:
     """One execution-layer node."""
 
-    def __init__(self, worker_id: str, capacity_rps: float, builder: DataBuilder) -> None:
+    def __init__(
+        self,
+        worker_id: str,
+        capacity_rps: float,
+        builder: DataBuilder,
+        obs: Observability | None = None,
+    ) -> None:
         self.worker_id = worker_id
         self.capacity_rps = capacity_rps
         self._builder = builder
         self.shards: dict[int, Shard] = {}
-        self.access_count = Counter(f"{worker_id}.accesses")
+        self._obs = obs if obs is not None else Observability.noop()
+        self.access_count = self._obs.registry.counter(
+            "logstore_worker_accesses_total",
+            "Write + scan accesses per worker (Figure 14 input).",
+            worker=worker_id,
+        )
 
     def add_shard(self, shard: Shard) -> None:
         if shard.worker_id != self.worker_id:

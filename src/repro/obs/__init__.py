@@ -1,0 +1,33 @@
+"""Cluster-wide observability: metrics registry, tracing, EXPLAIN ANALYZE."""
+
+from repro.obs.analyze import render_explain_analyze
+from repro.obs.context import DEFAULT_SLOW_QUERY_S, Observability
+from repro.obs.recorders import PushdownRecorder, WritePathRecorder
+from repro.obs.registry import (
+    HistogramSnapshot,
+    MetricsRegistry,
+    RegistrySnapshot,
+    label_key,
+)
+from repro.obs.report import MetricsReport
+from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
+from repro.obs.tracing import Span, Tracer, format_trace, span_chain
+
+__all__ = [
+    "DEFAULT_SLOW_QUERY_S",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsReport",
+    "Observability",
+    "PushdownRecorder",
+    "RegistrySnapshot",
+    "SlowQueryEntry",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "WritePathRecorder",
+    "format_trace",
+    "label_key",
+    "render_explain_analyze",
+    "span_chain",
+]

@@ -1,0 +1,38 @@
+"""Observability: one handle bundling the registry, tracer and slow log.
+
+A `LogStore` builds exactly one of these and threads it through every
+subsystem (brokers, workers, shards, the write pipeline, Raft nodes,
+the builder, the metered OSS).  Components constructed standalone —
+the unit-test pattern — default to a private, tracing-disabled handle,
+so their metric recording still works without any shared state.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracing import Tracer
+
+DEFAULT_SLOW_QUERY_S = 2.0  # Figure 17: "99% of queries within 2 seconds"
+
+
+class Observability:
+    """Registry + tracer + slow-query log for one cluster."""
+
+    def __init__(
+        self,
+        clock=None,
+        tracing_enabled: bool = True,
+        trace_max_traces: int = 256,
+        slow_query_s: float | None = DEFAULT_SLOW_QUERY_S,
+    ) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(
+            clock, enabled=tracing_enabled, max_traces=trace_max_traces
+        )
+        self.slow_queries = SlowQueryLog(slow_query_s)
+
+    @classmethod
+    def noop(cls) -> "Observability":
+        """A private handle with tracing off (standalone components)."""
+        return cls(clock=None, tracing_enabled=False, slow_query_s=None)

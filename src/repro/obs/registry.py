@@ -1,0 +1,352 @@
+"""MetricsRegistry: labeled counters, gauges and histograms (§4.1.3).
+
+The paper's traffic-control loop is driven by "runtime traffic or load
+metrics of tenants, shards, and workers", and its whole evaluation is
+metric readouts.  This registry is the single place those metrics live:
+
+* every instrument is **labeled** (``tenant=…``, ``shard=…``,
+  ``worker=…``), so per-tenant accounting — the thing a multi-tenant
+  store lives or dies by — falls out of the label sets instead of
+  per-subsystem dataclasses threaded by hand;
+* a registry can be **snapshotted** into plain data and snapshots
+  **merge**, which is how a broker aggregates worker-side registries
+  without sharing mutable state;
+* snapshots export as Prometheus-style text exposition and as JSON, so
+  the same numbers feed the ``BENCH_*.json`` trajectory files and a
+  human ``curl``-style dump.
+
+Instruments are the primitives from :mod:`repro.metrics.stats`
+(lock-guarded counters, bounded-reservoir histograms), so anything that
+already holds a ``Counter`` can hold a registry child instead.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+
+from repro.common.utils import percentile
+from repro.metrics.stats import DEFAULT_RESERVOIR, Counter, Gauge, Histogram
+
+# A label set, normalized: ``(("shard", 3), ("tenant", 1))``.
+LabelKey = tuple[tuple[str, object], ...]
+
+
+def _sort_key(key: LabelKey) -> tuple:
+    """Total order over label sets even when values mix types."""
+    return tuple((name, str(value)) for name, value in key)
+
+_KINDS = ("counter", "gauge", "histogram")
+_QUANTILES = (50, 90, 99)
+
+
+def label_key(labels: dict[str, object]) -> LabelKey:
+    """Normalize a label dict into the registry's child key."""
+    return tuple(sorted(labels.items()))
+
+
+def _format_labels(key: LabelKey, extra: tuple[tuple[str, object], ...] = ()) -> str:
+    items = [*key, *extra]
+    if not items:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in items)
+    return "{" + body + "}"
+
+
+@dataclass
+class _Family:
+    """One metric name: a kind, a help string, and labeled children."""
+
+    name: str
+    kind: str
+    help: str = ""
+    children: dict[LabelKey, object] = field(default_factory=dict)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labeled instruments.
+
+    ``counter``/``gauge``/``histogram`` return the *live* instrument for
+    a (name, labels) pair, creating it on first use — callers keep the
+    child and record on it directly (no per-record dict lookups on hot
+    paths).  Re-registering a name with a different kind is an error.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument access -------------------------------------------------
+
+    def _family(self, name: str, kind: str, help: str) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name=name, kind=kind, help=help)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {family.kind}, cannot reuse as {kind}"
+            )
+        if help and not family.help:
+            family.help = help
+        return family
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        with self._lock:
+            family = self._family(name, "counter", help)
+            key = label_key(labels)
+            child = family.children.get(key)
+            if child is None:
+                child = Counter(name + _format_labels(key))
+                family.children[key] = child
+            return child  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        with self._lock:
+            family = self._family(name, "gauge", help)
+            key = label_key(labels)
+            child = family.children.get(key)
+            if child is None:
+                child = Gauge(name + _format_labels(key))
+                family.children[key] = child
+            return child  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, help: str = "", reservoir: int = DEFAULT_RESERVOIR, **labels
+    ) -> Histogram:
+        with self._lock:
+            family = self._family(name, "histogram", help)
+            key = label_key(labels)
+            child = family.children.get(key)
+            if child is None:
+                child = Histogram(name + _format_labels(key), reservoir=reservoir)
+                family.children[key] = child
+            return child  # type: ignore[return-value]
+
+    # -- read access -------------------------------------------------------
+
+    def children(self, name: str) -> dict[LabelKey, object]:
+        """The live children of one family (empty dict if unknown)."""
+        with self._lock:
+            family = self._families.get(name)
+            return dict(family.children) if family is not None else {}
+
+    def counter_value(self, name: str, **labels) -> int:
+        family = self._families.get(name)
+        if family is None:
+            return 0
+        child = family.children.get(label_key(labels))
+        return child.value if child is not None else 0  # type: ignore[union-attr]
+
+    def snapshot(self) -> "RegistrySnapshot":
+        """Freeze every instrument into plain, mergeable data."""
+        snap = RegistrySnapshot()
+        with self._lock:
+            for family in self._families.values():
+                if family.kind == "counter":
+                    dest = snap.counters.setdefault(family.name, {})
+                    for key, child in family.children.items():
+                        dest[key] = child.value  # type: ignore[union-attr]
+                elif family.kind == "gauge":
+                    dest = snap.gauges.setdefault(family.name, {})
+                    for key, child in family.children.items():
+                        dest[key] = child.value  # type: ignore[union-attr]
+                else:
+                    hdest = snap.histograms.setdefault(family.name, {})
+                    for key, child in family.children.items():
+                        hdest[key] = HistogramSnapshot.of(child)  # type: ignore[arg-type]
+                snap.help.setdefault(family.name, family.help)
+                snap.kinds.setdefault(family.name, family.kind)
+        return snap
+
+    def render_prometheus(self) -> str:
+        return self.snapshot().render_prometheus()
+
+    def to_json(self) -> dict:
+        return self.snapshot().to_json()
+
+
+@dataclass
+class HistogramSnapshot:
+    """Frozen histogram: exact count/sum/max plus the retained sample."""
+
+    count: int = 0
+    sum: float = 0.0
+    max: float | None = None
+    sample: tuple[float, ...] = ()
+
+    @classmethod
+    def of(cls, histogram: Histogram) -> "HistogramSnapshot":
+        return cls(
+            count=histogram.count,
+            sum=histogram.total,
+            max=histogram.max_value,
+            sample=tuple(histogram.values),
+        )
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Fold ``other`` in (in place).  Exact fields stay exact; the
+        combined sample is deterministically decimated back under the
+        reservoir bound."""
+        self.count += other.count
+        self.sum += other.sum
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        sample = list(self.sample) + list(other.sample)
+        while len(sample) > DEFAULT_RESERVOIR:
+            sample = sample[::2]
+        self.sample = tuple(sample)
+        return self
+
+    def quantile(self, q: float) -> float:
+        if not self.sample:
+            return 0.0
+        return percentile(list(self.sample), q)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(50),
+            "p99": self.quantile(99),
+        }
+
+
+@dataclass
+class RegistrySnapshot:
+    """Plain-data view of a registry at one instant.
+
+    Mergeable: counters and histogram counts/sums **add**, gauges add
+    too (per-entity labels make gauge collisions across sources rare,
+    and additive merge is what capacity/queue-depth style gauges want).
+    This is the broker-side aggregation primitive: snapshot each
+    worker's registry, merge, export once.
+    """
+
+    counters: dict[str, dict[LabelKey, int]] = field(default_factory=dict)
+    gauges: dict[str, dict[LabelKey, float]] = field(default_factory=dict)
+    histograms: dict[str, dict[LabelKey, HistogramSnapshot]] = field(
+        default_factory=dict
+    )
+    help: dict[str, str] = field(default_factory=dict)
+    kinds: dict[str, str] = field(default_factory=dict)
+
+    # -- merge -------------------------------------------------------------
+
+    def merge(self, other: "RegistrySnapshot") -> "RegistrySnapshot":
+        """Fold ``other`` into this snapshot (in place); returns self."""
+        for name, children in other.counters.items():
+            dest = self.counters.setdefault(name, {})
+            for key, value in children.items():
+                dest[key] = dest.get(key, 0) + value
+        for name, children in other.gauges.items():
+            gdest = self.gauges.setdefault(name, {})
+            for key, value in children.items():
+                gdest[key] = gdest.get(key, 0.0) + value
+        for name, children in other.histograms.items():
+            hdest = self.histograms.setdefault(name, {})
+            for key, snap in children.items():
+                if key in hdest:
+                    hdest[key].merge(snap)
+                else:
+                    hdest[key] = HistogramSnapshot(
+                        snap.count, snap.sum, snap.max, snap.sample
+                    )
+        for name, text in other.help.items():
+            self.help.setdefault(name, text)
+        for name, kind in other.kinds.items():
+            self.kinds.setdefault(name, kind)
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    def counter_value(self, name: str, **labels) -> int:
+        return self.counters.get(name, {}).get(label_key(labels), 0)
+
+    def counter_total(self, name: str) -> int:
+        return sum(self.counters.get(name, {}).values())
+
+    def by_label(self, name: str, label: str) -> dict[object, float]:
+        """Sum a counter family grouped by one label's values.
+
+        ``by_label("…_write_rows_total", "tenant")`` is the Figure 13/14
+        per-tenant series.
+        """
+        out: dict[object, float] = {}
+        for key, value in self.counters.get(name, {}).items():
+            for k, v in key:
+                if k == label:
+                    out[v] = out.get(v, 0.0) + value
+        return out
+
+    def gauge_value(self, name: str, **labels) -> float:
+        return self.gauges.get(name, {}).get(label_key(labels), 0.0)
+
+    def histogram_snapshot(self, name: str, **labels) -> HistogramSnapshot | None:
+        return self.histograms.get(name, {}).get(label_key(labels))
+
+    # -- export ------------------------------------------------------------
+
+    def _names(self) -> list[str]:
+        return sorted([*self.counters, *self.gauges, *self.histograms])
+
+    def render_prometheus(self) -> str:
+        """Prometheus-style text exposition (deterministic ordering)."""
+        lines: list[str] = []
+        for name in self._names():
+            kind = self.kinds.get(name, "counter")
+            help_text = self.help.get(name, "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            if kind == "histogram":
+                lines.append(f"# TYPE {name} summary")
+                for key in sorted(self.histograms[name], key=_sort_key):
+                    snap = self.histograms[name][key]
+                    for q in _QUANTILES:
+                        quantile_label = (("quantile", f"0.{q:02d}".rstrip("0")),)
+                        lines.append(
+                            f"{name}{_format_labels(key, quantile_label)} "
+                            f"{snap.quantile(q):.9g}"
+                        )
+                    lines.append(f"{name}_count{_format_labels(key)} {snap.count}")
+                    lines.append(f"{name}_sum{_format_labels(key)} {snap.sum:.9g}")
+            else:
+                lines.append(f"# TYPE {name} {kind}")
+                children = self.counters.get(name) or self.gauges.get(name) or {}
+                for key in sorted(children, key=_sort_key):
+                    value = children[key]
+                    rendered = f"{value:.9g}" if isinstance(value, float) else str(value)
+                    lines.append(f"{name}{_format_labels(key)} {rendered}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> dict:
+        """JSON-safe dict (labels flattened to ``k=v,…`` strings)."""
+
+        def flat(key: LabelKey) -> str:
+            return ",".join(f"{k}={v}" for k, v in key)
+
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, children in sorted(self.counters.items()):
+            out["counters"][name] = {
+                flat(k): children[k] for k in sorted(children, key=_sort_key)
+            }
+        for name, gchildren in sorted(self.gauges.items()):
+            out["gauges"][name] = {
+                flat(k): gchildren[k] for k in sorted(gchildren, key=_sort_key)
+            }
+        for name, hchildren in sorted(self.histograms.items()):
+            out["histograms"][name] = {
+                flat(k): hchildren[k].as_dict()
+                for k in sorted(hchildren, key=_sort_key)
+            }
+        return out
+
+    def to_json_text(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)

@@ -1,0 +1,75 @@
+"""Slow-query log: queries whose virtual latency crossed a threshold.
+
+The paper's operators watch for tenants whose queries degrade (§4.1);
+the slow-query log is the first thing they pull.  Entries are recorded
+by the broker after each query with the *virtual* latency, so the log
+is deterministic under the simulated clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SlowQueryEntry:
+    """One over-threshold query."""
+
+    at_s: float
+    tenant_id: int
+    query: str
+    latency_s: float
+    rows_returned: int
+    blocks_visited: int = 0
+    bytes_fetched: int = 0
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    def format(self) -> str:
+        return (
+            f"[t={self.at_s:.6f}] tenant={self.tenant_id} "
+            f"latency={self.latency_s:.6f}s rows={self.rows_returned} "
+            f"blocks={self.blocks_visited} bytes={self.bytes_fetched} "
+            f"query={self.query!r}"
+        )
+
+
+class SlowQueryLog:
+    """Bounded ring of queries slower than ``threshold_s`` virtual
+    seconds.  ``threshold_s=None`` disables logging entirely."""
+
+    def __init__(self, threshold_s: float | None, max_entries: int = 128) -> None:
+        if threshold_s is not None and threshold_s < 0:
+            raise ValueError(f"slow-query threshold must be >= 0, got {threshold_s}")
+        self.threshold_s = threshold_s
+        self._entries: deque[SlowQueryEntry] = deque(maxlen=max_entries)
+        self.total_logged = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_s is not None
+
+    def observe(self, entry: SlowQueryEntry) -> bool:
+        """Record ``entry`` if it is over threshold; True if logged."""
+        if self.threshold_s is None or entry.latency_s < self.threshold_s:
+            return False
+        self._entries.append(entry)
+        self.total_logged += 1
+        return True
+
+    def entries(self) -> list[SlowQueryEntry]:
+        return list(self._entries)
+
+    def format(self) -> str:
+        if not self._entries:
+            return "slow-query log: empty"
+        lines = [
+            f"slow-query log ({self.total_logged} logged, "
+            f"threshold {self.threshold_s:.3f}s):"
+        ]
+        lines.extend(entry.format() for entry in self._entries)
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.total_logged = 0

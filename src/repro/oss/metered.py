@@ -19,8 +19,11 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.common.clock import Clock, VirtualClock
+from repro.obs.tracing import Tracer
 from repro.oss.costmodel import OssCostModel
 from repro.oss.store import ObjectStat, ObjectStore
+
+_NOOP_TRACER = Tracer(None, enabled=False)
 
 
 @dataclass
@@ -54,10 +57,17 @@ class _PendingBatch:
 class MeteredObjectStore:
     """Cost-charging decorator around an object store backend."""
 
-    def __init__(self, inner: ObjectStore, model: OssCostModel, clock: Clock | None = None):
+    def __init__(
+        self,
+        inner: ObjectStore,
+        model: OssCostModel,
+        clock: Clock | None = None,
+        tracer: Tracer | None = None,
+    ):
         self._inner = inner
         self._model = model
         self._clock = clock if clock is not None else VirtualClock()
+        self._tracer = tracer if tracer is not None else _NOOP_TRACER
         self._lock = threading.Lock()
         self.stats = OssStats()
 
@@ -73,10 +83,19 @@ class MeteredObjectStore:
     def inner(self) -> ObjectStore:
         return self._inner
 
-    def _charge(self, seconds: float) -> None:
+    def _charge(self, seconds: float) -> float:
+        """Charge the cost model to the clock.
+
+        Returns the portion that did NOT advance ``now()`` (a sleep
+        inside a ``clock.deferred()`` wave is collected, not applied) so
+        callers can credit it to their trace span without double
+        counting the non-deferred case.
+        """
         with self._lock:
             self.stats.time_charged_s += seconds
+        before = self._clock.now()
         self._clock.sleep(seconds)
+        return seconds - (self._clock.now() - before)
 
     # -- bucket ops (uncharged: control-plane) ------------------------------
 
@@ -89,26 +108,31 @@ class MeteredObjectStore:
     # -- data ops ------------------------------------------------------------
 
     def put(self, bucket: str, key: str, data: bytes) -> None:
-        self._inner.put(bucket, key, data)
-        with self._lock:
-            self.stats.put_requests += 1
-            self.stats.bytes_written += len(data)
-        self._charge(self._model.put_cost(len(data)))
+        with self._tracer.span("oss.put", key=key, bytes=len(data)) as span:
+            self._inner.put(bucket, key, data)
+            with self._lock:
+                self.stats.put_requests += 1
+                self.stats.bytes_written += len(data)
+            span.charge(self._charge(self._model.put_cost(len(data))))
 
     def get(self, bucket: str, key: str) -> bytes:
-        data = self._inner.get(bucket, key)
-        with self._lock:
-            self.stats.get_requests += 1
-            self.stats.bytes_read += len(data)
-        self._charge(self._model.get_cost(len(data)))
+        with self._tracer.span("oss.get", key=key) as span:
+            data = self._inner.get(bucket, key)
+            with self._lock:
+                self.stats.get_requests += 1
+                self.stats.bytes_read += len(data)
+            span.set(bytes=len(data))
+            span.charge(self._charge(self._model.get_cost(len(data))))
         return data
 
     def get_range(self, bucket: str, key: str, start: int, length: int) -> bytes:
-        data = self._inner.get_range(bucket, key, start, length)
-        with self._lock:
-            self.stats.get_requests += 1
-            self.stats.bytes_read += len(data)
-        self._charge(self._model.get_cost(len(data)))
+        with self._tracer.span("oss.get", key=key, start=start) as span:
+            data = self._inner.get_range(bucket, key, start, length)
+            with self._lock:
+                self.stats.get_requests += 1
+                self.stats.bytes_read += len(data)
+            span.set(bytes=len(data))
+            span.charge(self._charge(self._model.get_cost(len(data))))
         return data
 
     def get_ranges_parallel(
@@ -124,12 +148,19 @@ class MeteredObjectStore:
         parallel_get_cost` — this is the primitive the §5.2 parallel
         prefetcher uses, and the source of its speedup over serial gets.
         """
-        chunks = [self._inner.get_range(bucket, key, start, length) for start, length in ranges]
-        sizes = [len(chunk) for chunk in chunks]
-        with self._lock:
-            self.stats.get_requests += len(ranges)
-            self.stats.bytes_read += sum(sizes)
-        self._charge(self._model.parallel_get_cost(sizes, threads))
+        with self._tracer.span(
+            "oss.get", key=key, ranges=len(ranges), threads=threads
+        ) as span:
+            chunks = [
+                self._inner.get_range(bucket, key, start, length)
+                for start, length in ranges
+            ]
+            sizes = [len(chunk) for chunk in chunks]
+            with self._lock:
+                self.stats.get_requests += len(ranges)
+                self.stats.bytes_read += sum(sizes)
+            span.set(bytes=sum(sizes))
+            span.charge(self._charge(self._model.parallel_get_cost(sizes, threads)))
         return chunks
 
     def head(self, bucket: str, key: str) -> ObjectStat:

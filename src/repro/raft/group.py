@@ -33,6 +33,7 @@ class RaftGroup:
         network: SimNetwork | None = None,
         snapshot_factory: Callable[[str], tuple | None] | None = None,
         seed: int = 0,
+        tracer=None,
     ) -> None:
         if n_replicas < 1:
             raise RaftError(f"need at least one replica, got {n_replicas}")
@@ -66,6 +67,7 @@ class RaftGroup:
                 snapshot_installer=installer,
                 election_timeout_s=0.15 * timeout_scale,
                 seed=seed + i,
+                tracer=tracer,
             )
 
     # -- leadership -----------------------------------------------------

@@ -31,7 +31,11 @@ from typing import Callable
 from repro.common.clock import VirtualClock
 from repro.common.errors import BackpressureError, NotLeaderError, RaftError
 from repro.metrics.stats import WritePathStats
+from repro.obs.recorders import WritePathRecorder
+from repro.obs.tracing import Tracer
 from repro.raft.group import RaftGroup
+
+_NOOP_TRACER = Tracer(None, enabled=False)
 
 DEFAULT_GROUP_BATCHES = 8
 DEFAULT_GROUP_BYTES = 1 * 1024 * 1024
@@ -65,7 +69,9 @@ class GroupCommitQueue:
         size_of: Callable[[object], int] | None = None,
         admit: Callable[[object], None] | None = None,
         throttle_fn: Callable[[], float] | None = None,
-        stats: WritePathStats | None = None,
+        recorder: WritePathRecorder | None = None,
+        tracer: Tracer | None = None,
+        span_attrs: dict | None = None,
     ) -> None:
         if max_batches < 1:
             raise ValueError(f"max_batches must be >= 1, got {max_batches}")
@@ -81,10 +87,17 @@ class GroupCommitQueue:
         self._size_of = size_of if size_of is not None else len
         self._admit = admit
         self._throttle_fn = throttle_fn
-        self.stats = stats if stats is not None else WritePathStats()
+        self._recorder = recorder if recorder is not None else WritePathRecorder()
+        self._tracer = tracer if tracer is not None else _NOOP_TRACER
+        self._span_attrs = dict(span_attrs) if span_attrs else {}
         self._pending: list = []
         self._pending_bytes = 0
         self._generation = 0  # invalidates linger timers after a flush
+
+    @property
+    def stats(self) -> WritePathStats:
+        """Typed view over the recorder's registry children."""
+        return self._recorder.view()
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -143,17 +156,20 @@ class GroupCommitQueue:
         self._pending = []
         self._pending_bytes = 0
         self._generation += 1
-        try:
-            self._flush_fn(batches)
-        except BackpressureError:
-            # Re-stash at the front so ordering survives the retry.
-            self._pending = batches + self._pending
-            self._pending_bytes += nbytes
-            raise
-        self.stats.groups_committed += 1
-        self.stats.batches_coalesced += len(batches)
-        self.stats.bytes_committed += nbytes
-        self.stats.group_sizes.observe(len(batches))
+        with self._tracer.span(
+            "group_commit", batches=len(batches), bytes=nbytes, **self._span_attrs
+        ):
+            try:
+                self._flush_fn(batches)
+            except BackpressureError:
+                # Re-stash at the front so ordering survives the retry.
+                self._pending = batches + self._pending
+                self._pending_bytes += nbytes
+                raise
+        self._recorder.groups_committed.add()
+        self._recorder.batches_coalesced.add(len(batches))
+        self._recorder.bytes_committed.add(nbytes)
+        self._recorder.group_sizes.observe(len(batches))
         return True
 
     def _on_linger(self, generation: int) -> None:
@@ -195,7 +211,9 @@ class ReplicationPipeline:
         ack: str = "quorum",
         settle_step_s: float = DEFAULT_SETTLE_STEP_S,
         settle_timeout_s: float = DEFAULT_SETTLE_TIMEOUT_S,
-        stats: WritePathStats | None = None,
+        recorder: WritePathRecorder | None = None,
+        tracer: Tracer | None = None,
+        span_attrs: dict | None = None,
     ) -> None:
         if depth < 1:
             raise ValueError(f"pipeline depth must be >= 1, got {depth}")
@@ -207,8 +225,15 @@ class ReplicationPipeline:
         self._ack = ack
         self._step = settle_step_s
         self._timeout = settle_timeout_s
-        self.stats = stats if stats is not None else WritePathStats()
+        self._recorder = recorder if recorder is not None else WritePathRecorder()
+        self._tracer = tracer if tracer is not None else _NOOP_TRACER
+        self._span_attrs = dict(span_attrs) if span_attrs else {}
         self._inflight: deque[_Inflight] = deque()
+
+    @property
+    def stats(self) -> WritePathStats:
+        """Typed view over the recorder's registry children."""
+        return self._recorder.view()
 
     def __len__(self) -> int:
         return len(self._inflight)
@@ -226,18 +251,22 @@ class ReplicationPipeline:
         while len(self._inflight) >= self._depth:
             self._settle_oldest()
         deadline = self._clock.now() + self._timeout
-        while True:
-            try:
-                index = self._group.propose_async(command)
-                break
-            except NotLeaderError:
-                # Election in flight: wait it out.  Backpressure, by
-                # contrast, propagates immediately — it is flow control.
-                if self._clock.now() >= deadline:
-                    raise
-                self._clock.advance(self._step)
+        with self._tracer.span(
+            "raft.replicate", bytes=len(command), ack=self._ack, **self._span_attrs
+        ) as span:
+            while True:
+                try:
+                    index = self._group.propose_async(command)
+                    break
+                except NotLeaderError:
+                    # Election in flight: wait it out.  Backpressure, by
+                    # contrast, propagates immediately — it is flow control.
+                    if self._clock.now() >= deadline:
+                        raise
+                    self._clock.advance(self._step)
+            span.set(index=index)
         self._inflight.append(_Inflight(index, command, self._clock.now()))
-        self.stats.inflight_peak = max(self.stats.inflight_peak, len(self._inflight))
+        self._recorder.inflight_peak.set_max(len(self._inflight))
         return index
 
     def settle(self) -> None:
@@ -276,12 +305,12 @@ class ReplicationPipeline:
 
     def _acked(self, inflight: _Inflight) -> None:
         self._inflight.popleft()
-        self.stats.commit_latency.observe(self._clock.now() - inflight.submitted_at)
+        self._recorder.commit_latency.observe(self._clock.now() - inflight.submitted_at)
 
     def _repropose(self, inflight: _Inflight) -> None:
         try:
             inflight.index = self._group.propose_async(inflight.command)
-            self.stats.reproposals += 1
+            self._recorder.reproposals.add()
         except (BackpressureError, NotLeaderError):
             # Leader busy or still electing: give the cluster time and
             # let the settle loop retry.

@@ -79,12 +79,14 @@ class RaftNode:
         sync_queue_items: int = 4096,
         sync_queue_bytes: int = 256 * 1024 * 1024,
         seed: int = 0,
+        tracer=None,
     ) -> None:
         self.node_id = node_id
         self.peers = [p for p in peers if p != node_id]
         self._clock = clock
         self._network = network
         self._apply = apply_callback
+        self._tracer = tracer
         self._snapshot_provider = snapshot_provider
         self._snapshot_installer = snapshot_installer
         self._latest_snapshot_state: bytes = b""
@@ -156,15 +158,30 @@ class RaftNode:
         self._wal.append(_WAL_KIND_TERM, body)
 
     def _persist_entry(self, entry: LogEntry) -> None:
-        self._wal.append(_WAL_KIND_ENTRY, pickle.dumps(entry))
+        body = pickle.dumps(entry)
+        if self._tracer is not None:
+            with self._tracer.span(
+                "wal.flush", node=self.node_id, entries=1, bytes=len(body)
+            ):
+                self._wal.append(_WAL_KIND_ENTRY, body)
+            return
+        self._wal.append(_WAL_KIND_ENTRY, body)
 
     def _persist_entries(self, entries: list[LogEntry]) -> None:
         """Durably record a batch of entries with one coalesced WAL flush."""
         if not entries:
             return
-        self._wal.append_many(
-            [(_WAL_KIND_ENTRY, pickle.dumps(entry)) for entry in entries]
-        )
+        frames = [(_WAL_KIND_ENTRY, pickle.dumps(entry)) for entry in entries]
+        if self._tracer is not None:
+            with self._tracer.span(
+                "wal.flush",
+                node=self.node_id,
+                entries=len(frames),
+                bytes=sum(len(body) for _, body in frames),
+            ):
+                self._wal.append_many(frames)
+            return
+        self._wal.append_many(frames)
 
     def _recover_from_wal(self) -> None:
         """Rebuild persistent state from the WAL (idempotent on fresh WAL)."""

@@ -62,6 +62,50 @@ class TestHistogram:
         assert data["p99_s"] == 2.0
 
 
+class TestHistogramReservoir:
+    def test_sample_bounded_exact_aggregates(self):
+        histogram = Histogram(reservoir=64)
+        histogram.observe_many(float(i) for i in range(10_000))
+        assert histogram.sample_size <= 64
+        assert histogram.count == 10_000
+        assert histogram.total == sum(range(10_000))
+        assert histogram.min_value == 0.0
+        assert histogram.max_value == 9999.0
+        summary = histogram.summary()
+        assert summary.count == 10_000
+        assert summary.mean_s == pytest.approx(4999.5)
+        assert summary.max_s == 9999.0
+
+    def test_decimation_keeps_every_kth(self):
+        histogram = Histogram(reservoir=4)
+        histogram.observe_many(float(i) for i in range(9))
+        # Reservoir 4 overflows twice: stride doubles 1 → 2 → 4,
+        # so the retained set is every 4th observation of the stream.
+        assert histogram._stride == 4
+        assert histogram.values == [0.0, 4.0, 8.0]
+
+    def test_decimation_deterministic(self):
+        def build():
+            histogram = Histogram(reservoir=32)
+            histogram.observe_many(float(i % 97) for i in range(5_000))
+            return histogram.values
+
+        assert build() == build()
+
+    def test_percentiles_survive_decimation(self):
+        histogram = Histogram(reservoir=128)
+        histogram.observe_many(float(i) for i in range(100_000))
+        summary = histogram.summary()
+        # Every-kth sampling of a uniform ramp keeps quantiles close.
+        assert summary.p50_s == pytest.approx(50_000, rel=0.05)
+        assert summary.p90_s == pytest.approx(90_000, rel=0.05)
+        assert histogram.fraction_below(50_000) == pytest.approx(0.5, abs=0.05)
+
+    def test_tiny_reservoir_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(reservoir=1)
+
+
 class TestAccessStats:
     def test_record_and_rank(self):
         stats = AccessStats()

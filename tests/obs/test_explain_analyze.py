@@ -1,0 +1,77 @@
+"""EXPLAIN ANALYZE: structure, work accounting, determinism."""
+
+from repro.cluster.config import small_test_config
+from repro.cluster.logstore import LogStore
+
+from tests.conftest import make_rows
+
+
+def seeded_store(**overrides):
+    store = LogStore.create(config=small_test_config(**overrides))
+    store.put(1, make_rows(500, tenant_id=1))
+    store.put(2, make_rows(200, tenant_id=2, seed=7))
+    store.flush_all()
+    return store
+
+
+SELECT_SQL = (
+    "SELECT log FROM request_log WHERE tenant_id = 1 "
+    "AND ts >= '2020-11-11 00:00:00' AND ts < '2020-11-11 00:05:00'"
+)
+AGG_SQL = "SELECT COUNT(*) FROM request_log WHERE tenant_id = 1"
+
+
+class TestExplainAnalyze:
+    def test_select_report_structure(self):
+        store = seeded_store()
+        text = store.explain_analyze(SELECT_SQL)
+        assert "== execution (virtual time: " in text
+        # Per-stage virtual timings from the broker.query trace.
+        for stage in ("plan:", "archived scan:", "realtime scan:", "merge/finalize:"):
+            assert stage in text, text
+        assert "rows returned: " in text
+        assert "== blocks ==" in text
+        assert "pruned by LogBlock map:" in text
+        assert "pruned by SMA:" in text
+        assert "== I/O ==" in text
+        assert "oss requests:" in text
+        assert "cache: " in text and "hit rate" in text
+        # A non-aggregate query has no pushdown section.
+        assert "== aggregate pushdown ==" not in text
+
+    def test_aggregate_reports_pushdown_tiers(self):
+        store = seeded_store()
+        text = store.explain_analyze(AGG_SQL)
+        assert "== aggregate pushdown ==" in text
+        assert "tier 1 (catalog):" in text
+        assert "tier 2 (SMA fold):" in text
+        assert "tier 3 (columnar):" in text
+        assert "fallback (row):" in text
+
+    def test_second_run_sees_cache_hits(self):
+        store = seeded_store()
+        store.query(SELECT_SQL)  # warm the caches
+        result = store.query(SELECT_SQL)
+        assert result.cache_hits > 0
+        assert result.oss_requests == 0  # fully cached
+        text = store.explain_analyze(SELECT_SQL)
+        assert "oss requests: 0" in text
+
+    def test_deterministic_across_identical_clusters(self):
+        first = seeded_store().explain_analyze(SELECT_SQL)
+        second = seeded_store().explain_analyze(SELECT_SQL)
+        assert first == second
+
+    def test_tracing_disabled_still_renders(self):
+        store = seeded_store(tracing_enabled=False)
+        text = store.explain_analyze(SELECT_SQL)
+        assert "(tracing disabled: per-stage timings unavailable)" in text
+        assert "== I/O ==" in text
+
+    def test_stage_timings_bounded_by_total(self):
+        store = seeded_store()
+        store.query(SELECT_SQL)
+        trace = store.last_trace("broker.query")
+        total = trace.duration_s
+        for child in trace.children:
+            assert 0.0 <= child.duration_s <= total + 1e-9

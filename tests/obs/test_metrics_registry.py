@@ -1,0 +1,131 @@
+"""MetricsRegistry: labeled families, snapshots, merge, exposition."""
+
+import pytest
+
+from repro.obs.registry import HistogramSnapshot, MetricsRegistry, label_key
+
+
+class TestLabeledFamilies:
+    def test_get_or_create_returns_same_child(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", tenant=1)
+        second = registry.counter("requests_total", tenant=1)
+        assert first is second
+        first.add(3)
+        assert registry.counter_value("requests_total", tenant=1) == 3
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", tenant=1, shard=2)
+        b = registry.counter("x_total", shard=2, tenant=1)
+        assert a is b
+        assert label_key({"b": 1, "a": 2}) == (("a", 2), ("b", 1))
+
+    def test_distinct_labels_distinct_children(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", tenant=1).add(1)
+        registry.counter("x_total", tenant=2).add(2)
+        assert registry.counter_value("x_total", tenant=1) == 1
+        assert registry.counter_value("x_total", tenant=2) == 2
+        assert len(registry.children("x_total")) == 2
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="cannot reuse"):
+            registry.gauge("x_total")
+        with pytest.raises(ValueError, match="cannot reuse"):
+            registry.histogram("x_total")
+
+    def test_gauge_and_histogram_children(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", worker="w0").set(7)
+        registry.histogram("lat_seconds", shard=0).observe(0.5)
+        snap = registry.snapshot()
+        assert snap.gauge_value("depth", worker="w0") == 7
+        hist = snap.histogram_snapshot("lat_seconds", shard=0)
+        assert hist.count == 1 and hist.sum == 0.5
+
+
+class TestSnapshotMerge:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x_total", tenant=1).add(10)
+        b.counter("x_total", tenant=1).add(5)
+        b.counter("x_total", tenant=2).add(7)
+        merged = a.snapshot().merge(b.snapshot())
+        assert merged.counter_value("x_total", tenant=1) == 15
+        assert merged.counter_value("x_total", tenant=2) == 7
+        assert merged.counter_total("x_total") == 22
+
+    def test_histograms_merge_exact_count_and_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat").observe_many([0.1, 0.2])
+        b.histogram("lat").observe_many([0.3, 0.4, 0.5])
+        merged = a.snapshot().merge(b.snapshot())
+        hist = merged.histogram_snapshot("lat")
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(1.5)
+        assert hist.max == 0.5
+
+    def test_merge_decimates_oversized_sample(self):
+        a = HistogramSnapshot(count=6000, sum=1.0, max=1.0, sample=tuple([0.1] * 6000))
+        b = HistogramSnapshot(count=6000, sum=2.0, max=2.0, sample=tuple([0.2] * 6000))
+        a.merge(b)
+        assert a.count == 12000
+        assert len(a.sample) <= 8192
+
+    def test_by_label_groups_series(self):
+        registry = MetricsRegistry()
+        registry.counter("rows_total", tenant=1, shard=0).add(10)
+        registry.counter("rows_total", tenant=1, shard=1).add(20)
+        registry.counter("rows_total", tenant=2, shard=0).add(5)
+        snap = registry.snapshot()
+        assert snap.by_label("rows_total", "tenant") == {1: 30.0, 2: 5.0}
+        assert snap.by_label("rows_total", "shard") == {0: 15.0, 1: 20.0}
+
+
+class TestExposition:
+    def test_prometheus_text_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "Things counted.", tenant=1).add(3)
+        registry.gauge("depth", "Queue depth.").set(2.5)
+        registry.histogram("lat_seconds", "Latency.").observe_many([0.1, 0.9])
+        text = registry.render_prometheus()
+        assert "# HELP x_total Things counted." in text
+        assert "# TYPE x_total counter" in text
+        assert 'x_total{tenant="1"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2.5" in text
+        assert "# TYPE lat_seconds summary" in text
+        assert 'lat_seconds{quantile="0.5"}' in text
+        assert "lat_seconds_count 2" in text
+
+    def test_mixed_type_label_values_sort(self):
+        """tenant=1 (int) and tenant='*' (str) must coexist in one family."""
+        registry = MetricsRegistry()
+        registry.counter("reads_total", tenant=1).add(1)
+        registry.counter("reads_total", tenant="*").add(2)
+        text = registry.render_prometheus()
+        assert 'reads_total{tenant="1"} 1' in text
+        assert 'reads_total{tenant="*"} 2' in text
+        registry.to_json()  # must not raise either
+
+    def test_exposition_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("b_total", shard=1).add(2)
+            registry.counter("a_total", tenant=3).add(1)
+            registry.histogram("lat").observe_many([0.5, 0.1, 0.9])
+            return registry
+
+        assert build().render_prometheus() == build().render_prometheus()
+        assert (
+            build().snapshot().to_json_text() == build().snapshot().to_json_text()
+        )
+
+    def test_json_flattens_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", shard=1, tenant=2).add(4)
+        data = registry.to_json()
+        assert data["counters"]["x_total"] == {"shard=1,tenant=2": 4}

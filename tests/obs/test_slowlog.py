@@ -1,0 +1,57 @@
+"""Slow-query log: thresholding, bounded retention, formatting."""
+
+import pytest
+
+from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
+
+
+def entry(latency_s, tenant_id=1, query="SELECT 1"):
+    return SlowQueryEntry(
+        at_s=10.0,
+        tenant_id=tenant_id,
+        query=query,
+        latency_s=latency_s,
+        rows_returned=5,
+        blocks_visited=2,
+        bytes_fetched=1024,
+    )
+
+
+class TestSlowQueryLog:
+    def test_over_threshold_logged(self):
+        log = SlowQueryLog(threshold_s=1.0)
+        assert not log.observe(entry(0.5))
+        assert log.observe(entry(2.0))
+        assert log.total_logged == 1
+        assert log.entries()[0].latency_s == 2.0
+
+    def test_disabled_when_none(self):
+        log = SlowQueryLog(threshold_s=None)
+        assert not log.enabled
+        assert not log.observe(entry(100.0))
+        assert log.entries() == []
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_s=-1.0)
+
+    def test_bounded_ring(self):
+        log = SlowQueryLog(threshold_s=0.0, max_entries=2)
+        for i in range(4):
+            log.observe(entry(float(i + 1), query=f"q{i}"))
+        assert log.total_logged == 4
+        assert [e.query for e in log.entries()] == ["q2", "q3"]
+
+    def test_format(self):
+        log = SlowQueryLog(threshold_s=1.0)
+        assert log.format() == "slow-query log: empty"
+        log.observe(entry(2.5))
+        text = log.format()
+        assert "threshold 1.000s" in text
+        assert "tenant=1" in text and "latency=2.500000s" in text
+
+    def test_clear(self):
+        log = SlowQueryLog(threshold_s=0.0)
+        log.observe(entry(1.0))
+        log.clear()
+        assert log.entries() == [] and log.total_logged == 0

@@ -1,0 +1,133 @@
+"""Tracer: nesting, virtual timing, determinism, bounded retention."""
+
+from repro.common.clock import VirtualClock
+from repro.obs.tracing import NOOP_SPAN, Tracer, format_trace, span_chain
+
+
+def make_tracer(**kwargs):
+    clock = VirtualClock()
+    return Tracer(clock, **kwargs), clock
+
+
+class TestNesting:
+    def test_children_attach_to_parent(self):
+        tracer, clock = make_tracer()
+        with tracer.span("broker.write", tenant=1) as root:
+            with tracer.span("group_commit") as mid:
+                with tracer.span("raft.replicate"):
+                    clock.advance(0.002)
+            assert tracer.current() is root
+        assert root.children == [mid]
+        assert mid.children[0].name == "raft.replicate"
+        assert tracer.last_trace("broker.write") is root
+
+    def test_sibling_spans(self):
+        tracer, _ = make_tracer()
+        with tracer.span("broker.query") as root:
+            with tracer.span("broker.plan"):
+                pass
+            with tracer.span("broker.merge"):
+                pass
+        assert [c.name for c in root.children] == ["broker.plan", "broker.merge"]
+
+    def test_duration_tracks_clock_and_charges(self):
+        tracer, clock = make_tracer()
+        with tracer.span("oss.get") as span:
+            clock.advance(0.010)
+            span.charge(0.005)  # deferred-wave credit
+        assert span.duration_s == 0.015
+
+    def test_events_recorded(self):
+        tracer, _ = make_tracer()
+        with tracer.span("shard.write") as span:
+            tracer.event("linger_flush", batches=3)
+        assert span.events == [("linger_flush", {"batches": 3})]
+
+
+class TestDisabled:
+    def test_disabled_yields_shared_noop(self):
+        tracer = Tracer(None, enabled=True)  # no clock → disabled
+        assert not tracer.enabled
+        with tracer.span("x") as span:
+            assert span is NOOP_SPAN
+            span.set(a=1).charge(2.0)
+        assert tracer.traces() == []
+
+    def test_enabled_false_with_clock(self):
+        tracer, _ = VirtualClock(), None
+        tracer = Tracer(VirtualClock(), enabled=False)
+        assert not tracer.enabled
+
+
+class TestRetention:
+    def test_ring_bounded(self):
+        tracer, _ = make_tracer(max_traces=3)
+        for i in range(5):
+            with tracer.span(f"t{i}"):
+                pass
+        assert [t.name for t in tracer.traces()] == ["t2", "t3", "t4"]
+        assert tracer.dropped_traces == 2
+
+    def test_find_spans_across_traces(self):
+        tracer, _ = make_tracer()
+        for _ in range(2):
+            with tracer.span("broker.write"):
+                with tracer.span("wal.flush"):
+                    pass
+        assert len(tracer.find_spans("wal.flush")) == 2
+        tracer.reset()
+        assert tracer.find_spans("wal.flush") == []
+
+
+class TestFormatting:
+    def test_format_trace_golden(self):
+        tracer, clock = make_tracer()
+        with tracer.span("broker.write", tenant=1):
+            with tracer.span("group_commit", shard=0, batches=2):
+                clock.advance(0.002)
+        root = tracer.last_trace()
+        expected = (
+            "broker.write 0.002000s [tenant=1]\n"
+            "  group_commit 0.002000s [batches=2 shard=0]"
+        )
+        assert format_trace(root) == expected
+
+    def test_format_deterministic(self):
+        def build():
+            tracer, clock = make_tracer()
+            with tracer.span("a", z=1, b=2):
+                with tracer.span("b"):
+                    clock.advance(0.5)
+            return format_trace(tracer.last_trace())
+
+        assert build() == build()
+
+
+class TestSpanChain:
+    def _write_trace(self):
+        tracer, _ = make_tracer()
+        with tracer.span("broker.write", tenant=1):
+            with tracer.span("shard.write", shard=0):  # intermediate level
+                with tracer.span("group_commit"):
+                    with tracer.span("raft.replicate"):
+                        with tracer.span("wal.flush"):
+                            pass
+        return tracer.last_trace()
+
+    def test_full_chain_found(self):
+        root = self._write_trace()
+        assert span_chain(
+            root, ["broker.write", "group_commit", "raft.replicate", "wal.flush"]
+        )
+
+    def test_chain_allows_intermediates(self):
+        root = self._write_trace()
+        assert span_chain(root, ["broker.write", "wal.flush"])
+
+    def test_wrong_order_rejected(self):
+        root = self._write_trace()
+        assert not span_chain(root, ["wal.flush", "broker.write"])
+        assert not span_chain(root, ["broker.write", "oss.get"])
+
+    def test_empty_chain_true(self):
+        assert span_chain(self._write_trace(), [])
