@@ -170,6 +170,14 @@ class DataBuilder:
         self._bytes_total = registry.counter(
             "logstore_builder_bytes_uploaded_total", "LogBlock bytes uploaded."
         )
+        self._orphans_recorded = registry.counter(
+            "logstore_builder_orphans_recorded_total",
+            "Uploaded-but-unregistered blocks left behind by failed archives.",
+        )
+        self._orphans_swept = registry.counter(
+            "logstore_builder_orphans_swept_total",
+            "Orphaned blocks later deleted by sweep_orphans().",
+        )
         self._schema = schema
         self._oss = oss
         self._bucket = bucket
@@ -187,6 +195,7 @@ class DataBuilder:
         )
         self._memtable_seq = 0
         self._lock = threading.Lock()
+        self._orphans: list[tuple[str, str]] = []
 
     @property
     def schema(self) -> TableSchema:
@@ -247,15 +256,76 @@ class DataBuilder:
 
             upload_start = time.perf_counter()
             retries_before = self._upload.stats.retries
-            for built_blocks in built_per_tenant:
-                for built in built_blocks:
-                    self._upload_and_register(built, report)
+            all_built = [b for blocks in built_per_tenant for b in blocks]
+            # Upload every block BEFORE registering any of them, so the
+            # memtable archives all-or-nothing.  A failure mid-upload
+            # leaves the catalog untouched; compensation deletes remove
+            # the already-uploaded blocks (tracked as orphans when the
+            # delete itself fails during an outage) and the caller can
+            # retry the whole memtable without duplicating rows.
+            uploaded: list[_BuiltBlock] = []
+            try:
+                for built in all_built:
+                    self._catalog.ensure_tenant(built.tenant_id)
+                    self._upload.put(self._bucket, built.path, built.blob)
+                    uploaded.append(built)
+            except BaseException:
+                report.upload_retries += self._upload.stats.retries - retries_before
+                report.upload_s += time.perf_counter() - upload_start
+                # Include the in-flight block: a failed PUT can still
+                # have left a torn partial object at its path.
+                in_flight = all_built[len(uploaded) : len(uploaded) + 1]
+                self._compensate(uploaded + in_flight)
+                raise
+            for built in all_built:
+                self._register(built, report)
             report.upload_retries += self._upload.stats.retries - retries_before
             report.upload_s += time.perf_counter() - upload_start
 
             report.memtables_converted += 1
             self._memtables_total.add()
         return report
+
+    def _compensate(self, uploaded: list[_BuiltBlock]) -> None:
+        """Best-effort deletion of uploaded-but-unregistered blocks."""
+        from repro.common.errors import NoSuchKey
+
+        for built in uploaded:
+            try:
+                self._oss.delete(self._bucket, built.path)
+            except NoSuchKey:
+                pass  # the failed PUT left nothing behind
+            except Exception:
+                self._orphans.append((self._bucket, built.path))
+                self._orphans_recorded.add()
+
+    @property
+    def orphans(self) -> list[tuple[str, str]]:
+        """(bucket, path) pairs whose compensation delete failed so far."""
+        return list(self._orphans)
+
+    def sweep_orphans(self) -> int:
+        """Retry deleting orphaned blocks (call after the outage heals).
+
+        Returns how many orphans were cleared.  An orphan that is
+        already gone counts as cleared; one whose delete fails again
+        stays queued for the next sweep.
+        """
+        from repro.common.errors import NoSuchKey
+
+        remaining: list[tuple[str, str]] = []
+        cleared = 0
+        for bucket, path in self._orphans:
+            try:
+                self._oss.delete(bucket, path)
+                cleared += 1
+            except NoSuchKey:
+                cleared += 1
+            except Exception:
+                remaining.append((bucket, path))
+        self._orphans = remaining
+        self._orphans_swept.add(cleared)
+        return cleared
 
     def _tenant_build_task(
         self,
@@ -303,9 +373,7 @@ class DataBuilder:
 
         return build
 
-    def _upload_and_register(self, built: _BuiltBlock, report: BuildReport) -> None:
-        self._catalog.ensure_tenant(built.tenant_id)
-        self._upload.put(self._bucket, built.path, built.blob)
+    def _register(self, built: _BuiltBlock, report: BuildReport) -> None:
         entry = LogBlockEntry(
             tenant_id=built.tenant_id,
             min_ts=built.min_ts,

@@ -105,6 +105,7 @@ class Compactor:
             clock=retry_clock if retry_clock is not None else VirtualClock(),
         )
         self._generation = 0
+        self._orphans: list[tuple[str, str]] = []
         self._obs = obs if obs is not None else Observability.noop()
         registry = self._obs.registry
         self._runs_total = registry.counter(
@@ -155,7 +156,7 @@ class Compactor:
 
         generation = self._generation
         self._generation += 1
-        new_entries: list[LogBlockEntry] = []
+        built: list[tuple[str, bytes, LogBlockEntry]] = []
         for chunk_start in range(0, len(rows), self._target_rows):
             chunk = rows[chunk_start : chunk_start + self._target_rows]
             writer = LogBlockWriter(
@@ -171,7 +172,6 @@ class Compactor:
             path = compacted_block_path(
                 tenant_id, generation, chunk_start // self._target_rows, min_ts, max_ts
             )
-            self._upload.put(self._bucket, path, blob)
             entry = LogBlockEntry(
                 tenant_id=tenant_id,
                 min_ts=min_ts,
@@ -180,20 +180,74 @@ class Compactor:
                 size_bytes=len(blob),
                 row_count=len(chunk),
             )
-            self._catalog.add_block(entry)
-            new_entries.append(entry)
-            result.bytes_after += len(blob)
-            result.rows_rewritten += len(chunk)
-        result.blocks_after = len(new_entries)
+            built.append((path, blob, entry))
 
-        # New data is live; now retire the superseded blocks.
+        # Upload every output before registering any: a failure mid-way
+        # must leave the catalog exactly as it was (victims still live,
+        # no half-registered outputs duplicating their rows).  Uploaded
+        # outputs are compensation-deleted; a delete that fails during
+        # the same outage is queued as an orphan for sweep_orphans().
+        uploaded: list[str] = []
+        try:
+            for path, blob, _entry in built:
+                self._upload.put(self._bucket, path, blob)
+                uploaded.append(path)
+        except BaseException:
+            result.upload_retries = self._upload.stats.retries - retries_before
+            # Include the in-flight path: a failed PUT can still have
+            # left a torn partial object behind.
+            in_flight = [p for p, _b, _e in built[len(uploaded) : len(uploaded) + 1]]
+            for path in uploaded + in_flight:
+                try:
+                    self._oss_delete(path)
+                except NoSuchKey:
+                    pass  # the failed PUT left nothing behind
+                except Exception:
+                    self._orphans.append((self._bucket, path))
+            raise
+        for path, blob, entry in built:
+            self._catalog.add_block(entry)
+            result.bytes_after += len(blob)
+            result.rows_rewritten += entry.row_count
+        result.blocks_after = len(built)
+
+        # New data is live; now retire the superseded blocks.  The map
+        # entry is dropped even when the object delete fails (the rows
+        # already live in the outputs; keeping the victim registered
+        # would double-count them) — the object becomes an orphan and a
+        # later sweep removes it.
         for block in victims:
             try:
-                self._upload.delete(self._bucket, block.path)
+                self._oss_delete(block.path)
             except NoSuchKey:
                 pass  # object already gone; still drop the map entry
+            except Exception:
+                self._orphans.append((self._bucket, block.path))
             self._catalog.remove_block(block)
         result.upload_retries = self._upload.stats.retries - retries_before
+
+    def _oss_delete(self, path: str) -> None:
+        self._upload.delete(self._bucket, path)
+
+    @property
+    def orphans(self) -> list[tuple[str, str]]:
+        """(bucket, path) pairs whose delete failed and awaits a sweep."""
+        return list(self._orphans)
+
+    def sweep_orphans(self) -> int:
+        """Retry deleting orphaned objects; returns how many cleared."""
+        remaining: list[tuple[str, str]] = []
+        cleared = 0
+        for bucket, path in self._orphans:
+            try:
+                self._upload.delete(bucket, path)
+                cleared += 1
+            except NoSuchKey:
+                cleared += 1
+            except Exception:
+                remaining.append((bucket, path))
+        self._orphans = remaining
+        return cleared
 
     def compact_all(self) -> list[CompactionResult]:
         """Run :meth:`compact_tenant` for every registered tenant."""

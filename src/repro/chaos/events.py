@@ -1,0 +1,67 @@
+"""Deterministic event traces for chaos runs.
+
+Every fault injection, workload op, and lifecycle step of a chaos run
+is recorded as a :class:`ChaosEvent` with its virtual-clock timestamp.
+Since the whole simulation is deterministic, re-running the same
+``(scenario, seed)`` must reproduce the trace byte for byte — the
+digest is the cheap way to assert that, and the dump is what CI uploads
+when a run fails.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One timestamped occurrence in a chaos run."""
+
+    at: float  # virtual-clock seconds
+    kind: str  # dotted category, e.g. "fault.oss.outage.begin"
+    target: str  # what it hit, e.g. "oss", "shard0/r1", "tenant:3"
+    detail: str = ""
+
+    def format(self) -> str:
+        line = f"t={self.at:.9f} {self.kind} {self.target}"
+        return f"{line} {self.detail}" if self.detail else line
+
+
+class EventTrace:
+    """Append-only, replay-comparable record of a chaos run."""
+
+    def __init__(self) -> None:
+        self._events: list[ChaosEvent] = []
+
+    def record(self, at: float, kind: str, target: str, detail: str = "") -> ChaosEvent:
+        event = ChaosEvent(at=at, kind=kind, target=target, detail=detail)
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> list[ChaosEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def kinds(self) -> dict[str, int]:
+        """Event count per kind (summary view)."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def to_lines(self) -> list[str]:
+        return [event.format() for event in self._events]
+
+    def dump(self) -> str:
+        return "\n".join(self.to_lines()) + ("\n" if self._events else "")
+
+    def digest(self) -> str:
+        """SHA-256 over the dump; equal digests ⇔ byte-identical traces."""
+        return hashlib.sha256(self.dump().encode()).hexdigest()

@@ -1,0 +1,186 @@
+"""Post-heal invariant checks for chaos runs.
+
+After the fault schedule ends and the cluster heals, these checks
+assert the promises LogStore makes to clients and to itself:
+
+* **durability / read-your-writes** — every acknowledged row is
+  readable, exactly once.  Rows from indeterminate batches (the write
+  call raised) may appear at most once.  No phantom rows exist that no
+  client ever submitted.
+* **replica consistency** — full replicas that have applied the same
+  log prefix hold byte-identical row-store state.
+* **catalog/OSS agreement** — every catalog LogBlock entry points at an
+  existing object, no two entries share a path, and no ``.lgb`` object
+  exists on OSS that the catalog (or the orphan queues awaiting a
+  sweep) does not account for.
+
+Checks are read-only: they query through the normal broker path and
+inspect metadata, so a passing run proves the *user-visible* system,
+not internal bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.common.errors import ClusterError, InvariantViolationError
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken promise, with enough detail to debug the run."""
+
+    invariant: str
+    target: str
+    detail: str
+
+    def format(self) -> str:
+        return f"[{self.invariant}] {self.target}: {self.detail}"
+
+
+class InvariantChecker:
+    """Checks a healed cluster against the run's write ledger."""
+
+    def __init__(self, store, ledger, trace=None) -> None:
+        self._store = store
+        self._ledger = ledger
+        self._trace = trace
+
+    # -- individual checks ----------------------------------------------
+
+    def check_durability(self) -> list[InvariantViolation]:
+        """Acked rows appear exactly once; indeterminate at most once."""
+        violations: list[InvariantViolation] = []
+        for tenant_id in self._ledger.tenants():
+            result = self._store.query(
+                f"SELECT log FROM request_log WHERE tenant_id = {tenant_id}"
+            )
+            observed = Counter(row["log"] for row in result.rows)
+            acked = self._ledger.acked_keys(tenant_id)
+            indeterminate = self._ledger.indeterminate_keys(tenant_id)
+            target = f"tenant:{tenant_id}"
+            lost = [key for key in acked if observed[key] == 0]
+            if lost:
+                violations.append(
+                    InvariantViolation(
+                        "no_acked_write_lost",
+                        target,
+                        f"{len(lost)} acked rows missing, first: {lost[0]!r}",
+                    )
+                )
+            duplicated = [key for key, count in observed.items() if count > 1]
+            if duplicated:
+                violations.append(
+                    InvariantViolation(
+                        "no_duplicate_rows",
+                        target,
+                        f"{len(duplicated)} rows visible more than once, "
+                        f"first: {duplicated[0]!r} x{observed[duplicated[0]]}",
+                    )
+                )
+            phantoms = [
+                key for key in observed if key not in acked and key not in indeterminate
+            ]
+            if phantoms:
+                violations.append(
+                    InvariantViolation(
+                        "no_phantom_rows",
+                        target,
+                        f"{len(phantoms)} rows no client submitted, "
+                        f"first: {phantoms[0]!r}",
+                    )
+                )
+        return violations
+
+    def check_replica_consistency(self) -> list[InvariantViolation]:
+        """Caught-up full replicas hold byte-identical stores."""
+        violations: list[InvariantViolation] = []
+        for worker in self._store.workers.values():
+            for shard in worker.shards.values():
+                try:
+                    shard.verify_raft_consistency()
+                except ClusterError as exc:
+                    violations.append(
+                        InvariantViolation(
+                            "replicas_byte_identical", f"shard:{shard.shard_id}", str(exc)
+                        )
+                    )
+        return violations
+
+    def check_catalog_oss_agreement(self) -> list[InvariantViolation]:
+        """The LogBlock map and the bucket tell the same story."""
+        violations: list[InvariantViolation] = []
+        bucket = self._store.config.bucket
+        entries = self._store.catalog.all_blocks()
+        paths = Counter(entry.path for entry in entries)
+        duplicates = [path for path, count in paths.items() if count > 1]
+        if duplicates:
+            violations.append(
+                InvariantViolation(
+                    "no_duplicate_blocks",
+                    "catalog",
+                    f"{len(duplicates)} paths registered twice, first: {duplicates[0]}",
+                )
+            )
+        stored = {
+            stat.key
+            for stat in self._store.oss.list(bucket, "tenants/")
+            if stat.key.endswith(".lgb")
+        }
+        dangling = sorted(set(paths) - stored)
+        if dangling:
+            violations.append(
+                InvariantViolation(
+                    "no_dangling_blocks",
+                    "catalog",
+                    f"{len(dangling)} catalog entries without an object, "
+                    f"first: {dangling[0]}",
+                )
+            )
+        # Orphans still queued for a sweep are accounted for, not leaked.
+        pending = {path for _bucket, path in self._store.builder.orphans}
+        compactor = getattr(self._store, "compactor", None)
+        if compactor is not None:
+            pending |= {path for _bucket, path in compactor.orphans}
+        unaccounted = sorted(stored - set(paths) - pending)
+        if unaccounted:
+            violations.append(
+                InvariantViolation(
+                    "no_orphan_objects",
+                    "oss",
+                    f"{len(unaccounted)} .lgb objects not in the catalog, "
+                    f"first: {unaccounted[0]}",
+                )
+            )
+        return violations
+
+    # -- aggregation -----------------------------------------------------
+
+    def check_all(self) -> list[InvariantViolation]:
+        violations = (
+            self.check_durability()
+            + self.check_replica_consistency()
+            + self.check_catalog_oss_agreement()
+        )
+        if self._trace is not None:
+            clock = self._store.clock
+            if violations:
+                for violation in violations:
+                    self._trace.record(
+                        clock.now(),
+                        "invariant.violated",
+                        violation.target,
+                        f"{violation.invariant}: {violation.detail}",
+                    )
+            else:
+                self._trace.record(clock.now(), "invariant.ok", "cluster")
+        return violations
+
+    def assert_ok(self) -> None:
+        violations = self.check_all()
+        if violations:
+            lines = "\n".join(violation.format() for violation in violations)
+            raise InvariantViolationError(
+                f"{len(violations)} invariant violation(s):\n{lines}"
+            )

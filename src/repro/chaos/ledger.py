@@ -1,0 +1,50 @@
+"""The write ledger: ground truth for durability invariants.
+
+The chaos workload records every batch it submits with the outcome the
+*client* observed:
+
+* **acked** — the write call returned: the cluster promised durability
+  at the configured ack level.  Every acked row must survive any fault
+  schedule, and must appear exactly once.
+* **indeterminate** — the write call raised: the client cannot know
+  whether the batch (or part of it — the broker admits per shard) took
+  effect.  Each indeterminate row may appear zero or one time, never
+  twice.
+
+Rows are identified by their ``log`` field, which the workload makes
+globally unique per run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WriteLedger:
+    """Per-tenant acked / indeterminate row keys."""
+
+    acked: dict[int, list[str]] = field(default_factory=dict)
+    indeterminate: dict[int, list[str]] = field(default_factory=dict)
+
+    def record_acked(self, tenant_id: int, rows: list[dict]) -> None:
+        self.acked.setdefault(tenant_id, []).extend(row["log"] for row in rows)
+
+    def record_indeterminate(self, tenant_id: int, rows: list[dict]) -> None:
+        self.indeterminate.setdefault(tenant_id, []).extend(row["log"] for row in rows)
+
+    def tenants(self) -> list[int]:
+        return sorted(set(self.acked) | set(self.indeterminate))
+
+    def acked_count(self) -> int:
+        return sum(len(keys) for keys in self.acked.values())
+
+    def indeterminate_count(self) -> int:
+        return sum(len(keys) for keys in self.indeterminate.values())
+
+    def acked_keys(self, tenant_id: int) -> Counter:
+        return Counter(self.acked.get(tenant_id, ()))
+
+    def indeterminate_keys(self, tenant_id: int) -> set[str]:
+        return set(self.indeterminate.get(tenant_id, ()))

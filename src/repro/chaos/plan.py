@@ -1,0 +1,173 @@
+"""Fault schedules: hand-written plans and the seeded Nemesis.
+
+A :class:`FaultPlan` is an ordered list of ``(virtual time, action)``
+pairs.  The chaos runner pumps it between workload steps: whenever the
+virtual clock passes an action's time, the action fires.  Scenario
+bodies either call injector controls directly (for precisely staged
+failures) or build a plan — usually via :class:`Nemesis`, which samples
+a random-but-seeded schedule from a palette of faults, so one scenario
+covers combinations nobody thought to write down while staying fully
+replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class FaultAction:
+    """One scheduled fault (ordered by time, then insertion)."""
+
+    at: float
+    seq: int
+    name: str = field(compare=False)
+    apply: Callable[[], None] = field(compare=False)
+
+
+class FaultPlan:
+    """A time-ordered schedule of fault actions."""
+
+    def __init__(self) -> None:
+        self._actions: list[FaultAction] = []
+        self._seq = 0
+
+    def add(self, at: float, name: str, apply: Callable[[], None]) -> None:
+        self._actions.append(FaultAction(at=at, seq=self._seq, name=name, apply=apply))
+        self._seq += 1
+        self._actions.sort()
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._actions
+
+    def next_at(self) -> float | None:
+        return self._actions[0].at if self._actions else None
+
+    def pop_due(self, now: float) -> list[FaultAction]:
+        """Remove and return every action scheduled at or before ``now``."""
+        due: list[FaultAction] = []
+        while self._actions and self._actions[0].at <= now:
+            due.append(self._actions.pop(0))
+        return due
+
+
+class Nemesis:
+    """Seeded random fault scheduler over a context's injectors.
+
+    Given a :class:`~repro.chaos.runner.ChaosContext`, builds a
+    :class:`FaultPlan` by repeatedly sampling a fault from the palette
+    at exponentially spaced times.  Faults with a duration (outages,
+    partitions, crashes) get a matching heal/recover action a short
+    hold later, so the system keeps making progress mid-run; whatever
+    is still broken when the schedule ends is cleared by the runner's
+    final heal phase.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        # At most one WAL corruption per plan: Raft (correctly) cannot
+        # survive disk corruption on a majority, so corrupting several
+        # replicas could lose quorum-acked entries by design.
+        self._wal_corrupted = False
+
+    def build_plan(
+        self,
+        ctx,
+        duration_s: float,
+        mean_gap_s: float = 2.0,
+        mean_hold_s: float = 1.5,
+    ) -> FaultPlan:
+        plan = FaultPlan()
+        rng = self._rng
+        t = ctx.clock.now()
+        end = t + duration_s
+        while True:
+            t += rng.expovariate(1.0 / mean_gap_s)
+            if t >= end:
+                break
+            hold = min(rng.expovariate(1.0 / mean_hold_s), end - t)
+            self._sample_fault(ctx, plan, t, hold)
+        return plan
+
+    def _sample_fault(self, ctx, plan: FaultPlan, t: float, hold: float) -> None:
+        rng = self._rng
+        choices = ["oss_outage", "oss_errors", "oss_latency", "oss_torn_put"]
+        if ctx.raft_shards():
+            choices += ["partition", "one_way_partition", "crash_replica"]
+            if not self._wal_corrupted:
+                choices.append("wal_corrupt")
+        kind = rng.choice(choices)
+        if kind == "oss_outage":
+            plan.add(t, "oss_outage.begin", ctx.chaos_oss.begin_outage)
+            plan.add(t + hold, "oss_outage.end", ctx.chaos_oss.end_outage)
+        elif kind == "oss_errors":
+            rate = 0.1 + rng.random() * 0.4
+            plan.add(t, "oss_errors.begin", lambda r=rate: ctx.chaos_oss.set_error_rate(r))
+            plan.add(t + hold, "oss_errors.end", lambda: ctx.chaos_oss.set_error_rate(0.0))
+        elif kind == "oss_latency":
+            spike = 0.01 + rng.random() * 0.05
+            plan.add(t, "oss_latency.begin", lambda s=spike: ctx.chaos_oss.set_latency_spike(s))
+            plan.add(t + hold, "oss_latency.end", lambda: ctx.chaos_oss.set_latency_spike(0.0))
+        elif kind == "oss_torn_put":
+            count = rng.randint(1, 2)
+            fraction = 0.25 + rng.random() * 0.5
+            plan.add(
+                t,
+                "oss_torn_put",
+                lambda c=count, f=fraction: ctx.chaos_oss.tear_next_puts(c, f),
+            )
+        elif kind == "wal_corrupt":
+            # Damage at rest: crash a replica, flip a byte in its WAL
+            # tail, recover — recovery re-opens the log and must repair
+            # the tail.  (A live torn append on a Raft replica would be
+            # a process panic, which "crash_replica" already models.)
+            shards = ctx.raft_shards()
+            if not shards:
+                return
+            self._wal_corrupted = True
+            shard = rng.choice(shards)
+            node_id = rng.choice(shard.raft._node_ids)
+            plan.add(t, "wal_corrupt.crash", lambda s=shard, n=node_id: ctx.crash_replica(s, n))
+            plan.add(
+                t + 0.05,
+                "wal_corrupt.tail",
+                lambda n=node_id: ctx.corrupt_wal_tail(n),
+            )
+            plan.add(
+                t + max(hold, 0.1),
+                "wal_corrupt.recover",
+                lambda s=shard, n=node_id: ctx.recover_replica(s, n),
+            )
+        elif kind == "partition":
+            shard = rng.choice(ctx.raft_shards())
+            a, b = rng.sample(shard.raft._node_ids, 2)
+            plan.add(t, "partition.begin", lambda s=shard, x=a, y=b: ctx.partition(s, x, y))
+            plan.add(t + hold, "partition.end", lambda s=shard, x=a, y=b: ctx.heal_partition(s, x, y))
+        elif kind == "one_way_partition":
+            shard = rng.choice(ctx.raft_shards())
+            a, b = rng.sample(shard.raft._node_ids, 2)
+            plan.add(
+                t,
+                "one_way_partition.begin",
+                lambda s=shard, x=a, y=b: ctx.partition_one_way(s, x, y),
+            )
+            plan.add(
+                t + hold,
+                "one_way_partition.end",
+                lambda s=shard, x=a, y=b: ctx.heal_partition(s, x, y),
+            )
+        elif kind == "crash_replica":
+            shard = rng.choice(ctx.raft_shards())
+            node_id = rng.choice(shard.raft._node_ids)
+            plan.add(t, "crash_replica", lambda s=shard, n=node_id: ctx.crash_replica(s, n))
+            plan.add(
+                t + hold,
+                "recover_replica",
+                lambda s=shard, n=node_id: ctx.recover_replica(s, n),
+            )

@@ -9,6 +9,7 @@ model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.codec.registry import DEFAULT_CODEC
 from repro.common.errors import ConfigError
@@ -38,6 +39,10 @@ class LogStoreConfig:
     pipeline_depth: int = 8  # in-flight proposals per shard before settling
     write_ack: str = "quorum"  # "quorum" (majority commit) | "all" replicas
     wal_fsync_s: float = 0.0  # simulated fsync charge per non-raft WAL flush
+    # WAL segment backend per WAL owner ("shard<N>" for a plain shard,
+    # "shard<N>/r<I>" for a Raft replica); None = in-memory default.
+    # Chaos runs inject fault-wrapped backends here.
+    wal_backend_factory: Optional[Callable[[str], object]] = None
 
     # traffic control (§4.1)
     balancer: str = "maxflow"  # "none" | "greedy" | "maxflow"

@@ -85,6 +85,7 @@ class LogStore:
         )
 
         self._builder = builder
+        self.builder = builder  # public: chaos/invariant checks reach it here
         self.workers: dict[str, Worker] = {}
         for worker_index in range(config.n_workers):
             self._provision_worker(worker_index)
@@ -156,6 +157,7 @@ class LogStore:
             pipeline_depth=self.config.pipeline_depth,
             write_ack=self.config.write_ack,
             wal_fsync_s=self.config.wal_fsync_s,
+            wal_backend_factory=self.config.wal_backend_factory,
             seed=self.config.seed,
             obs=self.obs,
         )

@@ -14,20 +14,36 @@ from __future__ import annotations
 
 import pickle
 
+from typing import Callable
+
 from repro.common.clock import VirtualClock
-from repro.common.errors import BackpressureError, ClusterError
+from repro.common.errors import BackpressureError, ClusterError, NotLeaderError, RaftError
 from repro.metrics.stats import WritePathStats
 from repro.obs.context import Observability
 from repro.obs.recorders import WritePathRecorder
 from repro.raft.group import RaftGroup
 from repro.raft.group_commit import GroupCommitQueue, ReplicationPipeline
 from repro.raft.messages import LogEntry
+from repro.rowstore.memtable import MemTable
 from repro.rowstore.store import RowStore
 from repro.wal.log import SegmentBackend, WriteAheadLog
 
 # Shard-level WAL entry kinds.
 _WAL_KIND_BATCH = 20
 _WAL_KIND_CHECKPOINT = 21
+_WAL_KIND_ARCHIVE = 22
+
+# Replicated shard command marking the first N sealed memtables as
+# archived to OSS (they leave every replica's row store at the same log
+# position).  Pickled row batches always start with the pickle protocol
+# opcode, so the prefix cannot collide with a data command.
+_CMD_DRAIN_PREFIX = b"\x01shard-drain:"
+
+# Replicated command sealing the active memtable (flush path).  Sealing
+# must go through the log on replicated shards: a local seal on one
+# replica's store would diverge the seal boundaries — and therefore the
+# drain prefixes — across the group.
+_CMD_SEAL = b"\x01shard-seal"
 
 
 class Shard:
@@ -52,12 +68,15 @@ class Shard:
         pipeline_depth: int = 8,
         write_ack: str = "quorum",
         wal_fsync_s: float = 0.0,
+        wal_backend_factory: Callable[[str], SegmentBackend] | None = None,
         seed: int = 0,
         obs: Observability | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.worker_id = worker_id
         self.capacity_rps = capacity_rps
+        self.seal_rows = seal_rows
+        self.seal_bytes = seal_bytes
         self._clock = clock
         self._write_ack = write_ack
         self._wal_fsync_s = wal_fsync_s
@@ -79,16 +98,30 @@ class Shard:
         self._write_recorder = WritePathRecorder(registry, shard=shard_id)
 
         self._use_raft = use_raft
+        self._pending_drain = 0
+        self._drain_target = 0  # cumulative memtables settled as drained
         if use_raft:
             self._replica_stores: dict[str, RowStore] = {}
+            self._rowstore = None
 
             def apply_factory(node_id: str):
                 store = RowStore(seal_rows=seal_rows, seal_bytes=seal_bytes)
                 self._replica_stores[node_id] = store
 
                 def apply(entry: LogEntry) -> None:
-                    rows = pickle.loads(entry.command)
-                    store.append_many(rows)
+                    if entry.command == _CMD_SEAL:
+                        store.seal_active()
+                    elif entry.command.startswith(_CMD_DRAIN_PREFIX):
+                        # The command carries the *cumulative* drain
+                        # target, so re-proposals after an indeterminate
+                        # settle apply idempotently (drop = 0).
+                        target = int(entry.command[len(_CMD_DRAIN_PREFIX) :])
+                        drop = target - store.sealed_dropped
+                        if drop > 0:
+                            store.drop_sealed_prefix(drop)
+                    else:
+                        rows = pickle.loads(entry.command)
+                        store.append_many(rows)
 
                 return apply
 
@@ -98,6 +131,9 @@ class Shard:
                     return None
                 return store.serialize_state, store.install_state
 
+            wal_factory = None
+            if wal_backend_factory is not None:
+                wal_factory = lambda node_id: WriteAheadLog(wal_backend_factory(node_id))
             self._raft = RaftGroup(
                 f"shard{shard_id}",
                 clock,
@@ -105,18 +141,11 @@ class Shard:
                 n_replicas=replicas,
                 wal_only_replicas=wal_only_replicas,
                 snapshot_factory=snapshot_factory,
+                wal_factory=wal_factory,
                 seed=seed + shard_id,
                 tracer=self._obs.tracer if self._obs.tracer.enabled else None,
             )
-            leader = self._raft.wait_for_leader()
-            # The "primary" store is the leader's: with quorum acks the
-            # leader is the one replica guaranteed to have applied a
-            # settled write (followers learn the commit index a
-            # heartbeat later).  A WAL-only leader never applies, so
-            # fall back to the first full replica then.
-            if leader.node_id not in self._replica_stores:
-                leader = self._raft.full_replicas()[0]
-            self.rowstore = self._replica_stores[leader.node_id]
+            self._raft.wait_for_leader()
             self._pipeline = ReplicationPipeline(
                 self._raft,
                 clock,
@@ -145,13 +174,37 @@ class Shard:
             self._raft = None
             self._pipeline = None
             self._group_queue = None
-            self.rowstore = RowStore(seal_rows=seal_rows, seal_bytes=seal_bytes)
+            self._rowstore = RowStore(seal_rows=seal_rows, seal_bytes=seal_bytes)
+            if wal_backend is None and wal_backend_factory is not None:
+                wal_backend = wal_backend_factory(f"shard{shard_id}")
             self._wal = WriteAheadLog(wal_backend)
             self._recover_from_wal()
 
     @property
     def raft(self) -> RaftGroup | None:
         return self._raft
+
+    @property
+    def rowstore(self) -> RowStore:
+        """The store quorum-acked reads are served from.
+
+        Replicated shards serve from the *current* leader's replica:
+        with quorum acks the leader is the one replica guaranteed to
+        have applied a settled write.  When no live full-replica leader
+        exists (election in flight, leader crashed, WAL-only leader),
+        fall back to the live full replica that has applied the most —
+        ties broken by node id so every run picks the same store.
+        """
+        if self._raft is None:
+            return self._rowstore
+        leader = self._raft.leader()
+        if leader is not None and not leader._stopped and leader.node_id in self._replica_stores:
+            return self._replica_stores[leader.node_id]
+        candidates = [n for n in self._raft.full_replicas() if not n._stopped]
+        if not candidates:
+            candidates = self._raft.full_replicas()
+        best = max(candidates, key=lambda n: (n.last_applied, n.node_id))
+        return self._replica_stores[best.node_id]
 
     @property
     def write_stats(self) -> WritePathStats:
@@ -161,23 +214,29 @@ class Shard:
     def _recover_from_wal(self) -> None:
         """Rebuild the row store from the shard WAL (crash recovery).
 
-        The last checkpoint carries a serialized row-store state;
-        batches recorded after it are replayed on top.
+        The last checkpoint carries a serialized row-store state; batch
+        and archive records after it replay on top, in WAL order — the
+        archive records drop sealed memtables that reached OSS before
+        the crash, so recovery re-creates neither lost *nor duplicate*
+        rows.
         """
         state: bytes | None = None
-        batches: list[bytes] = []
+        tail: list = []
         for record in self._wal.replay():
             if record.kind == _WAL_KIND_CHECKPOINT:
                 state = record.body
-                batches = []
-            elif record.kind == _WAL_KIND_BATCH:
-                batches.append(record.body)
-        if state is None and not batches:
+                tail = []
+            elif record.kind in (_WAL_KIND_BATCH, _WAL_KIND_ARCHIVE):
+                tail.append(record)
+        if state is None and not tail:
             return
         if state is not None:
-            self.rowstore.install_state(state)
-        for body in batches:
-            self.rowstore.append_many(pickle.loads(body))
+            self._rowstore.install_state(state)
+        for record in tail:
+            if record.kind == _WAL_KIND_BATCH:
+                self._rowstore.append_many(pickle.loads(record.body))
+            else:
+                self._rowstore.drop_sealed_prefix(int(record.body))
 
     # -- write path -----------------------------------------------------
 
@@ -285,6 +344,111 @@ class Shard:
         self._wal.truncate_before(sequence)
         return sequence
 
+    # -- archiving ------------------------------------------------------
+
+    def seal_active(self) -> None:
+        """Seal the active memtable (flush path).
+
+        Replicated shards propose the seal through the log so every
+        replica cuts the same boundary; a local seal would diverge the
+        groups' drain prefixes.  If the command's settle times out and
+        a duplicate later commits, the second copy seals an empty (or
+        tiny) memtable — harmless, and identical on every replica.
+        """
+        if self._raft is None:
+            self._rowstore.seal_active()
+            return
+        leader = self._raft.leader()
+        if leader is None or not len(self.rowstore.active):
+            return
+        try:
+            index = leader.propose(_CMD_SEAL)
+            self._raft.settle_acked(index, ack=self._write_ack)
+        except (RaftError, NotLeaderError, BackpressureError):
+            return
+
+    def take_sealed(self) -> list[MemTable]:
+        """Sealed memtables ready for the data builder.
+
+        Replicated shards *snapshot* the primary's sealed list without
+        removing anything — removal happens through a replicated drain
+        command in :meth:`finish_archive`, so a crash mid-archive never
+        loses rows and a leadership change never resurrects archived
+        ones.  Plain shards remove the tables (the WAL protects them).
+        """
+        if self._raft is None:
+            return self._rowstore.take_sealed()
+        self._flush_pending_drain()
+        store = self.rowstore
+        # Skip tables that are archived but whose drain has not applied
+        # on this store yet (pending, or settled but still in-flight).
+        skip = max(0, self._drain_target + self._pending_drain - store.sealed_dropped)
+        return list(store.sealed_tables)[skip:]
+
+    def finish_archive(self, taken: list[MemTable], archived: int) -> None:
+        """Settle an archive attempt over tables from :meth:`take_sealed`.
+
+        ``archived`` is how many of ``taken`` (a prefix — the builder
+        archives in order) actually reached OSS + catalog.  Replicated
+        shards propose a drain command so every replica discards the
+        archived prefix at the same log position; if no leader is
+        reachable (partition), the drain stays pending and is retried
+        on the next archive cycle.  Plain shards log the drop to the
+        WAL and restore the un-archived suffix to the row store.
+        """
+        if self._raft is None:
+            if archived:
+                self._wal.append(_WAL_KIND_ARCHIVE, str(archived).encode())
+            if archived < len(taken):
+                self._rowstore.restore_sealed(taken[archived:])
+            return
+        self._pending_drain += archived
+        self._flush_pending_drain()
+
+    def _flush_pending_drain(self) -> None:
+        """Try to replicate the pending drain; keep it on failure.
+
+        The command carries the cumulative target (``_drain_target`` +
+        pending) rather than a relative count: a settle that times out
+        leaves the command's fate unknown, and a relative retry would
+        double-drop if the first copy later committed.  An absolute
+        target makes any number of committed copies equivalent.
+        """
+        if not self._pending_drain or self._raft is None:
+            return
+        leader = self._raft.leader()
+        if leader is None:
+            return
+        target = self._drain_target + self._pending_drain
+        command = _CMD_DRAIN_PREFIX + str(target).encode()
+        try:
+            index = leader.propose(command)
+            self._raft.settle_acked(index, ack=self._write_ack)
+        except (RaftError, NotLeaderError, BackpressureError):
+            return
+        self._drain_target = target
+        self._pending_drain = 0
+
+    # -- fault injection -------------------------------------------------
+
+    def crash_replica(self, node_id: str) -> None:
+        """Hard-crash one Raft replica (volatile state lost, WAL kept)."""
+        if self._raft is None:
+            raise ClusterError(f"shard {self.shard_id} has no replicas to crash")
+        self._raft.crash_node(node_id)
+
+    def recover_replica(self, node_id: str) -> None:
+        """Recover a crashed replica from its WAL (fresh row store)."""
+        if self._raft is None:
+            raise ClusterError(f"shard {self.shard_id} has no replicas to recover")
+        self._raft.recover_node(node_id)
+
+    def replica_store(self, node_id: str) -> RowStore | None:
+        """A specific replica's row store (invariant checks)."""
+        if self._raft is None:
+            return None
+        return self._replica_stores.get(node_id)
+
     def scan_realtime(self, min_ts=None, max_ts=None, tenant_id=None):
         """Rows still in the local row store (not yet archived)."""
         self.access_count.add()
@@ -301,13 +465,24 @@ class Shard:
         return self.rowstore.row_count()
 
     def verify_raft_consistency(self) -> None:
-        """Assert full replicas agree on row counts (test hook)."""
+        """Assert fully-caught-up replicas hold byte-identical stores.
+
+        Replicas at the same ``last_applied`` must have *identical*
+        serialized row-store state — not just equal row counts — since
+        every state transition (batch append, archive drain) is a
+        deterministic function of the applied log prefix.
+        """
         if self._raft is None:
             return
-        counts = {
-            node.node_id: self._replica_stores[node.node_id].total_rows_ingested
-            for node in self._raft.full_replicas()
-            if node.commit_index == node.last_applied
-        }
-        if len(set(counts.values())) > 1:
-            raise ClusterError(f"replica divergence on shard {self.shard_id}: {counts}")
+        live = [n for n in self._raft.full_replicas() if not n._stopped]
+        caught_up = [n for n in live if n.commit_index == n.last_applied]
+        by_applied: dict[int, dict[str, bytes]] = {}
+        for node in caught_up:
+            state = self._replica_stores[node.node_id].serialize_state()
+            by_applied.setdefault(node.last_applied, {})[node.node_id] = state
+        for applied, states in by_applied.items():
+            if len(set(states.values())) > 1:
+                raise ClusterError(
+                    f"replica divergence on shard {self.shard_id} at "
+                    f"last_applied={applied}: {sorted(states)}"
+                )

@@ -58,21 +58,39 @@ class Worker:
         for shard in self.shards.values():
             shard.settle_writes()
 
+    def _archive_shard(self, shard: Shard, report: BuildReport) -> None:
+        """Archive a shard's sealed memtables, keeping them on failure.
+
+        A builder failure (OSS outage past the retry budget, crash) must
+        not lose the memtables that left the row store — otherwise
+        acknowledged rows exist neither locally nor on OSS.
+        ``archive_memtable`` is all-or-nothing per memtable, so
+        ``finish_archive`` settles exactly the archived prefix: the
+        shard drains those tables (replicated drain command, or WAL
+        archive record) and keeps the rest.
+        """
+        sealed = shard.take_sealed()
+        archived = 0
+        try:
+            for memtable in sealed:
+                self._builder.archive_memtable(memtable, report)
+                archived += 1
+        finally:
+            shard.finish_archive(sealed, archived)
+
     def archive_once(self) -> BuildReport:
         """Run the background data builder over every shard."""
         report = BuildReport()
         for shard in self.shards.values():
-            for memtable in shard.rowstore.take_sealed():
-                self._builder.archive_memtable(memtable, report)
+            self._archive_shard(shard, report)
         return report
 
     def flush_all(self) -> BuildReport:
         """Seal + archive everything (used on rebalance/offload, §4.1.5)."""
         report = BuildReport()
         for shard in self.shards.values():
-            shard.rowstore.seal_active()
-            for memtable in shard.rowstore.take_sealed():
-                self._builder.archive_memtable(memtable, report)
+            shard.seal_active()
+            self._archive_shard(shard, report)
         return report
 
     def pending_rows(self) -> int:

@@ -122,3 +122,11 @@ class ShardNotFound(ClusterError):
 
 class WorkerNotFound(ClusterError):
     """A shard placement referenced a worker that does not exist."""
+
+
+class ChaosError(LogStoreError):
+    """Chaos-run harness failure (unknown scenario, bad fault plan)."""
+
+
+class InvariantViolationError(ChaosError):
+    """A chaos run's post-heal invariant check found violations."""

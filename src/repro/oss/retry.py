@@ -1,10 +1,28 @@
 """Retry layer for transient object-store failures.
 
 Real object stores throttle and fail transiently (HTTP 5xx, connection
-resets); production clients retry with exponential backoff.  The
-wrapper below adds that behaviour to any backend; :class:`FlakyStore`
+resets); production clients retry with **capped exponential backoff and
+jitter** and bound the total time any one operation may spend retrying.
+The wrapper below adds that behaviour to any backend; :class:`FlakyStore`
 is the deterministic fault injector the tests and chaos benches drive
-it with.
+it with (richer injectors live in :mod:`repro.chaos.oss_faults`).
+
+Hardening details:
+
+* backoff doubles per retry but is capped at ``max_backoff_s``;
+* each sleep gets **deterministic seeded jitter** (a seeded RNG scales
+  the delay by ``[1, 1 + jitter)``), so herds of clients decorrelate
+  while every run stays replayable;
+* a **per-operation retry budget** (``budget_s``) bounds the total
+  backoff one logical operation may accumulate — when the budget is
+  exhausted the operation gives up even if attempts remain, which is
+  what keeps tail latency bounded during a long brownout;
+* retried ``put`` calls are **idempotent**: object stores offer atomic
+  PUT, but a torn upload can leave partial bytes behind before the
+  error surfaces.  When a retry then hits ``ObjectAlreadyExists``, the
+  wrapper verifies the stored bytes — identical means the original PUT
+  won the race (success), different means a torn upload left garbage,
+  which is deleted and rewritten.
 """
 
 from __future__ import annotations
@@ -13,11 +31,14 @@ import random
 from dataclasses import dataclass
 
 from repro.common.clock import Clock, VirtualClock
-from repro.common.errors import TransientStoreError
+from repro.common.errors import ObjectAlreadyExists, TransientStoreError
 from repro.oss.store import ObjectStat, ObjectStore
 
 DEFAULT_MAX_ATTEMPTS = 4
 DEFAULT_BACKOFF_S = 0.05
+DEFAULT_MAX_BACKOFF_S = 2.0
+DEFAULT_BUDGET_S = 30.0
+DEFAULT_JITTER = 0.25
 
 
 @dataclass
@@ -27,14 +48,23 @@ class RetryStats:
     attempts: int = 0
     retries: int = 0
     giveups: int = 0
+    budget_exhausted: int = 0
+    backoff_s: float = 0.0
+    torn_puts_repaired: int = 0
 
 
 class RetryingObjectStore:
-    """Retries transient failures with exponential backoff.
+    """Retries transient failures with capped, jittered backoff.
 
-    Backoff sleeps are charged to ``clock`` (simulated time).  After
-    ``max_attempts`` consecutive transient failures, the last error
-    propagates — callers treat that like any other storage outage.
+    Backoff sleeps are charged to ``clock`` (simulated time).  An
+    operation gives up — the last error propagates — after
+    ``max_attempts`` consecutive transient failures *or* once its
+    accumulated backoff exceeds ``budget_s``, whichever comes first.
+    Callers treat that like any other storage outage.
+
+    When an ``obs`` handle is given, attempt/retry/giveup/backoff
+    counters are mirrored into the metrics registry under
+    ``logstore_oss_retry_*`` so dashboards see the retry pressure.
     """
 
     def __init__(
@@ -43,30 +73,99 @@ class RetryingObjectStore:
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         backoff_s: float = DEFAULT_BACKOFF_S,
         clock: Clock | None = None,
+        max_backoff_s: float = DEFAULT_MAX_BACKOFF_S,
+        budget_s: float = DEFAULT_BUDGET_S,
+        jitter: float = DEFAULT_JITTER,
+        seed: int = 0,
+        obs=None,
     ) -> None:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         if backoff_s < 0:
             raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
+        if max_backoff_s < backoff_s:
+            raise ValueError(
+                f"max_backoff_s ({max_backoff_s}) must be >= backoff_s ({backoff_s})"
+            )
+        if budget_s < 0:
+            raise ValueError(f"budget_s must be >= 0, got {budget_s}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
         self._inner = inner
         self._max_attempts = max_attempts
         self._backoff = backoff_s
+        self._max_backoff = max_backoff_s
+        self._budget = budget_s
+        self._jitter = jitter
+        self._rng = random.Random(seed)
         self._clock = clock if clock is not None else VirtualClock()
         self.stats = RetryStats()
+        if obs is not None:
+            registry = obs.registry
+            self._attempts_counter = registry.counter(
+                "logstore_oss_retry_attempts_total", "Object-store calls attempted."
+            )
+            self._retries_counter = registry.counter(
+                "logstore_oss_retry_retries_total", "Transient failures retried."
+            )
+            self._giveups_counter = registry.counter(
+                "logstore_oss_retry_giveups_total", "Operations that exhausted retries."
+            )
+            self._backoff_counter = registry.counter(
+                "logstore_oss_retry_backoff_seconds_total",
+                "Cumulative backoff charged to the clock.",
+            )
+        else:
+            self._attempts_counter = None
+            self._retries_counter = None
+            self._giveups_counter = None
+            self._backoff_counter = None
+
+    @property
+    def inner(self) -> ObjectStore:
+        return self._inner
+
+    def _next_delay(self, attempt: int) -> float:
+        """Capped exponential backoff with deterministic seeded jitter."""
+        base = min(self._backoff * (2 ** (attempt - 1)), self._max_backoff)
+        return base * (1.0 + self._rng.random() * self._jitter)
+
+    def _record_attempt(self) -> None:
+        self.stats.attempts += 1
+        if self._attempts_counter is not None:
+            self._attempts_counter.add()
+
+    def _record_retry(self, delay: float) -> None:
+        self.stats.retries += 1
+        self.stats.backoff_s += delay
+        if self._retries_counter is not None:
+            self._retries_counter.add()
+            self._backoff_counter.add(delay)
+
+    def _record_giveup(self, budget_exhausted: bool) -> None:
+        self.stats.giveups += 1
+        if budget_exhausted:
+            self.stats.budget_exhausted += 1
+        if self._giveups_counter is not None:
+            self._giveups_counter.add()
 
     def _call(self, operation, *args):
-        delay = self._backoff
+        spent = 0.0
         for attempt in range(1, self._max_attempts + 1):
-            self.stats.attempts += 1
+            self._record_attempt()
             try:
                 return operation(*args)
             except TransientStoreError:
                 if attempt == self._max_attempts:
-                    self.stats.giveups += 1
+                    self._record_giveup(budget_exhausted=False)
                     raise
-                self.stats.retries += 1
+                delay = self._next_delay(attempt)
+                if spent + delay > self._budget:
+                    self._record_giveup(budget_exhausted=True)
+                    raise
+                spent += delay
+                self._record_retry(delay)
                 self._clock.sleep(delay)
-                delay *= 2
 
     # -- ObjectStore interface, all routed through _call ---------------------
 
@@ -77,7 +176,33 @@ class RetryingObjectStore:
         self._call(self._inner.delete_bucket, bucket)
 
     def put(self, bucket: str, key: str, data: bytes) -> None:
-        self._call(self._inner.put, bucket, key, data)
+        """PUT with torn-upload recovery on retries.
+
+        The first attempt propagates ``ObjectAlreadyExists`` untouched
+        (a genuine double-write is a caller bug).  On *retries* the
+        error means a prior attempt partially succeeded: verify the
+        stored bytes and repair a torn object in place.
+        """
+
+        def attempt_put(state: dict) -> None:
+            first = state["first"]
+            state["first"] = False
+            try:
+                self._inner.put(bucket, key, data)
+            except ObjectAlreadyExists:
+                if first:
+                    # No prior attempt ran, so nothing of ours can be
+                    # at this key: a genuine double-write.
+                    raise
+                existing = self._inner.get(bucket, key)
+                if existing == data:
+                    return  # earlier attempt actually landed: idempotent success
+                self.stats.torn_puts_repaired += 1
+                self._inner.delete(bucket, key)
+                self._inner.put(bucket, key, data)
+
+        state = {"first": True}
+        self._call(attempt_put, state)
 
     def get(self, bucket: str, key: str) -> bytes:
         return self._call(self._inner.get, bucket, key)
@@ -106,6 +231,8 @@ class FlakyStore:
     forces the next N calls to fail, for precise test scenarios.
     Failures happen *before* the inner call, so a failed ``put`` has no
     partial effect — matching object stores' atomic-PUT semantics.
+    Torn uploads and latency faults live in
+    :class:`repro.chaos.oss_faults.ChaosObjectStore`.
     """
 
     def __init__(self, inner: ObjectStore, fail_rate: float = 0.0, seed: int = 0) -> None:

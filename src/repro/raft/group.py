@@ -16,6 +16,7 @@ from repro.common.errors import NotLeaderError, RaftError
 from repro.raft.messages import LogEntry
 from repro.raft.network import SimNetwork
 from repro.raft.node import RaftNode
+from repro.wal.log import WriteAheadLog
 
 DEFAULT_REPLICAS = 3
 
@@ -32,6 +33,7 @@ class RaftGroup:
         wal_only_replicas: int = 1,
         network: SimNetwork | None = None,
         snapshot_factory: Callable[[str], tuple | None] | None = None,
+        wal_factory: Callable[[str], WriteAheadLog] | None = None,
         seed: int = 0,
         tracer=None,
     ) -> None:
@@ -42,33 +44,48 @@ class RaftGroup:
         self.group_id = group_id
         self._clock = clock
         self.network = network if network is not None else SimNetwork(clock, seed=seed)
+        # Kept so crash recovery can rebuild a node (fresh state machine,
+        # surviving WAL) with the same wiring the constructor used.
+        self._apply_factory = apply_factory
+        self._snapshot_factory = snapshot_factory
+        self._wal_factory = wal_factory
+        self._seed = seed
+        self._tracer = tracer
         node_ids = [f"{group_id}/r{i}" for i in range(n_replicas)]
+        self._node_ids = node_ids
+        self._wal_only_ids = set(node_ids[n_replicas - wal_only_replicas :])
         self.nodes: dict[str, RaftNode] = {}
-        for i, node_id in enumerate(node_ids):
-            # The *last* wal_only_replicas nodes are WAL-only.
-            wal_only = i >= n_replicas - wal_only_replicas
-            apply_cb = None if wal_only else apply_factory(node_id)
-            provider = installer = None
-            if not wal_only and snapshot_factory is not None:
-                hooks = snapshot_factory(node_id)
-                if hooks is not None:
-                    provider, installer = hooks
-            # A WAL-only replica has no row store to serve from, so it
-            # should almost never lead: give it a much longer election
-            # timeout so a full replica wins every normal election.
-            timeout_scale = 4.0 if wal_only else 1.0
-            self.nodes[node_id] = RaftNode(
-                node_id=node_id,
-                peers=node_ids,
-                clock=clock,
-                network=self.network,
-                apply_callback=apply_cb,
-                snapshot_provider=provider,
-                snapshot_installer=installer,
-                election_timeout_s=0.15 * timeout_scale,
-                seed=seed + i,
-                tracer=tracer,
-            )
+        for node_id in node_ids:
+            self.nodes[node_id] = self._build_node(node_id)
+
+    def _build_node(self, node_id: str, wal: WriteAheadLog | None = None) -> RaftNode:
+        # The *last* wal_only_replicas nodes are WAL-only.
+        wal_only = node_id in self._wal_only_ids
+        apply_cb = None if wal_only else self._apply_factory(node_id)
+        provider = installer = None
+        if not wal_only and self._snapshot_factory is not None:
+            hooks = self._snapshot_factory(node_id)
+            if hooks is not None:
+                provider, installer = hooks
+        if wal is None and self._wal_factory is not None:
+            wal = self._wal_factory(node_id)
+        # A WAL-only replica has no row store to serve from, so it
+        # should almost never lead: give it a much longer election
+        # timeout so a full replica wins every normal election.
+        timeout_scale = 4.0 if wal_only else 1.0
+        return RaftNode(
+            node_id=node_id,
+            peers=self._node_ids,
+            clock=self._clock,
+            network=self.network,
+            apply_callback=apply_cb,
+            snapshot_provider=provider,
+            snapshot_installer=installer,
+            wal=wal,
+            election_timeout_s=0.15 * timeout_scale,
+            seed=self._seed + self._node_ids.index(node_id),
+            tracer=self._tracer,
+        )
 
     # -- leadership -----------------------------------------------------
 
@@ -176,6 +193,39 @@ class RaftGroup:
         leader = self.wait_for_leader()
         leader.stop()
         return leader.node_id
+
+    def crash_node(self, node_id: str) -> None:
+        """Hard-crash a node: volatile state dies, the WAL survives.
+
+        Unlike :meth:`stop_node` (a pause — the in-memory state machine
+        is kept), a crash throws away everything but the WAL.  In-flight
+        network messages addressed to the dead process are dropped, not
+        delivered to its successor.
+        """
+        self.nodes[node_id].stop()
+        self.network.crash(node_id)
+
+    def recover_node(self, node_id: str) -> RaftNode:
+        """Rebuild a crashed node from its surviving WAL.
+
+        A fresh state machine (via the apply factory) and a fresh
+        :class:`RaftNode` are constructed over the old node's WAL; Raft
+        recovery replays the log/snapshot, so the node rejoins with
+        exactly the state it had durably persisted before the crash.
+
+        The WAL itself is re-opened over the surviving segment backend
+        (the durable medium), exactly like a restarted process would —
+        which re-runs torn-tail repair over whatever bytes the crash
+        left behind.
+        """
+        old = self.nodes[node_id]
+        if not old._stopped:
+            raise RaftError(f"node {node_id} is not crashed")
+        self.network.restart(node_id)
+        wal = WriteAheadLog(old._wal.backend) if old._wal is not None else None
+        node = self._build_node(node_id, wal=wal)
+        self.nodes[node_id] = node
+        return node
 
     # -- storage accounting ---------------------------------------------
 

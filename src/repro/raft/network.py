@@ -1,10 +1,11 @@
 """Simulated network for Raft replicas.
 
 Delivers messages between registered nodes through the virtual clock
-with a configurable base delay and jitter.  Supports dropped messages
-and partitions for fault-injection tests.  Determinism: all randomness
-comes from one seeded RNG, and delivery order for equal deadlines is
-FIFO (the clock breaks ties by insertion order).
+with a configurable base delay and jitter.  Supports dropped messages,
+symmetric and one-directional partitions, and node crash/restart for
+fault-injection tests.  Determinism: all randomness comes from one
+seeded RNG, and delivery order for equal deadlines is FIFO (the clock
+breaks ties by insertion order).
 """
 
 from __future__ import annotations
@@ -41,6 +42,12 @@ class SimNetwork:
         self._rng = random.Random(seed)
         self._handlers: dict[str, MessageHandler] = {}
         self._partitions: set[frozenset[str]] = set()
+        self._one_way_partitions: set[tuple[str, str]] = set()
+        self._down: set[str] = set()
+        # Incremented on every crash/restart; a message captured under an
+        # old incarnation is dropped at delivery, so nothing sent to the
+        # pre-crash process reaches the restarted one.
+        self._incarnations: dict[str, int] = {}
         self.messages_sent = 0
         self.messages_dropped = 0
 
@@ -48,6 +55,7 @@ class SimNetwork:
         if node_id in self._handlers:
             raise ValueError(f"node already registered: {node_id}")
         self._handlers[node_id] = handler
+        self._incarnations.setdefault(node_id, 0)
 
     def unregister(self, node_id: str) -> None:
         self._handlers.pop(node_id, None)
@@ -58,17 +66,54 @@ class SimNetwork:
         """Block traffic (both directions) between two nodes."""
         self._partitions.add(frozenset((node_a, node_b)))
 
+    def partition_one_way(self, source: str, destination: str) -> None:
+        """Block traffic from ``source`` to ``destination`` only.
+
+        The reverse direction keeps flowing — the classic asymmetric
+        failure where a node can hear the cluster but not be heard
+        (or vice versa), which exercises different Raft paths than a
+        clean symmetric cut.
+        """
+        self._one_way_partitions.add((source, destination))
+
     def heal(self, node_a: str, node_b: str) -> None:
         self._partitions.discard(frozenset((node_a, node_b)))
+        self._one_way_partitions.discard((node_a, node_b))
+        self._one_way_partitions.discard((node_b, node_a))
+
+    def heal_one_way(self, source: str, destination: str) -> None:
+        self._one_way_partitions.discard((source, destination))
 
     def heal_all(self) -> None:
         self._partitions.clear()
+        self._one_way_partitions.clear()
 
     def isolate(self, node_id: str) -> None:
         """Partition a node from every other registered node."""
         for other in self._handlers:
             if other != node_id:
                 self.partition(node_id, other)
+
+    def crash(self, node_id: str) -> None:
+        """Mark a node dead: it neither sends nor receives.
+
+        Messages already in flight toward it are dropped at delivery
+        time (they were addressed to the dead process), and messages it
+        queued before crashing still arrive — they were already on the
+        wire.  Restart bumps the incarnation, so even a message that
+        would be delivered after :meth:`restart` is discarded rather
+        than handed to the new process.
+        """
+        self._down.add(node_id)
+        self._incarnations[node_id] = self._incarnations.get(node_id, 0) + 1
+
+    def restart(self, node_id: str) -> None:
+        """Bring a crashed node back; stale in-flight messages stay dead."""
+        self._down.discard(node_id)
+        self._incarnations[node_id] = self._incarnations.get(node_id, 0) + 1
+
+    def is_down(self, node_id: str) -> bool:
+        return node_id in self._down
 
     def set_drop_probability(self, probability: float) -> None:
         if not 0 <= probability <= 1:
@@ -77,25 +122,43 @@ class SimNetwork:
 
     # -- sending ---------------------------------------------------------
 
+    def _blocked(self, source: str, destination: str) -> bool:
+        if frozenset((source, destination)) in self._partitions:
+            return True
+        return (source, destination) in self._one_way_partitions
+
     def send(self, source: str, destination: str, message: object) -> None:
         """Queue a message for delayed delivery (may be dropped)."""
         self.messages_sent += 1
-        if frozenset((source, destination)) in self._partitions:
+        if source in self._down or destination in self._down:
+            self.messages_dropped += 1
+            return
+        if self._blocked(source, destination):
             self.messages_dropped += 1
             return
         if self._drop_probability and self._rng.random() < self._drop_probability:
             self.messages_dropped += 1
             return
         delay = self._base_delay + self._rng.random() * self._jitter
-        self._clock.call_later(delay, lambda: self._deliver(source, destination, message))
+        incarnation = self._incarnations.get(destination, 0)
+        self._clock.call_later(
+            delay, lambda: self._deliver(source, destination, message, incarnation)
+        )
 
-    def _deliver(self, source: str, destination: str, message: object) -> None:
-        # Re-check the partition at delivery time: a partition created
-        # while the message was in flight swallows it, like a real cut link.
-        if frozenset((source, destination)) in self._partitions:
+    def _deliver(
+        self, source: str, destination: str, message: object, incarnation: int = -1
+    ) -> None:
+        # Re-check faults at delivery time: a partition or crash that
+        # happened while the message was in flight swallows it, like a
+        # real cut link.  An incarnation mismatch means the destination
+        # crashed (and maybe restarted) since the send — the message was
+        # addressed to a process that no longer exists.
+        if self._blocked(source, destination) or destination in self._down:
+            self.messages_dropped += 1
+            return
+        if incarnation >= 0 and incarnation != self._incarnations.get(destination, 0):
             self.messages_dropped += 1
             return
         handler = self._handlers.get(destination)
         if handler is not None:
             handler(source, message)
-

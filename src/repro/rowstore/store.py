@@ -40,6 +40,10 @@ class RowStore:
         self._active = MemTable(ts_column, tenant_column)
         self._sealed: list[MemTable] = []
         self.total_rows_ingested = 0
+        # Cumulative count of sealed memtables ever dropped (archived).
+        # Part of the checkpoint state so replicated drain commands can
+        # be applied idempotently by absolute target.
+        self.sealed_dropped = 0
 
     @property
     def active(self) -> MemTable:
@@ -113,6 +117,31 @@ class RowStore:
         self._sealed = []
         return sealed
 
+    def restore_sealed(self, tables: list[MemTable]) -> None:
+        """Return un-archived sealed memtables taken via :meth:`take_sealed`.
+
+        Archiving can fail after the memtables left the store (OSS outage
+        beyond the retry budget, builder crash); dropping them would lose
+        acknowledged rows.  Restored tables go back at the *front* so a
+        later retry archives them in their original seal order.
+        """
+        self._sealed = list(tables) + self._sealed
+
+    def drop_sealed_prefix(self, count: int) -> None:
+        """Discard the first ``count`` sealed memtables (they are on OSS).
+
+        Replicated shards propose the drop as a Raft command after a
+        successful archive, so every replica discards *the same* tables
+        at *the same* log position — seal boundaries are deterministic
+        functions of the applied batches, so the prefixes are identical.
+        """
+        if count < 0 or count > len(self._sealed):
+            raise RowStoreError(
+                f"cannot drop {count} sealed memtables, have {len(self._sealed)}"
+            )
+        del self._sealed[:count]
+        self.sealed_dropped += count
+
     def row_count(self) -> int:
         """Rows currently visible locally (active + sealed)."""
         return len(self._active) + sum(len(t) for t in self._sealed)
@@ -150,13 +179,15 @@ class RowStore:
 
         sealed_rows = [list(table.scan()) for table in self._sealed]
         active_rows = list(self._active.scan())
-        return pickle.dumps((sealed_rows, active_rows, self.total_rows_ingested))
+        return pickle.dumps(
+            (sealed_rows, active_rows, self.total_rows_ingested, self.sealed_dropped)
+        )
 
     def install_state(self, state: bytes) -> None:
         """Replace local contents with a serialized snapshot, in place."""
         import pickle
 
-        sealed_rows, active_rows, total = pickle.loads(state)
+        sealed_rows, active_rows, total, dropped = pickle.loads(state)
         self._sealed = []
         for rows in sealed_rows:
             table = MemTable(self._ts_column, self._tenant_column)
@@ -166,3 +197,4 @@ class RowStore:
         self._active = MemTable(self._ts_column, self._tenant_column)
         self._active.append_many(active_rows)
         self.total_rows_ingested = total
+        self.sealed_dropped = dropped

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Iterator, Protocol
 
 from repro.common.errors import WalError
-from repro.wal.record import WalEntryEncoder, encode_frame, iter_frames
+from repro.wal.record import WalEntryEncoder, decode_frame, encode_frame, iter_frames
 
 DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
 
@@ -112,9 +112,41 @@ class WriteAheadLog:
         self._segment_bytes = segment_bytes
         existing = self._backend.segments()
         self._active_segment = existing[-1] if existing else 0
-        self._active_size = len(self._backend.read(self._active_segment)) if existing else 0
+        self.torn_tail_bytes_discarded = 0
+        if existing:
+            self._active_size = self._repair_torn_tail(self._active_segment)
+        else:
+            self._active_size = 0
         self._next_sequence = self._recover_next_sequence()
         self.flush_count = 0
+
+    def _repair_torn_tail(self, segment_id: int) -> int:
+        """Truncate the last segment to its longest valid frame prefix.
+
+        A crash can leave a torn tail: a partially written final frame
+        (short bytes) or a final frame whose payload no longer matches
+        its CRC (partial sector overwrite).  Either way the torn frame
+        was never acknowledged, so recovery keeps the longest valid
+        prefix and discards the rest — leaving it in place would put
+        garbage *mid-log* once new appends land after it.  CRC damage
+        anywhere but the final frame still raises: that is real
+        corruption of acknowledged data, not a tear.
+
+        Returns the surviving segment length in bytes.
+        """
+        data = self._backend.read(segment_id)
+        offset = 0
+        while True:
+            result = decode_frame(data, offset, tolerate_torn_tail=True)
+            if result is None:
+                break
+            offset = result.next_offset
+        if offset < len(data):
+            self.torn_tail_bytes_discarded = len(data) - offset
+            self._backend.delete(segment_id)
+            if offset:
+                self._backend.append(segment_id, data[:offset])
+        return offset
 
     def _recover_next_sequence(self) -> int:
         last = -1
@@ -132,6 +164,11 @@ class WriteAheadLog:
     @property
     def next_sequence(self) -> int:
         return self._next_sequence
+
+    @property
+    def backend(self) -> SegmentBackend:
+        """The durable medium — what survives a process crash."""
+        return self._backend
 
     def append(self, kind: int, body: bytes) -> int:
         """Append an entry; returns its sequence number."""

@@ -37,13 +37,20 @@ class FrameResult:
     next_offset: int
 
 
-def decode_frame(data: bytes, offset: int) -> FrameResult | None:
+def decode_frame(
+    data: bytes, offset: int, tolerate_torn_tail: bool = False
+) -> FrameResult | None:
     """Decode the frame at ``offset``.
 
     Returns ``None`` for a clean end (offset at end of data) or a torn
     tail (not enough bytes for a complete frame).  Raises
     :class:`CorruptionError` for a CRC mismatch, which indicates damage
-    *before* the tail and must not be silently skipped.
+    *before* the tail and must not be silently skipped — unless
+    ``tolerate_torn_tail`` is set and the damaged frame is the *final*
+    frame of the data (it extends exactly to end-of-data): a crash can
+    tear the last write's bytes without shortening them (e.g. a partial
+    sector overwrite), and that frame was never acknowledged, so it is
+    also treated as end-of-log.
     """
     if offset == len(data):
         return None
@@ -56,15 +63,17 @@ def decode_frame(data: bytes, offset: int) -> FrameResult | None:
         return None  # torn payload at tail
     payload = data[start:end]
     if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        if tolerate_torn_tail and end == len(data):
+            return None  # corrupted final frame: torn tail, not mid-log damage
         raise CorruptionError(f"WAL CRC mismatch at offset {offset}")
     return FrameResult(payload=payload, next_offset=end)
 
 
-def iter_frames(data: bytes):
+def iter_frames(data: bytes, tolerate_torn_tail: bool = False):
     """Yield payloads of all complete frames; stops at a torn tail."""
     offset = 0
     while True:
-        result = decode_frame(data, offset)
+        result = decode_frame(data, offset, tolerate_torn_tail=tolerate_torn_tail)
         if result is None:
             return
         yield result.payload

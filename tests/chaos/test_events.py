@@ -1,0 +1,51 @@
+"""Event trace: formatting, digests, determinism."""
+
+from __future__ import annotations
+
+from repro.chaos.events import ChaosEvent, EventTrace
+
+
+def test_event_format_includes_time_kind_target_detail():
+    event = ChaosEvent(at=1.5, kind="fault.oss.outage.begin", target="oss", detail="x=1")
+    line = event.format()
+    assert line == "t=1.500000000 fault.oss.outage.begin oss x=1"
+
+
+def test_event_format_omits_empty_detail():
+    event = ChaosEvent(at=0.0, kind="phase.start", target="cluster")
+    assert event.format() == "t=0.000000000 phase.start cluster"
+
+
+def test_trace_records_in_order_and_counts_kinds():
+    trace = EventTrace()
+    trace.record(0.0, "a", "x")
+    trace.record(1.0, "b", "y")
+    trace.record(2.0, "a", "z")
+    assert len(trace) == 3
+    assert [e.kind for e in trace] == ["a", "b", "a"]
+    assert trace.kinds() == {"a": 2, "b": 1}
+
+
+def test_identical_traces_have_identical_digests():
+    def build():
+        trace = EventTrace()
+        trace.record(0.5, "fault.oss.error", "oss", "put key1")
+        trace.record(1.25, "workload.put.ok", "tenant:1", "rows=50")
+        return trace
+
+    a, b = build(), build()
+    assert a.dump() == b.dump()
+    assert a.digest() == b.digest()
+
+
+def test_different_traces_have_different_digests():
+    a, b = EventTrace(), EventTrace()
+    a.record(0.0, "a", "x")
+    b.record(0.0, "a", "y")
+    assert a.digest() != b.digest()
+
+
+def test_empty_trace_dump_is_empty():
+    trace = EventTrace()
+    assert trace.dump() == ""
+    assert trace.to_lines() == []

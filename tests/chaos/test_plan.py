@@ -1,0 +1,77 @@
+"""FaultPlan scheduling semantics and Nemesis determinism."""
+
+from __future__ import annotations
+
+import random
+
+from repro.chaos.plan import FaultPlan, Nemesis
+from repro.chaos.runner import ChaosRunner
+
+
+def test_plan_pops_in_time_order():
+    plan = FaultPlan()
+    fired = []
+    plan.add(2.0, "late", lambda: fired.append("late"))
+    plan.add(1.0, "early", lambda: fired.append("early"))
+    plan.add(3.0, "last", lambda: fired.append("last"))
+    assert plan.next_at() == 1.0
+    for action in plan.pop_due(2.5):
+        action.apply()
+    assert fired == ["early", "late"]
+    assert not plan.exhausted
+    for action in plan.pop_due(10.0):
+        action.apply()
+    assert fired == ["early", "late", "last"]
+    assert plan.exhausted
+    assert plan.next_at() is None
+
+
+def test_same_time_actions_keep_insertion_order():
+    plan = FaultPlan()
+    fired = []
+    plan.add(1.0, "a", lambda: fired.append("a"))
+    plan.add(1.0, "b", lambda: fired.append("b"))
+    plan.add(1.0, "c", lambda: fired.append("c"))
+    for action in plan.pop_due(1.0):
+        action.apply()
+    assert fired == ["a", "b", "c"]
+
+
+def test_pop_due_before_first_action_returns_nothing():
+    plan = FaultPlan()
+    plan.add(5.0, "x", lambda: None)
+    assert plan.pop_due(4.999) == []
+    assert len(plan) == 1
+
+
+def _plan_shape(seed: int):
+    ctx = ChaosRunner("random_mixed", seed=seed).build_context()
+    nemesis = Nemesis(random.Random(ctx.rng.random()))
+    plan = nemesis.build_plan(ctx, duration_s=15.0)
+    return [(action.at, action.name) for action in plan.pop_due(float("inf"))]
+
+
+def test_nemesis_is_deterministic_per_seed():
+    assert _plan_shape(0) == _plan_shape(0)
+    assert _plan_shape(0) != _plan_shape(1)
+
+
+def test_nemesis_schedules_at_most_one_wal_corruption():
+    ctx = ChaosRunner("random_mixed", seed=0).build_context()
+    nemesis = Nemesis(random.Random(42))
+    plan = nemesis.build_plan(ctx, duration_s=500.0, mean_gap_s=0.5)
+    names = [action.name for action in plan.pop_due(float("inf"))]
+    assert names.count("wal_corrupt.crash") <= 1
+    # A long dense schedule exercises the whole palette.
+    assert "crash_replica" in names
+    assert any(n.startswith("oss_") for n in names)
+
+
+def test_nemesis_pairs_faults_with_heals():
+    ctx = ChaosRunner("random_mixed", seed=3).build_context()
+    nemesis = Nemesis(random.Random(7))
+    plan = nemesis.build_plan(ctx, duration_s=200.0, mean_gap_s=1.0)
+    names = [action.name for action in plan.pop_due(float("inf"))]
+    assert names.count("oss_outage.begin") == names.count("oss_outage.end")
+    assert names.count("partition.begin") == names.count("partition.end")
+    assert names.count("crash_replica") == names.count("recover_replica")

@@ -79,13 +79,16 @@ class TestRetryingStore:
         assert retrying.stats.attempts == 3
 
     def test_backoff_charged_exponentially(self):
-        _inner, flaky, retrying, clock = stack()
+        inner = InMemoryObjectStore()
+        flaky = FlakyStore(inner)
+        clock = VirtualClock()
+        retrying = RetryingObjectStore(flaky, clock=clock, jitter=0.0)
         retrying.create_bucket("b")
         retrying.put("b", "k", b"x")
         flaky.fail_next(3)
         before = clock.now()
         retrying.get("b", "k")
-        # 0.05 + 0.1 + 0.2 seconds of backoff
+        # 0.05 + 0.1 + 0.2 seconds of backoff (jitter disabled)
         assert clock.now() - before == pytest.approx(0.35)
 
     def test_permanent_errors_not_retried(self):

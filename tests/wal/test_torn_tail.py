@@ -1,0 +1,110 @@
+"""Torn-tail repair on WAL re-open: the crash-recovery contract.
+
+A crash can leave the final frame short (torn write) or bit-flipped
+(partial sector overwrite).  Re-opening the log must recover exactly
+the longest valid prefix — never less (acked data) and never more
+(unacked garbage) — and keep working afterwards.  Damage *before* the
+tail is real corruption of acknowledged data and must still raise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import CorruptionError
+from repro.wal.log import MemorySegmentBackend, WriteAheadLog
+from repro.wal.record import encode_frame
+from repro.wal.record import WalEntryEncoder
+
+
+def entry_frame(sequence: int, body: bytes) -> bytes:
+    return encode_frame(WalEntryEncoder.encode(sequence, 1, body))
+
+
+def bodies(wal: WriteAheadLog) -> list[bytes]:
+    return [entry.body for entry in wal.replay()]
+
+
+def test_truncated_final_frame_is_discarded():
+    backend = MemorySegmentBackend()
+    wal = WriteAheadLog(backend)
+    wal.append(1, b"alpha")
+    wal.append(1, b"beta")
+    torn = entry_frame(2, b"gamma")
+    backend.append(wal._active_segment, torn[: len(torn) - 3])
+    recovered = WriteAheadLog(backend)
+    assert bodies(recovered) == [b"alpha", b"beta"]
+    assert recovered.torn_tail_bytes_discarded == len(torn) - 3
+
+
+def test_torn_header_is_discarded():
+    backend = MemorySegmentBackend()
+    wal = WriteAheadLog(backend)
+    wal.append(1, b"alpha")
+    backend.append(wal._active_segment, b"\x07\x00")  # 2 bytes of a header
+    recovered = WriteAheadLog(backend)
+    assert bodies(recovered) == [b"alpha"]
+    assert recovered.torn_tail_bytes_discarded == 2
+
+
+def test_corrupted_final_frame_is_discarded():
+    backend = MemorySegmentBackend()
+    wal = WriteAheadLog(backend)
+    wal.append(1, b"alpha")
+    wal.append(1, b"beta")
+    segment = wal._active_segment
+    data = bytearray(backend.read(segment))
+    data[-1] ^= 0xFF  # partial sector overwrite of the last payload byte
+    backend.delete(segment)
+    backend.append(segment, bytes(data))
+    recovered = WriteAheadLog(backend)
+    assert bodies(recovered) == [b"alpha"]
+    assert recovered.torn_tail_bytes_discarded > 0
+
+
+def test_mid_log_corruption_still_raises():
+    backend = MemorySegmentBackend()
+    wal = WriteAheadLog(backend)
+    wal.append(1, b"alpha")
+    wal.append(1, b"beta")
+    segment = wal._active_segment
+    data = bytearray(backend.read(segment))
+    data[8] ^= 0xFF  # first byte of the FIRST frame's payload
+    backend.delete(segment)
+    backend.append(segment, bytes(data))
+    with pytest.raises(CorruptionError):
+        WriteAheadLog(backend)
+
+
+def test_clean_log_discards_nothing():
+    backend = MemorySegmentBackend()
+    wal = WriteAheadLog(backend)
+    wal.append(1, b"alpha")
+    recovered = WriteAheadLog(backend)
+    assert recovered.torn_tail_bytes_discarded == 0
+    assert bodies(recovered) == [b"alpha"]
+
+
+def test_appends_resume_after_repair():
+    backend = MemorySegmentBackend()
+    wal = WriteAheadLog(backend)
+    wal.append(1, b"alpha")
+    torn = entry_frame(1, b"never-acked")
+    backend.append(wal._active_segment, torn[:5])
+    recovered = WriteAheadLog(backend)
+    # The torn entry's sequence was never acknowledged, so it is reused.
+    assert recovered.next_sequence == 1
+    recovered.append(1, b"beta")
+    reopened = WriteAheadLog(backend)
+    assert bodies(reopened) == [b"alpha", b"beta"]
+    assert reopened.torn_tail_bytes_discarded == 0
+
+
+def test_fully_torn_single_frame_segment_leaves_empty_log():
+    backend = MemorySegmentBackend()
+    frame = entry_frame(0, b"only")
+    backend.append(0, frame[: len(frame) - 1])
+    recovered = WriteAheadLog(backend)
+    assert bodies(recovered) == []
+    assert recovered.torn_tail_bytes_discarded == len(frame) - 1
+    assert recovered.next_sequence == 0
