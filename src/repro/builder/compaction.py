@@ -185,8 +185,11 @@ class Compactor:
         # Upload every output before registering any: a failure mid-way
         # must leave the catalog exactly as it was (victims still live,
         # no half-registered outputs duplicating their rows).  Uploaded
-        # outputs are compensation-deleted; a delete that fails during
-        # the same outage is queued as an orphan for sweep_orphans().
+        # outputs are compensation-deleted through the *raw* store, not
+        # the retrying wrapper — during the outage that just failed the
+        # upload, retried deletes would burn a full backoff budget per
+        # path (matching DataBuilder._compensate); a delete that fails
+        # is queued as an orphan for sweep_orphans() after heal.
         uploaded: list[str] = []
         try:
             for path, blob, _entry in built:
@@ -199,7 +202,7 @@ class Compactor:
             in_flight = [p for p, _b, _e in built[len(uploaded) : len(uploaded) + 1]]
             for path in uploaded + in_flight:
                 try:
-                    self._oss_delete(path)
+                    self._oss.delete(self._bucket, path)
                 except NoSuchKey:
                     pass  # the failed PUT left nothing behind
                 except Exception:

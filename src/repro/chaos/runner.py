@@ -158,7 +158,7 @@ class ChaosContext:
     def crash_replica(self, shard, node_id: str) -> bool:
         if (shard, node_id) in self.crashed:
             return False
-        if shard.raft is not None and shard.raft.nodes[node_id]._stopped:
+        if shard.raft is not None and shard.raft.nodes[node_id].stopped:
             return False
         shard.crash_replica(node_id)
         self.crashed.append((shard, node_id))

@@ -32,6 +32,7 @@ from repro.wal.log import SegmentBackend, WriteAheadLog
 _WAL_KIND_BATCH = 20
 _WAL_KIND_CHECKPOINT = 21
 _WAL_KIND_ARCHIVE = 22
+_WAL_KIND_SEAL = 23
 
 # Replicated shard command marking the first N sealed memtables as
 # archived to OSS (they leave every replica's row store at the same log
@@ -198,9 +199,9 @@ class Shard:
         if self._raft is None:
             return self._rowstore
         leader = self._raft.leader()
-        if leader is not None and not leader._stopped and leader.node_id in self._replica_stores:
+        if leader is not None and not leader.stopped and leader.node_id in self._replica_stores:
             return self._replica_stores[leader.node_id]
-        candidates = [n for n in self._raft.full_replicas() if not n._stopped]
+        candidates = [n for n in self._raft.full_replicas() if not n.stopped]
         if not candidates:
             candidates = self._raft.full_replicas()
         best = max(candidates, key=lambda n: (n.last_applied, n.node_id))
@@ -214,11 +215,12 @@ class Shard:
     def _recover_from_wal(self) -> None:
         """Rebuild the row store from the shard WAL (crash recovery).
 
-        The last checkpoint carries a serialized row-store state; batch
-        and archive records after it replay on top, in WAL order — the
-        archive records drop sealed memtables that reached OSS before
-        the crash, so recovery re-creates neither lost *nor duplicate*
-        rows.
+        The last checkpoint carries a serialized row-store state; batch,
+        seal and archive records after it replay on top, in WAL order —
+        seal records re-cut explicit (below-threshold) seal boundaries
+        that batch replay alone would not re-derive, and archive records
+        drop sealed memtables that reached OSS before the crash, so
+        recovery re-creates neither lost *nor duplicate* rows.
         """
         state: bytes | None = None
         tail: list = []
@@ -226,7 +228,7 @@ class Shard:
             if record.kind == _WAL_KIND_CHECKPOINT:
                 state = record.body
                 tail = []
-            elif record.kind in (_WAL_KIND_BATCH, _WAL_KIND_ARCHIVE):
+            elif record.kind in (_WAL_KIND_BATCH, _WAL_KIND_ARCHIVE, _WAL_KIND_SEAL):
                 tail.append(record)
         if state is None and not tail:
             return
@@ -235,6 +237,8 @@ class Shard:
         for record in tail:
             if record.kind == _WAL_KIND_BATCH:
                 self._rowstore.append_many(pickle.loads(record.body))
+            elif record.kind == _WAL_KIND_SEAL:
+                self._rowstore.seal_active()
             else:
                 self._rowstore.drop_sealed_prefix(int(record.body))
 
@@ -354,9 +358,18 @@ class Shard:
         groups' drain prefixes.  If the command's settle times out and
         a duplicate later commits, the second copy seals an empty (or
         tiny) memtable — harmless, and identical on every replica.
+
+        Plain shards log the seal to the WAL first: replay re-derives
+        threshold seals from batch records, but an explicit seal of a
+        below-threshold memtable would otherwise vanish on recovery
+        while a later archive record still counts it in its drop — the
+        same unlogged-seal divergence the Raft path solves with the
+        replicated command.
         """
         if self._raft is None:
-            self._rowstore.seal_active()
+            if len(self._rowstore.active):
+                self._wal.append(_WAL_KIND_SEAL, b"")
+                self._rowstore.seal_active()
             return
         leader = self._raft.leader()
         if leader is None or not len(self.rowstore.active):
@@ -474,7 +487,7 @@ class Shard:
         """
         if self._raft is None:
             return
-        live = [n for n in self._raft.full_replicas() if not n._stopped]
+        live = [n for n in self._raft.full_replicas() if not n.stopped]
         caught_up = [n for n in live if n.commit_index == n.last_applied]
         by_applied: dict[int, dict[str, bytes]] = {}
         for node in caught_up:

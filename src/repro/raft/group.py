@@ -90,7 +90,7 @@ class RaftGroup:
     # -- leadership -----------------------------------------------------
 
     def leader(self) -> RaftNode | None:
-        leaders = [n for n in self.nodes.values() if n.is_leader and not n._stopped]
+        leaders = [n for n in self.nodes.values() if n.is_leader and not n.stopped]
         if len(leaders) > 1:
             # Possible transiently across terms; prefer the highest term.
             leaders.sort(key=lambda n: n.persistent.current_term)
@@ -145,7 +145,7 @@ class RaftGroup:
 
     def committed_everywhere(self, index: int) -> bool:
         """Whether every live replica has committed up to ``index``."""
-        live = [n for n in self.nodes.values() if not n._stopped]
+        live = [n for n in self.nodes.values() if not n.stopped]
         return all(n.commit_index >= index for n in live)
 
     def committed_quorum(self, index: int) -> bool:
@@ -219,7 +219,7 @@ class RaftGroup:
         left behind.
         """
         old = self.nodes[node_id]
-        if not old._stopped:
+        if not old.stopped:
             raise RaftError(f"node {node_id} is not crashed")
         self.network.restart(node_id)
         wal = WriteAheadLog(old._wal.backend) if old._wal is not None else None

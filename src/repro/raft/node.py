@@ -125,6 +125,11 @@ class RaftNode:
         return self.role is Role.LEADER
 
     @property
+    def stopped(self) -> bool:
+        """True while the node is offline (crash fault injection)."""
+        return self._stopped
+
+    @property
     def is_wal_only(self) -> bool:
         """True for the storage-saving replica that never applies."""
         return self._apply is None

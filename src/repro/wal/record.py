@@ -37,6 +37,32 @@ class FrameResult:
     next_offset: int
 
 
+def _contains_decodable_frame(data: bytes, start: int) -> bool:
+    """True when an intact frame decodes anywhere in ``data[start:]``.
+
+    Disambiguates a torn final frame from a corrupted *length* field: a
+    bit-flipped length can make a mid-log frame appear to extend exactly
+    to end-of-data, and tolerating that as a tear would silently discard
+    the acknowledged frames after it.  Those later frames are untouched
+    at their original offsets, so scanning the claimed payload region
+    for any CRC-valid frame tells the two cases apart.  Zero-length
+    candidates are skipped: any run of eight zero bytes decodes as an
+    empty frame with a matching CRC, and no real entry is empty (the
+    entry header alone is nine bytes).
+    """
+    for pos in range(start, len(data) - HEADER_SIZE + 1):
+        length, crc = _HEADER.unpack_from(data, pos)
+        if length == 0:
+            continue
+        payload_start = pos + HEADER_SIZE
+        payload_end = payload_start + length
+        if payload_end > len(data):
+            continue
+        if zlib.crc32(data[payload_start:payload_end]) & 0xFFFFFFFF == crc:
+            return True
+    return False
+
+
 def decode_frame(
     data: bytes, offset: int, tolerate_torn_tail: bool = False
 ) -> FrameResult | None:
@@ -46,11 +72,14 @@ def decode_frame(
     tail (not enough bytes for a complete frame).  Raises
     :class:`CorruptionError` for a CRC mismatch, which indicates damage
     *before* the tail and must not be silently skipped — unless
-    ``tolerate_torn_tail`` is set and the damaged frame is the *final*
-    frame of the data (it extends exactly to end-of-data): a crash can
-    tear the last write's bytes without shortening them (e.g. a partial
-    sector overwrite), and that frame was never acknowledged, so it is
-    also treated as end-of-log.
+    ``tolerate_torn_tail`` is set, the damaged frame is the *final*
+    frame of the data (it extends exactly to end-of-data), and no intact
+    frame decodes inside its claimed payload: a crash can tear the last
+    write's bytes without shortening them (e.g. a partial sector
+    overwrite), and that frame was never acknowledged, so it is also
+    treated as end-of-log.  An intact frame inside the claimed payload
+    means the *length* was corrupted and acknowledged frames follow —
+    that is mid-log damage and still raises.
     """
     if offset == len(data):
         return None
@@ -63,7 +92,11 @@ def decode_frame(
         return None  # torn payload at tail
     payload = data[start:end]
     if zlib.crc32(payload) & 0xFFFFFFFF != crc:
-        if tolerate_torn_tail and end == len(data):
+        if (
+            tolerate_torn_tail
+            and end == len(data)
+            and not _contains_decodable_frame(data, start)
+        ):
             return None  # corrupted final frame: torn tail, not mid-log damage
         raise CorruptionError(f"WAL CRC mismatch at offset {offset}")
     return FrameResult(payload=payload, next_offset=end)

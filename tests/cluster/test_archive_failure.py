@@ -126,6 +126,47 @@ class TestArchiveFailureAtomicity:
         # WAL replay drops the archived prefix: same rows as pre-crash.
         assert rebuilt.pending_rows() == live_rows
 
+    def test_explicit_flush_seal_replayable_after_crash(self):
+        """Non-raft shard: flush_all seals a below-threshold memtable,
+        and the following ARCHIVE record counts that seal in its drop.
+        The seal must be durably logged, or replay (which re-derives
+        only threshold seals from batch records) has fewer sealed
+        tables than the drop and recovery raises."""
+        from repro.chaos.wal_faults import FaultySegmentBackend
+        from repro.cluster.shard import Shard
+
+        backends = {}
+
+        def factory(name):
+            backends[name] = FaultySegmentBackend(name)
+            return backends[name]
+
+        clock = VirtualClock()
+        config = small_test_config(
+            n_workers=1,
+            shards_per_worker=1,
+            seal_rows=100,
+            block_rows=64,
+            wal_backend_factory=factory,
+        )
+        store = LogStore.create(config=config, clock=clock)
+        store.put(1, make_rows(1, 50, "flush"))  # below the seal threshold
+        store.flush_all()  # explicit seal + archive of the 50 rows
+        store.put(1, make_rows(1, 50, "after"))
+        shard = next(iter(store.workers.values())).shards[0]
+        rebuilt = Shard(
+            shard.shard_id,
+            shard.worker_id,
+            shard.capacity_rps,
+            shard.seal_rows,
+            shard.seal_bytes,
+            clock,
+            use_raft=False,
+            wal_backend=backends["shard0"],
+            seed=config.seed,
+        )
+        assert rebuilt.pending_rows() == shard.pending_rows() == 50
+
 
 class TestReplicatedSealAndDrain:
     def test_flush_all_keeps_replicas_byte_identical(self):
@@ -218,3 +259,79 @@ class TestCompactorCompensation:
         assert stored == catalog_paths
         result = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1")
         assert result.rows[0]["COUNT(*)"] == 250
+
+    def test_compensation_deletes_use_raw_store(self):
+        """During the outage that failed the upload, each compensation
+        delete must hit the store exactly once and queue an orphan —
+        not burn the retrying wrapper's full backoff budget per path
+        (matching DataBuilder._compensate)."""
+        from collections import Counter
+
+        from repro.builder.compaction import Compactor
+
+        class FlakyStore:
+            def __init__(self, inner):
+                self._inner = inner
+                self.failing = False
+                self.puts_allowed = 0
+                self.delete_attempts: Counter = Counter()
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def put(self, bucket, key, data):
+                if self.failing:
+                    if self.puts_allowed <= 0:
+                        raise TransientStoreError("injected outage")
+                    self.puts_allowed -= 1
+                return self._inner.put(bucket, key, data)
+
+            def delete(self, bucket, key):
+                self.delete_attempts[key] += 1
+                if self.failing:
+                    raise TransientStoreError("injected outage")
+                return self._inner.delete(bucket, key)
+
+        clock = VirtualClock()
+        config = small_test_config(
+            n_workers=1, shards_per_worker=1, seal_rows=100, block_rows=64
+        )
+        store = LogStore.create(config=config, clock=clock)
+        store.put(1, make_rows(1, 1100, "raw"))
+        store.flush_all()
+        flaky = FlakyStore(store.oss)
+        compactor = Compactor(
+            store.schema,
+            flaky,
+            store.config.bucket,
+            store.catalog,
+            codec=store.config.codec,
+            block_rows=64,
+            small_threshold_rows=500,
+            target_rows=500,
+            max_upload_attempts=3,
+            retry_clock=clock,
+        )
+        # 1100 rows -> 3 output chunks; the first uploads, the second
+        # fails: compensation must delete both it and the uploaded one.
+        flaky.failing = True
+        flaky.puts_allowed = 1
+        with pytest.raises(TransientStoreError):
+            compactor.compact_tenant(1)
+        assert len(compactor.orphans) == 2
+        assert len(flaky.delete_attempts) == 2
+        for key, attempts in flaky.delete_attempts.items():
+            assert attempts == 1, f"{key} delete retried during outage"
+        # After heal the orphan sweep restores catalog/OSS agreement.
+        flaky.failing = False
+        compactor.sweep_orphans()
+        assert compactor.orphans == []
+        catalog_paths = {entry.path for entry in store.catalog.all_blocks()}
+        stored = {
+            stat.key
+            for stat in store.oss.list(store.config.bucket, "tenants/")
+            if stat.key.endswith(".lgb")
+        }
+        assert stored == catalog_paths
+        result = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1")
+        assert result.rows[0]["COUNT(*)"] == 1100

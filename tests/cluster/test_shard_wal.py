@@ -88,6 +88,42 @@ class TestCrashRecovery:
         shard = make_shard()
         assert shard.rowstore.row_count() == 0
 
+    def test_explicit_seal_survives_crash(self):
+        """Regression: an explicit (below-threshold) seal must be WAL-
+        logged.  Replay re-derives only *threshold* seals from batch
+        records, so an unlogged flush seal would vanish on recovery and
+        shift every later seal boundary."""
+        backend = MemorySegmentBackend()
+        shard = make_shard(backend)
+        shard.write(make_rows(50, tenant_id=1))
+        shard.seal_active()  # flush path: 50 rows, well below seal_rows
+        shard.write(make_rows(80, tenant_id=1, start_ts=BASE_TS + 100 * MICROS))
+        recovered = make_shard(backend)
+        assert recovered.rowstore.row_count() == 130
+        assert len(recovered.rowstore.sealed_tables) == 1
+        assert len(recovered.rowstore.sealed_tables[0]) == 50
+
+    def test_explicit_seal_then_archive_recovers(self):
+        """Regression: without a durable seal record, the ARCHIVE
+        record's drop count exceeds the replayed sealed list and
+        recovery raises, making acked rows in the WAL unrecoverable."""
+        backend = MemorySegmentBackend()
+        shard = make_shard(backend)
+        shard.write(make_rows(50, tenant_id=1))
+        shard.seal_active()
+        taken = shard.take_sealed()
+        shard.finish_archive(taken, len(taken))  # logs the ARCHIVE drop
+        shard.write(make_rows(50, tenant_id=1, start_ts=BASE_TS + 100 * MICROS))
+        recovered = make_shard(backend)
+        assert recovered.pending_rows() == 50
+        assert len(recovered.rowstore.sealed_tables) == 0
+
+    def test_empty_active_seal_logs_nothing(self):
+        backend = MemorySegmentBackend()
+        shard = make_shard(backend)
+        shard.seal_active()
+        assert shard._wal.next_sequence == 0
+
 
 class TestClusterCheckpointTask:
     def test_checkpoint_all_covers_every_shard(self):

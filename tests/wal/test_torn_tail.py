@@ -9,11 +9,13 @@ tail is real corruption of acknowledged data and must still raise.
 
 from __future__ import annotations
 
+import struct
+
 import pytest
 
 from repro.common.errors import CorruptionError
 from repro.wal.log import MemorySegmentBackend, WriteAheadLog
-from repro.wal.record import encode_frame
+from repro.wal.record import HEADER_SIZE, encode_frame
 from repro.wal.record import WalEntryEncoder
 
 
@@ -52,6 +54,42 @@ def test_corrupted_final_frame_is_discarded():
     wal = WriteAheadLog(backend)
     wal.append(1, b"alpha")
     wal.append(1, b"beta")
+    segment = wal._active_segment
+    data = bytearray(backend.read(segment))
+    data[-1] ^= 0xFF  # partial sector overwrite of the last payload byte
+    backend.delete(segment)
+    backend.append(segment, bytes(data))
+    recovered = WriteAheadLog(backend)
+    assert bodies(recovered) == [b"alpha"]
+    assert recovered.torn_tail_bytes_discarded > 0
+
+
+def test_corrupted_length_field_mid_log_raises():
+    """A bit-flipped *length* can make a mid-log frame claim to extend
+    exactly to end-of-data; the intact acknowledged frames after it
+    must not be silently discarded as a torn tail."""
+    backend = MemorySegmentBackend()
+    wal = WriteAheadLog(backend)
+    wal.append(1, b"alpha")
+    wal.append(1, b"beta-acknowledged")
+    segment = wal._active_segment
+    data = bytearray(backend.read(segment))
+    # Rewrite the first frame's length so its payload spans to EOF.
+    data[0:4] = struct.pack("<I", len(data) - HEADER_SIZE)
+    backend.delete(segment)
+    backend.append(segment, bytes(data))
+    with pytest.raises(CorruptionError):
+        WriteAheadLog(backend)
+
+
+def test_corrupted_final_frame_with_zero_runs_is_still_a_tear():
+    """Zero runs inside a torn final payload decode as empty frames;
+    the tear-vs-corrupted-length scan must not mistake them for intact
+    acknowledged frames and refuse the repair."""
+    backend = MemorySegmentBackend()
+    wal = WriteAheadLog(backend)
+    wal.append(1, b"alpha")
+    wal.append(1, b"tail" + b"\x00" * 32 + b"tail")
     segment = wal._active_segment
     data = bytearray(backend.read(segment))
     data[-1] ^= 0xFF  # partial sector overwrite of the last payload byte
