@@ -42,21 +42,26 @@ class InvariantViolation:
 class InvariantChecker:
     """Checks a healed cluster against the run's write ledger."""
 
-    def __init__(self, store, ledger, trace=None) -> None:
+    def __init__(self, store, ledger, trace=None, table: str | None = None) -> None:
         self._store = store
         self._ledger = ledger
         self._trace = trace
+        # Probe the table the workload actually wrote; key columns come
+        # from the ledger so both sides always agree on row identity.
+        self._table = table if table is not None else store.catalog.schema.name
 
     # -- individual checks ----------------------------------------------
 
     def check_durability(self) -> list[InvariantViolation]:
         """Acked rows appear exactly once; indeterminate at most once."""
         violations: list[InvariantViolation] = []
+        key_columns = self._ledger.key_columns
+        select = ", ".join(key_columns)
         for tenant_id in self._ledger.tenants():
             result = self._store.query(
-                f"SELECT log FROM request_log WHERE tenant_id = {tenant_id}"
+                f"SELECT {select} FROM {self._table} WHERE tenant_id = {tenant_id}"
             )
-            observed = Counter(row["log"] for row in result.rows)
+            observed = Counter(self._ledger.row_key(row) for row in result.rows)
             acked = self._ledger.acked_keys(tenant_id)
             indeterminate = self._ledger.indeterminate_keys(tenant_id)
             target = f"tenant:{tenant_id}"

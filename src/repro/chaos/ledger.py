@@ -11,8 +11,11 @@ The chaos workload records every batch it submits with the outcome the
   effect.  Each indeterminate row may appear zero or one time, never
   twice.
 
-Rows are identified by their ``log`` field, which the workload makes
-globally unique per run.
+Rows are identified by ``key_columns`` — ``("log",)`` for the classic
+request-log workloads (the workload makes ``log`` globally unique per
+run), or e.g. ``("run_id", "version")`` for versioned-table sessions,
+where exactly-once visibility means no duplicate ``(key, version)``
+pair ever becomes readable.
 """
 
 from __future__ import annotations
@@ -27,12 +30,18 @@ class WriteLedger:
 
     acked: dict[int, list[str]] = field(default_factory=dict)
     indeterminate: dict[int, list[str]] = field(default_factory=dict)
+    key_columns: tuple[str, ...] = ("log",)
+
+    def row_key(self, row: dict) -> str:
+        return "@".join(str(row[column]) for column in self.key_columns)
 
     def record_acked(self, tenant_id: int, rows: list[dict]) -> None:
-        self.acked.setdefault(tenant_id, []).extend(row["log"] for row in rows)
+        self.acked.setdefault(tenant_id, []).extend(self.row_key(row) for row in rows)
 
     def record_indeterminate(self, tenant_id: int, rows: list[dict]) -> None:
-        self.indeterminate.setdefault(tenant_id, []).extend(row["log"] for row in rows)
+        self.indeterminate.setdefault(tenant_id, []).extend(
+            self.row_key(row) for row in rows
+        )
 
     def tenants(self) -> list[int]:
         return sorted(set(self.acked) | set(self.indeterminate))

@@ -61,6 +61,7 @@ class ChaosContext:
         wal_backends: dict[str, FaultySegmentBackend],
         trace: EventTrace,
         rng: random.Random,
+        ledger_key_columns: tuple[str, ...] = ("log",),
     ) -> None:
         self.scenario = scenario
         self.seed = seed
@@ -70,7 +71,7 @@ class ChaosContext:
         self.trace = trace
         self.rng = rng
         self.clock = store.clock
-        self.ledger = WriteLedger()
+        self.ledger = WriteLedger(key_columns=ledger_key_columns)
         self.crashed: list[tuple[object, str]] = []  # (shard, node_id)
         self._batch_seq = 0
 
@@ -357,6 +358,7 @@ class ChaosRunner:
             wal_backends=wal_backends,
             trace=trace,
             rng=random.Random(master),
+            ledger_key_columns=self._spec.probe_key_columns,
         )
         trace.record(clock.now(), "phase.start", self.scenario, f"seed={self.seed}")
         return ctx
@@ -367,7 +369,9 @@ class ChaosRunner:
         ctx.heal_and_quiesce()
         violations: list[InvariantViolation] = []
         if check:
-            checker = InvariantChecker(ctx.store, ctx.ledger, trace=ctx.trace)
+            checker = InvariantChecker(
+                ctx.store, ctx.ledger, trace=ctx.trace, table=self._spec.probe_table
+            )
             violations = checker.check_all()
         self._export_metrics(ctx, violations)
         return ChaosResult(

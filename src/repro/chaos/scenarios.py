@@ -29,6 +29,13 @@ class Scenario:
     description: str
     body: Callable[[ChaosContext], None]
     config: dict = field(default_factory=dict)
+    # What the durability probe looks at: the table the workload wrote
+    # (None = the store's current schema) and the columns that identify
+    # a row in the ledger.  Classic request-log workloads key on the
+    # globally unique ``log`` string; versioned-table sessions key on
+    # ``(run_id, version)`` so exactly-once means no duplicate version.
+    probe_table: str | None = None
+    probe_key_columns: tuple[str, ...] = ("log",)
 
 
 def _make_compactor(ctx: ChaosContext) -> Compactor:
@@ -211,6 +218,75 @@ def _wal_torn_tail_crash(ctx: ChaosContext) -> None:
     ctx.archive()
 
 
+def _session_insert_crash(ctx: ChaosContext) -> None:
+    """Kill the Raft leader while a SQL session streams versioned
+    INSERTs into an append-only table.  Every acked ``(run_id,
+    version)`` pair must be readable exactly once after healing —
+    INSERT-as-UPDATE never loses an acked version and never makes one
+    visible twice."""
+    store = ctx.store
+    session = store.connect(1, store.issue_token(1))
+    session.execute(
+        "CREATE TABLE workflow_runs ("
+        "run_id STRING, status STRING, payload STRING, VERSION BY run_id)"
+    )
+    single = session.prepare(
+        "INSERT INTO workflow_runs (run_id, status, payload) VALUES (?, ?, ?)"
+    )
+    pair = session.prepare(
+        "INSERT INTO workflow_runs (run_id, status, payload)"
+        " VALUES (?, ?, ?), (?, ?, ?)"
+    )
+
+    def run_params(seq: int) -> tuple:
+        run_id = f"run:{seq % 24}"
+        status = "running" if seq % 3 else "succeeded"
+        return (run_id, status, f"payload:{ctx.scenario}:{ctx.seed}:{seq}")
+
+    def insert(statement, params, label: str) -> None:
+        try:
+            result = statement.execute(params)
+        except Exception as exc:
+            # The session stamps rows (versions included) before the
+            # put, so the client knows exactly which rows are in limbo.
+            ctx.ledger.record_indeterminate(1, session.last_insert_rows)
+            ctx.trace.record(
+                ctx.clock.now(),
+                "workload.insert.failed",
+                "session",
+                f"{label} {type(exc).__name__}",
+            )
+        else:
+            ctx.ledger.record_acked(1, result.rows)
+            ctx.trace.record(
+                ctx.clock.now(),
+                "workload.insert.ok",
+                "session",
+                f"{label} rows={result.rows_inserted}",
+            )
+
+    seq = 0
+    for _ in range(12):
+        insert(single, run_params(seq), f"seq={seq}")
+        seq += 1
+        insert(pair, run_params(seq) + run_params(seq + 1), f"seq={seq},{seq + 1}")
+        seq += 2
+        ctx.advance(0.02)
+    for shard in ctx.raft_shards():
+        ctx.crash_leader(shard)
+    for _ in range(10):
+        insert(single, run_params(seq), f"seq={seq}")
+        seq += 1
+        insert(pair, run_params(seq) + run_params(seq + 1), f"seq={seq},{seq + 1}")
+        seq += 2
+        ctx.advance(0.25)
+    ctx.archive()
+    for _ in range(4):
+        insert(single, run_params(seq), f"seq={seq}")
+        seq += 1
+        ctx.advance(0.05)
+
+
 def _random_mixed(ctx: ChaosContext) -> None:
     """Nemesis: a seeded random storm of OSS, WAL, and network faults
     over a steady multi-tenant workload."""
@@ -275,6 +351,14 @@ SCENARIOS: dict[str, Scenario] = {
             "wal_torn_tail_crash",
             "Plain shard crashes mid-fsync with a torn WAL tail; rebuild recovers.",
             _wal_torn_tail_crash,
+        ),
+        Scenario(
+            "session_insert_crash",
+            "Raft leader crashes while a SQL session streams versioned INSERTs.",
+            _session_insert_crash,
+            config=dict(_RAFT),
+            probe_table="workflow_runs",
+            probe_key_columns=("run_id", "version"),
         ),
         Scenario(
             "random_mixed",

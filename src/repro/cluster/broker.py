@@ -31,7 +31,9 @@ from repro.obs.report import (
     TENANT_READ_ROWS,
 )
 from repro.obs.slowlog import SlowQueryEntry
+from repro.frontdoor.rewrite import SemanticRewriter
 from repro.query.aggregate import Aggregator, apply_order_limit
+from repro.query.dedup import finalize_outer, naive_scan_query, run_window_query
 from repro.query.executor import (
     BlockExecutor,
     ExecutionOptions,
@@ -96,6 +98,7 @@ class Broker:
             QUERY_LATENCY, "Virtual end-to-end query latency.", broker=broker_id
         )
         self._pushdown = PushdownRecorder(registry)
+        self._rewriter = SemanticRewriter(registry)
         self._pending_shards: set[int] = set()
 
     # -- write path ---------------------------------------------------------
@@ -168,8 +171,15 @@ class Broker:
 
     # -- query path ---------------------------------------------------------
 
-    def query(self, sql: str) -> QueryResult:
-        """Parse, plan, execute, merge.  Latency is virtual-clock time."""
+    def query(self, sql: str, tenant_scope: int | None = None) -> QueryResult:
+        """Parse, rewrite, plan, execute, merge.  Latency is virtual time.
+
+        ``tenant_scope`` is the session's authorized tenant: the planner
+        injects it as a filter when absent and raises ``AuthError`` on a
+        conflicting one.  The semantic-rewrite pass runs first (when
+        enabled); a window subquery it cannot rewrite falls back to full
+        materialization (:func:`run_window_query`).
+        """
         start = self._clock.now()
         oss_before = self._range_reader.store.stats.snapshot()
         cache_before = self._range_reader.cache.summary()
@@ -177,17 +187,31 @@ class Broker:
         with tracer.span("broker.query", broker=self.broker_id) as query_span:
             with tracer.span("broker.plan"):
                 parsed = parse_sql(sql)
-                plan = self._planner.plan(parsed)
+                rewrites: list[str] = []
+                if self.options.use_semantic_rewrite:
+                    parsed, rewrites = self._rewriter.rewrite(parsed)
+                # The naive window fallback scans every version of every
+                # column of the inner query; `outer` keeps the original
+                # two-level query for post-scan materialization.
+                outer = parsed if parsed.subquery is not None else None
+                scan_query = naive_scan_query(parsed) if outer is not None else parsed
+                plan = self._planner.plan(scan_query, tenant_scope, rewrites)
             tenant_label = plan.tenant_id if plan.tenant_id is not None else "*"
             query_span.set(tenant=tenant_label)
 
             # Archived data (OSS LogBlocks).  Aggregates take the pushdown
             # path: the executor returns a mergeable partial aggregator (the
             # same MPP shape shard merging uses) instead of matched rows.
+            # A dedup plan runs the latest-version tournament on narrow
+            # (key, version) vectors and materializes winners afterwards.
             aggregator: Aggregator | None = None
+            dedup = None
             archived_rows: list[dict] = []
             with tracer.span("broker.archived_scan"):
-                if parsed.is_aggregate:
+                if plan.dedup is not None:
+                    dedup, stats = self._executor.execute_dedup(plan)
+                    archived_count = stats.rows_matched
+                elif scan_query.is_aggregate:
                     aggregator, stats = self._executor.execute_aggregate(plan)
                     archived_count = stats.rows_matched
                 else:
@@ -222,7 +246,24 @@ class Broker:
                     realtime_rows.extend(filter_realtime_rows(plan, raw, limit=remaining))
 
             with tracer.span("broker.merge"):
-                if aggregator is not None:
+                if dedup is not None:
+                    # Real-time rows enter the tournament after the
+                    # archived stream — the same order the naive path
+                    # concatenates them in, so ties break identically.
+                    spec = plan.dedup
+                    for row in realtime_rows:
+                        dedup.offer(
+                            row.get(spec.key_column), row.get(spec.version_column), row
+                        )
+                    winners = self._executor.materialize_dedup(plan, dedup, stats)
+                    if spec.post_filter is not None:
+                        winners = [
+                            row for row in winners if spec.post_filter.evaluate_row(row)
+                        ]
+                    final = finalize_outer(plan.query, winners)
+                elif outer is not None:
+                    final = run_window_query(outer, archived_rows + realtime_rows)
+                elif aggregator is not None:
                     aggregator.consume_many(realtime_rows)
                     final = aggregator.results()
                 else:

@@ -77,6 +77,12 @@ class LogStoreConfig:
     # Aggregate pushdown ceiling: 0 = off, 1 = catalog-only,
     # 2 = +SMA fold, 3 = +columnar late materialization.
     agg_pushdown_level: int = 3
+    # Front-door semantic-rewrite pass (window → dedup, IS NOT NULL
+    # pushdown); off = every window query takes the naive plan.
+    use_semantic_rewrite: bool = True
+
+    # SQL front door: live sessions per cluster.
+    max_sessions: int = 64
 
     # observability
     tracing_enabled: bool = True  # hierarchical virtual-clock spans
@@ -120,6 +126,8 @@ class LogStoreConfig:
             raise ConfigError("wal_fsync_s must be non-negative")
         if self.trace_max_traces < 1:
             raise ConfigError("trace_max_traces must be >= 1")
+        if self.max_sessions < 1:
+            raise ConfigError("max_sessions must be >= 1")
         if self.slow_query_s is not None and self.slow_query_s < 0:
             raise ConfigError("slow_query_s must be non-negative (or None)")
 

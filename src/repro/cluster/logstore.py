@@ -107,6 +107,7 @@ class LogStore:
             use_prefetch=config.use_prefetch,
             prefetch_threads=config.prefetch_threads,
             agg_pushdown_level=config.agg_pushdown_level,
+            use_semantic_rewrite=config.use_semantic_rewrite,
         )
         self.brokers = [
             Broker(
@@ -126,6 +127,12 @@ class LogStore:
 
         self.traffic_tracker = TenantTrafficTracker(self.obs.registry)
         self.hotspot_loop = HotspotLoop(self.controller, self.traffic_tracker, self.clock)
+
+        from repro.frontdoor.auth import TokenRegistry
+        from repro.frontdoor.session import SessionPool
+
+        self.frontdoor_tokens = TokenRegistry(config.seed)
+        self.sessions = SessionPool(self, self.frontdoor_tokens, config.max_sessions)
 
     # -- provisioning ----------------------------------------------------
 
@@ -334,17 +341,70 @@ class LogStore:
         cluster time, driven by the cluster clock)."""
         self.hotspot_loop.start()
 
-    def query(self, sql: str) -> QueryResult:
-        """Execute one SQL query."""
-        return self._broker().query(sql)
+    # -- SQL front door (repro.frontdoor) ---------------------------------
 
-    def explain(self, sql: str) -> str:
-        """Plan a query without executing it; returns the EXPLAIN text."""
+    def issue_token(self, tenant_id: int) -> str:
+        """Issue (or re-issue) the connection token for one tenant."""
+        return self.frontdoor_tokens.issue(tenant_id)
+
+    def connect(self, tenant_id: int, token: str):
+        """Open an authenticated, tenant-scoped SQL session.
+
+        Raises :class:`~repro.common.errors.AuthError` on a bad token.
+        Every statement the returned session executes is bound to
+        ``tenant_id`` — reads are scope-checked in the planner, INSERTs
+        must carry the session's tenant (or none, and it is stamped).
+        """
+        return self.sessions.connect(tenant_id, token)
+
+    def create_table(self, statement) -> TableSchema:
+        """Run a CREATE TABLE statement (parsed object or SQL text)."""
+        from repro.frontdoor.ddl import apply_create_table
+        from repro.query.sql import ParsedCreateTable, parse_statement
+
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        if not isinstance(statement, ParsedCreateTable):
+            raise ValueError("create_table requires a CREATE TABLE statement")
+        return apply_create_table(self, statement)
+
+    def query(self, sql: str, tenant_scope: int | None = None) -> QueryResult:
+        """Execute one SQL query (optionally under a session's scope)."""
+        return self._broker().query(sql, tenant_scope=tenant_scope)
+
+    def explain(self, sql: str, tenant_scope: int | None = None) -> str:
+        """Plan a query without executing it; returns the EXPLAIN text.
+
+        Runs the same semantic-rewrite pass the brokers run (without
+        counting it in the metrics), so the output shows exactly the
+        plan a real execution would take — including the rewrite rules
+        applied and any naive-window fallback.
+        """
+        from repro.frontdoor.rewrite import SemanticRewriter
+        from repro.query.dedup import naive_scan_query
         from repro.query.planner import QueryPlanner, explain_plan
         from repro.query.sql import parse_sql
 
-        plan = QueryPlanner(self.catalog).plan(parse_sql(sql))
-        return explain_plan(plan)
+        parsed = parse_sql(sql)
+        rewrites: list[str] = []
+        # Read the *live* execution option, not the construction-time
+        # config — benchmarks toggle the shared options object directly.
+        if self._broker().options.use_semantic_rewrite:
+            parsed, rewrites = SemanticRewriter().rewrite(parsed)
+        notes: list[str] = []
+        if parsed.subquery is not None:
+            window = parsed.subquery.window
+            notes.append(
+                "naive window materialization: every matching version is "
+                "fetched, then ranked"
+                + (f" ({window.label()})" if window is not None else "")
+            )
+            parsed = naive_scan_query(parsed)
+        plan = QueryPlanner(self.catalog).plan(parsed, tenant_scope, rewrites)
+        text = explain_plan(plan)
+        if notes:
+            text += "\n" + "\n".join(notes)
+        return text
 
     def explain_analyze(self, sql: str) -> str:
         """Execute the query and report what execution actually did.

@@ -101,7 +101,24 @@ class QueryError(LogStoreError):
 
 
 class SqlParseError(QueryError):
-    """The SQL text could not be parsed by the minimal dialect."""
+    """The SQL text could not be parsed by the minimal dialect.
+
+    ``position`` is the character offset into the statement where the
+    parser gave up (``None`` when no offset applies, e.g. truncated
+    input); the message embeds a caret-context snippet pointing at it.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class AuthError(QueryError):
+    """A statement was rejected by tenant authentication/authorization.
+
+    Raised when a session presents a bad token, or when a statement
+    scoped to one tenant tries to touch another tenant's data.
+    """
 
 
 class FlowError(LogStoreError):

@@ -1,0 +1,34 @@
+"""SQL front door: sessions, versioned-table DDL, semantic rewrites.
+
+The paper's Figure 3 shows applications consuming LogStore over the
+SQL protocol; this package is that protocol surface.  It layers on top
+of the cluster (never under it):
+
+* :mod:`repro.frontdoor.auth` — per-tenant token authentication;
+* :mod:`repro.frontdoor.session` — :class:`Session` / :class:`SessionPool`,
+  statement dispatch, prepared-statement parameter binding, and
+  ingest-time version stamping for append-only versioned tables;
+* :mod:`repro.frontdoor.ddl` — ``CREATE TABLE ... VERSION BY`` applied
+  to the catalog;
+* :mod:`repro.frontdoor.rewrite` — the semantic-rewrite optimizer pass
+  (window "latest row per key" → :class:`LatestVersionDedup`,
+  ``IS NOT NULL`` → pushdown-friendly leaves).
+
+Entry point: ``LogStore.connect(tenant_id, token)``.
+"""
+
+from repro.frontdoor.auth import TokenRegistry
+from repro.frontdoor.ddl import apply_create_table, schema_from_create
+from repro.frontdoor.rewrite import SemanticRewriter
+from repro.frontdoor.session import InsertResult, PreparedStatement, Session, SessionPool
+
+__all__ = [
+    "TokenRegistry",
+    "SemanticRewriter",
+    "Session",
+    "SessionPool",
+    "PreparedStatement",
+    "InsertResult",
+    "apply_create_table",
+    "schema_from_create",
+]

@@ -1,0 +1,45 @@
+"""Per-tenant token authentication for front-door sessions.
+
+Tokens are derived deterministically from the store's seed (HMAC-style
+keyed digest), so chaos runs replay byte for byte: the same
+``(seed, tenant)`` always issues the same token, and no randomness or
+wall-clock enters the derivation.  This models the shared-secret
+credential a real multi-tenant front end would verify per connection —
+the point here is the *enforcement surface* (every session is bound to
+exactly one tenant), not cryptographic novelty.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.common.errors import AuthError
+
+
+class TokenRegistry:
+    """Issues and validates per-tenant connection tokens."""
+
+    def __init__(self, secret_seed: int = 0) -> None:
+        self._secret_seed = secret_seed
+        self._revoked: set[int] = set()
+
+    def issue(self, tenant_id: int) -> str:
+        """Token for ``tenant_id`` (idempotent; re-issuing un-revokes)."""
+        self._revoked.discard(tenant_id)
+        return self._derive(tenant_id)
+
+    def _derive(self, tenant_id: int) -> str:
+        material = f"logstore-frontdoor-{self._secret_seed}:{tenant_id}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+
+    def validate(self, tenant_id: int, token: str) -> None:
+        """Raise :class:`AuthError` unless ``token`` authorizes the tenant."""
+        if tenant_id in self._revoked:
+            raise AuthError(f"credentials for tenant {tenant_id} are revoked")
+        expected = self._derive(tenant_id)
+        if not isinstance(token, str) or not hmac.compare_digest(expected, token):
+            raise AuthError(f"invalid token for tenant {tenant_id}")
+
+    def revoke(self, tenant_id: int) -> None:
+        self._revoked.add(tenant_id)

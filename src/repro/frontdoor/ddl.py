@@ -1,0 +1,90 @@
+"""``CREATE TABLE ... VERSION BY`` applied to the catalog.
+
+The controller is the schema authority (§3: DDL updates the catalog
+and brokers read it live), so "creating a table" here means replacing
+the catalog's table definition.  The reproduction models exactly one
+table per store — matching the paper's request_log evaluation — so
+CREATE TABLE is legal only while the store holds no data, and
+``IF NOT EXISTS`` makes re-runs of setup scripts idempotent.
+
+Every front-door table gets the two system columns the engine routes
+and prunes by: ``tenant_id`` (INT64) and ``ts`` (TIMESTAMP) are
+prepended when the statement omits them, and a ``VERSION BY`` table
+without an explicit version column gets ``version`` (INT64) appended.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import QueryError
+from repro.logblock.schema import ColumnSpec, ColumnType, TableSchema
+from repro.query.sql import ParsedCreateTable
+
+
+def schema_from_create(statement: ParsedCreateTable) -> tuple[TableSchema, str | None]:
+    """Build the physical schema; returns (schema, version_column).
+
+    ``version_column`` is None for unversioned tables; otherwise it
+    names the column ingest stamps (``version``, unless the statement
+    declared its own).
+    """
+    specs: list[ColumnSpec] = []
+    declared = {column.name for column in statement.columns}
+    if "tenant_id" not in declared:
+        specs.append(ColumnSpec("tenant_id", ColumnType.INT64))
+    if "ts" not in declared:
+        specs.append(ColumnSpec("ts", ColumnType.TIMESTAMP))
+    for column in statement.columns:
+        specs.append(
+            ColumnSpec(column.name, ColumnType[column.type_name], tokenize=column.tokenize)
+        )
+    version_column: str | None = None
+    if statement.version_by is not None:
+        version_column = "version"
+        if version_column not in declared:
+            specs.append(ColumnSpec(version_column, ColumnType.INT64))
+        else:
+            spec = next(s for s in specs if s.name == version_column)
+            if spec.ctype not in (ColumnType.INT64, ColumnType.TIMESTAMP):
+                raise QueryError(
+                    f"the version column must be INT64 or TIMESTAMP, got {spec.ctype.name}"
+                )
+    return TableSchema(statement.table, tuple(specs)), version_column
+
+
+def apply_create_table(store, statement: ParsedCreateTable) -> TableSchema:
+    """Execute one CREATE TABLE against a store's catalog.
+
+    Idempotent when the definition matches what is already installed
+    (always under ``IF NOT EXISTS``, and also for an exact re-issue of
+    the same statement); otherwise requires an empty store.
+    """
+    catalog = store.catalog
+    new_schema, version_column = schema_from_create(statement)
+    current = catalog.schema
+    if current.name == statement.table:
+        same_shape = current.columns == new_schema.columns
+        current_spec = catalog.version_spec
+        same_version = (
+            (statement.version_by is None and current_spec is None)
+            or (
+                statement.version_by is not None
+                and current_spec is not None
+                and current_spec.key_column == statement.version_by
+                and current_spec.version_column == version_column
+            )
+        )
+        if statement.if_not_exists or (same_shape and same_version):
+            return current  # table exists; nothing to do
+        raise QueryError(
+            f"table {statement.table!r} already exists with a different definition"
+        )
+    if store.pending_rows() > 0 or catalog.all_blocks():
+        raise QueryError(
+            "CREATE TABLE requires an empty store (one table per cluster "
+            "in this reproduction); drain or rebuild instead"
+        )
+    catalog.replace_schema(new_schema)
+    if statement.version_by is not None:
+        catalog.set_version_spec(statement.version_by, version_column)
+    store.schema = new_schema
+    return new_schema

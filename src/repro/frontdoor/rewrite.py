@@ -1,0 +1,165 @@
+"""The semantic-rewrite optimizer pass.
+
+Runs between parsing and planning on every broker query.  Each rule
+recognizes a query shape whose *meaning* admits a cheaper plan and
+rewrites it; the applied rule names travel on the plan (``EXPLAIN``
+shows them) and are counted in the metrics registry.
+
+Rules:
+
+``latest_by_key``
+    The append-only versioned-table read idiom::
+
+        SELECT cols FROM (
+            SELECT *, ROW_NUMBER() OVER (
+                PARTITION BY key ORDER BY version DESC) AS rn
+            FROM t WHERE inner_pred
+        ) WHERE rn = 1 AND outer_pred
+
+    becomes a single-level query over ``t`` with inner_pred pushed to
+    the scan, a :class:`~repro.query.dedup.DedupSpec` running the
+    latest-version tournament on narrow ``(key, version)`` columns,
+    and ``outer_pred`` applied to winners only (filtering *before* the
+    tournament would change which version wins).
+
+``notnull_pushdown``
+    ``NOT (col IS NULL)`` — what the parser emits for
+    ``col IS NOT NULL`` — becomes the :class:`~repro.query.ast.NotNull`
+    leaf, which prunes via SMA null counts and short-circuits whole
+    all-valued blocks instead of materializing a negated bitset.
+"""
+
+from __future__ import annotations
+
+from repro.obs.report import SEMANTIC_REWRITES
+from repro.query.ast import And, CmpOp, Comparison, Expr, IsNull, Not, NotNull, Or, conjuncts
+from repro.query.dedup import DedupSpec
+from repro.query.sql import ParsedQuery
+
+
+def _fold_notnull(expr: Expr) -> Expr:
+    """Bottom-up ``Not(IsNull(c))`` → ``NotNull(c)`` over one tree."""
+    if isinstance(expr, Not):
+        child = _fold_notnull(expr.child)
+        if isinstance(child, IsNull):
+            return NotNull(child.column)
+        if isinstance(child, NotNull):
+            return IsNull(child.column)  # double negation folds too
+        return Not(child)
+    if isinstance(expr, And):
+        return And(tuple(_fold_notnull(c) for c in expr.children))
+    if isinstance(expr, Or):
+        return Or(tuple(_fold_notnull(c) for c in expr.children))
+    return expr
+
+
+class SemanticRewriter:
+    """Applies every recognizing rule once, in a fixed order."""
+
+    def __init__(self, registry=None) -> None:
+        self._registry = registry
+
+    def _count(self, rule: str) -> None:
+        if self._registry is not None:
+            self._registry.counter(
+                SEMANTIC_REWRITES,
+                "Semantic-rewrite rule applications by the front-door optimizer.",
+                rule=rule,
+            ).add()
+
+    def rewrite(self, query: ParsedQuery) -> tuple[ParsedQuery, list[str]]:
+        """Returns the (possibly) rewritten query and the applied rules."""
+        applied: list[str] = []
+        rewritten = self._latest_by_key(query)
+        if rewritten is not None:
+            query = rewritten
+            applied.append("latest_by_key")
+        query, folded = self._notnull_pushdown(query)
+        if folded:
+            applied.append("notnull_pushdown")
+        for rule in applied:
+            self._count(rule)
+        return query, applied
+
+    # -- latest_by_key -----------------------------------------------------
+
+    def _latest_by_key(self, outer: ParsedQuery) -> ParsedQuery | None:
+        inner = outer.subquery
+        if inner is None or inner.window is None:
+            return None
+        window = inner.window
+        if window.func != "row_number" or not window.order_desc:
+            return None  # rank 1 ascending is "oldest", not our operator
+        if not inner.select_star or inner.is_aggregate:
+            return None
+        if inner.group_by is not None or inner.order_by is not None or inner.limit is not None:
+            return None
+        if outer.where is None:
+            return None
+        alias = window.alias
+        rank_one = None
+        rest: list[Expr] = []
+        for node in conjuncts(outer.where):
+            is_rank_one = (
+                isinstance(node, Comparison)
+                and node.column == alias
+                and node.op is CmpOp.EQ
+                and node.value == 1
+            )
+            if is_rank_one and rank_one is None:
+                rank_one = node
+            elif alias in node.columns():
+                return None  # other rank predicates (rn <= 5, OR over rn, ...)
+            else:
+                rest.append(node)
+        if rank_one is None:
+            return None
+        if len(rest) == 0:
+            post_filter = None
+        elif len(rest) == 1:
+            post_filter = rest[0]
+        else:
+            post_filter = And(tuple(rest))
+        return ParsedQuery(
+            table=inner.table,
+            select=outer.select,
+            where=inner.where,
+            group_by=outer.group_by,
+            order_by=outer.order_by,
+            order_desc=outer.order_desc,
+            limit=outer.limit,
+            select_star=outer.select_star,
+            raw_sql=outer.raw_sql,
+            dedup=DedupSpec(
+                key_column=window.partition_by,
+                version_column=window.order_by,
+                post_filter=post_filter,
+            ),
+        )
+
+    # -- notnull_pushdown --------------------------------------------------
+
+    def _notnull_pushdown(self, query: ParsedQuery) -> tuple[ParsedQuery, bool]:
+        changed = False
+        if query.where is not None:
+            folded = _fold_notnull(query.where)
+            if folded != query.where:
+                query.where = folded
+                changed = True
+        dedup = query.dedup
+        if isinstance(dedup, DedupSpec) and dedup.post_filter is not None:
+            folded = _fold_notnull(dedup.post_filter)
+            if folded != dedup.post_filter:
+                query.dedup = DedupSpec(
+                    key_column=dedup.key_column,
+                    version_column=dedup.version_column,
+                    post_filter=folded,
+                )
+                changed = True
+        inner = query.subquery
+        if inner is not None and inner.where is not None:
+            folded = _fold_notnull(inner.where)
+            if folded != inner.where:
+                inner.where = folded
+                changed = True
+        return query, changed

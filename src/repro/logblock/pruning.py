@@ -131,6 +131,49 @@ class InPredicate:
         return value is not None and value in self.values
 
 
+@dataclass(frozen=True)
+class NullPredicate:
+    """``column IS NULL`` — the one predicate that *selects* nulls.
+
+    SMA null counts answer it exactly at both granularities:
+    ``null_count == 0`` prunes a region outright, and
+    ``null_count == row_count`` proves every row matches without
+    reading a single value (``matches_all_sma``).
+    """
+
+    column: str
+
+    def may_match_sma(self, sma: Sma) -> bool:
+        return sma.null_count > 0
+
+    def matches_all_sma(self, sma: Sma) -> bool:
+        return sma.null_count == sma.row_count
+
+    def evaluate_value(self, value) -> bool:
+        return value is None
+
+
+@dataclass(frozen=True)
+class NotNullPredicate:
+    """``column IS NOT NULL`` — matches every row with a value.
+
+    The pushdown-friendly form the semantic rewriter produces from
+    ``NOT (col IS NULL)``: unlike a generic NOT wrapper it prunes via
+    SMA null counts and short-circuits whole all-valued regions.
+    """
+
+    column: str
+
+    def may_match_sma(self, sma: Sma) -> bool:
+        return sma.null_count < sma.row_count
+
+    def matches_all_sma(self, sma: Sma) -> bool:
+        return sma.null_count == 0
+
+    def evaluate_value(self, value) -> bool:
+        return value is not None
+
+
 def _prefix_successor(prefix: str) -> str | None:
     """Smallest string greater than every string starting with ``prefix``.
 
@@ -261,6 +304,10 @@ def vectorized_block_mask(
     execution" for the scan path.
     """
     not_null = ~null_mask
+    if isinstance(predicate, NullPredicate):
+        return null_mask.copy()
+    if isinstance(predicate, NotNullPredicate):
+        return not_null.copy()
     if isinstance(predicate, EqPredicate):
         return not_null & (values == predicate.value)
     if isinstance(predicate, NePredicate):
@@ -309,6 +356,7 @@ class PruneStats:
     blocks_scanned: int = 0
     index_lookups: int = 0
     blooms_pruned: int = 0  # whole-LogBlock skips via Bloom "definitely absent"
+    blocks_short_circuited: int = 0  # blocks proven all-matching by SMA alone
 
 
 def evaluate_predicates(
@@ -340,6 +388,11 @@ def evaluate_predicates(
                 # Figure 8 step 2: whole column disproved; no rows match.
                 stats.columns_pruned += 1
                 return Bitset(row_count)
+            matches_all = getattr(predicate, "matches_all_sma", None)
+            if matches_all is not None and matches_all(column_sma):
+                # The column SMA proves every row matches (e.g. IS NOT
+                # NULL over a column with zero nulls) — zero reads.
+                continue
             if not _bloom_may_match(reader, predicate):
                 # Bloom filter proves the needle is absent from this
                 # whole LogBlock — skip without touching the index.
@@ -407,6 +460,13 @@ def _scan_blocks(
             stats.blocks_pruned += 1
             base += block_rows
             continue
+        if prune_blocks:
+            matches_all = getattr(predicate, "matches_all_sma", None)
+            if matches_all is not None and matches_all(header.sma):
+                full_mask[base : base + block_rows] = True
+                stats.blocks_short_circuited += 1
+                base += block_rows
+                continue
         stats.blocks_scanned += 1
         handled = False
         if vectorized:

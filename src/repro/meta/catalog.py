@@ -70,6 +70,19 @@ class LogBlockEntry:
         return (self.min_ts, self.max_ts, self.path)
 
 
+@dataclass(frozen=True)
+class VersionSpec:
+    """Append-only versioned-table declaration (``VERSION BY key``).
+
+    ``key_column`` identifies the logical entity; ``version_column``
+    orders its versions (stamped at ingest when absent).  A read of the
+    table's *current* state keeps only the greatest version per key.
+    """
+
+    key_column: str
+    version_column: str
+
+
 @dataclass
 class TenantInfo:
     """Registered tenant with its lifecycle policy.
@@ -104,8 +117,22 @@ class Catalog:
     def __init__(self, schema: TableSchema) -> None:
         self._schema = schema
         self._schema_version = 1
+        self._version_spec: VersionSpec | None = None
         self._tenants: dict[int, TenantInfo] = {}
         self._lock = threading.Lock()
+
+    @property
+    def version_spec(self) -> VersionSpec | None:
+        return self._version_spec
+
+    def set_version_spec(self, key_column: str, version_column: str) -> None:
+        """Declare the schema's table as append-only versioned."""
+        self._schema.column(key_column)
+        self._schema.column(version_column)
+        self._version_spec = VersionSpec(key_column, version_column)
+
+    def clear_version_spec(self) -> None:
+        self._version_spec = None
 
     @property
     def schema(self) -> TableSchema:
@@ -145,6 +172,27 @@ class Catalog:
         """Convenience DDL: append one column."""
         new_schema = TableSchema(self._schema.name, self._schema.columns + (spec,))
         return self.update_schema(new_schema)
+
+    def replace_schema(self, new_schema: TableSchema) -> int:
+        """Non-additive DDL: swap the table definition wholesale.
+
+        Only legal while no LogBlocks exist (front-door CREATE TABLE on
+        a fresh store) — archived blocks were written under the old
+        definition and this class has no migration story for them.
+        Clears any versioned-table declaration; the caller re-applies
+        it against the new schema.
+        """
+        with self._lock:
+            for info in self._tenants.values():
+                if info.blocks:
+                    raise CatalogError(
+                        "cannot replace the schema once LogBlocks exist "
+                        f"(tenant {info.tenant_id} has {len(info.blocks)})"
+                    )
+            self._schema = new_schema
+            self._schema_version += 1
+            self._version_spec = None
+            return self._schema_version
 
     # -- tenants -----------------------------------------------------------
 

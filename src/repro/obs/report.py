@@ -25,6 +25,7 @@ WORKER_ACCESSES = "logstore_worker_accesses_total"
 BROKER_QUERIES = "logstore_broker_queries_total"
 BROKER_WRITE_ROWS = "logstore_broker_write_rows_total"
 QUERY_LATENCY = "logstore_query_latency_seconds"
+SEMANTIC_REWRITES = "logstore_semantic_rewrites_total"
 
 
 @dataclass

@@ -27,6 +27,8 @@ from repro.logblock.pruning import (
     InPredicate,
     MatchPredicate,
     NePredicate,
+    NotNullPredicate,
+    NullPredicate,
     RangePredicate,
 )
 from repro.logblock.tokenizer import tokenize
@@ -176,6 +178,47 @@ class Match(Expr):
 
     def to_column_predicate(self) -> ColumnPredicate:
         return MatchPredicate(self.column, self.query)
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``column IS NULL`` — the deliberate exception to leaf null
+    semantics: this is the one leaf that matches null values (that's
+    its whole job).  ``NOT (col IS NULL)`` therefore matches exactly
+    the non-null rows, same as :class:`NotNull`.
+    """
+
+    column: str
+
+    def evaluate_row(self, row: dict) -> bool:
+        return row.get(self.column) is None
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def to_column_predicate(self) -> ColumnPredicate:
+        return NullPredicate(self.column)
+
+
+@dataclass(frozen=True)
+class NotNull(Expr):
+    """``column IS NOT NULL`` as a pushdown-friendly leaf.
+
+    The parser emits ``Not(IsNull(col))``; the semantic rewriter folds
+    that into this node so the LogBlock path can prune via SMA null
+    counts instead of materializing a NOT over a bitset.
+    """
+
+    column: str
+
+    def evaluate_row(self, row: dict) -> bool:
+        return row.get(self.column) is not None
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def to_column_predicate(self) -> ColumnPredicate:
+        return NotNullPredicate(self.column)
 
 
 @dataclass(frozen=True)

@@ -40,7 +40,8 @@ from repro.metrics.stats import PushdownCounters
 from repro.prefetch.executor import ParallelPrefetcher
 from repro.prefetch.planner import PrefetchPlanner
 from repro.query.aggregate import Aggregator
-from repro.query.ast import And, CmpOp, Comparison, Expr, In, Not, Or
+from repro.query.ast import And, CmpOp, Comparison, Expr, In, IsNull, Not, Or
+from repro.query.dedup import LatestVersionDedup
 from repro.query.planner import QueryPlan
 from repro.tarpack.reader import PackReader
 
@@ -55,6 +56,7 @@ class ExecutionOptions:
     prefetch_threads: int = 32      # §6.3.2 "using 32 threads"
     prefetch_merge_gap: int = 4096
     use_vectorized_scan: bool = False  # §8 future work, implemented
+    use_semantic_rewrite: bool = True  # frontdoor rewrite pass on/off
 
     # Aggregate pushdown tier ceiling: 0 = off (row materialization),
     # 1 = catalog-only, 2 = +SMA fold, 3 = +columnar late
@@ -85,6 +87,10 @@ class ExecutionStats:
     prefetch_requests: int = 0
     prefetch_bytes: int = 0
     pushdown: PushdownCounters = field(default_factory=PushdownCounters)
+    # Latest-version dedup accounting: versions offered to the
+    # tournament vs winners actually materialized.
+    dedup_candidates: int = 0
+    dedup_winners: int = 0
 
 
 def _equality_string_leaves(expr: Expr) -> dict[str, list]:
@@ -304,10 +310,13 @@ class BlockExecutor:
         if isinstance(expr, Not):
             return ~self._evaluate_expr(reader, expr.child, stats)
         # A column added by DDL after this block was written: every leaf
-        # evaluates to null ⇒ False for all of the block's rows.
+        # evaluates to null ⇒ False for all of the block's rows — except
+        # IS NULL, whose whole job is to match those nulls.
         leaf_columns = expr.columns()
         block_columns = set(reader.meta().schema.column_names())
         if not leaf_columns <= block_columns:
+            if isinstance(expr, IsNull):
+                return Bitset.full(row_count)
             return Bitset(row_count)
         predicate = expr.to_column_predicate()  # type: ignore[union-attr]
         return evaluate_predicates(
@@ -537,6 +546,126 @@ class BlockExecutor:
     def _wave_elapsed(self, durations: list[float]) -> float:
         """Total time of `prefetch_threads`-wide waves, slowest per wave."""
         return wave_elapsed(durations, max(1, self.options.prefetch_threads))
+
+    # -- latest-version dedup (the LatestVersionDedup plan operator) -------
+
+    def _dedup_block(
+        self,
+        entry: LogBlockEntry,
+        plan: QueryPlan,
+        dedup: LatestVersionDedup,
+        stats: ExecutionStats,
+    ) -> None:
+        """Offer one LogBlock's matched (key, version) pairs.
+
+        Reads only the two tournament columns as late-materialized
+        vectors — the wide payload columns are fetched later, and only
+        for winners.  Payloads are ``(reader, row_id)`` handles.
+        """
+        spec = plan.dedup
+        assert spec is not None
+        reader, matched = self._match_block(entry, plan, stats)
+        count = matched.count()
+        if not count:
+            return
+        stats.rows_matched += count
+        block_columns = set(reader.meta().schema.column_names())
+        present = [
+            c for c in (spec.key_column, spec.version_column) if c in block_columns
+        ]
+        if self.options.use_prefetch and present:
+            self._prefetch_output_blocks(reader, matched, present, stats)
+        vectors = {c: reader.read_column_values(c, matched) for c in present}
+        self._charge(count * max(1, len(present)) / self.options.cpu_agg_values_per_s)
+        keys = vectors.get(spec.key_column, [None] * count)
+        versions = vectors.get(spec.version_column, [None] * count)
+        row_ids = matched.indices().tolist()
+        for key, version, row_id in zip(keys, versions, row_ids):
+            dedup.offer(key, version, (reader, row_id))
+        stats.dedup_candidates += count
+
+    def execute_dedup(self, plan: QueryPlan) -> tuple[LatestVersionDedup, ExecutionStats]:
+        """Run the tournament over all archived LogBlocks of the plan.
+
+        Blocks are visited in plan order (catalog sort order), so offer
+        sequence equals stream order — the tie-break the naive window
+        materialization also uses.  The caller then offers real-time
+        rows and finishes with :meth:`materialize_dedup`.
+        """
+        stats = ExecutionStats()
+        dedup = LatestVersionDedup()
+        clock = getattr(self._reader.store, "clock", None)
+        overlap = (
+            self.options.use_prefetch
+            and len(plan.blocks) > 1
+            and clock is not None
+            and hasattr(clock, "deferred")
+        )
+        if not overlap:
+            for entry in plan.blocks:
+                self._dedup_block(entry, plan, dedup, stats)
+            return dedup, stats
+        durations: list[float] = []
+        for entry in plan.blocks:
+            with clock.deferred() as charges:
+                self._dedup_block(entry, plan, dedup, stats)
+            durations.append(charges.total)
+        clock.sleep(self._wave_elapsed(durations))
+        return dedup, stats
+
+    def materialize_dedup(
+        self,
+        plan: QueryPlan,
+        dedup: LatestVersionDedup,
+        stats: ExecutionStats,
+    ) -> list[dict]:
+        """Fetch the winners' full rows, preserving winner order.
+
+        Archived payloads are ``(reader, row_id)`` handles grouped per
+        reader into one bitset materialization each; real-time payloads
+        are already row dicts (projected by the caller) and pass
+        through.  Only here do the wide output columns get read — the
+        losing versions never touch them.
+        """
+        winners = dedup.winners()
+        stats.dedup_winners += len(winners)
+        columns = plan.output_columns or plan.schema.column_names()
+        by_reader: dict[int, tuple[LogBlockReader, list[tuple[int, int]]]] = {}
+        output: list[dict | None] = [None] * len(winners)
+        for position, entry in enumerate(winners):
+            payload = entry.payload
+            if isinstance(payload, dict):
+                output[position] = {c: payload.get(c) for c in columns}
+                continue
+            reader, row_id = payload
+            group = by_reader.setdefault(id(reader), (reader, []))
+            group[1].append((position, row_id))
+
+        clock = getattr(self._reader.store, "clock", None)
+        overlap = (
+            self.options.use_prefetch
+            and len(by_reader) > 1
+            and clock is not None
+            and hasattr(clock, "deferred")
+        )
+        durations: list[float] = []
+        for reader, pairs in by_reader.values():
+            def fetch(reader=reader, pairs=pairs) -> None:
+                row_ids = sorted({row_id for _, row_id in pairs})
+                matched = Bitset.from_indices(reader.row_count, row_ids)
+                rows = self._materialize_rows(reader, matched, list(columns), stats)
+                row_for_id = dict(zip(row_ids, rows))
+                for position, row_id in pairs:
+                    output[position] = row_for_id[row_id]
+            if overlap:
+                with clock.deferred() as charges:
+                    fetch()
+                durations.append(charges.total)
+            else:
+                fetch()
+        if overlap:
+            clock.sleep(self._wave_elapsed(durations))
+        return [row for row in output if row is not None]
 
     def execute(self, plan: QueryPlan) -> tuple[list[dict], ExecutionStats]:
         """Run the plan over all its LogBlocks; returns (rows, stats).

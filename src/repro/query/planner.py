@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 
-from repro.common.errors import QueryError, SchemaError
+from repro.common.errors import AuthError, QueryError, SchemaError
 from repro.logblock.schema import ColumnType, TableSchema
 from repro.meta.catalog import Catalog, LogBlockEntry
 from repro.query.ast import (
@@ -20,14 +20,17 @@ from repro.query.ast import (
     Comparison,
     Expr,
     In,
+    IsNull,
     Like,
     Match,
     Not,
+    NotNull,
     Or,
     conjuncts,
     extract_eq,
     extract_ts_range,
 )
+from repro.query.dedup import DedupSpec
 from repro.query.sql import ParsedQuery
 
 MICROS = 1_000_000
@@ -107,6 +110,9 @@ def coerce_expr(expr: Expr, schema: TableSchema) -> Expr:
         spec = schema.column(expr.column)
         if spec.ctype is not ColumnType.STRING:
             raise QueryError(f"LIKE on non-string column {expr.column!r}")
+        return expr
+    if isinstance(expr, (IsNull, NotNull)):
+        schema.column(expr.column)  # existence check only; no literal
         return expr
     if isinstance(expr, And):
         return And(tuple(coerce_expr(child, schema) for child in expr.children))
@@ -280,6 +286,12 @@ class QueryPlan:
     row_limit: int | None = None
     # Aggregate pushdown decision; set iff the query aggregates.
     agg_pushdown: AggPushdown | None = None
+    # Latest-version dedup (set by the semantic rewriter via the query).
+    dedup: DedupSpec | None = None
+    # Names of semantic-rewrite rules that produced this query shape.
+    rewrites: list[str] = field(default_factory=list)
+    # The session's tenant scope that authorized (and bounded) this plan.
+    tenant_scope: int | None = None
 
 
 def explain_plan(plan: QueryPlan) -> str:
@@ -292,6 +304,12 @@ def explain_plan(plan: QueryPlan) -> str:
     lines = [f"query: {plan.query.raw_sql or '<built>'}"]
     scope = f"tenant {plan.tenant_id}" if plan.tenant_id is not None else "ALL tenants"
     lines.append(f"scope: {scope}")
+    if plan.tenant_scope is not None:
+        lines.append(f"session scope: tenant {plan.tenant_scope}")
+    if plan.rewrites:
+        lines.append(f"semantic rewrites: {', '.join(plan.rewrites)}")
+    if plan.dedup is not None:
+        lines.append(f"latest-version dedup: {plan.dedup.describe()}")
     if plan.min_ts is not None or plan.max_ts is not None:
         lines.append(
             "time range: "
@@ -333,8 +351,18 @@ class QueryPlanner:
         self._tenant_column = tenant_column
         self._ts_column = ts_column
 
-    def plan(self, query: ParsedQuery) -> QueryPlan:
+    def plan(
+        self,
+        query: ParsedQuery,
+        tenant_scope: int | None = None,
+        rewrites: list[str] | None = None,
+    ) -> QueryPlan:
         schema = self._catalog.schema
+        if query.subquery is not None:
+            raise QueryError(
+                "subqueries must be rewritten or materialized before planning "
+                "(the broker handles the window-subquery form)"
+            )
         if query.table != schema.name:
             raise QueryError(f"unknown table {query.table!r} (expected {schema.name!r})")
         try:
@@ -369,6 +397,22 @@ class QueryPlanner:
                 tenant_id = tenant_value
             min_ts, max_ts = extract_ts_range(where, self._ts_column)
 
+        if tenant_scope is not None:
+            # Session authorization: a scoped session may only read its
+            # own tenant.  An explicit matching filter is fine; a
+            # conflicting one is a typed rejection, not an empty result;
+            # an absent one gets the scope injected (AND-conjoining a
+            # tenant equality can only narrow the match set).
+            if tenant_id is None:
+                scope_filter = Comparison(self._tenant_column, CmpOp.EQ, tenant_scope)
+                where = scope_filter if where is None else And((scope_filter, where))
+                tenant_id = tenant_scope
+            elif tenant_id != tenant_scope:
+                raise AuthError(
+                    f"session is scoped to tenant {tenant_scope} but the "
+                    f"statement addresses tenant {tenant_id}"
+                )
+
         # Figure 8 step 1: LogBlock-map filter by <tenant_id, min_ts, max_ts>.
         if tenant_id is not None:
             candidates = self._catalog.blocks_for(tenant_id)
@@ -380,6 +424,22 @@ class QueryPlanner:
             surviving = [b for b in candidates if b.overlaps(min_ts, max_ts)]
             pruned = len(candidates) - len(surviving)
 
+        dedup = query.dedup
+        if dedup is not None:
+            if not isinstance(dedup, DedupSpec):
+                raise QueryError(f"unexpected dedup spec {dedup!r}")
+            try:
+                schema.column(dedup.key_column)
+                schema.column(dedup.version_column)
+            except SchemaError as exc:
+                raise QueryError(str(exc)) from exc
+            if dedup.post_filter is not None:
+                dedup = DedupSpec(
+                    key_column=dedup.key_column,
+                    version_column=dedup.version_column,
+                    post_filter=coerce_expr(dedup.post_filter, schema),
+                )
+
         if query.select_star:
             output_columns = schema.column_names()
         else:
@@ -390,15 +450,31 @@ class QueryPlanner:
                 if item.is_aggregate and item.column is not None:
                     if item.column not in output_columns:
                         output_columns.append(item.column)
+            if dedup is not None:
+                # Winner materialization must also feed the post-filter
+                # and the outer ORDER BY, not just the projection.
+                extra = [dedup.key_column, dedup.version_column]
+                if dedup.post_filter is not None:
+                    extra.extend(sorted(dedup.post_filter.columns()))
+                if query.order_by is not None:
+                    extra.append(query.order_by)
+                for column in extra:
+                    if column not in output_columns:
+                        output_columns.append(column)
             if not output_columns:  # e.g. bare SELECT COUNT(*)
                 output_columns = []
 
         row_limit = None
-        if query.limit is not None and query.order_by is None and not query.is_aggregate:
+        if (
+            query.limit is not None
+            and query.order_by is None
+            and not query.is_aggregate
+            and dedup is None
+        ):
             row_limit = query.limit
 
         agg_pushdown = None
-        if query.is_aggregate:
+        if query.is_aggregate and dedup is None:
             agg_pushdown = _plan_agg_pushdown(
                 query, where, self._tenant_column, self._ts_column
             )
@@ -415,4 +491,7 @@ class QueryPlanner:
             output_columns=output_columns,
             row_limit=row_limit,
             agg_pushdown=agg_pushdown,
+            dedup=dedup,
+            rewrites=list(rewrites) if rewrites else [],
+            tenant_scope=tenant_scope,
         )

@@ -1,4 +1,4 @@
-"""Minimal SQL dialect for log retrieval.
+"""Minimal SQL dialect for log retrieval and the front-door statements.
 
 LogStore speaks the SQL protocol (Figure 3: "Application (SQL
 Protocol)").  This parser covers the query shapes the paper evaluates::
@@ -12,12 +12,34 @@ Protocol)").  This parser covers the query shapes the paper evaluates::
     WHERE tenant_id = 3 AND MATCH(log, 'error timeout')
     GROUP BY ip ORDER BY COUNT(*) DESC LIMIT 10
 
-Supported: SELECT list (columns / * / aggregates COUNT, SUM, AVG, MIN,
-MAX), WHERE with AND/OR/NOT, comparisons, BETWEEN, IN, MATCH(col,
-'terms'), GROUP BY one column, ORDER BY, LIMIT.  Literal coercion to
-the column's type (timestamps from 'YYYY-MM-DD HH:MM:SS', booleans from
-'true'/'false' — note the paper's own sample writes ``fail = 'false'``)
-happens in the planner, which knows the schema.
+plus the statement classes the :mod:`repro.frontdoor` session layer
+dispatches (:func:`parse_statement`)::
+
+    INSERT INTO workflow_runs (run_id, status) VALUES ('r1', 'running')
+
+    CREATE TABLE workflow_runs (
+        tenant_id INT64, ts TIMESTAMP, run_id STRING,
+        status STRING, version INT64,
+        VERSION BY run_id
+    )
+
+    SELECT run_id, status FROM (
+        SELECT *, ROW_NUMBER() OVER (
+            PARTITION BY run_id ORDER BY version DESC) AS rn
+        FROM workflow_runs WHERE tenant_id = 7
+    ) WHERE rn = 1
+
+Supported in SELECT: select list (columns / * / aggregates COUNT, SUM,
+AVG, MIN, MAX), WHERE with AND/OR/NOT, comparisons, BETWEEN, IN,
+IS [NOT] NULL, MATCH(col, 'terms'), one-level FROM (subquery) with a
+single ROW_NUMBER() window, GROUP BY one column, ORDER BY, LIMIT.
+Literal coercion to the column's type happens in the planner, which
+knows the schema.
+
+The tokenizer tracks character offsets, so every
+:class:`~repro.common.errors.SqlParseError` carries a ``position`` and
+a caret-context snippet (:func:`caret_context`) pointing at the
+offending character — front-door clients see *where* a statement broke.
 """
 
 from __future__ import annotations
@@ -26,13 +48,25 @@ import re
 from dataclasses import dataclass, field
 
 from repro.common.errors import SqlParseError
-from repro.query.ast import And, Between, CmpOp, Comparison, Expr, In, Like, Match, Not, Or
+from repro.query.ast import (
+    And,
+    Between,
+    CmpOp,
+    Comparison,
+    Expr,
+    In,
+    IsNull,
+    Like,
+    Match,
+    Not,
+    Or,
+)
 
 _TOKEN_RE = re.compile(
     r"""
     \s*(?:
         (?P<string>'(?:[^']|'')*')
-      | (?P<number>-?\d+\.\d+|-?\d+)
+      | (?P<number>-?\d+\.\d+(?:[eE][-+]?\d+)?|-?\d+[eE][-+]?\d+|-?\d+)
       | (?P<op><=|>=|!=|<>|=|<|>)
       | (?P<punct>[(),*])
       | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
@@ -45,9 +79,32 @@ _KEYWORDS = {
     "select", "from", "where", "and", "or", "not", "between", "in",
     "match", "like", "group", "by", "order", "limit", "asc", "desc",
     "count", "sum", "avg", "min", "max", "distinct", "approx_count_distinct",
+    "insert", "into", "values", "create", "table", "as", "is", "null",
+    "over", "partition", "row_number",
 }
 
 _AGG_FUNCS = {"count", "sum", "avg", "min", "max", "approx_count_distinct"}
+
+# CREATE TABLE type words → canonical physical type names.
+_TYPE_WORDS = {
+    "int": "INT64", "int64": "INT64", "bigint": "INT64", "integer": "INT64",
+    "float": "FLOAT64", "float64": "FLOAT64", "double": "FLOAT64",
+    "string": "STRING", "text": "STRING", "varchar": "STRING",
+    "bool": "BOOL", "boolean": "BOOL",
+    "timestamp": "TIMESTAMP", "datetime": "TIMESTAMP",
+}
+
+
+def caret_context(sql: str, position: int, width: int = 30) -> str:
+    """Two-line snippet of ``sql`` with a caret under ``position``."""
+    position = max(0, min(position, len(sql)))
+    start = max(0, position - width)
+    end = min(len(sql), position + width)
+    prefix = "..." if start > 0 else ""
+    suffix = "..." if end < len(sql) else ""
+    snippet = sql[start:end].replace("\n", " ")
+    caret_at = len(prefix) + (position - start)
+    return f"{prefix}{snippet}{suffix}\n{' ' * caret_at}^"
 
 
 @dataclass(frozen=True)
@@ -71,6 +128,28 @@ class SelectItem:
         return f"{self.aggregate.upper()}({inner})"
 
 
+@dataclass(frozen=True)
+class WindowFunc:
+    """``ROW_NUMBER() OVER (PARTITION BY k ORDER BY v [DESC]) AS alias``.
+
+    The only window shape the dialect supports — the "latest row per
+    key" idiom of append-only versioned tables (ROADMAP item 1).
+    """
+
+    partition_by: str
+    order_by: str
+    order_desc: bool
+    alias: str
+    func: str = "row_number"
+
+    def label(self) -> str:
+        direction = "DESC" if self.order_desc else "ASC"
+        return (
+            f"ROW_NUMBER() OVER (PARTITION BY {self.partition_by} "
+            f"ORDER BY {self.order_by} {direction}) AS {self.alias}"
+        )
+
+
 @dataclass
 class ParsedQuery:
     """Result of parsing one SELECT statement."""
@@ -84,6 +163,13 @@ class ParsedQuery:
     limit: int | None = None
     select_star: bool = False
     raw_sql: str = ""
+    # One-level subquery support: SELECT ... FROM (SELECT ...) WHERE ...
+    subquery: "ParsedQuery | None" = None
+    # The (at most one) ROW_NUMBER window item of this SELECT list.
+    window: WindowFunc | None = None
+    # Set by the semantic rewriter / planner when the window pattern is
+    # recognized: a repro.query.dedup.DedupSpec.  Never set by parsing.
+    dedup: object | None = None
 
     @property
     def is_aggregate(self) -> bool:
@@ -109,32 +195,83 @@ class ParsedQuery:
         return out
 
 
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column definition of a CREATE TABLE statement."""
+
+    name: str
+    type_name: str  # canonical: INT64 / FLOAT64 / STRING / BOOL / TIMESTAMP
+    tokenize: bool = False
+
+
+@dataclass
+class ParsedCreateTable:
+    """Result of parsing one CREATE TABLE statement."""
+
+    table: str
+    columns: tuple[ColumnDef, ...]
+    version_by: str | None = None
+    if_not_exists: bool = False
+    raw_sql: str = ""
+
+
+@dataclass
+class ParsedInsert:
+    """Result of parsing one INSERT statement."""
+
+    table: str
+    columns: tuple[str, ...] | None  # None = full schema order
+    rows: list[tuple]
+    raw_sql: str = ""
+
+
 class _Tokens:
     def __init__(self, sql: str) -> None:
-        self._tokens: list[tuple[str, str]] = []
+        self.sql = sql
+        self._tokens: list[tuple[str, str, int]] = []
         pos = 0
         while pos < len(sql):
             match = _TOKEN_RE.match(sql, pos)
             if match is None:
-                remaining = sql[pos:].strip()
-                if not remaining:
+                stripped = sql[pos:].lstrip()
+                if not stripped:
                     break
-                raise SqlParseError(f"unexpected character at: {remaining[:20]!r}")
-            pos = match.end()
+                at = len(sql) - len(stripped)
+                raise SqlParseError(
+                    f"unexpected character {stripped[0]!r} at position {at}\n"
+                    + caret_context(sql, at),
+                    position=at,
+                )
             for kind in ("string", "number", "op", "punct", "word"):
                 text = match.group(kind)
                 if text is not None:
-                    self._tokens.append((kind, text))
+                    self._tokens.append((kind, text, match.start(kind)))
                     break
+            pos = match.end()
         self._pos = 0
 
-    def peek(self) -> tuple[str, str] | None:
+    def error(self, message: str, position: int | None = None) -> SqlParseError:
+        """Build a parse error anchored at ``position`` (default: the
+        current token, or end-of-statement when input ran out)."""
+        if position is None:
+            token = self.peek()
+            position = token[2] if token is not None else len(self.sql)
+        return SqlParseError(
+            f"{message} at position {position}\n" + caret_context(self.sql, position),
+            position=position,
+        )
+
+    def peek(self) -> tuple[str, str, int] | None:
         return self._tokens[self._pos] if self._pos < len(self._tokens) else None
 
-    def next(self) -> tuple[str, str]:
+    def peek_ahead(self, offset: int) -> tuple[str, str, int] | None:
+        index = self._pos + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def next(self) -> tuple[str, str, int]:
         token = self.peek()
         if token is None:
-            raise SqlParseError("unexpected end of query")
+            raise self.error("unexpected end of statement")
         self._pos += 1
         return token
 
@@ -147,7 +284,9 @@ class _Tokens:
 
     def expect_word(self, word: str) -> None:
         if not self.accept_word(word):
-            raise SqlParseError(f"expected {word.upper()!r} near {self.peek()}")
+            token = self.peek()
+            got = f"{token[1]!r}" if token is not None else "end of statement"
+            raise self.error(f"expected {word.upper()!r}, got {got}")
 
     def accept_punct(self, punct: str) -> bool:
         token = self.peek()
@@ -158,12 +297,14 @@ class _Tokens:
 
     def expect_punct(self, punct: str) -> None:
         if not self.accept_punct(punct):
-            raise SqlParseError(f"expected {punct!r} near {self.peek()}")
+            token = self.peek()
+            got = f"{token[1]!r}" if token is not None else "end of statement"
+            raise self.error(f"expected {punct!r}, got {got}")
 
     def expect_identifier(self) -> str:
-        kind, text = self.next()
+        kind, text, pos = self.next()
         if kind != "word" or text.lower() in _KEYWORDS:
-            raise SqlParseError(f"expected identifier, got {text!r}")
+            raise self.error(f"expected identifier, got {text!r}", pos)
         return text
 
     def at_end(self) -> bool:
@@ -174,43 +315,79 @@ def _unquote(text: str) -> str:
     return text[1:-1].replace("''", "'")
 
 
+def _number_value(text: str):
+    return float(text) if ("." in text or "e" in text or "E" in text) else int(text)
+
+
 def _parse_literal(tokens: _Tokens):
-    kind, text = tokens.next()
+    kind, text, pos = tokens.next()
     if kind == "string":
         return _unquote(text)
     if kind == "number":
-        return float(text) if "." in text else int(text)
+        return _number_value(text)
     if kind == "word" and text.lower() in ("true", "false"):
         return text.lower() == "true"
-    raise SqlParseError(f"expected literal, got {text!r}")
+    if kind == "word" and text.lower() == "null":
+        return None
+    raise tokens.error(f"expected literal, got {text!r}", pos)
 
 
-def _parse_select_item(tokens: _Tokens) -> SelectItem:
+def _parse_window(tokens: _Tokens) -> WindowFunc:
+    """``ROW_NUMBER() OVER (PARTITION BY k ORDER BY v [DESC]) AS alias``."""
+    tokens.expect_punct("(")
+    tokens.expect_punct(")")
+    tokens.expect_word("over")
+    tokens.expect_punct("(")
+    tokens.expect_word("partition")
+    tokens.expect_word("by")
+    partition_by = tokens.expect_identifier()
+    tokens.expect_word("order")
+    tokens.expect_word("by")
+    order_by = tokens.expect_identifier()
+    order_desc = False
+    if tokens.accept_word("desc"):
+        order_desc = True
+    else:
+        tokens.accept_word("asc")
+    tokens.expect_punct(")")
+    if not tokens.accept_word("as"):
+        raise tokens.error("window function requires 'AS <alias>'")
+    alias = tokens.expect_identifier()
+    return WindowFunc(
+        partition_by=partition_by, order_by=order_by, order_desc=order_desc, alias=alias
+    )
+
+
+def _parse_select_item(tokens: _Tokens) -> SelectItem | WindowFunc:
     token = tokens.peek()
     if token is None:
-        raise SqlParseError("expected select item")
+        raise tokens.error("expected select item")
     if token[0] == "punct" and token[1] == "*":
         tokens.next()
         return SelectItem(column=None, aggregate=None)
-    kind, text = tokens.next()
+    kind, text, pos = tokens.next()
     if kind != "word":
-        raise SqlParseError(f"expected column or aggregate, got {text!r}")
+        raise tokens.error(f"expected column or aggregate, got {text!r}", pos)
     lower = text.lower()
+    if lower == "row_number":
+        return _parse_window(tokens)
     if lower in _AGG_FUNCS:
         tokens.expect_punct("(")
         if tokens.accept_punct("*"):
             if lower != "count":
-                raise SqlParseError(f"{lower.upper()}(*) is only valid for COUNT")
+                raise tokens.error(f"{lower.upper()}(*) is only valid for COUNT", pos)
             tokens.expect_punct(")")
             return SelectItem(column=None, aggregate="count")
         distinct = tokens.accept_word("distinct")
         if distinct and lower != "count":
-            raise SqlParseError(f"DISTINCT is only supported inside COUNT, not {lower.upper()}")
+            raise tokens.error(
+                f"DISTINCT is only supported inside COUNT, not {lower.upper()}", pos
+            )
         column = tokens.expect_identifier()
         tokens.expect_punct(")")
         return SelectItem(column=column, aggregate=lower, distinct=distinct)
     if lower in _KEYWORDS:
-        raise SqlParseError(f"unexpected keyword {text!r} in select list")
+        raise tokens.error(f"unexpected keyword {text!r} in select list", pos)
     return SelectItem(column=text, aggregate=None)
 
 
@@ -241,12 +418,17 @@ def _parse_primary(tokens: _Tokens) -> Expr:
         tokens.expect_punct("(")
         column = tokens.expect_identifier()
         tokens.expect_punct(",")
-        kind, text = tokens.next()
+        kind, text, pos = tokens.next()
         if kind != "string":
-            raise SqlParseError("MATCH requires a string literal")
+            raise tokens.error("MATCH requires a string literal", pos)
         tokens.expect_punct(")")
         return Match(column, _unquote(text))
     column = tokens.expect_identifier()
+    if tokens.accept_word("is"):
+        negated = tokens.accept_word("not")
+        tokens.expect_word("null")
+        null_test: Expr = IsNull(column)
+        return Not(null_test) if negated else null_test
     if tokens.accept_word("like"):
         return _parse_like(tokens, column)
     if tokens.accept_word("between"):
@@ -259,9 +441,11 @@ def _parse_primary(tokens: _Tokens) -> Expr:
         return Not(_parse_in(tokens, column))
     if tokens.accept_word("in"):
         return _parse_in(tokens, column)
-    kind, text = tokens.next()
+    kind, text, pos = tokens.next()
     if kind != "op":
-        raise SqlParseError(f"expected comparison operator after {column!r}, got {text!r}")
+        raise tokens.error(
+            f"expected comparison operator after {column!r}, got {text!r}", pos
+        )
     op_text = "!=" if text == "<>" else text
     op = CmpOp(op_text)
     value = _parse_literal(tokens)
@@ -269,13 +453,13 @@ def _parse_primary(tokens: _Tokens) -> Expr:
 
 
 def _parse_like(tokens: _Tokens, column: str) -> Like:
-    kind, text = tokens.next()
+    kind, text, pos = tokens.next()
     if kind != "string":
-        raise SqlParseError("LIKE requires a string literal")
+        raise tokens.error("LIKE requires a string literal", pos)
     pattern = _unquote(text)
     if not pattern.endswith("%") or "%" in pattern[:-1] or "_" in pattern:
-        raise SqlParseError(
-            f"only prefix LIKE patterns ('abc%') are supported, got {pattern!r}"
+        raise tokens.error(
+            f"only prefix LIKE patterns ('abc%') are supported, got {pattern!r}", pos
         )
     return Like(column, pattern[:-1])
 
@@ -289,15 +473,44 @@ def _parse_in(tokens: _Tokens, column: str) -> In:
     return In(column, tuple(values))
 
 
-def parse_sql(sql: str) -> ParsedQuery:
-    """Parse one SELECT statement of the minimal dialect."""
-    tokens = _Tokens(sql)
+def _parse_select(tokens: _Tokens, depth: int = 0) -> ParsedQuery:
     tokens.expect_word("select")
-    select = [_parse_select_item(tokens)]
+    select: list[SelectItem] = []
+    window: WindowFunc | None = None
+
+    def add_item() -> None:
+        nonlocal window
+        item = _parse_select_item(tokens)
+        if isinstance(item, WindowFunc):
+            if window is not None:
+                raise tokens.error("at most one window function per SELECT")
+            window = item
+        else:
+            select.append(item)
+
+    add_item()
     while tokens.accept_punct(","):
-        select.append(_parse_select_item(tokens))
+        add_item()
+    if not select and window is None:
+        raise tokens.error("empty select list")
+
     tokens.expect_word("from")
-    table = tokens.expect_identifier()
+    subquery: ParsedQuery | None = None
+    if tokens.accept_punct("("):
+        if depth >= 1:
+            raise tokens.error("nested subqueries are not supported")
+        subquery = _parse_select(tokens, depth=depth + 1)
+        tokens.expect_punct(")")
+        table = subquery.table
+        if tokens.accept_word("as"):
+            tokens.expect_identifier()  # alias accepted, unused
+        else:
+            ahead = tokens.peek()
+            if ahead is not None and ahead[0] == "word" and ahead[1].lower() not in _KEYWORDS:
+                tokens.next()  # bare alias
+    else:
+        table = tokens.expect_identifier()
+
     where: Expr | None = None
     if tokens.accept_word("where"):
         where = _parse_or(tokens)
@@ -321,15 +534,17 @@ def parse_sql(sql: str) -> ParsedQuery:
             tokens.accept_word("asc")
     limit: int | None = None
     if tokens.accept_word("limit"):
+        limit_token = tokens.peek()
         value = _parse_literal(tokens)
-        if not isinstance(value, int) or value < 0:
-            raise SqlParseError(f"LIMIT requires a non-negative integer, got {value!r}")
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            position = limit_token[2] if limit_token is not None else None
+            raise tokens.error(
+                f"LIMIT requires a non-negative integer, got {value!r}", position
+            )
         limit = value
-    if not tokens.at_end():
-        raise SqlParseError(f"trailing tokens near {tokens.peek()}")
 
     select_star = any(item.column is None and item.aggregate is None for item in select)
-    parsed = ParsedQuery(
+    return ParsedQuery(
         table=table,
         select=select,
         where=where,
@@ -338,22 +553,248 @@ def parse_sql(sql: str) -> ParsedQuery:
         order_desc=order_desc,
         limit=limit,
         select_star=select_star,
-        raw_sql=sql,
+        raw_sql=tokens.sql,
+        subquery=subquery,
+        window=window,
     )
-    _validate(parsed)
+
+
+def parse_sql(sql: str) -> ParsedQuery:
+    """Parse one SELECT statement of the minimal dialect."""
+    tokens = _Tokens(sql)
+    head = tokens.peek()
+    if head is not None and head[0] == "word" and head[1].lower() in ("insert", "create"):
+        raise tokens.error(
+            f"expected a SELECT statement, got {head[1].upper()} "
+            "(use parse_statement / a front-door session for writes and DDL)"
+        )
+    parsed = _parse_select(tokens)
+    if not tokens.at_end():
+        raise tokens.error(f"trailing tokens starting with {tokens.peek()[1]!r}")
+    _validate(parsed, tokens)
     return parsed
 
 
-def _validate(query: ParsedQuery) -> None:
+def _parse_insert(tokens: _Tokens) -> ParsedInsert:
+    tokens.expect_word("insert")
+    tokens.expect_word("into")
+    table = tokens.expect_identifier()
+    columns: tuple[str, ...] | None = None
+    if tokens.accept_punct("("):
+        names = [tokens.expect_identifier()]
+        while tokens.accept_punct(","):
+            names.append(tokens.expect_identifier())
+        tokens.expect_punct(")")
+        if len(set(names)) != len(names):
+            raise tokens.error("duplicate column in INSERT column list")
+        columns = tuple(names)
+    tokens.expect_word("values")
+    rows: list[tuple] = []
+    while True:
+        tokens.expect_punct("(")
+        values = [_parse_literal(tokens)]
+        while tokens.accept_punct(","):
+            values.append(_parse_literal(tokens))
+        tokens.expect_punct(")")
+        if columns is not None and len(values) != len(columns):
+            raise tokens.error(
+                f"INSERT row has {len(values)} values for {len(columns)} columns"
+            )
+        if rows and len(values) != len(rows[0]):
+            raise tokens.error("INSERT rows have inconsistent arity")
+        rows.append(tuple(values))
+        if not tokens.accept_punct(","):
+            break
+    if not tokens.at_end():
+        raise tokens.error(f"trailing tokens starting with {tokens.peek()[1]!r}")
+    return ParsedInsert(table=table, columns=columns, rows=rows, raw_sql=tokens.sql)
+
+
+def _parse_create(tokens: _Tokens) -> ParsedCreateTable:
+    tokens.expect_word("create")
+    tokens.expect_word("table")
+    if_not_exists = False
+    if tokens.accept_word("if"):
+        tokens.expect_word("not")
+        tokens.expect_word("exists")
+        if_not_exists = True
+    table = tokens.expect_identifier()
+    tokens.expect_punct("(")
+    columns: list[ColumnDef] = []
+    version_by: str | None = None
+    while True:
+        head = tokens.peek()
+        ahead = tokens.peek_ahead(1)
+        is_version_clause = (
+            head is not None
+            and head[0] == "word"
+            and head[1].lower() == "version"
+            and ahead is not None
+            and ahead[0] == "word"
+            and ahead[1].lower() == "by"
+        )
+        if is_version_clause:
+            if version_by is not None:
+                raise tokens.error("duplicate VERSION BY clause")
+            tokens.next()  # VERSION
+            tokens.next()  # BY
+            version_by = tokens.expect_identifier()
+        else:
+            name = tokens.expect_identifier()
+            kind, text, pos = tokens.next()
+            type_name = _TYPE_WORDS.get(text.lower()) if kind == "word" else None
+            if type_name is None:
+                raise tokens.error(f"unknown column type {text!r}", pos)
+            tokenize = bool(tokens.accept_word("tokenized") or tokens.accept_word("tokenize"))
+            if tokenize and type_name != "STRING":
+                raise tokens.error(f"TOKENIZED applies only to STRING columns, not {type_name}")
+            columns.append(ColumnDef(name=name, type_name=type_name, tokenize=tokenize))
+        if not tokens.accept_punct(","):
+            break
+    tokens.expect_punct(")")
+    if not tokens.at_end():
+        raise tokens.error(f"trailing tokens starting with {tokens.peek()[1]!r}")
+    if not columns:
+        raise tokens.error("CREATE TABLE requires at least one column")
+    names = [c.name for c in columns]
+    if len(set(names)) != len(names):
+        raise tokens.error(f"duplicate column name in CREATE TABLE {table!r}")
+    if version_by is not None and version_by not in names:
+        raise tokens.error(f"VERSION BY references undeclared column {version_by!r}")
+    return ParsedCreateTable(
+        table=table,
+        columns=tuple(columns),
+        version_by=version_by,
+        if_not_exists=if_not_exists,
+        raw_sql=tokens.sql,
+    )
+
+
+def parse_statement(sql: str) -> ParsedQuery | ParsedInsert | ParsedCreateTable:
+    """Parse one statement of any class (SELECT / INSERT / CREATE TABLE)."""
+    tokens = _Tokens(sql)
+    head = tokens.peek()
+    if head is None:
+        raise tokens.error("empty statement")
+    word = head[1].lower() if head[0] == "word" else ""
+    if word == "insert":
+        return _parse_insert(tokens)
+    if word == "create":
+        return _parse_create(tokens)
+    parsed = _parse_select(tokens)
+    if not tokens.at_end():
+        raise tokens.error(f"trailing tokens starting with {tokens.peek()[1]!r}")
+    _validate(parsed, tokens)
+    return parsed
+
+
+def _validate(query: ParsedQuery, tokens: _Tokens | None = None) -> None:
+    def fail(message: str) -> SqlParseError:
+        if tokens is not None:
+            return tokens.error(message, position=0)
+        return SqlParseError(message)
+
     has_aggregate = query.is_aggregate
     plain = [item for item in query.select if not item.is_aggregate and item.column is not None]
     if has_aggregate and plain:
         if query.group_by is None:
-            raise SqlParseError("mixing columns and aggregates requires GROUP BY")
+            raise fail("mixing columns and aggregates requires GROUP BY")
         for item in plain:
             if item.column != query.group_by:
-                raise SqlParseError(
-                    f"column {item.column!r} must appear in GROUP BY"
-                )
+                raise fail(f"column {item.column!r} must appear in GROUP BY")
     if query.group_by is not None and not has_aggregate:
-        raise SqlParseError("GROUP BY requires at least one aggregate in SELECT")
+        raise fail("GROUP BY requires at least one aggregate in SELECT")
+    if query.window is not None:
+        if has_aggregate:
+            raise fail("window functions cannot be mixed with aggregates")
+        if query.group_by is not None:
+            raise fail("window functions cannot be combined with GROUP BY")
+        if query.subquery is not None:
+            raise fail("window functions are only supported in the inner query")
+    inner = query.subquery
+    if inner is not None:
+        _validate(inner, tokens)
+        if inner.window is not None:
+            alias = inner.window.alias
+            if alias in query.projected_columns():
+                raise fail(
+                    f"selecting the window alias {alias!r} in the outer query "
+                    "is not supported"
+                )
+            if query.order_by == alias:
+                raise fail(f"ORDER BY the window alias {alias!r} is not supported")
+
+
+# -- parameter binding (prepared-statement support) -------------------------
+
+
+def render_literal(value) -> str:
+    """Render a Python value as a SQL literal of this dialect.
+
+    The exact inverse of :func:`_parse_literal` — strings are quoted
+    with doubled-quote escaping, booleans become TRUE/FALSE words, None
+    becomes NULL.  Used by parameter binding and round-trip tests.
+    """
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise SqlParseError(f"cannot render non-finite float {value!r} as a literal")
+        return repr(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise SqlParseError(f"cannot render {type(value).__name__} as a SQL literal")
+
+
+def bind_parameters(sql: str, params) -> str:
+    """Substitute ``?`` placeholders with rendered literals.
+
+    Placeholders inside string literals are left alone (the scanner
+    honours doubled-quote escaping).  Raises with the placeholder's
+    position when the parameter count does not match.
+    """
+    params = list(params)
+    out: list[str] = []
+    index = 0
+    in_string = False
+    position = 0
+    length = len(sql)
+    while position < length:
+        char = sql[position]
+        if in_string:
+            if char == "'":
+                if position + 1 < length and sql[position + 1] == "'":
+                    out.append("''")
+                    position += 2
+                    continue
+                in_string = False
+            out.append(char)
+            position += 1
+            continue
+        if char == "'":
+            in_string = True
+            out.append(char)
+            position += 1
+            continue
+        if char == "?":
+            if index >= len(params):
+                raise SqlParseError(
+                    f"statement has more placeholders than parameters "
+                    f"({len(params)} given)\n" + caret_context(sql, position),
+                    position=position,
+                )
+            out.append(render_literal(params[index]))
+            index += 1
+            position += 1
+            continue
+        out.append(char)
+        position += 1
+    if index != len(params):
+        raise SqlParseError(
+            f"statement has {index} placeholder(s) but {len(params)} parameter(s) given"
+        )
+    return "".join(out)

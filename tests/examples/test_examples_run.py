@@ -34,6 +34,7 @@ def run_example(name: str, timeout: int = 240) -> subprocess.CompletedProcess:
         "data_lifecycle.py",
         "backpressure_surge.py",
         "operations.py",
+        "sql_frontdoor.py",
     ],
 )
 def test_example_runs_clean(script):

@@ -1,0 +1,130 @@
+"""Property-based round-trips: literals, parameters, error positions.
+
+Anything :func:`render_literal` emits must parse back to the same
+value; :func:`bind_parameters` must honor string-literal escaping; and
+every parse failure must carry a character position with a caret
+snippet pointing at it.
+"""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SqlParseError
+from repro.query.sql import bind_parameters, caret_context, parse_sql, render_literal
+
+_text = st.text(alphabet=string.printable, max_size=30)
+_literals = st.one_of(
+    st.integers(-(10**12), 10**12),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    _text,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(value=_literals)
+def test_rendered_literal_parses_back_to_same_value(value):
+    sql = f"SELECT a FROM t WHERE c = {render_literal(value)}"
+    parsed = parse_sql(sql)
+    assert parsed.where.column == "c"
+    assert parsed.where.value == value
+    assert type(parsed.where.value) is type(value)
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=st.lists(_literals, min_size=1, max_size=5))
+def test_rendered_in_list_round_trips(values):
+    strings = [v for v in values if isinstance(v, str)]
+    rendered = ", ".join(render_literal(v) for v in strings)
+    if not strings:
+        return
+    parsed = parse_sql(f"SELECT a FROM t WHERE c IN ({rendered})")
+    assert list(parsed.where.values) == strings
+
+
+@settings(max_examples=300, deadline=None)
+@given(params=st.lists(_literals, min_size=1, max_size=6))
+def test_bind_parameters_round_trips_every_value(params):
+    placeholders = " AND ".join(f"c{i} = ?" for i in range(len(params)))
+    bound = bind_parameters(f"SELECT a FROM t WHERE {placeholders}", params)
+    parsed = parse_sql(bound)
+    from repro.query.ast import conjuncts
+
+    nodes = conjuncts(parsed.where)
+    assert [node.value for node in nodes] == list(params)
+
+
+@settings(max_examples=100, deadline=None)
+@given(text=_text)
+def test_question_mark_inside_string_literal_is_not_a_placeholder(text):
+    literal = render_literal(text + "?")
+    bound = bind_parameters(f"SELECT a FROM t WHERE c = {literal} AND d = ?", [7])
+    parsed = parse_sql(bound)
+    from repro.query.ast import conjuncts
+
+    first, second = conjuncts(parsed.where)
+    assert first.value == text + "?"
+    assert second.value == 7
+
+
+def test_bind_parameters_count_mismatch_raises_with_position():
+    with pytest.raises(SqlParseError) as excinfo:
+        bind_parameters("SELECT a FROM t WHERE c = ?", [])
+    assert excinfo.value.position is not None
+    with pytest.raises(SqlParseError):
+        bind_parameters("SELECT a FROM t WHERE c = ?", [1, 2])
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    keyword_case=st.sampled_from([str.upper, str.lower, str.title]),
+    column=st.sampled_from(["a", "b2", "under_scored"]),
+    value=st.integers(-100, 100),
+)
+def test_keyword_case_is_insensitive(keyword_case, column, value):
+    keywords = {"select", "from", "where"}
+    sql = " ".join(
+        keyword_case(word) if word in keywords else word
+        for word in f"select {column} from t where {column} >= {value}".split()
+    )
+    parsed = parse_sql(sql)
+    assert parsed.where.column == column
+    assert parsed.where.value == value
+
+
+BAD_STATEMENTS = [
+    "SELECT",
+    "SELECT a FROM",
+    "SELECT a FROM t WHERE",
+    "SELECT a FROM t WHERE c = ",
+    "SELECT a FROM t WHERE c == 1",
+    "SELECT a FROM t GROUP BY",
+    "SELECT a, FROM t",
+    "INSERT INTO t (a) VALUES",
+    "INSERT INTO t (a, a) VALUES (1, 2)",
+    "CREATE TABLE t (a NOPE_TYPE)",
+    "CREATE TABLE t (a INT64, VERSION BY missing)",
+    "SELECT a FROM (SELECT * FROM t) WHERE rn = ",
+]
+
+
+@pytest.mark.parametrize("sql", BAD_STATEMENTS)
+def test_parse_errors_carry_position_and_caret(sql):
+    with pytest.raises(SqlParseError) as excinfo:
+        parse_sql(sql)
+    error = excinfo.value
+    assert error.position is not None
+    assert 0 <= error.position <= len(sql)
+    assert "^" in str(error)
+
+
+def test_caret_context_points_at_the_offending_character():
+    sql = "SELECT a FROM t WHERE c == 1"
+    snippet = caret_context(sql, sql.index("=="))
+    line, caret = snippet.splitlines()
+    assert line[caret.index("^")] == "="
