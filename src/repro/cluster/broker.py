@@ -23,7 +23,7 @@ from repro.common.clock import VirtualClock
 from repro.common.errors import ShardNotFound, WorkerNotFound
 from repro.common.utils import wave_elapsed
 from repro.obs.context import Observability
-from repro.obs.recorders import PushdownRecorder
+from repro.obs.recorders import PushdownRecorder, ScanModeRecorder
 from repro.obs.report import (
     BROKER_QUERIES,
     BROKER_WRITE_ROWS,
@@ -98,6 +98,7 @@ class Broker:
             QUERY_LATENCY, "Virtual end-to-end query latency.", broker=broker_id
         )
         self._pushdown = PushdownRecorder(registry)
+        self._scan_modes = ScanModeRecorder(registry, broker=broker_id)
         self._rewriter = SemanticRewriter(registry)
         self._pending_shards: set[int] = set()
 
@@ -243,7 +244,12 @@ class Broker:
                     raw = shard.scan_realtime(
                         min_ts=plan.min_ts, max_ts=plan.max_ts, tenant_id=plan.tenant_id
                     )
-                    realtime_rows.extend(filter_realtime_rows(plan, raw, limit=remaining))
+                    realtime_rows.extend(
+                        filter_realtime_rows(
+                            plan, raw, limit=remaining,
+                            options=self.options, stats=stats,
+                        )
+                    )
 
             with tracer.span("broker.merge"):
                 if dedup is not None:
@@ -267,7 +273,11 @@ class Broker:
                     aggregator.consume_many(realtime_rows)
                     final = aggregator.results()
                 else:
-                    final = apply_order_limit(parsed, archived_rows + realtime_rows)
+                    final = apply_order_limit(
+                        parsed,
+                        archived_rows + realtime_rows,
+                        vectorized=self.options.use_vectorized_scan,
+                    )
             query_span.set(rows=len(final))
 
         latency_s = self._clock.now() - start
@@ -299,6 +309,9 @@ class Broker:
             tenant=tenant_label,
         ).add(len(final))
         self._pushdown.record(stats.pushdown)
+        self._scan_modes.record(
+            stats.rows_evaluated_vectorized, stats.rows_evaluated_interpreted
+        )
         self._obs.slow_queries.observe(
             SlowQueryEntry(
                 at_s=self._clock.now(),

@@ -80,6 +80,9 @@ class LogStoreConfig:
     # Front-door semantic-rewrite pass (window → dedup, IS NOT NULL
     # pushdown); off = every window query takes the naive plan.
     use_semantic_rewrite: bool = True
+    # §8 vectorized scan kernels; off = interpreted per-row evaluation
+    # everywhere (the wall-clock ablation baseline).
+    use_vectorized_scan: bool = True
 
     # SQL front door: live sessions per cluster.
     max_sessions: int = 64

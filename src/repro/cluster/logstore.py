@@ -108,6 +108,7 @@ class LogStore:
             prefetch_threads=config.prefetch_threads,
             agg_pushdown_level=config.agg_pushdown_level,
             use_semantic_rewrite=config.use_semantic_rewrite,
+            use_vectorized_scan=config.use_vectorized_scan,
         )
         self.brokers = [
             Broker(

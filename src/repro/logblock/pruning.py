@@ -20,7 +20,7 @@ loaded according to it").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Protocol
 
 import numpy as np
@@ -357,6 +357,15 @@ class PruneStats:
     index_lookups: int = 0
     blooms_pruned: int = 0  # whole-LogBlock skips via Bloom "definitely absent"
     blocks_short_circuited: int = 0  # blocks proven all-matching by SMA alone
+    # Scan-mode accounting: rows whose predicate evaluation ran on numpy
+    # vectors vs the scalar per-value loop, and why vectorization fell
+    # back when it was requested but could not apply (reason → count).
+    rows_vectorized: int = 0
+    rows_interpreted: int = 0
+    fallbacks: dict[str, int] = field(default_factory=dict)
+
+    def note_fallback(self, reason: str) -> None:
+        self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
 
 
 def evaluate_predicates(
@@ -471,12 +480,24 @@ def _scan_blocks(
         handled = False
         if vectorized:
             arrays = reader.read_block_arrays(predicate.column, block_idx)
-            if arrays is not None:
+            if arrays is None:
+                stats.note_fallback(
+                    f"column {predicate.column}: STRING blocks have no vector form"
+                )
+            else:
                 mask = vectorized_block_mask(predicate, arrays[0], arrays[1])
-                if mask is not None:
+                if mask is None:
+                    stats.note_fallback(
+                        f"{type(predicate).__name__}({predicate.column}) "
+                        "has no vector kernel"
+                    )
+                else:
                     full_mask[base : base + block_rows] = mask
                     handled = True
-        if not handled:
+        if handled:
+            stats.rows_vectorized += block_rows
+        else:
+            stats.rows_interpreted += block_rows
             values = reader.read_block(predicate.column, block_idx)
             for offset, value in enumerate(values):
                 if predicate.evaluate_value(value):

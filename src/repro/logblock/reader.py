@@ -146,13 +146,18 @@ class LogBlockReader:
 
     # -- column blocks -----------------------------------------------------
 
-    def read_block(self, column: str, block_idx: int) -> list:
-        """Fetch and decode one column block (memoized per reader)."""
+    def _block_payload(self, col_idx: int, block_idx: int) -> bytes:
+        """Decompressed payload of one column block, fetched+charged once.
+
+        Shared by :meth:`read_block` and :meth:`read_block_arrays` so a
+        block scanned as numpy vectors and later materialized as python
+        values pays one ranged GET and one decode charge, not two.
+        """
         meta = self.meta()
-        col_idx = meta.schema.column_index(column)
-        key = (col_idx, block_idx)
-        if key in self._block_cache:
-            return self._block_cache[key]
+        key = ("payload", col_idx, block_idx)
+        payload = self._block_cache.get(key)
+        if payload is not None:
+            return payload
         if not 0 <= block_idx < meta.n_blocks:
             raise QueryError(f"block index {block_idx} out of range [0, {meta.n_blocks})")
         codec = get_codec(meta.codec_id)
@@ -160,6 +165,17 @@ class LogBlockReader:
         if self._decode_charge is not None:
             self._decode_charge(len(raw))
         payload = codec.decompress(raw)
+        self._block_cache[key] = payload
+        return payload
+
+    def read_block(self, column: str, block_idx: int) -> list:
+        """Fetch and decode one column block (memoized per reader)."""
+        meta = self.meta()
+        col_idx = meta.schema.column_index(column)
+        key = (col_idx, block_idx)
+        if key in self._block_cache:
+            return self._block_cache[key]
+        payload = self._block_payload(col_idx, block_idx)
         values = decode_block(payload, meta.schema.column(column).ctype, meta.block_row_counts[block_idx])
         self._block_cache[key] = values
         return values
@@ -178,13 +194,7 @@ class LogBlockReader:
         key = ("vec", col_idx, block_idx)
         if key in self._block_cache:
             return self._block_cache[key]
-        if not 0 <= block_idx < meta.n_blocks:
-            raise QueryError(f"block index {block_idx} out of range [0, {meta.n_blocks})")
-        codec = get_codec(meta.codec_id)
-        raw = self._pack.read_member(block_member(col_idx, block_idx))
-        if self._decode_charge is not None:
-            self._decode_charge(len(raw))
-        payload = codec.decompress(raw)
+        payload = self._block_payload(col_idx, block_idx)
         arrays = decode_block_arrays(
             payload, meta.schema.column(column).ctype, meta.block_row_counts[block_idx]
         )
@@ -270,6 +280,21 @@ class LogBlockReader:
             block_idx = int(block_idx)
             start = int(ends[block_idx]) - counts[block_idx]
             in_block = idx[blocks == block_idx] - start
+            arrays = self.read_block_arrays(column, block_idx)
+            if arrays is not None:
+                # Fancy-index the numpy block instead of decoding every
+                # value to a python object just to pick a few of them.
+                values_arr, null_mask = arrays
+                picked = values_arr[in_block].tolist()
+                if null_mask is not None:
+                    hit_nulls = null_mask[in_block]
+                    if hit_nulls.any():
+                        picked = [
+                            None if is_null else value
+                            for value, is_null in zip(picked, hit_nulls.tolist())
+                        ]
+                out.extend(picked)
+                continue
             values = self.read_block(column, block_idx)
             out.extend(values[int(offset)] for offset in in_block)
         return out

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.metrics.stats import Counter, Gauge, Histogram, PushdownCounters, WritePathStats
 from repro.obs.registry import MetricsRegistry
+from repro.obs.report import SCAN_ROWS_EVALUATED
 
 # Aggregate-pushdown tier labels, in descending-cheapness order.
 PUSHDOWN_TIERS = ("catalog", "sma", "columnar", "row")
@@ -128,3 +129,39 @@ class PushdownRecorder:
                 for tier, field_name in _TIER_FIELDS.items()
             }
         )
+
+
+# Scan-mode labels: how each row's predicate was evaluated.
+SCAN_MODES = ("vectorized", "interpreted")
+
+
+class ScanModeRecorder:
+    """Rows evaluated vectorized vs interpreted, as registry counters.
+
+    The executor keeps per-query counts (EXPLAIN ANALYZE reads those);
+    this recorder is the cumulative ``mode=…``-labeled family the
+    metrics report and dashboards read to see how much of the scan
+    workload actually runs on the vector kernels.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None, **labels) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry
+        self._modes: dict[str, Counter] = {
+            mode: registry.counter(
+                SCAN_ROWS_EVALUATED,
+                "Rows whose predicate was evaluated per scan mode.",
+                mode=mode,
+                **labels,
+            )
+            for mode in SCAN_MODES
+        }
+
+    def record(self, vectorized_rows: int, interpreted_rows: int) -> None:
+        if vectorized_rows:
+            self._modes["vectorized"].add(vectorized_rows)
+        if interpreted_rows:
+            self._modes["interpreted"].add(interpreted_rows)
+
+    def view(self) -> dict[str, int]:
+        return {mode: counter.value for mode, counter in self._modes.items()}

@@ -26,6 +26,7 @@ BROKER_QUERIES = "logstore_broker_queries_total"
 BROKER_WRITE_ROWS = "logstore_broker_write_rows_total"
 QUERY_LATENCY = "logstore_query_latency_seconds"
 SEMANTIC_REWRITES = "logstore_semantic_rewrites_total"
+SCAN_ROWS_EVALUATED = "logstore_scan_rows_evaluated_total"
 
 
 @dataclass

@@ -228,10 +228,29 @@ class Aggregator:
         return rows
 
 
-def apply_order_limit(query: ParsedQuery, rows: list[dict]) -> list[dict]:
-    """ORDER BY / LIMIT for non-aggregate queries."""
+def apply_order_limit(
+    query: ParsedQuery, rows: list[dict], vectorized: bool = False
+) -> list[dict]:
+    """ORDER BY / LIMIT for non-aggregate queries.
+
+    With ``vectorized`` the sort runs through the argsort top-k kernel
+    (rank keys once, ``argpartition`` when a LIMIT bounds the output) —
+    identical ordering to the stable python sort, including null
+    placement and tie order.  Keys the kernel cannot rank (mixed
+    incomparable types) fall back to the python path.
+    """
     order_by = query.order_by
     if order_by is not None:
+        if vectorized:
+            from repro.query.kernels import top_k_order
+
+            order = top_k_order(
+                [row.get(order_by) for row in rows],
+                desc=query.order_desc,
+                limit=query.limit,
+            )
+            if order is not None:
+                return [rows[i] for i in order.tolist()]
         rows = sorted(
             rows,
             key=lambda row: (row.get(order_by) is None, row.get(order_by)),

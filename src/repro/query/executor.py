@@ -42,6 +42,7 @@ from repro.prefetch.planner import PrefetchPlanner
 from repro.query.aggregate import Aggregator
 from repro.query.ast import And, CmpOp, Comparison, Expr, In, IsNull, Not, Or
 from repro.query.dedup import LatestVersionDedup
+from repro.query.kernels import RowListBatch, VectorizeFallback, compile_expr
 from repro.query.planner import QueryPlan
 from repro.tarpack.reader import PackReader
 
@@ -55,7 +56,11 @@ class ExecutionOptions:
     use_prefetch: bool = True       # Figure 16: parallel prefetch on/off
     prefetch_threads: int = 32      # §6.3.2 "using 32 threads"
     prefetch_merge_gap: int = 4096
-    use_vectorized_scan: bool = False  # §8 future work, implemented
+    # §8 vectorized execution: evaluate scan-path predicates on numpy
+    # column vectors (archived blocks and realtime row batches) and run
+    # ORDER BY/LIMIT through the argsort top-k kernel.  Unsafe shapes
+    # fall back to the interpreted path with identical results.
+    use_vectorized_scan: bool = True
     use_semantic_rewrite: bool = True  # frontdoor rewrite pass on/off
 
     # Aggregate pushdown tier ceiling: 0 = off (row materialization),
@@ -91,6 +96,30 @@ class ExecutionStats:
     # tournament vs winners actually materialized.
     dedup_candidates: int = 0
     dedup_winners: int = 0
+    # Realtime scan-mode accounting (the archived counterpart lives in
+    # ``prune``): rows whose predicate ran on column vectors vs the
+    # per-row interpreter, and why vectorization fell back.
+    realtime_rows_vectorized: int = 0
+    realtime_rows_interpreted: int = 0
+    realtime_fallbacks: dict = field(default_factory=dict)
+
+    @property
+    def rows_evaluated_vectorized(self) -> int:
+        """Rows evaluated on numpy vectors, archived + realtime."""
+        return self.prune.rows_vectorized + self.realtime_rows_vectorized
+
+    @property
+    def rows_evaluated_interpreted(self) -> int:
+        """Rows evaluated by the per-row interpreter, archived + realtime."""
+        return self.prune.rows_interpreted + self.realtime_rows_interpreted
+
+    @property
+    def vectorized_fallbacks(self) -> dict:
+        """Merged fallback reasons (reason → count) across both paths."""
+        merged = dict(self.prune.fallbacks)
+        for reason, count in self.realtime_fallbacks.items():
+            merged[reason] = merged.get(reason, 0) + count
+        return merged
 
 
 def _equality_string_leaves(expr: Expr) -> dict[str, list]:
@@ -178,8 +207,32 @@ class BlockExecutor:
         reader.attach_shared_cache(self.cache.objects, self._bucket)
         return reader
 
+    def _open_pack(self, path: str) -> PackReader:
+        """A PackReader with its parsed header served from the object cache.
+
+        The preamble + manifest of a packed LogBlock are immutable once
+        written, so re-fetching and re-parsing them for every query of
+        the same blob is pure waste; the decoded manifest (plus the
+        retained head chunk that serves early members request-free) is
+        cached alongside the decoded meta/bloom objects.
+        """
+        pack = PackReader(self._reader, self._bucket, path)
+        header_key = (self._bucket, path, "__pack_header__")
+        cached = self.cache.objects.get(header_key)
+        if cached is not None:
+            pack.attach_manifest(*cached)
+        else:
+            manifest = pack.manifest()
+            head = pack.head_bytes
+            self.cache.objects.put(
+                header_key,
+                (manifest, pack.data_start, head),
+                approx_bytes=len(head) + 64 * len(manifest.names()),
+            )
+        return pack
+
     def _open_block(self, entry: LogBlockEntry) -> LogBlockReader:
-        return self._open_block_from_pack(PackReader(self._reader, self._bucket, entry.path))
+        return self._open_block_from_pack(self._open_pack(entry.path))
 
     def _prefetch_batch(self, pack: PackReader, members: list[str], stats) -> None:
         # Members inside the retained head chunk need no request at all.
@@ -338,7 +391,7 @@ class BlockExecutor:
     ) -> tuple[LogBlockReader, Bitset]:
         """Open one LogBlock and evaluate the predicate to a bitset."""
         if self.options.use_prefetch:
-            pack = PackReader(self._reader, self._bucket, entry.path)
+            pack = self._open_pack(entry.path)
             meta_cached = (
                 self.cache.objects.get((self._bucket, entry.path, META_MEMBER)) is not None
             )
@@ -374,22 +427,30 @@ class BlockExecutor:
         columns: list[str],
         stats: ExecutionStats,
     ) -> list[dict]:
-        """Row-dict materialization of the matched rows (the slow path)."""
+        """Row-dict materialization of the matched rows (the slow path).
+
+        Columnar construction: each present column is read once as a
+        flat value vector and the row dicts are zipped together in one
+        pass — DDL-added columns (absent from this block) are padded
+        with one shared null tail instead of the old
+        O(rows × missing-columns) per-row dict-write loop.
+        """
         block_columns = set(reader.meta().schema.column_names())
         # Columns added by DDL after this block was written read as null.
         present = [c for c in columns if c in block_columns]
         missing = [c for c in columns if c not in block_columns]
         if self.options.use_prefetch and present:
             self._prefetch_output_blocks(reader, matched, present, stats)
-        rows = reader.read_rows(matched.indices().tolist(), present)
+        count = matched.count()
         self._charge(
-            len(rows) * max(1, len(present)) / self.options.cpu_materialize_values_per_s
+            count * max(1, len(present)) / self.options.cpu_materialize_values_per_s
         )
-        if missing:
-            for row in rows:
-                for column in missing:
-                    row[column] = None
-        return rows
+        if not present:
+            return [dict.fromkeys(missing) for _ in range(count)]
+        vectors = [reader.read_column_values(c, matched) for c in present]
+        names = present + missing
+        pad = (None,) * len(missing)
+        return [dict(zip(names, values + pad)) for values in zip(*vectors)]
 
     def execute_block(
         self,
@@ -707,18 +768,58 @@ class BlockExecutor:
         return rows, stats
 
 
-def filter_realtime_rows(plan: QueryPlan, rows, limit: int | None = None) -> list[dict]:
+def filter_realtime_rows(
+    plan: QueryPlan,
+    rows,
+    limit: int | None = None,
+    options: ExecutionOptions | None = None,
+    stats: ExecutionStats | None = None,
+) -> list[dict]:
     """Apply the plan's predicate + projection to row-store rows.
 
     ``limit`` stops the scan after that many matches — safe only when
     the plan has no ORDER BY or aggregation (i.e. ``plan.row_limit``
     semantics: any N matching rows satisfy the query).
+
+    With ``options.use_vectorized_scan`` the predicate is compiled to a
+    columnar kernel and evaluated over per-column array views of the
+    whole batch; rows are projected only for survivors.  Shapes the
+    compiler cannot vectorize (MATCH/LIKE, mixed-type columns) fall
+    back to the interpreted per-row path with identical results.
     """
-    matched: list[dict] = []
     columns = plan.output_columns or plan.schema.column_names()
+    use_vectorized = (
+        options is not None and options.use_vectorized_scan and plan.where is not None
+    )
+    if use_vectorized:
+        row_list = rows if isinstance(rows, list) else list(rows)
+        rows = row_list  # the fallback path re-reads the materialized list
+        try:
+            kernel = compile_expr(plan.where)
+            mask = kernel.evaluate(RowListBatch(row_list, plan.schema))
+        except VectorizeFallback as fallback:
+            if stats is not None:
+                stats.realtime_fallbacks[fallback.reason] = (
+                    stats.realtime_fallbacks.get(fallback.reason, 0) + 1
+                )
+        else:
+            if stats is not None:
+                stats.realtime_rows_vectorized += len(row_list)
+            hits = np.flatnonzero(mask)
+            if limit is not None:
+                hits = hits[: max(limit, 0)]
+            return [
+                {column: row_list[i].get(column) for column in columns}
+                for i in hits.tolist()
+            ]
+    matched: list[dict] = []
+    evaluated = 0
     for row in rows:
+        evaluated += 1
         if plan.where is None or plan.where.evaluate_row(row):
             matched.append({column: row.get(column) for column in columns})
             if limit is not None and len(matched) >= limit:
                 break
+    if stats is not None and plan.where is not None:
+        stats.realtime_rows_interpreted += evaluated
     return matched

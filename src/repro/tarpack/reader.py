@@ -69,10 +69,22 @@ class PackReader:
             self._data_start = end
         return self._manifest
 
-    def attach_manifest(self, manifest: Manifest, data_start: int) -> None:
-        """Install an externally cached manifest, skipping the two GETs."""
+    def attach_manifest(
+        self, manifest: Manifest, data_start: int, head: bytes = b""
+    ) -> None:
+        """Install an externally cached manifest, skipping the two GETs.
+
+        ``head`` restores the retained head chunk so early members
+        (meta, bloom filters) keep costing zero further requests.
+        """
         self._manifest = manifest
         self._data_start = data_start
+        self._head = head
+
+    @property
+    def head_bytes(self) -> bytes:
+        """The retained head chunk (for external header caches)."""
+        return self._head
 
     @property
     def data_start(self) -> int:

@@ -13,7 +13,15 @@ from dataclasses import dataclass
 from typing import Iterator, Protocol
 
 from repro.common.errors import WalError
-from repro.wal.record import WalEntryEncoder, decode_frame, encode_frame, iter_frames
+from repro.wal.record import (
+    ENTRY_HEAD_SIZE,
+    HEADER_SIZE,
+    WalEntryEncoder,
+    decode_frame,
+    encode_entry_frames,
+    encode_frame,
+    iter_frames,
+)
 
 DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
 
@@ -187,29 +195,40 @@ class WriteAheadLog:
         """Append ``(kind, body)`` entries with coalesced frame flushes.
 
         The group-commit write: all frames destined for the same segment
-        are concatenated and handed to the backend in one ``append`` —
-        one flush (fsync, for the file backend) amortized over the whole
-        group instead of one per entry.  Segment rollover still happens
-        at the same byte boundaries as per-entry appends would produce.
+        are encoded into one preallocated buffer
+        (:func:`encode_entry_frames`) and handed to the backend in one
+        ``append`` — one encode pass and one flush (fsync, for the file
+        backend) amortized over the whole group instead of one
+        ``struct.pack`` + append per entry.  Segment rollover still
+        happens at the same byte boundaries as per-entry appends would
+        produce, and the segment bytes are identical.
         """
         sequences: list[int] = []
-        run = bytearray()  # frames accumulated for the active segment
+        runs: list[tuple[int, list[tuple[int, int, bytes]]]] = []
+        run: list[tuple[int, int, bytes]] = []
+        stage = run.append
+        frame_overhead = HEADER_SIZE + ENTRY_HEAD_SIZE
+        active_size = self._active_size
+        sequence = self._next_sequence
         for kind, body in entries:
-            sequence = self._next_sequence
-            frame = encode_frame(WalEntryEncoder.encode(sequence, kind, body))
-            if self._active_size and self._active_size + len(frame) > self._segment_bytes:
+            frame_size = frame_overhead + len(body)
+            if active_size and active_size + frame_size > self._segment_bytes:
                 if run:
-                    self._backend.append(self._active_segment, bytes(run))
-                    self.flush_count += 1
-                    run = bytearray()
+                    runs.append((self._active_segment, run))
+                    run = []
+                    stage = run.append
                 self._active_segment += 1
-                self._active_size = 0
-            run.extend(frame)
-            self._active_size += len(frame)
-            self._next_sequence += 1
+                active_size = 0
+            stage((sequence, kind, body))
+            active_size += frame_size
             sequences.append(sequence)
+            sequence += 1
         if run:
-            self._backend.append(self._active_segment, bytes(run))
+            runs.append((self._active_segment, run))
+        self._active_size = active_size
+        self._next_sequence = sequence
+        for segment_id, segment_entries in runs:
+            self._backend.append(segment_id, encode_entry_frames(segment_entries))
             self.flush_count += 1
         return sequences
 

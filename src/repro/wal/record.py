@@ -21,12 +21,46 @@ from repro.common.errors import CorruptionError, WalError
 
 _HEADER = struct.Struct("<II")
 HEADER_SIZE = _HEADER.size
+_ENTRY_HEAD = struct.Struct("<QB")
+ENTRY_HEAD_SIZE = _ENTRY_HEAD.size
 
 
 def encode_frame(payload: bytes) -> bytes:
     """Frame one payload for appending to a WAL segment."""
     crc = zlib.crc32(payload) & 0xFFFFFFFF
     return _HEADER.pack(len(payload), crc) + payload
+
+
+def entry_frame_size(body: bytes) -> int:
+    """On-segment byte count of one framed ``(sequence, kind, body)`` entry."""
+    return HEADER_SIZE + ENTRY_HEAD_SIZE + len(body)
+
+
+def encode_entry_frames(entries: list[tuple[int, int, bytes]]) -> bytes:
+    """Frame many ``(sequence, kind, body)`` entries into one buffer.
+
+    The group-commit encode: all frame pieces are staged into one list
+    and joined in a single C-level pass — one output buffer and one
+    resulting backend append for the whole batch, instead of a
+    ``struct.pack`` + bytes-concat + append per frame.  Byte-for-byte
+    identical to concatenating per-entry
+    ``encode_frame(WalEntryEncoder.encode(...))`` results.
+    """
+    pack_header = _HEADER.pack
+    pack_head = _ENTRY_HEAD.pack
+    crc32 = zlib.crc32
+    parts: list[bytes] = []
+    append = parts.append
+    for sequence, kind, body in entries:
+        if sequence < 0:
+            raise WalError(f"negative WAL sequence {sequence}")
+        head = pack_head(sequence, kind)
+        # CRC over the whole payload (entry head + body) without
+        # concatenating them: crc32 composes over a running state.
+        append(pack_header(ENTRY_HEAD_SIZE + len(body), crc32(body, crc32(head)) & 0xFFFFFFFF))
+        append(head)
+        append(body)
+    return b"".join(parts)
 
 
 @dataclass(frozen=True)
@@ -132,12 +166,11 @@ class WalEntryEncoder:
     def encode(sequence: int, kind: int, body: bytes) -> bytes:
         if sequence < 0:
             raise WalError(f"negative WAL sequence {sequence}")
-        head = struct.pack("<QB", sequence, kind)
-        return head + body
+        return _ENTRY_HEAD.pack(sequence, kind) + body
 
     @staticmethod
     def decode(payload: bytes) -> tuple[int, int, bytes]:
-        if len(payload) < 9:
+        if len(payload) < ENTRY_HEAD_SIZE:
             raise CorruptionError("WAL entry shorter than header")
-        sequence, kind = struct.unpack_from("<QB", payload)
-        return sequence, kind, payload[9:]
+        sequence, kind = _ENTRY_HEAD.unpack_from(payload)
+        return sequence, kind, payload[ENTRY_HEAD_SIZE:]

@@ -1,0 +1,134 @@
+"""``append_many`` coalescing ≡ per-entry ``append``: byte-identical.
+
+The coalesced group-commit write must be an *invisible* optimization:
+same segment bytes, same sequences, same rollover boundaries, same
+replay — just fewer backend appends (one per segment run instead of one
+per entry).
+"""
+
+import zlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wal.log import MemorySegmentBackend, WriteAheadLog
+from repro.wal.record import (
+    ENTRY_HEAD_SIZE,
+    HEADER_SIZE,
+    WalEntryEncoder,
+    encode_entry_frames,
+    encode_frame,
+    entry_frame_size,
+)
+
+BODIES = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=3),
+        st.binary(min_size=0, max_size=40),
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+
+def _segment_bytes(backend: MemorySegmentBackend) -> dict[int, bytes]:
+    return {segment: backend.read(segment) for segment in backend.segments()}
+
+
+class TestEncodeEntryFrames:
+    @settings(max_examples=100, deadline=None)
+    @given(entries=BODIES)
+    def test_matches_per_frame_encoding(self, entries):
+        staged = [(i, kind, body) for i, (kind, body) in enumerate(entries)]
+        expected = b"".join(
+            encode_frame(WalEntryEncoder.encode(sequence, kind, body))
+            for sequence, kind, body in staged
+        )
+        assert encode_entry_frames(staged) == expected
+        assert len(expected) == sum(entry_frame_size(body) for _, _, body in staged)
+
+    def test_frame_size_accounts_for_headers(self):
+        assert entry_frame_size(b"") == HEADER_SIZE + ENTRY_HEAD_SIZE
+        assert entry_frame_size(b"abc") == HEADER_SIZE + ENTRY_HEAD_SIZE + 3
+
+    def test_crc_composition_matches_whole_payload(self):
+        payload = WalEntryEncoder.encode(7, 1, b"hello")
+        frame = encode_entry_frames([(7, 1, b"hello")])
+        crc = int.from_bytes(frame[4:8], "little")
+        assert crc == zlib.crc32(payload) & 0xFFFFFFFF
+
+
+class TestAppendManyByteIdentity:
+    @settings(max_examples=100, deadline=None)
+    @given(entries=BODIES, segment_bytes=st.integers(min_value=32, max_value=400))
+    def test_same_bytes_sequences_and_rollover(self, entries, segment_bytes):
+        """Small segments force rollover mid-batch; bytes must not differ."""
+        coalesced = WriteAheadLog(MemorySegmentBackend(), segment_bytes=segment_bytes)
+        loop = WriteAheadLog(MemorySegmentBackend(), segment_bytes=segment_bytes)
+        got = coalesced.append_many(list(entries))
+        want = [loop.append(kind, body) for kind, body in entries]
+        assert got == want
+        assert _segment_bytes(coalesced.backend) == _segment_bytes(loop.backend)
+        assert coalesced.next_sequence == loop.next_sequence
+
+    def test_one_backend_append_per_segment_run(self):
+        class CountingBackend(MemorySegmentBackend):
+            def __init__(self):
+                super().__init__()
+                self.append_calls = 0
+
+            def append(self, segment_id, data):
+                self.append_calls += 1
+                super().append(segment_id, data)
+
+        backend = CountingBackend()
+        wal = WriteAheadLog(backend, segment_bytes=1 << 20)
+        wal.append_many([(1, b"x" * 32) for _ in range(100)])
+        assert backend.append_calls == 1
+        assert wal.flush_count == 1
+
+        rollover = CountingBackend()
+        frame = entry_frame_size(b"x" * 32)
+        wal2 = WriteAheadLog(rollover, segment_bytes=frame * 10)
+        wal2.append_many([(1, b"x" * 32) for _ in range(25)])
+        # 25 entries at 10/segment = 3 segment runs = 3 backend appends.
+        assert rollover.append_calls == 3
+        assert sorted(rollover.segments()) == [0, 1, 2]
+
+    def test_replay_round_trips(self):
+        wal = WriteAheadLog(MemorySegmentBackend(), segment_bytes=256)
+        bodies = [(WalEntryEncoder.KIND_APPEND, f"entry-{i}".encode()) for i in range(40)]
+        sequences = wal.append_many(bodies)
+        assert sequences == list(range(40))
+        replayed = list(wal.replay())
+        assert [(e.sequence, e.kind, e.body) for e in replayed] == [
+            (i, kind, body) for i, (kind, body) in enumerate(bodies)
+        ]
+
+    def test_recovery_after_coalesced_writes(self):
+        backend = MemorySegmentBackend()
+        wal = WriteAheadLog(backend, segment_bytes=256)
+        wal.append_many([(1, f"e{i}".encode()) for i in range(30)])
+        reopened = WriteAheadLog(backend, segment_bytes=256)
+        assert reopened.next_sequence == 30
+        assert len(list(reopened.replay())) == 30
+
+    def test_empty_batch_is_a_noop(self):
+        wal = WriteAheadLog(MemorySegmentBackend())
+        assert wal.append_many([]) == []
+        assert wal.flush_count == 0
+        assert wal.next_sequence == 0
+
+    def test_mixed_append_and_append_many_interleave(self):
+        coalesced = WriteAheadLog(MemorySegmentBackend(), segment_bytes=200)
+        loop = WriteAheadLog(MemorySegmentBackend(), segment_bytes=200)
+        for wal, batched in ((coalesced, True), (loop, False)):
+            wal.append(1, b"solo-first")
+            batch = [(2, f"mid-{i}".encode()) for i in range(12)]
+            if batched:
+                wal.append_many(batch)
+            else:
+                for kind, body in batch:
+                    wal.append(kind, body)
+            wal.append(3, b"solo-last")
+        assert _segment_bytes(coalesced.backend) == _segment_bytes(loop.backend)
