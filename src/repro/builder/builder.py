@@ -118,6 +118,10 @@ class _BuiltBlock:
     min_ts: int
     max_ts: int
     row_count: int
+    # The writer's EncodeStats, carried out of the parallel build stage
+    # and folded into the registry serially (registries are not assumed
+    # thread-safe for interleaved label creation).
+    encode_stats: object = None
 
 
 def block_path(tenant_id: int, memtable_seq: int, chunk_idx: int, min_ts: int, max_ts: int) -> str:
@@ -151,6 +155,7 @@ class DataBuilder:
         upload_backoff_s: float = DEFAULT_BACKOFF_S,
         retry_clock: Clock | None = None,
         obs: Observability | None = None,
+        use_vectorized_encode: bool = True,
     ) -> None:
         if target_rows <= 0:
             raise BuildError(f"target_rows must be positive, got {target_rows}")
@@ -178,6 +183,9 @@ class DataBuilder:
             "logstore_builder_orphans_swept_total",
             "Orphaned blocks later deleted by sweep_orphans().",
         )
+        from repro.obs.recorders import EncodeModeRecorder
+
+        self._encode_modes = EncodeModeRecorder(registry)
         self._schema = schema
         self._oss = oss
         self._bucket = bucket
@@ -186,6 +194,7 @@ class DataBuilder:
         self._block_rows = block_rows
         self._target_rows = target_rows
         self._build_indexes = build_indexes
+        self._vectorized_encode = use_vectorized_encode
         self._threads = builder_threads
         self._upload = RetryingObjectStore(
             oss,
@@ -346,6 +355,7 @@ class DataBuilder:
                     codec=self._codec,
                     block_rows=self._block_rows,
                     build_indexes=self._build_indexes,
+                    vectorized=self._vectorized_encode,
                 )
                 writer.append_many(chunk)
                 blob = writer.finish()
@@ -367,6 +377,7 @@ class DataBuilder:
                         min_ts=min_ts,
                         max_ts=max_ts,
                         row_count=len(chunk),
+                        encode_stats=writer.encode_stats,
                     )
                 )
             return built
@@ -374,6 +385,7 @@ class DataBuilder:
         return build
 
     def _register(self, built: _BuiltBlock, report: BuildReport) -> None:
+        self._encode_modes.record(built.encode_stats)
         entry = LogBlockEntry(
             tenant_id=built.tenant_id,
             min_ts=built.min_ts,

@@ -79,6 +79,7 @@ class Compactor:
         upload_backoff_s: float = DEFAULT_BACKOFF_S,
         retry_clock: Clock | None = None,
         obs: Observability | None = None,
+        use_vectorized_encode: bool = True,
     ) -> None:
         if small_threshold_rows <= 0:
             raise BuildError(
@@ -117,6 +118,10 @@ class Compactor:
         self._rows_rewritten_total = registry.counter(
             "logstore_compaction_rows_rewritten_total", "Rows rewritten by compaction."
         )
+        from repro.obs.recorders import EncodeModeRecorder
+
+        self._vectorized_encode = use_vectorized_encode
+        self._encode_modes = EncodeModeRecorder(registry)
 
     def candidates(self, tenant_id: int) -> list[LogBlockEntry]:
         """The tenant's blocks below the small-block threshold."""
@@ -164,9 +169,11 @@ class Compactor:
                 codec=self._codec,
                 block_rows=self._block_rows,
                 build_indexes=self._build_indexes,
+                vectorized=self._vectorized_encode,
             )
             writer.append_many(chunk)
             blob = writer.finish()
+            self._encode_modes.record(writer.encode_stats)
             min_ts = int(chunk[0][ts_column])
             max_ts = int(chunk[-1][ts_column])
             path = compacted_block_path(

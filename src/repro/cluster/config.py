@@ -83,6 +83,9 @@ class LogStoreConfig:
     # §8 vectorized scan kernels; off = interpreted per-row evaluation
     # everywhere (the wall-clock ablation baseline).
     use_vectorized_scan: bool = True
+    # Write-side twin: columnar encode kernels in the builder/compactor
+    # (byte-identical LogBlocks); off = the per-value reference encoder.
+    use_vectorized_encode: bool = True
 
     # SQL front door: live sessions per cluster.
     max_sessions: int = 64

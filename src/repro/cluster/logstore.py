@@ -82,6 +82,7 @@ class LogStore:
             build_indexes=config.build_indexes,
             builder_threads=config.builder_threads,
             obs=self.obs,
+            use_vectorized_encode=config.use_vectorized_encode,
         )
 
         self._builder = builder

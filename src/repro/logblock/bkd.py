@@ -43,6 +43,35 @@ class BkdIndexBuilder:
         self._rows.append(row_id)
         self._values.append(float(value) if self._is_float else int(value))
 
+    def add_many(self, start_row_id: int, values: list) -> None:
+        """Batch :meth:`add` for rows ``start_row_id ..+ len(values)``.
+
+        Builds the same index bytes as the per-row loop (points keep
+        row order, so the stable value sort in :meth:`build` ties
+        identically); nulls still count toward the row count without
+        contributing points.
+        """
+        count = len(values)
+        if not count:
+            return
+        self._row_count = max(self._row_count, start_row_id + count)
+        arr = np.empty(count, dtype=object)
+        arr[:] = values
+        idx = np.flatnonzero(~np.equal(arr, None))
+        if not idx.size:
+            return
+        present = arr[idx]
+        try:
+            converted = present.astype(np.float64 if self._is_float else np.int64)
+        except (OverflowError, TypeError, ValueError):
+            # Defer conversion errors to build(), exactly where the
+            # per-row path would surface them.
+            for offset, value in zip(idx.tolist(), present.tolist()):
+                self.add(start_row_id + offset, value)
+            return
+        self._rows.extend((idx + start_row_id).tolist())
+        self._values.extend(converted.tolist())
+
     def build(self) -> "BkdIndex":
         dtype = np.float64 if self._is_float else np.int64
         values = np.asarray(self._values, dtype=dtype)

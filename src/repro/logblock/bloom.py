@@ -73,6 +73,23 @@ class BloomFilter:
         for position in self._positions(value):
             self._bits[position >> 3] |= np.uint8(1 << (position & 7))
 
+    def add_many(self, values) -> None:
+        """Add a batch of values with one scatter-OR over the bit words.
+
+        Setting bits is idempotent and order-independent, so the result
+        is byte-identical to an :meth:`add` loop in any order.
+        """
+        positions: list[int] = []
+        for value in values:
+            h1, h2 = _hash_pair(value)
+            positions.extend((h1 + i * h2) % self.n_bits for i in range(self.n_hashes))
+        if not positions:
+            return
+        arr = np.asarray(positions, dtype=np.int64)
+        np.bitwise_or.at(
+            self._bits, arr >> 3, np.left_shift(np.uint8(1), (arr & 7).astype(np.uint8))
+        )
+
     def might_contain(self, value: str) -> bool:
         """False ⇒ definitely absent; True ⇒ possibly present."""
         for position in self._positions(value):

@@ -80,13 +80,18 @@ def decode_block(data: bytes, ctype: ColumnType, row_count: int) -> list:
 
 def decode_block_arrays(
     data: bytes, ctype: ColumnType, row_count: int
-) -> tuple[np.ndarray, np.ndarray] | None:
-    """Vectorized decode: ``(values, null_mask)`` as numpy arrays.
+) -> tuple[np.ndarray, np.ndarray] | tuple[np.ndarray, list, np.ndarray] | None:
+    """Vectorized decode into numpy arrays.
 
-    Only numeric/bool columns have a natural vector form; returns
-    ``None`` for strings (callers fall back to :func:`decode_block`).
-    This is the data path for the vectorized scan mode (the paper's §8
-    future work: "vectorized query execution").
+    Numeric/bool columns return ``(values, null_mask)``.  DICT-encoded
+    string blocks return ``(codes, dictionary, null_mask)`` — codes are
+    int64 with 0 = null and ``code - 1`` indexing the sorted
+    ``dictionary``, so equality/IN/range predicates evaluate as integer
+    compares on the codes (the dictionary is sorted, hence codes are
+    order-isomorphic to the values).  PLAIN string blocks return
+    ``None`` (callers fall back to :func:`decode_block`).  This is the
+    data path for the vectorized scan mode (the paper's §8 future work:
+    "vectorized query execution").
     """
     reader = BinaryReader(data)
     nulls = Bitset.from_bytes(reader.read_len_prefixed())
@@ -104,6 +109,20 @@ def decode_block_arrays(
     if ctype is ColumnType.BOOL:
         bits = Bitset.from_bytes(reader.read_len_prefixed())
         return bits.to_bool_array(), null_mask
+    if ctype is ColumnType.STRING:
+        if reader.read_u8() != _STRING_DICT:
+            return None
+        dict_size = reader.read_uvarint()
+        dictionary = [reader.read_str() for _ in range(dict_size)]
+        if dict_size < 0x80:
+            # Every code (≤ dict_size) fits one LEB128 byte: bulk-read.
+            raw = reader.read_bytes(row_count)
+            codes = np.frombuffer(raw, dtype=np.uint8).astype(np.int64)
+        else:
+            codes = np.empty(row_count, dtype=np.int64)
+            for i in range(row_count):
+                codes[i] = reader.read_uvarint()
+        return codes, dictionary, null_mask
     return None
 
 

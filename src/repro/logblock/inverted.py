@@ -53,6 +53,42 @@ class InvertedIndexBuilder:
             if not bucket or bucket[-1] != row_id:
                 bucket.append(row_id)
 
+    def add_many(self, start_row_id: int, values: list) -> None:
+        """Batch :meth:`add` for rows ``start_row_id ..+ len(values)``.
+
+        Untokenized columns group rows per distinct term with one
+        ``np.unique`` + stable argsort instead of a dict probe per row;
+        postings come out in the same ascending row order as the
+        per-row loop.  Tokenized columns keep the per-row tokenizer.
+        """
+        count = len(values)
+        if not count:
+            return
+        self._row_count = max(self._row_count, start_row_id + count)
+        if self._tokenize:
+            for offset, value in enumerate(values):
+                if value is not None:
+                    self.add(start_row_id + offset, value)
+            return
+        arr = np.empty(count, dtype=object)
+        arr[:] = values
+        idx = np.flatnonzero(~np.equal(arr, None))
+        if not idx.size:
+            return
+        ordered, inverse = np.unique(arr[idx], return_inverse=True)
+        order = np.argsort(inverse, kind="stable")
+        sorted_rows = (idx[order] + start_row_id).tolist()
+        counts = np.bincount(inverse, minlength=len(ordered)).tolist()
+        pos = 0
+        for term, term_rows in zip(ordered.tolist(), counts):
+            rows = sorted_rows[pos : pos + term_rows]
+            pos += term_rows
+            bucket = self._postings.setdefault(term, [])
+            if bucket and bucket[-1] == rows[0]:
+                # The per-row path skips a row re-adding its last term.
+                rows = rows[1:]
+            bucket.extend(rows)
+
     def build(self) -> "InvertedIndex":
         terms = sorted(self._postings)
         postings = [np.asarray(self._postings[term], dtype=np.int64) for term in terms]

@@ -20,6 +20,7 @@ loaded according to it").
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -330,6 +331,78 @@ def vectorized_block_mask(
     return None
 
 
+def dict_codes_block_mask(
+    predicate: ColumnPredicate,
+    codes: np.ndarray,
+    dictionary: list,
+    null_mask: np.ndarray,
+) -> np.ndarray | None:
+    """Predicate mask over a DICT-encoded string block, as int compares.
+
+    The dictionary is sorted ascending and code ``i + 1`` denotes
+    ``dictionary[i]`` (0 = null), so codes are order-isomorphic to the
+    values: equality/IN become needle-code compares and ranges become
+    code intervals found by binary search — no string is materialized.
+    Returns ``None`` for shapes with no code form (MATCH, non-string
+    range bounds); the caller falls back to the interpreted scan, which
+    preserves its exact semantics (including the TypeError a
+    string-vs-number range comparison raises).
+    """
+    not_null = ~null_mask
+    if isinstance(predicate, NullPredicate):
+        return null_mask.copy()
+    if isinstance(predicate, NotNullPredicate):
+        return not_null.copy()
+    if isinstance(predicate, EqPredicate):
+        needle = predicate.value
+        if isinstance(needle, str):
+            idx = bisect_left(dictionary, needle)
+            if idx < len(dictionary) and dictionary[idx] == needle:
+                return codes == idx + 1  # code > 0 ⇒ non-null
+        # A non-string needle (or an absent string) equals no stored value.
+        return np.zeros_like(null_mask)
+    if isinstance(predicate, NePredicate):
+        needle = predicate.value
+        if isinstance(needle, str):
+            idx = bisect_left(dictionary, needle)
+            if idx < len(dictionary) and dictionary[idx] == needle:
+                return not_null & (codes != idx + 1)
+        return not_null.copy()
+    if isinstance(predicate, InPredicate):
+        targets = []
+        for needle in predicate.values:
+            if isinstance(needle, str):
+                idx = bisect_left(dictionary, needle)
+                if idx < len(dictionary) and dictionary[idx] == needle:
+                    targets.append(idx + 1)
+        if not targets:
+            return np.zeros_like(null_mask)
+        return np.isin(codes, np.asarray(targets, dtype=codes.dtype))
+    if isinstance(predicate, RangePredicate):
+        if predicate.low is not None and not isinstance(predicate.low, str):
+            return None
+        if predicate.high is not None and not isinstance(predicate.high, str):
+            return None
+        low_code = 1
+        high_code = len(dictionary)
+        if predicate.low is not None:
+            side = bisect_left if predicate.low_inclusive else bisect_right
+            low_code = side(dictionary, predicate.low) + 1
+        if predicate.high is not None:
+            side = bisect_right if predicate.high_inclusive else bisect_left
+            high_code = side(dictionary, predicate.high)
+        return not_null & (codes >= low_code) & (codes <= high_code)
+    if isinstance(predicate, PrefixPredicate):
+        # Matches occupy the contiguous key range [prefix, successor).
+        low_code = bisect_left(dictionary, predicate.prefix) + 1
+        successor = _prefix_successor(predicate.prefix)
+        high_code = (
+            len(dictionary) if successor is None else bisect_left(dictionary, successor)
+        )
+        return not_null & (codes >= low_code) & (codes <= high_code)
+    return None
+
+
 def _scan_rowids(reader: LogBlockReader, predicate: ColumnPredicate) -> Bitset:
     """Block-skipping scan (Figure 8 step 4): SMA-prune blocks, scan rest."""
     meta = reader.meta()
@@ -482,10 +555,14 @@ def _scan_blocks(
             arrays = reader.read_block_arrays(predicate.column, block_idx)
             if arrays is None:
                 stats.note_fallback(
-                    f"column {predicate.column}: STRING blocks have no vector form"
+                    f"column {predicate.column}: PLAIN STRING blocks have no vector form"
                 )
             else:
-                mask = vectorized_block_mask(predicate, arrays[0], arrays[1])
+                if len(arrays) == 3:
+                    codes, dictionary, nulls = arrays
+                    mask = dict_codes_block_mask(predicate, codes, dictionary, nulls)
+                else:
+                    mask = vectorized_block_mask(predicate, arrays[0], arrays[1])
                 if mask is None:
                     stats.note_fallback(
                         f"{type(predicate).__name__}({predicate.column}) "

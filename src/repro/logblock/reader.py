@@ -183,9 +183,11 @@ class LogBlockReader:
     def read_block_arrays(self, column: str, block_idx: int):
         """Vectorized block read: ``(values, null_mask)`` numpy arrays.
 
-        Returns ``None`` for string columns (no natural vector form) —
-        callers fall back to :meth:`read_block`.  Backing the §8
-        "vectorized query execution" scan mode.
+        DICT-encoded string blocks return ``(codes, dictionary,
+        null_mask)`` so predicates evaluate as integer compares on the
+        codes; PLAIN string blocks return ``None`` (no natural vector
+        form) — callers fall back to :meth:`read_block`.  Backing the
+        §8 "vectorized query execution" scan mode.
         """
         from repro.logblock.column import decode_block_arrays
 
@@ -281,6 +283,18 @@ class LogBlockReader:
             start = int(ends[block_idx]) - counts[block_idx]
             in_block = idx[blocks == block_idx] - start
             arrays = self.read_block_arrays(column, block_idx)
+            if arrays is not None and len(arrays) == 3:
+                # DICT string block: pick codes, then look the few
+                # matched values up in the (tiny) dictionary.
+                codes, dictionary, null_mask = arrays
+                hit_nulls = null_mask[in_block]
+                out.extend(
+                    None if (is_null or code == 0) else dictionary[code - 1]
+                    for code, is_null in zip(
+                        codes[in_block].tolist(), hit_nulls.tolist()
+                    )
+                )
+                continue
             if arrays is not None:
                 # Fancy-index the numpy block instead of decoding every
                 # value to a python object just to pick a few of them.

@@ -145,6 +145,66 @@ class TableSchema:
                 if not isinstance(value, bool):
                     raise SchemaError(f"column {col.name!r} expects bool, got {type(value)}")
 
+    def validate_columns(self, columns: dict[str, list]) -> None:
+        """Columnar counterpart of :meth:`validate_row`.
+
+        ``columns`` maps column name → value list; absent columns are
+        all-null.  Same checks and messages as the per-row validator,
+        raised on the first offending value in column-major order.
+        """
+        for col in self.columns:
+            values = columns.get(col.name)
+            if values is None:
+                continue
+            # Fast accept: one C-driven sweep collecting the exact types
+            # present.  Exact types are a *subset* of what the precise
+            # loops below accept (they also take int/float/str/bool
+            # subclasses), so short-circuiting acceptance here never
+            # changes the verdict — mixed or subclassed columns just
+            # take the slow loop.
+            vtypes = set(map(type, values))
+            vtypes.discard(type(None))
+            if col.ctype in (ColumnType.INT64, ColumnType.TIMESTAMP):
+                if vtypes <= {int}:
+                    continue
+            elif col.ctype is ColumnType.FLOAT64:
+                if vtypes <= {int, float}:
+                    continue
+            elif col.ctype is ColumnType.STRING:
+                if vtypes <= {str}:
+                    continue
+            elif col.ctype is ColumnType.BOOL:
+                if vtypes <= {bool}:
+                    continue
+            if col.ctype in (ColumnType.INT64, ColumnType.TIMESTAMP):
+                for value in values:
+                    if value is not None and (
+                        not isinstance(value, int) or isinstance(value, bool)
+                    ):
+                        raise SchemaError(
+                            f"column {col.name!r} expects int, got {type(value)}"
+                        )
+            elif col.ctype is ColumnType.FLOAT64:
+                for value in values:
+                    if value is not None and (
+                        not isinstance(value, (int, float)) or isinstance(value, bool)
+                    ):
+                        raise SchemaError(
+                            f"column {col.name!r} expects float, got {type(value)}"
+                        )
+            elif col.ctype is ColumnType.STRING:
+                for value in values:
+                    if value is not None and not isinstance(value, str):
+                        raise SchemaError(
+                            f"column {col.name!r} expects str, got {type(value)}"
+                        )
+            elif col.ctype is ColumnType.BOOL:
+                for value in values:
+                    if value is not None and not isinstance(value, bool):
+                        raise SchemaError(
+                            f"column {col.name!r} expects bool, got {type(value)}"
+                        )
+
     # -- serialization (embedded in every LogBlock header) -------------------
 
     def to_bytes(self) -> bytes:

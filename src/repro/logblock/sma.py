@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+import numpy as np
+
 from repro.common.bytesio import BinaryReader, BinaryWriter
 from repro.logblock.schema import ColumnType
 
@@ -156,6 +158,62 @@ def compute_sma(values: Iterable, ctype: ColumnType) -> Sma:
         if numeric:
             total += value
     return Sma(min_value, max_value, row_count, null_count, total if numeric else None)
+
+
+def compute_sma_arrays(
+    vector: np.ndarray, null_mask: np.ndarray, ctype: ColumnType
+) -> Sma | None:
+    """Array fast path for :func:`compute_sma` — byte-identical or ``None``.
+
+    ``vector`` is the column's typed numpy vector (object array for
+    strings) with nulls masked by ``null_mask``.  Returns ``None`` when
+    the vectorized result could differ bitwise from the sequential
+    oracle, so callers must fall back to :func:`compute_sma`:
+
+    * float blocks containing NaN (the oracle's ``<`` comparisons skip
+      NaNs after the first non-null; numpy reductions propagate them);
+    * float blocks containing -0.0 (the oracle keeps the *first* of two
+      equal values, numpy reductions do not promise which zero wins).
+
+    Float sums reproduce the oracle's sequential accumulation exactly
+    via ``np.cumsum`` (each partial sum depends on the previous one, so
+    there is no pairwise re-association); int sums use ``np.sum`` only
+    when no intermediate can leave int64, else exact python summation.
+    """
+    numeric = ctype in (ColumnType.INT64, ColumnType.FLOAT64, ColumnType.TIMESTAMP)
+    row_count = int(len(null_mask))
+    null_count = int(null_mask.sum())
+    present = vector[~null_mask]
+    if present.size == 0:
+        if not numeric:
+            return Sma(None, None, row_count, null_count, None)
+        total = 0.0 if ctype is ColumnType.FLOAT64 else 0
+        return Sma(None, None, row_count, null_count, total)
+
+    if ctype in (ColumnType.INT64, ColumnType.TIMESTAMP):
+        min_value = int(present.min())
+        max_value = int(present.max())
+        if present.size * max(abs(min_value), abs(max_value)) < 2**63:
+            total = int(present.sum(dtype=np.int64))
+        else:
+            total = sum(present.tolist())
+        return Sma(min_value, max_value, row_count, null_count, total)
+
+    if ctype is ColumnType.FLOAT64:
+        if np.isnan(present).any():
+            return None
+        if (np.signbit(present) & (present == 0.0)).any():
+            return None
+        min_value = float(present.min())
+        max_value = float(present.max())
+        total = float(np.cumsum(np.concatenate((np.zeros(1), present)))[-1])
+        return Sma(min_value, max_value, row_count, null_count, total)
+
+    if ctype is ColumnType.BOOL:
+        return Sma(bool(present.min()), bool(present.max()), row_count, null_count, None)
+
+    # STRING: object vector, numpy reduces with python comparisons.
+    return Sma(present.min(), present.max(), row_count, null_count, None)
 
 
 def merge_smas(smas: Iterable[Sma]) -> Sma:

@@ -22,10 +22,18 @@ from dataclasses import dataclass, field
 from repro.codec import get_codec
 from repro.codec.registry import DEFAULT_CODEC
 from repro.common.bytesio import BinaryReader, BinaryWriter
-from repro.common.errors import CorruptionError, SerializationError
+from repro.common.errors import CorruptionError, SchemaError, SerializationError
 from repro.logblock.bkd import BkdIndexBuilder
 from repro.logblock.inverted import InvertedIndexBuilder
 from repro.logblock.column import encode_block
+from repro.logblock.encode_kernels import (
+    MODE_VECTORIZED,
+    EncodeFallback,
+    EncodeStats,
+    compute_sma_range,
+    encode_block_range,
+    prepare_column,
+)
 from repro.logblock.schema import ColumnType, IndexType, TableSchema
 from repro.logblock.sma import Sma, compute_sma, merge_smas
 from repro.tarpack.packer import PackBuilder
@@ -192,6 +200,7 @@ class LogBlockWriter:
         build_indexes: bool = True,
         build_blooms: bool = True,
         meta_version: int = META_VERSION,
+        vectorized: bool = True,
     ) -> None:
         if block_rows <= 0:
             raise ValueError(f"block_rows must be positive, got {block_rows}")
@@ -202,6 +211,10 @@ class LogBlockWriter:
         self._validate = validate_rows
         self._build_indexes = build_indexes
         self._build_blooms = build_blooms
+        # Columnar encode kernels (byte-identical to the interpreted
+        # encoder); False forces the per-value reference path.
+        self._vectorized = vectorized
+        self._encode_stats = EncodeStats()
         self._columns: list[list] = [[] for _ in schema.columns]
         self._row_count = 0
         self._finished = False
@@ -222,6 +235,11 @@ class LogBlockWriter:
     def schema(self) -> TableSchema:
         return self._schema
 
+    @property
+    def encode_stats(self) -> EncodeStats:
+        """Values encoded per mode + fallback reasons (filled by finish)."""
+        return self._encode_stats
+
     def append(self, row: dict) -> None:
         """Append one row (a column-name → value mapping)."""
         if self._finished:
@@ -240,8 +258,71 @@ class LogBlockWriter:
         self._row_count += 1
 
     def append_many(self, rows: list[dict]) -> None:
-        for row in rows:
-            self.append(row)
+        """Append a batch of rows.
+
+        In vectorized mode the batch is transposed once into per-column
+        value lists, batch-validated, and fed to the index builders'
+        ``add_many`` hooks — replacing the per-row × per-column
+        ``row.get`` loop.  Unvalidated writers keep the per-row path
+        (the type gate doubles as the kernels' safety check).
+        """
+        if not rows:
+            return
+        if not (self._vectorized and self._validate):
+            for row in rows:
+                self.append(row)
+            return
+        if self._finished:
+            raise SerializationError("LogBlockWriter already finished")
+        columns = {
+            col.name: [row.get(col.name) for row in rows]
+            for col in self._schema.columns
+        }
+        self._ingest_columns(columns, len(rows))
+
+    def append_columns(self, columns: dict[str, list]) -> None:
+        """Columnar ingest: one equal-length value list per column name.
+
+        Missing columns are all-null (mirroring ``allow_missing`` row
+        appends); unknown names raise :class:`SchemaError`.  The result
+        is byte-identical to appending the equivalent rows one by one.
+        """
+        if self._finished:
+            raise SerializationError("LogBlockWriter already finished")
+        if not columns:
+            raise SchemaError("append_columns requires at least one column")
+        for name in columns:
+            self._schema.column_index(name)  # raises on unknown columns
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) != 1:
+            raise SchemaError(
+                f"append_columns requires equal-length columns, got {sorted(lengths)}"
+            )
+        count = lengths.pop()
+        if not count:
+            return
+        full = {
+            col.name: list(columns[col.name]) if col.name in columns else [None] * count
+            for col in self._schema.columns
+        }
+        self._ingest_columns(full, count)
+
+    def _ingest_columns(self, columns: dict[str, list], count: int) -> None:
+        if self._validate:
+            self._schema.validate_columns(columns)
+        start_row = self._row_count
+        for col_idx, col in enumerate(self._schema.columns):
+            values = columns[col.name]
+            self._columns[col_idx].extend(values)
+            builder = self._index_builders.get(col.name)
+            if builder is None:
+                continue
+            if self._validate:
+                builder.add_many(start_row, values)
+            else:
+                for offset, value in enumerate(values):
+                    builder.add(start_row + offset, value)
+        self._row_count += count
 
     def finish(self) -> bytes:
         """Freeze the writer and return the packed LogBlock bytes."""
@@ -261,15 +342,38 @@ class LogBlockWriter:
 
         for col_idx, col in enumerate(self._schema.columns):
             values = self._columns[col_idx]
+            prep = None
+            prep_reason: str | None = None
+            if self._vectorized and n_blocks:
+                try:
+                    prep = prepare_column(values, col.ctype, trusted=self._validate)
+                except EncodeFallback as exc:
+                    prep_reason = exc.reason
             headers: list[BlockHeader] = []
             block_smas: list[Sma] = []
             for block_idx in range(n_blocks):
                 start = block_idx * self._block_rows
-                chunk = values[start : start + block_row_counts[block_idx]]
-                payload = encode_block(chunk, col.ctype)
+                stop = start + block_row_counts[block_idx]
+                if prep is not None:
+                    payload, mode, reason = encode_block_range(prep, start, stop)
+                    sma, sma_reason = compute_sma_range(prep, start, stop)
+                    if mode == MODE_VECTORIZED:
+                        self._encode_stats.rows_vectorized += stop - start
+                    else:
+                        self._encode_stats.rows_interpreted += stop - start
+                    if reason is not None:
+                        self._encode_stats.note_fallback(f"{col.name}: {reason}")
+                    if sma_reason is not None:
+                        self._encode_stats.note_fallback(f"{col.name}: {sma_reason}")
+                else:
+                    chunk = values[start:stop]
+                    payload = encode_block(chunk, col.ctype)
+                    sma = compute_sma(chunk, col.ctype)
+                    self._encode_stats.rows_interpreted += stop - start
+                    if prep_reason is not None:
+                        self._encode_stats.note_fallback(f"{col.name}: {prep_reason}")
                 compressed = self._codec.compress(payload)
-                sma = compute_sma(chunk, col.ctype)
-                headers.append(BlockHeader(len(chunk), sma, len(compressed)))
+                headers.append(BlockHeader(stop - start, sma, len(compressed)))
                 block_smas.append(sma)
                 encoded_blocks.append((block_member(col_idx, block_idx), compressed))
             column_smas.append(merge_smas(block_smas) if block_smas else compute_sma([], col.ctype))
@@ -296,12 +400,16 @@ class LogBlockWriter:
                 if not (col.ctype.is_string and not col.tokenize
                         and col.index is IndexType.INVERTED):
                     continue
-                values = [v for v in self._columns[col_idx] if v is not None]
-                if not values:
+                # Dedupe once: re-adding a duplicate sets the exact same
+                # bits, so hashing each distinct value exactly once
+                # yields byte-identical filters at a fraction of the
+                # hash work (the filter was already *sized* on the
+                # distinct count).
+                distinct = {v for v in self._columns[col_idx] if v is not None}
+                if not distinct:
                     continue
-                bloom = BloomFilter.for_items(len(set(values)))
-                for value in values:
-                    bloom.add(value)
+                bloom = BloomFilter.for_items(len(distinct))
+                bloom.add_many(distinct)
                 payload = bloom.to_bytes()
                 bloom_sizes[col.name] = len(payload)
                 bloom_payloads.append((bloom_member(col.name), payload))

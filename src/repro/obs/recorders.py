@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.metrics.stats import Counter, Gauge, Histogram, PushdownCounters, WritePathStats
 from repro.obs.registry import MetricsRegistry
-from repro.obs.report import SCAN_ROWS_EVALUATED
+from repro.obs.report import ENCODE_FALLBACKS, ENCODE_ROWS, SCAN_ROWS_EVALUATED
 
 # Aggregate-pushdown tier labels, in descending-cheapness order.
 PUSHDOWN_TIERS = ("catalog", "sma", "columnar", "row")
@@ -165,3 +165,56 @@ class ScanModeRecorder:
 
     def view(self) -> dict[str, int]:
         return {mode: counter.value for mode, counter in self._modes.items()}
+
+
+class EncodeModeRecorder:
+    """Write-side twin of :class:`ScanModeRecorder`.
+
+    Column values encoded through the vectorized kernels vs the
+    interpreted reference encoder (``mode=…``-labeled family), plus a
+    ``reason=…``-labeled fallback counter so dashboards can see *why*
+    blocks fell off the fast path (plain-string blocks, NaN SMAs, …).
+    The builder folds each writer's ``EncodeStats`` in serially after
+    the parallel build stage, keeping registration deterministic.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None, **labels) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry
+        self._labels = dict(labels)
+        self._modes: dict[str, Counter] = {
+            mode: registry.counter(
+                ENCODE_ROWS,
+                "Column values encoded per encode mode.",
+                mode=mode,
+                **labels,
+            )
+            for mode in SCAN_MODES
+        }
+        self._fallbacks: dict[str, Counter] = {}
+
+    def record(self, stats) -> None:
+        """Fold one writer's ``EncodeStats`` into the registry."""
+        if stats is None:
+            return
+        if stats.rows_vectorized:
+            self._modes["vectorized"].add(stats.rows_vectorized)
+        if stats.rows_interpreted:
+            self._modes["interpreted"].add(stats.rows_interpreted)
+        for reason, count in stats.fallbacks.items():
+            counter = self._fallbacks.get(reason)
+            if counter is None:
+                counter = self.registry.counter(
+                    ENCODE_FALLBACKS,
+                    "Column blocks that fell back to the interpreted encoder.",
+                    reason=reason,
+                    **self._labels,
+                )
+                self._fallbacks[reason] = counter
+            counter.add(count)
+
+    def view(self) -> dict[str, int]:
+        return {mode: counter.value for mode, counter in self._modes.items()}
+
+    def fallback_view(self) -> dict[str, int]:
+        return {reason: counter.value for reason, counter in self._fallbacks.items()}

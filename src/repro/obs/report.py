@@ -27,6 +27,8 @@ BROKER_WRITE_ROWS = "logstore_broker_write_rows_total"
 QUERY_LATENCY = "logstore_query_latency_seconds"
 SEMANTIC_REWRITES = "logstore_semantic_rewrites_total"
 SCAN_ROWS_EVALUATED = "logstore_scan_rows_evaluated_total"
+ENCODE_ROWS = "logstore_encode_rows_total"
+ENCODE_FALLBACKS = "logstore_encode_fallbacks_total"
 
 
 @dataclass

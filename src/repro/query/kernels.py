@@ -269,7 +269,7 @@ def classify_expr(expr: Expr, schema=None) -> VectorizedInfo:
             if ctype is ColumnType.STRING and not isinstance(
                 predicate, (NullPredicate, NotNullPredicate)
             ):
-                note(f"{column} is STRING: archived blocks scan interpreted")
+                note(f"{column} is STRING: archived PLAIN blocks scan interpreted")
 
     walk(expr)
     if not supported:

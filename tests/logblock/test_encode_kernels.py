@@ -1,0 +1,704 @@
+"""Write-side encode kernels: byte-identity differential suites.
+
+The contract under test is absolute: every byte the vectorized encode
+path produces — block payloads, SMAs, indexes, blooms, the whole packed
+LogBlock — must equal the interpreted reference encoder's output, and
+``use_vectorized_encode=False`` must ablate the mode completely.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.bytesio import BinaryReader, BinaryWriter
+from repro.common.errors import SchemaError
+from repro.logblock.bloom import BloomFilter
+from repro.logblock.column import decode_block, decode_block_arrays, encode_block
+from repro.logblock.encode_kernels import (
+    MODE_INTERPRETED,
+    MODE_VECTORIZED,
+    EncodeFallback,
+    EncodeStats,
+    compute_sma_range,
+    encode_block_range,
+    encode_uvarint_array,
+    prepare_column,
+)
+from repro.logblock.pruning import (
+    EqPredicate,
+    InPredicate,
+    MatchPredicate,
+    NePredicate,
+    NotNullPredicate,
+    NullPredicate,
+    PrefixPredicate,
+    PruneStats,
+    RangePredicate,
+    dict_codes_block_mask,
+    evaluate_predicates,
+)
+from repro.logblock.schema import (
+    ColumnSpec,
+    ColumnType,
+    IndexType,
+    TableSchema,
+    request_log_schema,
+)
+from repro.logblock.sma import compute_sma, compute_sma_arrays
+from repro.logblock.writer import LogBlockWriter
+from repro.tarpack.reader import PackReader
+
+from tests.conftest import make_rows, write_logblock
+from tests.logblock.test_writer_reader import reader_for
+
+
+def oracle_pack(schema, rows, codec="zlib", block_rows=64, **kw) -> bytes:
+    """Reference bytes: per-row appends through the interpreted encoder."""
+    writer = LogBlockWriter(
+        schema, codec=codec, block_rows=block_rows, vectorized=False, **kw
+    )
+    for row in rows:
+        writer.append(row)
+    return writer.finish()
+
+
+def unpack_members(blob: bytes) -> dict[str, bytes]:
+    """Pack bytes → {member name: payload} for member-by-member diffs."""
+    from repro.oss.store import InMemoryObjectStore
+
+    store = InMemoryObjectStore()
+    store.create_bucket("b")
+    store.put("b", "k", blob)
+    pack = PackReader(store, "b", "k")
+    return {name: pack.read_member(name) for name in pack.member_names()}
+
+
+# ---------------------------------------------------------------------------
+# encode_uvarint_array ≡ per-value write_uvarint
+
+
+class TestUvarintArray:
+    def _oracle(self, values) -> bytes:
+        writer = BinaryWriter()
+        for value in values:
+            writer.write_uvarint(int(value))
+        return writer.getvalue()
+
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [],
+            [0],
+            [0x7F],
+            [0x80],
+            [0, 1, 127, 128, 255, 300, 16_383, 16_384],
+            [2**63 - 1, 2**64 - 1, 0, 1],
+            list(range(1000)),
+        ],
+    )
+    def test_edges(self, values):
+        got = encode_uvarint_array(np.array(values, dtype=np.uint64))
+        assert got == self._oracle(values)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_differential(self, values):
+        got = encode_uvarint_array(np.array(values, dtype=np.uint64))
+        assert got == self._oracle(values)
+
+
+# ---------------------------------------------------------------------------
+# prepare_column type gates
+
+
+class TestPrepareColumn:
+    def test_int_gate(self):
+        with pytest.raises(EncodeFallback, match="non-int"):
+            prepare_column([1, "x"], ColumnType.INT64)
+        with pytest.raises(EncodeFallback, match="non-int"):
+            prepare_column([True], ColumnType.INT64)  # bool is not an int here
+
+    def test_float_gate(self):
+        with pytest.raises(EncodeFallback, match="non-float"):
+            prepare_column([1.0, "x"], ColumnType.FLOAT64)
+        prepare_column([1.0, 2, None], ColumnType.FLOAT64)  # ints allowed
+
+    def test_bool_and_str_gates(self):
+        with pytest.raises(EncodeFallback, match="non-bool"):
+            prepare_column([True, 1], ColumnType.BOOL)
+        with pytest.raises(EncodeFallback, match="non-str"):
+            prepare_column(["a", 1], ColumnType.STRING)
+
+    def test_int64_overflow_falls_back(self):
+        with pytest.raises(EncodeFallback, match="overflow"):
+            prepare_column([2**63], ColumnType.INT64)
+
+    def test_trusted_skips_gate(self):
+        # Trusted callers vouch for the types; the gate does not run.
+        prep = prepare_column([1, None, 3], ColumnType.INT64, trusted=True)
+        assert list(prep.null_mask) == [False, True, False]
+        assert prep.vector.dtype == np.int64
+
+    def test_float_column_with_ints_disables_sma_fast_path(self):
+        prep = prepare_column([1, 2.5, None], ColumnType.FLOAT64)
+        assert not prep.sma_vectorized
+        # ...but block encoding is still vectorized (float64 bits match).
+        payload, mode, _ = encode_block_range(prep, 0, 3)
+        assert mode == MODE_VECTORIZED
+        assert payload == encode_block([1, 2.5, None], ColumnType.FLOAT64)
+
+
+# ---------------------------------------------------------------------------
+# encode_block_range ≡ encode_block, all types × null layouts
+
+NULL_LAYOUTS = {
+    "none": lambda n: [False] * n,
+    "all": lambda n: [True] * n,
+    "alternating": lambda n: [i % 2 == 0 for i in range(n)],
+    "leading": lambda n: [i < n // 3 for i in range(n)],
+    "trailing": lambda n: [i >= 2 * n // 3 for i in range(n)],
+}
+
+
+def _values_for(ctype: ColumnType, n: int, layout) -> list:
+    nulls = NULL_LAYOUTS[layout](n)
+    if ctype in (ColumnType.INT64, ColumnType.TIMESTAMP):
+        raw = [(-1) ** i * (i * 7919) for i in range(n)]
+    elif ctype is ColumnType.FLOAT64:
+        raw = [i * 0.25 + 0.125 for i in range(n)]
+    elif ctype is ColumnType.BOOL:
+        raw = [i % 3 == 0 for i in range(n)]
+    else:
+        raw = [f"v{i % 5}" for i in range(n)]  # low cardinality → DICT
+    return [None if is_null else v for v, is_null in zip(raw, nulls)]
+
+
+class TestBlockDifferential:
+    @pytest.mark.parametrize("layout", sorted(NULL_LAYOUTS))
+    @pytest.mark.parametrize(
+        "ctype",
+        [
+            ColumnType.INT64,
+            ColumnType.TIMESTAMP,
+            ColumnType.FLOAT64,
+            ColumnType.BOOL,
+            ColumnType.STRING,
+        ],
+    )
+    def test_matches_oracle(self, ctype, layout):
+        values = _values_for(ctype, 100, layout)
+        prep = prepare_column(values, ctype)
+        for start, stop in [(0, 100), (0, 64), (64, 100), (10, 11), (50, 50)]:
+            payload, _mode, _reason = encode_block_range(prep, start, stop)
+            assert payload == encode_block(values[start:stop], ctype)
+            # And the round trip restores the exact python values.
+            assert (
+                decode_block(payload, ctype, stop - start) == values[start:stop]
+            )
+
+    def test_dict_boundary_rows(self):
+        # DICT needs >= 16 rows: 15 is PLAIN (fallback), 16 is DICT.
+        for n, expect_mode in [(15, MODE_INTERPRETED), (16, MODE_VECTORIZED)]:
+            values = [f"v{i % 4}" for i in range(n)]
+            prep = prepare_column(values, ColumnType.STRING)
+            payload, mode, _ = encode_block_range(prep, 0, n)
+            assert mode == expect_mode
+            assert payload == encode_block(values, ColumnType.STRING)
+
+    def test_dict_boundary_cardinality(self):
+        # Exactly 0.5 distinct/present takes DICT; one more distinct is PLAIN.
+        at_half = [f"v{i % 10}" for i in range(20)]
+        prep = prepare_column(at_half, ColumnType.STRING)
+        payload, mode, _ = encode_block_range(prep, 0, 20)
+        assert mode == MODE_VECTORIZED
+        assert payload == encode_block(at_half, ColumnType.STRING)
+
+        over_half = [f"v{i}" for i in range(11)] + ["v0"] * 9
+        prep = prepare_column(over_half, ColumnType.STRING)
+        payload, mode, reason = encode_block_range(prep, 0, 20)
+        assert mode == MODE_INTERPRETED and reason == "plain string block"
+        assert payload == encode_block(over_half, ColumnType.STRING)
+
+    def test_all_null_string_block_is_plain(self):
+        values = [None] * 32
+        prep = prepare_column(values, ColumnType.STRING)
+        payload, mode, _ = encode_block_range(prep, 0, 32)
+        assert mode == MODE_INTERPRETED
+        assert payload == encode_block(values, ColumnType.STRING)
+
+    def test_large_dictionary_multibyte_codes(self):
+        # > 127 distinct values forces multi-byte LEB128 codes for the
+        # high codes — the generic uvarint kernel, not the 1-byte cast.
+        values = [f"k{i % 200:04d}" for i in range(500)]
+        prep = prepare_column(values, ColumnType.STRING)
+        payload, mode, _ = encode_block_range(prep, 0, 500)
+        assert mode == MODE_VECTORIZED
+        assert payload == encode_block(values, ColumnType.STRING)
+        codes, dictionary, nulls = decode_block_arrays(
+            payload, ColumnType.STRING, 500
+        )
+        assert len(dictionary) == 200
+        assert decode_block(payload, ColumnType.STRING, 500) == values
+
+
+# ---------------------------------------------------------------------------
+# compute_sma_range ≡ compute_sma
+
+
+class TestSmaDifferential:
+    @pytest.mark.parametrize("layout", sorted(NULL_LAYOUTS))
+    @pytest.mark.parametrize(
+        "ctype",
+        [
+            ColumnType.INT64,
+            ColumnType.TIMESTAMP,
+            ColumnType.FLOAT64,
+            ColumnType.BOOL,
+            ColumnType.STRING,
+        ],
+    )
+    def test_matches_oracle(self, ctype, layout):
+        values = _values_for(ctype, 100, layout)
+        prep = prepare_column(values, ctype)
+        for start, stop in [(0, 100), (0, 64), (64, 100), (50, 50)]:
+            sma, _reason = compute_sma_range(prep, start, stop)
+            oracle = compute_sma(values[start:stop], ctype)
+            assert sma.to_bytes() == oracle.to_bytes()
+
+    def test_nan_falls_back_to_oracle(self):
+        values = [1.5, float("nan"), 2.5]
+        prep = prepare_column(values, ColumnType.FLOAT64)
+        assert compute_sma_arrays(prep.vector, prep.null_mask, ColumnType.FLOAT64) is None
+        sma, reason = compute_sma_range(prep, 0, 3)
+        assert reason is not None
+        assert sma.to_bytes() == compute_sma(values, ColumnType.FLOAT64).to_bytes()
+
+    def test_signed_zero_falls_back_to_oracle(self):
+        # np.min([0.0, -0.0]) returns -0.0; the oracle's strict-< fold
+        # keeps the first-seen 0.0.  Bytes must match, so -0.0 bails.
+        values = [0.0, -0.0]
+        prep = prepare_column(values, ColumnType.FLOAT64)
+        assert compute_sma_arrays(prep.vector, prep.null_mask, ColumnType.FLOAT64) is None
+        sma, _reason = compute_sma_range(prep, 0, 2)
+        assert sma.to_bytes() == compute_sma(values, ColumnType.FLOAT64).to_bytes()
+
+    def test_float_column_with_ints_preserves_value_kind(self):
+        # min is a python int: the oracle serializes it as an int; the
+        # vectorized path must defer to it.
+        values = [3, 7.5, None]
+        prep = prepare_column(values, ColumnType.FLOAT64)
+        sma, reason = compute_sma_range(prep, 0, 3)
+        assert reason is not None
+        assert sma.to_bytes() == compute_sma(values, ColumnType.FLOAT64).to_bytes()
+        assert isinstance(sma.min_value, int)
+
+    def test_int_sum_near_overflow(self):
+        big = 2**62
+        values = [big, big, -big, 17]
+        prep = prepare_column(values, ColumnType.INT64)
+        sma, reason = compute_sma_range(prep, 0, 4)
+        assert reason is None
+        oracle = compute_sma(values, ColumnType.INT64)
+        assert sma.to_bytes() == oracle.to_bytes()
+        assert sma.sum_value == big + 17
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.none(),
+                st.floats(
+                    allow_nan=False, allow_infinity=False, width=64, min_value=-1e12, max_value=1e12
+                ),
+            ),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_float_sum_bit_exact(self, values):
+        # Drop -0.0 (tested separately as a deliberate fallback) but
+        # keep everything else, however awkwardly distributed.
+        values = [
+            None if v is None else (0.0 if v == 0.0 else float(v)) for v in values
+        ]
+        prep = prepare_column(values, ColumnType.FLOAT64, trusted=True)
+        sma, _reason = compute_sma_range(prep, 0, len(values))
+        assert sma.to_bytes() == compute_sma(values, ColumnType.FLOAT64).to_bytes()
+
+
+# ---------------------------------------------------------------------------
+# Whole-writer byte identity (the tentpole contract)
+
+ALL_TYPES_SCHEMA = TableSchema(
+    name="all_types",
+    columns=(
+        ColumnSpec("i", ColumnType.INT64, index=IndexType.BKD),
+        ColumnSpec("ts", ColumnType.TIMESTAMP, index=IndexType.BKD),
+        ColumnSpec("f", ColumnType.FLOAT64, index=IndexType.BKD),
+        ColumnSpec("b", ColumnType.BOOL, index=IndexType.NONE),
+        ColumnSpec("tag", ColumnType.STRING, index=IndexType.INVERTED),
+        ColumnSpec("msg", ColumnType.STRING, index=IndexType.INVERTED, tokenize=True),
+    ),
+)
+
+row_strategy = st.fixed_dictionaries(
+    {
+        # Bounded so the block *sum* stays in int64: the interpreted
+        # encoder itself cannot serialize an overflowing SMA sum.
+        "i": st.one_of(st.none(), st.integers(min_value=-(2**50), max_value=2**50)),
+        "ts": st.integers(min_value=0, max_value=2**40),
+        "f": st.one_of(
+            st.none(),
+            st.floats(allow_nan=False, allow_infinity=False, width=64),
+        ),
+        "b": st.one_of(st.none(), st.booleans()),
+        "tag": st.one_of(st.none(), st.sampled_from(["a", "b", "c", "dd", "αβ"])),
+        "msg": st.one_of(st.none(), st.text(max_size=20)),
+    }
+)
+
+
+class TestWriterByteIdentity:
+    def test_request_log_pack_identical(self):
+        rows = make_rows(1000, seed=3)
+        # Sprinkle nulls through every nullable column.
+        for i, row in enumerate(rows):
+            if i % 7 == 0:
+                row["ip"] = None
+            if i % 11 == 0:
+                row["latency"] = None
+            if i % 13 == 0:
+                row["fail"] = None
+        expected = oracle_pack(request_log_schema(), rows)
+        writer = LogBlockWriter(request_log_schema(), codec="zlib", block_rows=64)
+        writer.append_many(rows)
+        got = writer.finish()
+        assert unpack_members(got) == unpack_members(expected)
+        assert got == expected
+        stats = writer.encode_stats
+        assert stats.rows_vectorized > 0
+        # The tokenized "log" column is high-cardinality → PLAIN blocks.
+        assert any("plain string block" in r for r in stats.fallbacks)
+
+    def test_append_columns_identical(self):
+        rows = make_rows(300, seed=5)
+        expected = oracle_pack(request_log_schema(), rows)
+        writer = LogBlockWriter(request_log_schema(), codec="zlib", block_rows=64)
+        names = request_log_schema().column_names()
+        writer.append_columns({n: [r.get(n) for r in rows] for n in names})
+        assert writer.finish() == expected
+
+    def test_append_columns_missing_column_is_null(self):
+        rows = [{"tenant_id": 1, "ts": 100 + i, "api": "/a"} for i in range(20)]
+        expected = oracle_pack(request_log_schema(), rows)
+        writer = LogBlockWriter(request_log_schema(), codec="zlib", block_rows=64)
+        writer.append_columns(
+            {
+                "tenant_id": [r["tenant_id"] for r in rows],
+                "ts": [r["ts"] for r in rows],
+                "api": [r["api"] for r in rows],
+            }
+        )
+        assert writer.finish() == expected
+
+    def test_append_columns_rejections(self):
+        writer = LogBlockWriter(request_log_schema())
+        with pytest.raises(SchemaError):
+            writer.append_columns({})
+        with pytest.raises(SchemaError):
+            writer.append_columns({"nope": [1]})
+        with pytest.raises(SchemaError, match="equal-length"):
+            writer.append_columns({"ts": [1, 2], "latency": [3]})
+        with pytest.raises(SchemaError, match="expects int"):
+            writer.append_columns({"ts": [1], "latency": ["slow"]})
+
+    def test_empty_block(self):
+        vec = LogBlockWriter(request_log_schema(), codec="zlib")
+        ref = LogBlockWriter(request_log_schema(), codec="zlib", vectorized=False)
+        assert vec.finish() == ref.finish()
+        assert vec.encode_stats.rows_vectorized == 0
+
+    def test_single_row(self):
+        rows = make_rows(1)
+        writer = LogBlockWriter(request_log_schema(), codec="zlib", block_rows=64)
+        writer.append_many(rows)
+        assert writer.finish() == oracle_pack(request_log_schema(), rows)
+
+    def test_unvalidated_writer_still_byte_identical(self):
+        # validate_rows=False drops the schema gate, so the kernels run
+        # untrusted: their own type gate rejects odd values (a float in
+        # an INT64 column, which the oracle truncates via int()) and the
+        # oracle path takes over — bytes stay canonical either way.
+        rows = [{"i": 7.5, "ts": 5, "f": 1.5, "b": True, "tag": "a", "msg": "m"}]
+        rows = rows * 20
+        vec = LogBlockWriter(ALL_TYPES_SCHEMA, codec="none", validate_rows=False)
+        vec.append_many(rows)
+        ref = LogBlockWriter(
+            ALL_TYPES_SCHEMA, codec="none", validate_rows=False, vectorized=False
+        )
+        ref.append_many(rows)
+        assert vec.finish() == ref.finish()
+        # np.int64 fails the untrusted int gate → whole column interpreted.
+        assert any("non-int" in r for r in vec.encode_stats.fallbacks)
+
+    def test_vectorized_off_ablates_everything(self):
+        writer = LogBlockWriter(request_log_schema(), vectorized=False)
+        writer.append_many(make_rows(200))
+        writer.finish()
+        assert writer.encode_stats.rows_vectorized == 0
+        assert writer.encode_stats.rows_interpreted > 0
+        assert writer.encode_stats.fallbacks == {}
+
+    @given(rows=st.lists(row_strategy, min_size=0, max_size=120))
+    @settings(
+        max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_hypothesis_pack_identity(self, rows):
+        expected = oracle_pack(ALL_TYPES_SCHEMA, rows, codec="none", block_rows=32)
+        writer = LogBlockWriter(
+            ALL_TYPES_SCHEMA, codec="none", block_rows=32, vectorized=True
+        )
+        writer.append_many(rows)
+        assert writer.finish() == expected
+
+    def test_int64_overflow_error_parity(self):
+        rows = [{"i": 2**63, "ts": 1, "f": 0.5, "b": True, "tag": "t", "msg": None}]
+        for vectorized in (True, False):
+            writer = LogBlockWriter(ALL_TYPES_SCHEMA, vectorized=vectorized)
+            writer.append_many(rows)
+            with pytest.raises(OverflowError):
+                writer.finish()
+
+
+class TestEncodeStats:
+    def test_merge(self):
+        a = EncodeStats(rows_vectorized=5, rows_interpreted=1, fallbacks={"x": 1})
+        b = EncodeStats(rows_vectorized=2, rows_interpreted=3, fallbacks={"x": 2, "y": 1})
+        a.merge(b)
+        assert a.rows_vectorized == 7 and a.rows_interpreted == 4
+        assert a.fallbacks == {"x": 3, "y": 1}
+
+
+# ---------------------------------------------------------------------------
+# S1: bloom build — dedupe + add_many must not change a single bit
+
+
+class TestBloomBytes:
+    def test_add_many_equals_add_loop_with_duplicates(self):
+        values = [f"v{i % 17}" for i in range(300)]
+        distinct = {v for v in values}
+        old = BloomFilter.for_items(len(distinct))
+        for v in values:  # the old procedure hashed every duplicate
+            old.add(v)
+        new = BloomFilter.for_items(len(distinct))
+        new.add_many(distinct)
+        assert new.to_bytes() == old.to_bytes()
+
+    def test_add_many_empty(self):
+        bloom = BloomFilter.for_items(4)
+        bloom.add_many([])
+        assert bloom.fill_ratio() == 0.0
+
+    @given(st.sets(st.text(min_size=1, max_size=8), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_order_independent(self, values):
+        a = BloomFilter.for_items(len(values))
+        a.add_many(sorted(values))
+        b = BloomFilter.for_items(len(values))
+        b.add_many(sorted(values, reverse=True))
+        assert a.to_bytes() == b.to_bytes()
+        assert all(a.might_contain(v) for v in values)
+
+
+# ---------------------------------------------------------------------------
+# S2: DICT string blocks scan as int compares on codes
+
+
+def _dict_block(values):
+    payload = encode_block(values, ColumnType.STRING)
+    arrays = decode_block_arrays(payload, ColumnType.STRING, len(values))
+    assert arrays is not None and len(arrays) == 3
+    return arrays
+
+
+DICT_VALUES = [None if i % 9 == 0 else f"key{i % 6}" for i in range(72)]
+
+DICT_PREDICATES = [
+    EqPredicate("c", "key3"),
+    EqPredicate("c", "absent"),
+    EqPredicate("c", 42),
+    NePredicate("c", "key0"),
+    NePredicate("c", "absent"),
+    InPredicate("c", ("key1", "key5", "nope")),
+    InPredicate("c", ("nope",)),
+    RangePredicate("c", low="key1", high="key4"),
+    RangePredicate("c", low="key1", high="key4", low_inclusive=False, high_inclusive=False),
+    RangePredicate("c", low=None, high="key2"),
+    RangePredicate("c", low="key4", high=None),
+    PrefixPredicate("c", "key"),
+    PrefixPredicate("c", "key5"),
+    PrefixPredicate("c", "zzz"),
+    NullPredicate("c"),
+    NotNullPredicate("c"),
+]
+
+
+class TestDictCodesMask:
+    @pytest.mark.parametrize("predicate", DICT_PREDICATES, ids=lambda p: repr(p))
+    def test_matches_scalar_evaluation(self, predicate):
+        codes, dictionary, nulls = _dict_block(DICT_VALUES)
+        mask = dict_codes_block_mask(predicate, codes, dictionary, nulls)
+        assert mask is not None
+        expected = [predicate.evaluate_value(v) for v in DICT_VALUES]
+        assert list(mask) == expected
+
+    def test_non_string_range_bounds_fall_back(self):
+        codes, dictionary, nulls = _dict_block(DICT_VALUES)
+        assert dict_codes_block_mask(RangePredicate("c", low=1), codes, dictionary, nulls) is None
+        assert dict_codes_block_mask(MatchPredicate("c", "x"), codes, dictionary, nulls) is None
+
+    def test_scan_counts_dict_string_rows_as_vectorized(self):
+        rows = make_rows(256, seed=2)
+        reader = reader_for(write_logblock(rows, block_rows=64))
+        stats = PruneStats()
+        result = evaluate_predicates(
+            reader,
+            [EqPredicate("api", "/api/v1")],
+            use_skipping=False,
+            use_indexes=False,
+            vectorized=True,
+            stats=stats,
+        )
+        expected = [i for i, r in enumerate(rows) if r["api"] == "/api/v1"]
+        assert list(result) == expected
+        # "api" is low-cardinality → every block DICT → all rows vectorized.
+        assert stats.rows_vectorized == 256
+        assert stats.rows_interpreted == 0
+
+    def test_scan_equivalence_string_predicates(self):
+        rows = make_rows(200, seed=7)
+        reader = reader_for(write_logblock(rows, block_rows=32))
+        predicates = [
+            [EqPredicate("api", "/api/v2")],
+            [InPredicate("api", ("/api/v0", "/api/v2"))],
+            [PrefixPredicate("ip", "192.168.0.")],
+            [RangePredicate("api", low="/api/v1", high="/api/v2")],
+            [NePredicate("ip", "192.168.0.3")],
+        ]
+        for preds in predicates:
+            scalar = evaluate_predicates(
+                reader, preds, use_indexes=False, vectorized=False
+            )
+            vector = evaluate_predicates(
+                reader, preds, use_indexes=False, vectorized=True
+            )
+            assert list(scalar) == list(vector)
+
+    def test_reader_materializes_dict_columns(self):
+        rows = make_rows(150, seed=4)
+        for i in range(0, 150, 10):
+            rows[i]["api"] = None
+        reader = reader_for(write_logblock(rows, block_rows=32))
+        assert reader.read_column("api") == [r["api"] for r in rows]
+
+
+# ---------------------------------------------------------------------------
+# Builder / compactor: the config knob ablates the whole mode
+
+
+def _build_cluster_objects(use_vectorized_encode: bool):
+    from repro.builder.builder import DataBuilder
+    from repro.builder.compaction import Compactor
+    from repro.meta.catalog import Catalog
+    from repro.obs.context import Observability
+    from repro.oss.store import InMemoryObjectStore
+    from repro.rowstore.memtable import MemTable
+
+    catalog = Catalog(request_log_schema())
+    store = InMemoryObjectStore()
+    store.create_bucket("v")
+    obs = Observability.noop()
+    builder = DataBuilder(
+        request_log_schema(),
+        store,
+        "v",
+        catalog,
+        codec="zlib",
+        block_rows=64,
+        obs=obs,
+        use_vectorized_encode=use_vectorized_encode,
+    )
+    for seed in range(3):
+        table = MemTable()
+        table.append_many(make_rows(400, tenant_id=1, seed=seed))
+        table.seal()
+        builder.archive_memtable(table)
+    compactor = Compactor(
+        request_log_schema(),
+        store,
+        "v",
+        catalog,
+        codec="zlib",
+        block_rows=64,
+        small_threshold_rows=500,
+        target_rows=1_200,
+        obs=obs,
+        use_vectorized_encode=use_vectorized_encode,
+    )
+    compactor.compact_tenant(1)
+    objects = {
+        stat.key: store.get("v", stat.key) for stat in store.list("v")
+    }
+    entries = sorted(
+        (e.path, e.min_ts, e.max_ts, e.row_count, e.size_bytes)
+        for e in catalog.blocks_for(1)
+    )
+    return objects, entries
+
+
+class TestBuilderAblation:
+    def test_builder_and_compactor_outputs_identical(self):
+        vec_objects, vec_entries = _build_cluster_objects(True)
+        ref_objects, ref_entries = _build_cluster_objects(False)
+        assert vec_entries == ref_entries
+        assert vec_objects.keys() == ref_objects.keys()
+        for key in ref_objects:
+            assert vec_objects[key] == ref_objects[key], key
+
+    def test_encode_mode_counters(self):
+        from repro.builder.builder import DataBuilder
+        from repro.meta.catalog import Catalog
+        from repro.obs.context import Observability
+        from repro.obs.report import ENCODE_ROWS
+        from repro.oss.store import InMemoryObjectStore
+        from repro.rowstore.memtable import MemTable
+
+        for vectorized in (True, False):
+            catalog = Catalog(request_log_schema())
+            store = InMemoryObjectStore()
+            store.create_bucket("v")
+            obs = Observability(tracing_enabled=False)
+            builder = DataBuilder(
+                request_log_schema(),
+                store,
+                "v",
+                catalog,
+                codec="zlib",
+                block_rows=64,
+                obs=obs,
+                use_vectorized_encode=vectorized,
+            )
+            table = MemTable()
+            table.append_many(make_rows(300, tenant_id=1))
+            table.seal()
+            builder.archive_memtable(table)
+            modes = obs.registry.snapshot().by_label(ENCODE_ROWS, "mode")
+            assert (modes.get("vectorized", 0) > 0) == vectorized
+            assert modes.get("interpreted", 0) > 0  # plain "log" blocks
+
+    def test_config_knob_plumbs_through(self):
+        from repro.cluster.config import small_test_config
+
+        config = small_test_config(use_vectorized_encode=False)
+        assert config.use_vectorized_encode is False
+        assert small_test_config().use_vectorized_encode is True
