@@ -1,14 +1,22 @@
-"""Observability overhead: tracing must not distort the virtual clock.
+"""Observability overhead: the obs layer must not distort the virtual clock.
 
 The tracer records where a request spent its virtual time but never
 charges the clock itself; deferred-wave costs are *credited* to spans
-(``span.charge``) rather than re-slept.  This bench drives an identical
-ingest + query workload through two clusters that differ only in
-``tracing_enabled`` and asserts the virtual-time overhead is under 10%
-(in practice: zero — the elapsed virtual seconds are identical).
+(``span.charge``) rather than re-slept.  The same discipline holds for
+the rest of the obs layer added since: the event journal, the per-tenant
+usage meter, the SLO tracker, and alert-rule ticks all observe state at
+virtual timestamps without advancing the clock.
+
+This bench drives an identical ingest + query workload through two
+clusters at the extremes — everything off (no tracing, no journal, no
+SLO) versus everything on (tracing, journal, SLO windows, plus periodic
+alert-engine ticks) — and asserts the full obs stack adds under 10%
+virtual time (in practice: zero — the elapsed virtual seconds are
+identical).
 
 Emits ``BENCH_obs.json`` (the ``metrics_report().headline()`` dict of
-the instrumented run) for the benchmark trajectory.
+the instrumented run, plus journal/SLO/alert tallies) for the benchmark
+trajectory.
 """
 
 import json
@@ -25,6 +33,7 @@ N_BATCHES = 60 if QUICK else 300
 ROWS_PER_BATCH = 20
 TENANTS = (1, 2, 3, 10)
 BASE_TS = 1_605_052_800_000_000
+ALERT_TICK_EVERY = 10  # batches between alert-engine evaluations
 
 QUERIES = [
     "SELECT log FROM request_log WHERE tenant_id = {t} "
@@ -47,19 +56,30 @@ def make_batch(tenant_id: int, seq: int) -> list[dict]:
     ]
 
 
-def drive(tracing_enabled: bool):
-    """Ingest, archive, then query cold and warm; all on the virtual clock."""
+def drive(obs_on: bool):
+    """Ingest, archive, then query cold and warm; all on the virtual clock.
+
+    ``obs_on`` flips the whole observability stack at once: tracing,
+    event journal, SLO windows — and, when on, ticks the alert engine
+    every ``ALERT_TICK_EVERY`` batches like a background evaluator would.
+    """
     store = LogStore.create(
         config=small_test_config(
             use_raft=True,
             group_commit=True,
-            tracing_enabled=tracing_enabled,
+            tracing_enabled=obs_on,
+            event_journal_enabled=obs_on,
+            slo_enabled=obs_on,
         )
     )
+    alert_ticks = 0
     start = store.clock.now()
     for i in range(N_BATCHES):
         tenant = TENANTS[i % len(TENANTS)]
         store.put_nowait(tenant, make_batch(tenant, i))
+        if obs_on and i % ALERT_TICK_EVERY == ALERT_TICK_EVERY - 1:
+            store.evaluate_alerts()
+            alert_ticks += 1
     store.settle_writes()
     write_s = store.clock.now() - start
 
@@ -72,44 +92,60 @@ def drive(tracing_enabled: bool):
             for template in QUERIES:
                 result = store.query(template.format(t=tenant))
                 row_counts.append(len(result.rows))
+    if obs_on:
+        store.evaluate_alerts()
+        alert_ticks += 1
     query_s = store.clock.now() - start
-    return store, write_s, query_s, row_counts
+    return store, write_s, query_s, row_counts, alert_ticks
 
 
 def test_observability_overhead(benchmark, capsys):
-    (plain, traced) = benchmark.pedantic(
-        lambda: (drive(tracing_enabled=False), drive(tracing_enabled=True)),
+    (plain, full) = benchmark.pedantic(
+        lambda: (drive(obs_on=False), drive(obs_on=True)),
         rounds=1,
         iterations=1,
     )
-    plain_store, plain_write_s, plain_query_s, plain_rows = plain
-    traced_store, traced_write_s, traced_query_s, traced_rows = traced
+    plain_store, plain_write_s, plain_query_s, plain_rows, _ = plain
+    full_store, full_write_s, full_query_s, full_rows, alert_ticks = full
 
     emit(capsys, "", f"Observability overhead — {N_BATCHES} batches x "
-         f"{ROWS_PER_BATCH} rows, {len(plain_rows)} queries")
+         f"{ROWS_PER_BATCH} rows, {len(plain_rows)} queries, "
+         f"{alert_ticks} alert ticks")
     emit(capsys, f"{'config':>12} {'write s':>10} {'query s':>10}")
-    emit(capsys, f"{'untraced':>12} {plain_write_s:>10.4f} {plain_query_s:>10.4f}")
-    emit(capsys, f"{'traced':>12} {traced_write_s:>10.4f} {traced_query_s:>10.4f}")
+    emit(capsys, f"{'obs off':>12} {plain_write_s:>10.4f} {plain_query_s:>10.4f}")
+    emit(capsys, f"{'obs on':>12} {full_write_s:>10.4f} {full_query_s:>10.4f}")
 
     # Same work, same answers.
-    assert traced_rows == plain_rows
+    assert full_rows == plain_rows
 
-    # Tracing adds < 10% virtual time on both paths (designed to add zero).
-    assert traced_write_s <= plain_write_s * 1.10
-    assert traced_query_s <= plain_query_s * 1.10
+    # The whole obs stack — tracing + journal + SLO windows + alert
+    # ticks — adds < 10% virtual time (designed to add zero).
+    assert full_write_s <= plain_write_s * 1.10
+    assert full_query_s <= plain_query_s * 1.10
 
     # The instrumented run actually recorded what it claims to.  (The
     # pipelined path settles outside a ``broker.write`` root, so the
     # replication spans are asserted directly across retained traces.)
-    assert traced_store.tracer.find_spans("wal.flush")
-    assert traced_store.tracer.find_spans("group_commit")
-    assert traced_store.last_trace("broker.query") is not None
-    assert traced_store.tracer.find_spans("cache.hit")  # warm round hit
+    assert full_store.tracer.find_spans("wal.flush")
+    assert full_store.tracer.find_spans("group_commit")
+    assert full_store.last_trace("broker.query") is not None
+    assert full_store.tracer.find_spans("cache.hit")  # warm round hit
 
-    headline = traced_store.metrics_report().headline()
+    # Journal caught the seals/elections; SLO windows tracked every
+    # tenant; the disabled run recorded none of it.
+    assert len(full_store.obs.journal) > 0
+    assert full_store.obs.journal.events("raft.leader_elected")
+    assert full_store.obs.slo.tenants() == sorted(TENANTS)
+    assert len(plain_store.obs.journal) == 0
+    assert plain_store.obs.slo.tenants() == []
+
+    headline = full_store.metrics_report().headline()
     assert headline["write_rows"] == N_BATCHES * ROWS_PER_BATCH
-    headline["virtual_write_s"] = traced_write_s
-    headline["virtual_query_s"] = traced_query_s
+    headline["virtual_write_s"] = full_write_s
+    headline["virtual_query_s"] = full_query_s
+    headline["journal_events"] = full_store.obs.journal.total_emitted
+    headline["alert_ticks"] = alert_ticks
+    headline["slo_tenants"] = len(full_store.obs.slo.tenants())
     with open(OUT_PATH, "w") as fh:
         json.dump(headline, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -293,6 +293,13 @@ class DataBuilder:
 
             report.memtables_converted += 1
             self._memtables_total.add()
+            for tenant_id, blocks in zip(tenant_order, built_per_tenant):
+                self._obs.journal.emit(
+                    "builder.archive",
+                    f"memtable{memtable_seq}",
+                    detail=f"blocks={len(blocks)} rows={len(groups[tenant_id])}",
+                    tenant_id=tenant_id,
+                )
         return report
 
     def _compensate(self, uploaded: list[_BuiltBlock]) -> None:

@@ -144,6 +144,14 @@ class Compactor:
         self._runs_total.add()
         self._blocks_merged_total.add(result.blocks_before)
         self._rows_rewritten_total.add(result.rows_rewritten)
+        if result.compacted:
+            self._obs.journal.emit(
+                "compactor.compact",
+                f"tenant{tenant_id}",
+                detail=f"blocks {result.blocks_before}->{result.blocks_after} "
+                f"rows={result.rows_rewritten}",
+                tenant_id=tenant_id,
+            )
         return result
 
     def _compact(

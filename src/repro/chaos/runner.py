@@ -35,6 +35,7 @@ from repro.cluster.config import small_test_config
 from repro.cluster.logstore import LogStore
 from repro.common.clock import VirtualClock
 from repro.common.errors import ChaosError, InvariantViolationError
+from repro.obs.events import EventJournal
 from repro.oss.store import InMemoryObjectStore
 
 # Timestamp base for workload rows (microseconds): 2020-11-11 00:00:00,
@@ -74,6 +75,18 @@ class ChaosContext:
         self.ledger = WriteLedger(key_columns=ledger_key_columns)
         self.crashed: list[tuple[object, str]] = []  # (shard, node_id)
         self._batch_seq = 0
+
+    def _record(self, kind: str, target: str, detail: str = "") -> None:
+        """Record to the chaos trace AND the cluster's event journal.
+
+        The trace is the chaos harness's own byte-stable transcript; the
+        journal is the cluster-wide operator view.  Mirroring the fault
+        and workload events into the journal lets ``_system.events``
+        show chaos injections next to seals/elections, and lets the
+        determinism tests compare whole journals across same-seed runs.
+        """
+        self.trace.record(self.clock.now(), kind, target, detail)
+        self.store.obs.journal.emit(f"chaos.{kind}", target, detail=detail)
 
     # -- topology --------------------------------------------------------
 
@@ -118,17 +131,14 @@ class ChaosContext:
             self.store.put(tenant_id, rows)
         except Exception as exc:
             self.ledger.record_indeterminate(tenant_id, rows)
-            self.trace.record(
-                self.clock.now(),
+            self._record(
                 "workload.put.failed",
                 f"tenant:{tenant_id}",
                 f"rows={count} {type(exc).__name__}",
             )
             return False
         self.ledger.record_acked(tenant_id, rows)
-        self.trace.record(
-            self.clock.now(), "workload.put.ok", f"tenant:{tenant_id}", f"rows={count}"
-        )
+        self._record("workload.put.ok", f"tenant:{tenant_id}", f"rows={count}")
         return True
 
     def archive(self) -> bool:
@@ -136,15 +146,10 @@ class ChaosContext:
         try:
             report = self.store.run_background_tasks()
         except Exception as exc:
-            self.trace.record(
-                self.clock.now(), "workload.archive.failed", "builder", type(exc).__name__
-            )
+            self._record("workload.archive.failed", "builder", type(exc).__name__)
             return False
-        self.trace.record(
-            self.clock.now(),
-            "workload.archive.ok",
-            "builder",
-            f"blocks={report.blocks_written}",
+        self._record(
+            "workload.archive.ok", "builder", f"blocks={report.blocks_written}"
         )
         return True
 
@@ -163,7 +168,7 @@ class ChaosContext:
             return False
         shard.crash_replica(node_id)
         self.crashed.append((shard, node_id))
-        self.trace.record(self.clock.now(), "fault.raft.crash", node_id)
+        self._record("fault.raft.crash", node_id)
         return True
 
     def crash_leader(self, shard) -> str | None:
@@ -177,20 +182,20 @@ class ChaosContext:
             return False
         shard.recover_replica(node_id)
         self.crashed.remove((shard, node_id))
-        self.trace.record(self.clock.now(), "fault.raft.recover", node_id)
+        self._record("fault.raft.recover", node_id)
         return True
 
     def partition(self, shard, a: str, b: str) -> None:
         shard.raft.network.partition(a, b)
-        self.trace.record(self.clock.now(), "fault.net.partition", f"{a}|{b}")
+        self._record("fault.net.partition", f"{a}|{b}")
 
     def partition_one_way(self, shard, src: str, dst: str) -> None:
         shard.raft.network.partition_one_way(src, dst)
-        self.trace.record(self.clock.now(), "fault.net.partition_one_way", f"{src}->{dst}")
+        self._record("fault.net.partition_one_way", f"{src}->{dst}")
 
     def heal_partition(self, shard, a: str, b: str) -> None:
         shard.raft.network.heal(a, b)
-        self.trace.record(self.clock.now(), "fault.net.heal", f"{a}|{b}")
+        self._record("fault.net.heal", f"{a}|{b}")
 
     def corrupt_wal_tail(self, backend_name: str) -> bool:
         """Flip a byte in a (crashed) replica's WAL tail, if it has one."""
@@ -210,7 +215,7 @@ class ChaosContext:
         if shard.raft is not None:
             raise ChaosError("crash_and_rebuild_plain_shard needs a non-Raft shard")
         backend = self.wal_backends[f"shard{shard.shard_id}"]
-        self.trace.record(self.clock.now(), "fault.shard.crash", f"shard{shard.shard_id}")
+        self._record("fault.shard.crash", f"shard{shard.shard_id}")
         config = self.store.config
         rebuilt = Shard(
             shard.shard_id,
@@ -227,8 +232,7 @@ class ChaosContext:
             obs=self.store.obs,
         )
         self.store.workers[shard.worker_id].shards[shard.shard_id] = rebuilt
-        self.trace.record(
-            self.clock.now(),
+        self._record(
             "fault.shard.rebuilt",
             f"shard{shard.shard_id}",
             f"rows_recovered={rebuilt.pending_rows()}",
@@ -240,14 +244,14 @@ class ChaosContext:
     def pump_plan(self, plan) -> None:
         """Fire every plan action that is due at the current time."""
         for action in plan.pop_due(self.clock.now()):
-            self.trace.record(self.clock.now(), "plan.fire", action.name)
+            self._record("plan.fire", action.name)
             action.apply()
 
     # -- heal + quiesce --------------------------------------------------
 
     def heal_and_quiesce(self) -> None:
         """Clear every fault and drive the cluster to a settled state."""
-        self.trace.record(self.clock.now(), "phase.heal", "cluster")
+        self._record("phase.heal", "cluster")
         self.chaos_oss.heal()
         for backend in self.wal_backends.values():
             backend.heal()
@@ -255,7 +259,7 @@ class ChaosContext:
             shard.raft.network.heal_all()
         for shard, node_id in sorted(self.crashed, key=lambda c: c[1]):
             shard.recover_replica(node_id)
-            self.trace.record(self.clock.now(), "fault.raft.recover", node_id)
+            self._record("fault.raft.recover", node_id)
         self.crashed.clear()
         # Let elections finish and recovered replicas catch up.
         self.advance(2.0)
@@ -265,7 +269,7 @@ class ChaosContext:
         compactor = getattr(self.store, "compactor", None)
         if compactor is not None:
             compactor.sweep_orphans()
-        self.trace.record(self.clock.now(), "phase.quiesced", "cluster")
+        self._record("phase.quiesced", "cluster")
 
     def _retry(self, what: str, fn, rounds: int = 30, pause_s: float = 0.5) -> None:
         last: Exception | None = None
@@ -288,6 +292,10 @@ class ChaosResult:
     trace: EventTrace
     ledger: WriteLedger
     violations: list[InvariantViolation] = field(default_factory=list)
+    # The cluster's event journal (chaos events mirrored alongside the
+    # cluster's own seals/elections) — compare dump()s across same-seed
+    # runs to prove whole-cluster determinism, not just trace stability.
+    journal: EventJournal | None = None
 
     @property
     def ok(self) -> bool:
@@ -360,7 +368,7 @@ class ChaosRunner:
             rng=random.Random(master),
             ledger_key_columns=self._spec.probe_key_columns,
         )
-        trace.record(clock.now(), "phase.start", self.scenario, f"seed={self.seed}")
+        ctx._record("phase.start", self.scenario, f"seed={self.seed}")
         return ctx
 
     def run(self, check: bool = True) -> ChaosResult:
@@ -380,6 +388,7 @@ class ChaosRunner:
             trace=ctx.trace,
             ledger=ctx.ledger,
             violations=violations,
+            journal=ctx.store.obs.journal,
         )
 
     def run_or_raise(self) -> ChaosResult:

@@ -20,9 +20,15 @@ from repro.cache.multilevel import CachingRangeReader
 from repro.cluster.controller import Controller
 from repro.cluster.worker import Worker
 from repro.common.clock import VirtualClock
-from repro.common.errors import ShardNotFound, WorkerNotFound
+from repro.common.errors import (
+    BackpressureError,
+    QueryError,
+    ShardNotFound,
+    WorkerNotFound,
+)
 from repro.common.utils import wave_elapsed
 from repro.obs.context import Observability
+from repro.obs.meter import approx_rows_bytes
 from repro.obs.recorders import PushdownRecorder, ScanModeRecorder
 from repro.obs.report import (
     BROKER_QUERIES,
@@ -31,6 +37,12 @@ from repro.obs.report import (
     TENANT_READ_ROWS,
 )
 from repro.obs.slowlog import SlowQueryEntry
+from repro.obs.systables import (
+    SYSTEM_TABLE_COLUMNS,
+    is_system_table,
+    scope_rows,
+    system_table_rows,
+)
 from repro.frontdoor.rewrite import SemanticRewriter
 from repro.query.aggregate import Aggregator, apply_order_limit
 from repro.query.dedup import finalize_outer, naive_scan_query, run_window_query
@@ -149,19 +161,28 @@ class Broker:
         dispatched: dict[int, int] = {}
         durations: list[float] = []
         cursor = 0
-        for shard_id, count in split.items():
-            piece = rows[cursor : cursor + count]
-            cursor += count
-            worker = self._shard_worker(shard_id)
-            with self._clock.deferred() as charges:
-                worker.write_async(shard_id, piece)
-            durations.append(charges.total)
-            self._pending_shards.add(shard_id)
-            dispatched[shard_id] = count
-        self._clock.sleep(
-            wave_elapsed(durations, max(1, self.options.prefetch_threads))
-        )
+        try:
+            for shard_id, count in split.items():
+                piece = rows[cursor : cursor + count]
+                cursor += count
+                worker = self._shard_worker(shard_id)
+                with self._clock.deferred() as charges:
+                    worker.write_async(shard_id, piece)
+                durations.append(charges.total)
+                self._pending_shards.add(shard_id)
+                dispatched[shard_id] = count
+        except BackpressureError:
+            # A rejected piece is a bad write event against the tenant's
+            # SLO; already-admitted pieces stay in flight.
+            self._obs.slo.record_write(tenant_id, 0.0, error=True)
+            raise
+        wave_s = wave_elapsed(durations, max(1, self.options.prefetch_threads))
+        self._clock.sleep(wave_s)
         self.writes_routed.add(len(rows))
+        self._obs.meter.record_ingest(
+            tenant_id, rows=len(rows), nbytes=approx_rows_bytes(rows)
+        )
+        self._obs.slo.record_write(tenant_id, wave_s)
         return dispatched
 
     def settle_writes(self) -> None:
@@ -172,7 +193,12 @@ class Broker:
 
     # -- query path ---------------------------------------------------------
 
-    def query(self, sql: str, tenant_scope: int | None = None) -> QueryResult:
+    def query(
+        self,
+        sql: str,
+        tenant_scope: int | None = None,
+        statement: str | None = None,
+    ) -> QueryResult:
         """Parse, rewrite, plan, execute, merge.  Latency is virtual time.
 
         ``tenant_scope`` is the session's authorized tenant: the planner
@@ -180,14 +206,42 @@ class Broker:
         conflicting one.  The semantic-rewrite pass runs first (when
         enabled); a window subquery it cannot rewrite falls back to full
         materialization (:func:`run_window_query`).
+
+        ``statement`` is the original client text before parameter
+        binding (front-door sessions pass it); the slow-query log keeps
+        it alongside the executed SQL.
+
+        ``_system.*`` tables never reach the planner/executor: they are
+        materialized from the obs layer and catalog, scoped to the
+        session's tenant, then filtered by the same AST machinery.
         """
+        parsed_input = parse_sql(sql)
+        if is_system_table(parsed_input.table):
+            return self._system_query(parsed_input, tenant_scope)
         start = self._clock.now()
+        try:
+            return self._query(parsed_input, sql, tenant_scope, statement, start)
+        except Exception:
+            if tenant_scope is not None:
+                self._obs.slo.record_query(
+                    tenant_scope, self._clock.now() - start, error=True
+                )
+            raise
+
+    def _query(
+        self,
+        parsed_input,
+        sql: str,
+        tenant_scope: int | None,
+        statement: str | None,
+        start: float,
+    ) -> QueryResult:
         oss_before = self._range_reader.store.stats.snapshot()
         cache_before = self._range_reader.cache.summary()
         tracer = self._obs.tracer
         with tracer.span("broker.query", broker=self.broker_id) as query_span:
             with tracer.span("broker.plan"):
-                parsed = parse_sql(sql)
+                parsed = parsed_input
                 rewrites: list[str] = []
                 if self.options.use_semantic_rewrite:
                     parsed, rewrites = self._rewriter.rewrite(parsed)
@@ -312,6 +366,19 @@ class Broker:
         self._scan_modes.record(
             stats.rows_evaluated_vectorized, stats.rows_evaluated_interpreted
         )
+        if plan.tenant_id is not None:
+            self._obs.slo.record_query(plan.tenant_id, latency_s)
+            # CPU cost is the scan-work proxy: every row whose predicate
+            # was evaluated (either mode) plus every block visited.
+            self._obs.meter.record_query(
+                plan.tenant_id,
+                rows_returned=len(final),
+                bytes_scanned=result.bytes_fetched,
+                oss_gets=result.oss_requests,
+                cpu_cost=stats.rows_evaluated_vectorized
+                + stats.rows_evaluated_interpreted
+                + stats.blocks_visited,
+            )
         self._obs.slow_queries.observe(
             SlowQueryEntry(
                 at_s=self._clock.now(),
@@ -321,6 +388,53 @@ class Broker:
                 rows_returned=len(final),
                 blocks_visited=stats.blocks_visited,
                 bytes_fetched=result.bytes_fetched,
+                statement=statement if statement is not None else sql,
             )
         )
         return result
+
+    def _system_query(self, parsed, tenant_scope: int | None) -> QueryResult:
+        """Answer a ``_system.*`` introspection query from the obs layer.
+
+        No storage is touched and no virtual time is charged beyond the
+        span bookkeeping; rows are materialized on demand, auth-scoped,
+        then run through the ordinary AST filter / aggregate / order-
+        limit machinery.
+        """
+        if parsed.subquery is not None or parsed.window is not None:
+            raise QueryError("system tables do not support subqueries or windows")
+        start = self._clock.now()
+        with self._obs.tracer.span(
+            "broker.query", broker=self.broker_id, system_table=parsed.table
+        ) as query_span:
+            rows = system_table_rows(
+                parsed.table, self._obs, catalog=self._controller.catalog
+            )
+            rows = scope_rows(rows, tenant_scope)
+            if parsed.where is not None:
+                rows = [row for row in rows if parsed.where.evaluate_row(row)]
+            if parsed.is_aggregate:
+                aggregator = Aggregator(parsed)
+                aggregator.consume_many(rows)
+                final = aggregator.results()
+            else:
+                ordered = apply_order_limit(parsed, rows, vectorized=False)
+                if parsed.select_star:
+                    columns = SYSTEM_TABLE_COLUMNS[parsed.table]
+                else:
+                    columns = parsed.projected_columns()
+                final = [{c: row.get(c) for c in columns} for row in ordered]
+            query_span.set(rows=len(final))
+        latency_s = self._clock.now() - start
+        plan = QueryPlan(
+            query=parsed,
+            schema=self._controller.catalog.schema,
+            where=parsed.where,
+            tenant_id=tenant_scope,
+            min_ts=None,
+            max_ts=None,
+            tenant_scope=tenant_scope,
+        )
+        self.queries_served.add()
+        self._query_latency.observe(latency_s)
+        return QueryResult(rows=final, latency_s=latency_s, plan=plan)

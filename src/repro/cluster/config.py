@@ -94,6 +94,20 @@ class LogStoreConfig:
     tracing_enabled: bool = True  # hierarchical virtual-clock spans
     trace_max_traces: int = 256  # bounded ring of retained root traces
     slow_query_s: float | None = 2.0  # virtual-latency threshold; None = off
+    # Cluster event journal (elections, seals, archives, compactions,
+    # backpressure trips, faults, alerts) — bounded and deterministic.
+    event_journal_enabled: bool = True
+    event_journal_max_events: int = 4096
+    # Per-tenant SLO tracking: rolling virtual-time windows with
+    # error-budget burn rates; defaults match repro.obs.slo.SloTarget.
+    slo_enabled: bool = True
+    slo_window_s: float = 3600.0
+    slo_p99_query_latency_s: float = 2.0
+    slo_write_latency_s: float = 0.5
+    slo_goal: float = 0.99
+    # Alert rules evaluated at run_background_tasks() ticks; empty =
+    # repro.obs.alerts.default_alert_rules().
+    alert_rules: tuple = ()
 
     seed: int = 0
 
@@ -136,6 +150,16 @@ class LogStoreConfig:
             raise ConfigError("max_sessions must be >= 1")
         if self.slow_query_s is not None and self.slow_query_s < 0:
             raise ConfigError("slow_query_s must be non-negative (or None)")
+        if self.event_journal_max_events < 1:
+            raise ConfigError("event_journal_max_events must be >= 1")
+        if self.slo_window_s <= 0:
+            raise ConfigError("slo_window_s must be positive")
+        if self.slo_p99_query_latency_s <= 0:
+            raise ConfigError("slo_p99_query_latency_s must be positive")
+        if self.slo_write_latency_s <= 0:
+            raise ConfigError("slo_write_latency_s must be positive")
+        if not 0 < self.slo_goal < 1:
+            raise ConfigError("slo_goal must be in (0, 1)")
 
     @property
     def n_shards(self) -> int:

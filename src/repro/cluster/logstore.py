@@ -56,11 +56,22 @@ class LogStore:
         self.config = config
         self.schema = schema
         self.clock = clock if clock is not None else VirtualClock()
+        from repro.obs.slo import SloTarget
+
         self.obs = Observability(
             clock=self.clock,
             tracing_enabled=config.tracing_enabled,
             trace_max_traces=config.trace_max_traces,
             slow_query_s=config.slow_query_s,
+            event_journal_enabled=config.event_journal_enabled,
+            event_journal_max_events=config.event_journal_max_events,
+            slo_enabled=config.slo_enabled,
+            slo_default_target=SloTarget(
+                p99_query_latency_s=config.slo_p99_query_latency_s,
+                write_latency_s=config.slo_write_latency_s,
+                slo_goal=config.slo_goal,
+                window_s=config.slo_window_s,
+            ),
         )
         inner = backend if backend is not None else InMemoryObjectStore()
         self.oss = MeteredObjectStore(
@@ -135,6 +146,18 @@ class LogStore:
 
         self.frontdoor_tokens = TokenRegistry(config.seed)
         self.sessions = SessionPool(self, self.frontdoor_tokens, config.max_sessions)
+
+        from repro.obs.alerts import AlertEngine, default_alert_rules
+
+        rules = config.alert_rules if config.alert_rules else default_alert_rules()
+        self.obs.install_alerts(
+            AlertEngine(
+                rules,
+                clock=self.clock,
+                journal=self.obs.journal,
+                slo=self.obs.slo,
+            )
+        )
 
     # -- provisioning ----------------------------------------------------
 
@@ -359,6 +382,19 @@ class LogStore:
         """
         return self.sessions.connect(tenant_id, token)
 
+    def issue_admin_token(self) -> str:
+        """Issue (or re-issue) the cluster-operator token."""
+        return self.frontdoor_tokens.issue_admin()
+
+    def connect_admin(self, token: str):
+        """Open an unscoped operator session (full `_system` visibility).
+
+        Admin sessions see every tenant's rows in the `_system` tables
+        and query user data without a tenant filter injected; INSERTs
+        must carry an explicit ``tenant_id`` per row.
+        """
+        return self.sessions.connect_admin(token)
+
     def create_table(self, statement) -> TableSchema:
         """Run a CREATE TABLE statement (parsed object or SQL text)."""
         from repro.frontdoor.ddl import apply_create_table
@@ -370,9 +406,19 @@ class LogStore:
             raise ValueError("create_table requires a CREATE TABLE statement")
         return apply_create_table(self, statement)
 
-    def query(self, sql: str, tenant_scope: int | None = None) -> QueryResult:
-        """Execute one SQL query (optionally under a session's scope)."""
-        return self._broker().query(sql, tenant_scope=tenant_scope)
+    def query(
+        self,
+        sql: str,
+        tenant_scope: int | None = None,
+        statement: str | None = None,
+    ) -> QueryResult:
+        """Execute one SQL query (optionally under a session's scope).
+
+        ``statement`` is the original client text before parameter
+        binding; sessions pass it so the slow-query log (and therefore
+        ``_system.slow_queries``) shows what the client actually typed.
+        """
+        return self._broker().query(sql, tenant_scope=tenant_scope, statement=statement)
 
     def explain(self, sql: str, tenant_scope: int | None = None) -> str:
         """Plan a query without executing it; returns the EXPLAIN text.
@@ -383,11 +429,24 @@ class LogStore:
         applied and any naive-window fallback.
         """
         from repro.frontdoor.rewrite import SemanticRewriter
+        from repro.obs.systables import SYSTEM_TABLE_COLUMNS, is_system_table
         from repro.query.dedup import naive_scan_query
         from repro.query.planner import QueryPlanner, explain_plan
         from repro.query.sql import parse_sql
 
         parsed = parse_sql(sql)
+        if is_system_table(parsed.table):
+            columns = SYSTEM_TABLE_COLUMNS.get(parsed.table)
+            lines = [
+                f"query: {sql}",
+                f"system table scan: {parsed.table} "
+                "(materialized from the obs layer; no storage touched)",
+            ]
+            if columns is not None:
+                lines.append(f"columns: {', '.join(columns)}")
+            if tenant_scope is not None:
+                lines.append(f"scope: tenant {tenant_scope} rows only")
+            return "\n".join(lines)
         rewrites: list[str] = []
         # Read the *live* execution option, not the construction-time
         # config — benchmarks toggle the shared options object directly.
@@ -418,7 +477,7 @@ class LogStore:
         """
         result = self._broker().query(sql)
         trace = self.obs.tracer.last_trace("broker.query")
-        return render_explain_analyze(result, trace)
+        return render_explain_analyze(result, trace, journal=self.obs.journal)
 
     # -- observability --------------------------------------------------------
 
@@ -470,8 +529,21 @@ class LogStore:
     # -- admin / background ---------------------------------------------------
 
     def run_background_tasks(self) -> BuildReport:
-        """Archive all sealed memtables to OSS (the builder task)."""
-        return self.controller.archive_all()
+        """Archive all sealed memtables to OSS, then tick the alert
+        engine over the post-archive registry snapshot."""
+        report = self.controller.archive_all()
+        self.evaluate_alerts()
+        return report
+
+    def evaluate_alerts(self):
+        """One deterministic alert tick at the current virtual time.
+
+        Evaluates every configured rule against a fresh registry
+        snapshot (and the SLO windows); fire/resolve transitions land
+        in the event journal and `_system.alerts`.  Returns the alerts
+        that transitioned this tick.
+        """
+        return self.obs.alerts.evaluate(self.obs.registry.snapshot())
 
     def flush_all(self) -> BuildReport:
         """Seal + archive everything (tests and shutdown)."""

@@ -145,6 +145,7 @@ class Shard:
                 wal_factory=wal_factory,
                 seed=seed + shard_id,
                 tracer=self._obs.tracer if self._obs.tracer.enabled else None,
+                journal=self._obs.journal,
             )
             self._raft.wait_for_leader()
             self._pipeline = ReplicationPipeline(
@@ -264,6 +265,11 @@ class Shard:
         if not leader.sync_queue.can_accept(1, nbytes):
             leader.sync_queue.stats.rejected += 1
             leader.backpressure.update()
+            self._obs.journal.emit(
+                "shard.backpressure.trip",
+                f"shard{self.shard_id}",
+                detail=f"sync queue full ({nbytes} bytes pending)",
+            )
             raise BackpressureError(
                 f"shard {self.shard_id}: sync queue cannot admit batch "
                 f"({len(self._group_queue) + 1} pending batches, {nbytes} bytes)"
@@ -368,17 +374,25 @@ class Shard:
         """
         if self._raft is None:
             if len(self._rowstore.active):
+                rows = len(self._rowstore.active)
                 self._wal.append(_WAL_KIND_SEAL, b"")
                 self._rowstore.seal_active()
+                self._obs.journal.emit(
+                    "shard.seal", f"shard{self.shard_id}", detail=f"rows={rows}"
+                )
             return
         leader = self._raft.leader()
         if leader is None or not len(self.rowstore.active):
             return
+        rows = len(self.rowstore.active)
         try:
             index = leader.propose(_CMD_SEAL)
             self._raft.settle_acked(index, ack=self._write_ack)
         except (RaftError, NotLeaderError, BackpressureError):
             return
+        self._obs.journal.emit(
+            "shard.seal", f"shard{self.shard_id}", detail=f"rows={rows}"
+        )
 
     def take_sealed(self) -> list[MemTable]:
         """Sealed memtables ready for the data builder.

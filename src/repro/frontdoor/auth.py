@@ -23,6 +23,7 @@ class TokenRegistry:
     def __init__(self, secret_seed: int = 0) -> None:
         self._secret_seed = secret_seed
         self._revoked: set[int] = set()
+        self._admin_revoked = False
 
     def issue(self, tenant_id: int) -> str:
         """Token for ``tenant_id`` (idempotent; re-issuing un-revokes)."""
@@ -43,3 +44,29 @@ class TokenRegistry:
 
     def revoke(self, tenant_id: int) -> None:
         self._revoked.add(tenant_id)
+
+    # -- admin (cluster-operator) scope --------------------------------
+
+    def issue_admin(self) -> str:
+        """Operator token (idempotent; re-issuing un-revokes).
+
+        Derived from the same seed under a distinct namespace, so it
+        never collides with any tenant token.
+        """
+        self._admin_revoked = False
+        return self._derive_admin()
+
+    def _derive_admin(self) -> str:
+        material = f"logstore-frontdoor-{self._secret_seed}:admin"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+
+    def validate_admin(self, token: str) -> None:
+        """Raise :class:`AuthError` unless ``token`` is the operator token."""
+        if self._admin_revoked:
+            raise AuthError("admin credentials are revoked")
+        expected = self._derive_admin()
+        if not isinstance(token, str) or not hmac.compare_digest(expected, token):
+            raise AuthError("invalid admin token")
+
+    def revoke_admin(self) -> None:
+        self._admin_revoked = True

@@ -76,17 +76,36 @@ class PreparedStatement:
 
 
 class Session:
-    """One authenticated client connection, scoped to one tenant."""
+    """One authenticated client connection, scoped to one tenant.
 
-    def __init__(self, store, tenant_id: int, stamper: VersionStamper) -> None:
+    Admin sessions (``admin=True``, opened via the operator token) have
+    no tenant scope: reads run unscoped, `_system` tables show every
+    tenant, and INSERTs must carry an explicit ``tenant_id`` per row.
+    """
+
+    def __init__(
+        self,
+        store,
+        tenant_id: int | None,
+        stamper: VersionStamper,
+        admin: bool = False,
+    ) -> None:
+        if not admin and tenant_id is None:
+            raise AuthError("non-admin sessions must be scoped to a tenant")
         self._store = store
         self.tenant_id = tenant_id
+        self.admin = admin
         self._stamper = stamper
         self.closed = False
         # The rows of the most recent INSERT, recorded *before* the
         # write is dispatched — a crash mid-write leaves them here for
         # the chaos ledger to mark indeterminate.
         self.last_insert_rows: list[dict] = []
+
+    @property
+    def scope(self) -> int | None:
+        """The tenant filter this session's reads run under (None = admin)."""
+        return None if self.admin else self.tenant_id
 
     # -- statement dispatch ------------------------------------------------
 
@@ -98,7 +117,9 @@ class Session:
         bound = bind_parameters(sql, params) if params else sql
         statement = parse_statement(bound)
         if isinstance(statement, ParsedQuery):
-            return self._store.query(bound, tenant_scope=self.tenant_id)
+            # `statement=sql` keeps the client's original text (with
+            # `?` placeholders) for the slow-query log.
+            return self._store.query(bound, tenant_scope=self.scope, statement=sql)
         if isinstance(statement, ParsedInsert):
             return self._insert(statement)
         if isinstance(statement, ParsedCreateTable):
@@ -112,7 +133,7 @@ class Session:
     def explain(self, sql: str, params=()) -> str:
         self._check_open()
         bound = bind_parameters(sql, params) if params else sql
-        return self._store.explain(bound, tenant_scope=self.tenant_id)
+        return self._store.explain(bound, tenant_scope=self.scope)
 
     def close(self) -> None:
         self.closed = True
@@ -152,7 +173,16 @@ class Session:
             )
             rows.append(row)
         self.last_insert_rows = rows
-        self._store.put(self.tenant_id, rows)
+        if self.admin:
+            tenants = {row.get("tenant_id") for row in rows}
+            if len(tenants) != 1:
+                raise QueryError(
+                    "admin INSERT must target exactly one tenant per statement"
+                )
+            target_tenant = tenants.pop()
+        else:
+            target_tenant = self.tenant_id
+        self._store.put(target_tenant, rows)
         return InsertResult(
             table=statement.table,
             rows_inserted=len(rows),
@@ -162,7 +192,13 @@ class Session:
 
     def _stamp_row(self, row: dict, schema, version_spec) -> None:
         tenant = row.get("tenant_id")
-        if tenant is None:
+        if self.admin:
+            if tenant is None:
+                raise QueryError(
+                    "admin sessions have no tenant scope: INSERT rows must "
+                    "carry an explicit tenant_id"
+                )
+        elif tenant is None:
             row["tenant_id"] = self.tenant_id
         elif tenant != self.tenant_id:
             raise AuthError(
@@ -193,12 +229,19 @@ class SessionPool:
     def connect(self, tenant_id: int, token: str) -> Session:
         """Authenticate and open one tenant-scoped session."""
         self._tokens.validate(tenant_id, token)
+        return self._open(Session(self._store, tenant_id, self.stamper))
+
+    def connect_admin(self, token: str) -> Session:
+        """Authenticate the operator token and open an unscoped session."""
+        self._tokens.validate_admin(token)
+        return self._open(Session(self._store, None, self.stamper, admin=True))
+
+    def _open(self, session: Session) -> Session:
         self._sessions = [s for s in self._sessions if not s.closed]
         if len(self._sessions) >= self._max_sessions:
             raise QueryError(
                 f"session pool exhausted ({self._max_sessions} live sessions)"
             )
-        session = Session(self._store, tenant_id, self.stamper)
         self._sessions.append(session)
         return session
 

@@ -1,0 +1,190 @@
+"""Deterministic alert rules over registry snapshots and SLO windows.
+
+Two rule shapes, both pure functions of state at a virtual-clock tick:
+
+* :class:`ThresholdRule` — compare a metric family (optionally filtered
+  by a label subset) against a threshold.  Counters and gauges are
+  summed across matching children, so ``logstore_backpressure_total``
+  works whether it has one child or one per shard.
+* :class:`BurnRateRule` — per-tenant SLO error-budget burn rate from the
+  :class:`~repro.obs.slo.SloTracker`; fires one alert per burning
+  tenant.
+
+The engine is edge-triggered: an alert fires once when its condition
+becomes true, stays active while it holds, and resolves once when it
+clears — both transitions land in the event journal, which is what
+makes alert history replayable and byte-identical under the same seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.obs.events import EVENT_ALERT_FIRE, EVENT_ALERT_RESOLVE, EventJournal
+from repro.obs.registry import RegistrySnapshot
+from repro.obs.slo import SloTracker
+
+ALERT_ACTIVE = "active"
+ALERT_RESOLVED = "resolved"
+
+_OPS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+@dataclass(frozen=True)
+class ThresholdRule:
+    """Fire when a metric family's (filtered) sum crosses a threshold."""
+
+    name: str
+    metric: str
+    threshold: float
+    op: str = ">"
+    labels: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown threshold op {self.op!r}")
+
+    def value(self, snapshot: RegistrySnapshot) -> float:
+        """Sum of matching children across counters and gauges."""
+        want = set(self.labels.items())
+        total = 0.0
+        for table in (snapshot.counters, snapshot.gauges):
+            for key, value in table.get(self.metric, {}).items():
+                if want <= set(key):
+                    total += value
+        return total
+
+    def evaluate(self, snapshot: RegistrySnapshot, slo: SloTracker | None):
+        value = self.value(snapshot)
+        if _OPS[self.op](value, self.threshold):
+            target = self.metric
+            if self.labels:
+                inner = ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+                target = f"{self.metric}{{{inner}}}"
+            yield target, None, value
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """Fire per tenant whose SLO burn rate exceeds ``max_burn_rate``."""
+
+    name: str
+    max_burn_rate: float = 1.0
+
+    def evaluate(self, snapshot: RegistrySnapshot, slo: SloTracker | None):
+        if slo is None:
+            return
+        for status in slo.evaluate_all():
+            if status.burn_rate > self.max_burn_rate:
+                yield f"tenant:{status.tenant_id}", status.tenant_id, status.burn_rate
+
+
+def default_alert_rules() -> tuple:
+    """The stock rule set wired in when config supplies none."""
+    return (
+        BurnRateRule(name="tenant-slo-burn", max_burn_rate=1.0),
+        ThresholdRule(
+            name="write-reproposals",
+            metric="logstore_write_reproposals_total",
+            threshold=0,
+            op=">",
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fire→resolve lifecycle of one rule on one target."""
+
+    name: str
+    target: str
+    tenant_id: Optional[int]
+    fired_at_s: float
+    value: float
+    state: str = ALERT_ACTIVE
+    resolved_at_s: Optional[float] = None
+
+
+class AlertEngine:
+    """Evaluate rules at virtual-clock ticks; journal the transitions."""
+
+    def __init__(
+        self,
+        rules,
+        clock=None,
+        journal: EventJournal | None = None,
+        slo: SloTracker | None = None,
+        max_history: int = 256,
+    ) -> None:
+        self.rules = tuple(rules)
+        self._clock = clock
+        self._journal = journal
+        self._slo = slo
+        self._active: dict[tuple[str, str], Alert] = {}
+        self._history: deque[Alert] = deque(maxlen=max_history)
+
+    def _now(self) -> float:
+        return self._clock.now() if self._clock is not None else 0.0
+
+    def evaluate(self, snapshot: RegistrySnapshot) -> list[Alert]:
+        """One tick: fire newly-true conditions, resolve cleared ones.
+
+        Returns the alerts that *transitioned* this tick (fired or
+        resolved), in deterministic rule order.
+        """
+        now = self._now()
+        transitions: list[Alert] = []
+        seen: set[tuple[str, str]] = set()
+        for rule in self.rules:
+            for target, tenant_id, value in rule.evaluate(snapshot, self._slo):
+                key = (rule.name, target)
+                seen.add(key)
+                if key in self._active:
+                    continue
+                alert = Alert(
+                    name=rule.name,
+                    target=target,
+                    tenant_id=tenant_id,
+                    fired_at_s=now,
+                    value=value,
+                )
+                self._active[key] = alert
+                self._history.append(alert)
+                transitions.append(alert)
+                if self._journal is not None:
+                    self._journal.emit(
+                        EVENT_ALERT_FIRE,
+                        target,
+                        detail=f"{rule.name} value={value:.6g}",
+                        tenant_id=tenant_id,
+                    )
+        for key in sorted(self._active.keys() - seen):
+            alert = self._active.pop(key)
+            resolved = replace(alert, state=ALERT_RESOLVED, resolved_at_s=now)
+            # Rewrite the history entry in place so one lifecycle is one row.
+            for i, entry in enumerate(self._history):
+                if entry is alert:
+                    self._history[i] = resolved
+                    break
+            transitions.append(resolved)
+            if self._journal is not None:
+                self._journal.emit(
+                    EVENT_ALERT_RESOLVE,
+                    resolved.target,
+                    detail=resolved.name,
+                    tenant_id=resolved.tenant_id,
+                )
+        return transitions
+
+    def active(self) -> list[Alert]:
+        return [self._active[key] for key in sorted(self._active)]
+
+    def history(self) -> list[Alert]:
+        return list(self._history)

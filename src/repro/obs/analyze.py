@@ -20,13 +20,16 @@ STAGES = (
 )
 
 
-def render_explain_analyze(result, trace: Span | None) -> str:
+def render_explain_analyze(result, trace: Span | None, journal=None) -> str:
     """EXPLAIN ANALYZE text for one executed query.
 
     ``result`` is the broker's :class:`QueryResult`; ``trace`` is the
     query's ``broker.query`` root span (None when tracing is off, in
     which case the per-stage block is omitted but the work accounting
-    still renders).
+    still renders).  When an :class:`~repro.obs.events.EventJournal`
+    is supplied, journal entries carrying this trace's id (seals,
+    backpressure trips, elections that happened *during* the query)
+    render as a final section — the trace-ID correlation join.
     """
     # Deferred import: the query package reads through the cache layer,
     # which itself imports the tracer — importing the planner at module
@@ -98,4 +101,10 @@ def render_explain_analyze(result, trace: Span | None) -> str:
         f"  cache: {result.cache_hits} hits, {result.cache_misses} misses "
         f"(hit rate {rate:.1%})"
     )
+    trace_id = getattr(trace, "trace_id", None)
+    if journal is not None and trace_id is not None:
+        events = journal.events_for_trace(trace_id)
+        if events:
+            lines.append(f"== journal events (trace {trace_id}) ==")
+            lines.extend(f"  {event.format()}" for event in events)
     return "\n".join(lines)

@@ -188,12 +188,21 @@ class HistogramSnapshot:
     def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
         """Fold ``other`` in (in place).  Exact fields stay exact; the
         combined sample is deterministically decimated back under the
-        reservoir bound."""
+        reservoir bound.
+
+        The combined sample is **sorted before decimation** so the
+        survivors depend only on the multiset of values, not on which
+        operand contributed them — ``a.merge(b)`` and ``b.merge(a)``
+        keep identical samples, and therefore identical quantiles,
+        regardless of merge order.  (Sorted every-2nd decimation is
+        also a better quantile sketch than arrival-order decimation:
+        it thins the distribution uniformly instead of dropping
+        whichever shard happened to report first.)"""
         self.count += other.count
         self.sum += other.sum
         if other.max is not None and (self.max is None or other.max > self.max):
             self.max = other.max
-        sample = list(self.sample) + list(other.sample)
+        sample = sorted(list(self.sample) + list(other.sample))
         while len(sample) > DEFAULT_RESERVOIR:
             sample = sample[::2]
         self.sample = tuple(sample)

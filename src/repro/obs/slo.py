@@ -1,0 +1,173 @@
+"""Per-tenant SLO tracking over rolling virtual-time windows.
+
+An SLO here is the standard error-budget formulation: a target says
+"over any ``window_s`` of virtual time, at least ``slo_goal`` of a
+tenant's operations must be *good*" — where an operation is bad if it
+errored or ran over its latency target.  The tracker keeps a rolling
+window of (timestamp, latency, errored) observations per tenant and
+evaluates on demand:
+
+    error budget   = 1 - slo_goal                (fraction allowed bad)
+    bad fraction   = bad events / total events   (within the window)
+    burn rate      = bad fraction / error budget
+
+Burn rate 1.0 means the tenant is consuming budget exactly as fast as
+the window replenishes it; above 1.0 the SLO is *burning* and the
+tenant will exhaust its budget.  Everything is virtual-clock driven, so
+the math is deterministic and golden-testable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.utils import percentile
+
+SLO_OK = "ok"
+SLO_BURNING = "burning"
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """What one tenant is promised.
+
+    ``p99_query_latency_s`` / ``write_latency_s`` classify individual
+    operations as good/bad; ``slo_goal`` is the promised good fraction
+    over any ``window_s`` of virtual time.
+    """
+
+    p99_query_latency_s: float = 2.0
+    write_latency_s: float = 0.5
+    slo_goal: float = 0.99
+    window_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.slo_goal < 1.0:
+            raise ValueError("slo_goal must be in (0, 1)")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.p99_query_latency_s <= 0 or self.write_latency_s <= 0:
+            raise ValueError("latency targets must be positive")
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """One tenant's SLO evaluation at a point in virtual time."""
+
+    tenant_id: int
+    window_s: float
+    query_count: int
+    write_count: int
+    p99_query_latency_s: float
+    p99_write_latency_s: float
+    error_rate: float
+    bad_fraction: float
+    error_budget: float
+    burn_rate: float
+    status: str
+
+
+class SloTracker:
+    """Rolling per-tenant SLO windows on the virtual clock.
+
+    Recording is O(1) amortized (append + prune-from-left); evaluation
+    sorts the window for percentiles.  With no clock attached (noop
+    handles) the tracker is inert: records drop, evaluations are empty.
+    """
+
+    def __init__(
+        self,
+        clock=None,
+        default_target: SloTarget | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self._clock = clock
+        self.enabled = enabled and clock is not None
+        self._default = default_target if default_target is not None else SloTarget()
+        self._targets: dict[int, SloTarget] = {}
+        # tenant -> deque[(at_s, latency_s, errored)]
+        self._queries: dict[int, deque] = {}
+        self._writes: dict[int, deque] = {}
+
+    # -- targets -------------------------------------------------------
+
+    def set_target(self, tenant_id: int, target: SloTarget) -> None:
+        self._targets[tenant_id] = target
+
+    def target(self, tenant_id: int) -> SloTarget:
+        return self._targets.get(tenant_id, self._default)
+
+    # -- recording -----------------------------------------------------
+
+    def record_query(self, tenant_id: int, latency_s: float, error: bool = False) -> None:
+        self._record(self._queries, tenant_id, latency_s, error)
+
+    def record_write(self, tenant_id: int, latency_s: float, error: bool = False) -> None:
+        self._record(self._writes, tenant_id, latency_s, error)
+
+    def _record(self, table: dict, tenant_id: int, latency_s: float, error: bool) -> None:
+        if not self.enabled:
+            return
+        window = table.get(tenant_id)
+        if window is None:
+            window = deque()
+            table[tenant_id] = window
+        now = self._clock.now()
+        window.append((now, latency_s, error))
+        self._prune(window, now, self.target(tenant_id).window_s)
+
+    @staticmethod
+    def _prune(window: deque, now: float, window_s: float) -> None:
+        cutoff = now - window_s
+        while window and window[0][0] < cutoff:
+            window.popleft()
+
+    # -- evaluation ----------------------------------------------------
+
+    def tenants(self) -> list[int]:
+        return sorted(set(self._queries) | set(self._writes))
+
+    def evaluate(self, tenant_id: int) -> SloStatus:
+        target = self.target(tenant_id)
+        now = self._clock.now() if self._clock is not None else 0.0
+        queries = self._queries.get(tenant_id, deque())
+        writes = self._writes.get(tenant_id, deque())
+        self._prune(queries, now, target.window_s)
+        self._prune(writes, now, target.window_s)
+
+        q_lat = [lat for _, lat, _ in queries]
+        w_lat = [lat for _, lat, _ in writes]
+        total = len(queries) + len(writes)
+        errors = sum(1 for _, _, err in queries if err) + sum(
+            1 for _, _, err in writes if err
+        )
+        bad = errors
+        bad += sum(
+            1 for _, lat, err in queries if not err and lat > target.p99_query_latency_s
+        )
+        bad += sum(
+            1 for _, lat, err in writes if not err and lat > target.write_latency_s
+        )
+
+        error_budget = 1.0 - target.slo_goal
+        bad_fraction = bad / total if total else 0.0
+        error_rate = errors / total if total else 0.0
+        burn_rate = bad_fraction / error_budget
+        return SloStatus(
+            tenant_id=tenant_id,
+            window_s=target.window_s,
+            query_count=len(queries),
+            write_count=len(writes),
+            p99_query_latency_s=percentile(q_lat, 99) if q_lat else 0.0,
+            p99_write_latency_s=percentile(w_lat, 99) if w_lat else 0.0,
+            error_rate=error_rate,
+            bad_fraction=bad_fraction,
+            error_budget=error_budget,
+            burn_rate=burn_rate,
+            status=SLO_BURNING if burn_rate > 1.0 else SLO_OK,
+        )
+
+    def evaluate_all(self) -> list[SloStatus]:
+        return [self.evaluate(tenant_id) for tenant_id in self.tenants()]

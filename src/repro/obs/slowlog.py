@@ -23,14 +23,19 @@ class SlowQueryEntry:
     rows_returned: int
     blocks_visited: int = 0
     bytes_fetched: int = 0
+    # The original SQL statement as typed by the session client, before
+    # parameter binding / rewriting.  ``query`` may hold a normalized or
+    # bound form; this is what operators grep `_system.slow_queries` for.
+    statement: str = ""
     attrs: dict[str, object] = field(default_factory=dict)
 
     def format(self) -> str:
+        shown = self.statement or self.query
         return (
             f"[t={self.at_s:.6f}] tenant={self.tenant_id} "
             f"latency={self.latency_s:.6f}s rows={self.rows_returned} "
             f"blocks={self.blocks_visited} bytes={self.bytes_fetched} "
-            f"query={self.query!r}"
+            f"query={shown!r}"
         )
 
 

@@ -1,0 +1,253 @@
+"""SQL-queryable ``_system`` tables.
+
+Operators consume a database through SQL — including its introspection
+surface.  The five read-only tables below are materialized on demand
+from the obs layer and catalog (no storage, no snapshots kept), then
+filtered/ordered/aggregated by the ordinary query machinery:
+
+* ``_system.metrics``      — one row per registry child (live snapshot)
+* ``_system.slow_queries`` — the slow-query log, incl. original SQL
+* ``_system.events``       — the cluster event journal
+* ``_system.alerts``       — alert history (active + resolved)
+* ``_system.tenants``      — per-tenant usage, metering and SLO status
+
+Auth scoping is enforced here, not in the planner: a non-admin session
+passes its tenant scope and sees only rows belonging to that tenant —
+rows without a tenant attribution (cluster-wide metrics, raft events)
+are admin-only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+SYSTEM_SCHEMA = "_system"
+SYSTEM_TABLE_PREFIX = SYSTEM_SCHEMA + "."
+
+# Fixed column orders: this is the `SELECT *` projection contract.
+SYSTEM_TABLE_COLUMNS: dict[str, tuple[str, ...]] = {
+    "_system.metrics": (
+        "name",
+        "kind",
+        "labels",
+        "tenant_id",
+        "value",
+        "count",
+        "p99",
+    ),
+    "_system.slow_queries": (
+        "at_s",
+        "tenant_id",
+        "statement",
+        "latency_s",
+        "rows_returned",
+        "blocks_visited",
+        "bytes_fetched",
+    ),
+    "_system.events": (
+        "seq",
+        "at_s",
+        "kind",
+        "target",
+        "detail",
+        "tenant_id",
+        "trace_id",
+    ),
+    "_system.alerts": (
+        "name",
+        "state",
+        "target",
+        "tenant_id",
+        "fired_at_s",
+        "resolved_at_s",
+        "value",
+    ),
+    "_system.tenants": (
+        "tenant_id",
+        "name",
+        "blocks",
+        "archived_bytes",
+        "archived_rows",
+        "bytes_ingested",
+        "bytes_scanned",
+        "oss_gets",
+        "rows_ingested",
+        "rows_returned",
+        "cpu_cost_units",
+        "p99_query_latency_s",
+        "error_rate",
+        "burn_rate",
+        "slo_status",
+    ),
+}
+
+SYSTEM_TABLES = tuple(sorted(SYSTEM_TABLE_COLUMNS))
+
+
+def is_system_table(name: str) -> bool:
+    return name.startswith(SYSTEM_TABLE_PREFIX)
+
+
+def _labels_string(key) -> str:
+    """Render a registry LabelKey as ``k=v,k=v`` (sorted, stable)."""
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+def _tenant_of(key) -> Optional[int]:
+    for k, v in key:
+        if k == "tenant" and isinstance(v, int):
+            return v
+    return None
+
+
+def _metrics_rows(obs) -> list[dict]:
+    snap = obs.registry.snapshot()
+    rows: list[dict] = []
+    for name in sorted(snap.counters):
+        for key in sorted(snap.counters[name], key=str):
+            rows.append(
+                {
+                    "name": name,
+                    "kind": "counter",
+                    "labels": _labels_string(key),
+                    "tenant_id": _tenant_of(key),
+                    "value": snap.counters[name][key],
+                    "count": None,
+                    "p99": None,
+                }
+            )
+    for name in sorted(snap.gauges):
+        for key in sorted(snap.gauges[name], key=str):
+            rows.append(
+                {
+                    "name": name,
+                    "kind": "gauge",
+                    "labels": _labels_string(key),
+                    "tenant_id": _tenant_of(key),
+                    "value": snap.gauges[name][key],
+                    "count": None,
+                    "p99": None,
+                }
+            )
+    for name in sorted(snap.histograms):
+        for key in sorted(snap.histograms[name], key=str):
+            hist = snap.histograms[name][key]
+            rows.append(
+                {
+                    "name": name,
+                    "kind": "histogram",
+                    "labels": _labels_string(key),
+                    "tenant_id": _tenant_of(key),
+                    "value": hist.sum,
+                    "count": hist.count,
+                    "p99": hist.quantile(99),
+                }
+            )
+    return rows
+
+
+def _slow_query_rows(obs) -> list[dict]:
+    return [
+        {
+            "at_s": entry.at_s,
+            "tenant_id": entry.tenant_id,
+            "statement": entry.statement or entry.query,
+            "latency_s": entry.latency_s,
+            "rows_returned": entry.rows_returned,
+            "blocks_visited": entry.blocks_visited,
+            "bytes_fetched": entry.bytes_fetched,
+        }
+        for entry in obs.slow_queries.entries()
+    ]
+
+
+def _event_rows(obs) -> list[dict]:
+    return [
+        {
+            "seq": event.seq,
+            "at_s": event.at_s,
+            "kind": event.kind,
+            "target": event.target,
+            "detail": event.detail,
+            "tenant_id": event.tenant_id,
+            "trace_id": event.trace_id,
+        }
+        for event in obs.journal.events()
+    ]
+
+
+def _alert_rows(obs) -> list[dict]:
+    if obs.alerts is None:
+        return []
+    return [
+        {
+            "name": alert.name,
+            "state": alert.state,
+            "target": alert.target,
+            "tenant_id": alert.tenant_id,
+            "fired_at_s": alert.fired_at_s,
+            "resolved_at_s": alert.resolved_at_s,
+            "value": alert.value,
+        }
+        for alert in obs.alerts.history()
+    ]
+
+
+def _tenant_rows(obs, catalog) -> list[dict]:
+    infos = {info.tenant_id: info for info in catalog.tenants()} if catalog else {}
+    tenant_ids = sorted(set(infos) | set(obs.meter.tenants()))
+    rows: list[dict] = []
+    for tenant_id in tenant_ids:
+        info = infos.get(tenant_id)
+        usage = obs.meter.usage(tenant_id)
+        status = obs.slo.evaluate(tenant_id)
+        rows.append(
+            {
+                "tenant_id": tenant_id,
+                "name": info.name if info else "",
+                "blocks": len(info.blocks) if info else 0,
+                "archived_bytes": info.total_bytes if info else 0,
+                "archived_rows": info.total_rows if info else 0,
+                "bytes_ingested": usage.bytes_ingested,
+                "bytes_scanned": usage.bytes_scanned,
+                "oss_gets": usage.oss_gets,
+                "rows_ingested": usage.rows_ingested,
+                "rows_returned": usage.rows_returned,
+                "cpu_cost_units": usage.cpu_cost_units,
+                "p99_query_latency_s": status.p99_query_latency_s,
+                "error_rate": status.error_rate,
+                "burn_rate": status.burn_rate,
+                "slo_status": status.status,
+            }
+        )
+    return rows
+
+
+def system_table_rows(table: str, obs, catalog=None) -> list[dict]:
+    """Materialize one ``_system`` table (unscoped; see scope_rows)."""
+    if table == "_system.metrics":
+        return _metrics_rows(obs)
+    if table == "_system.slow_queries":
+        return _slow_query_rows(obs)
+    if table == "_system.events":
+        return _event_rows(obs)
+    if table == "_system.alerts":
+        return _alert_rows(obs)
+    if table == "_system.tenants":
+        return _tenant_rows(obs, catalog)
+    from repro.common.errors import QueryError
+
+    raise QueryError(
+        f"unknown system table {table!r} (expected one of {', '.join(SYSTEM_TABLES)})"
+    )
+
+
+def scope_rows(rows: list[dict], tenant_scope: Optional[int]) -> list[dict]:
+    """Apply auth scoping: non-admin sees only its own tenant's rows.
+
+    Rows with no tenant attribution (``tenant_id`` is None) describe
+    cluster-wide state and are visible only to admin scope.
+    """
+    if tenant_scope is None:
+        return rows
+    return [row for row in rows if row.get("tenant_id") == tenant_scope]

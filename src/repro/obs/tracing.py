@@ -42,6 +42,10 @@ class Span:
     charged_s: float = 0.0
     children: list["Span"] = field(default_factory=list)
     events: list[tuple[str, dict[str, object]]] = field(default_factory=list)
+    # Monotonic per-tracer id assigned to root spans and inherited by
+    # children; journal events emitted while the trace is open carry it,
+    # which is how explain_analyze joins journal entries to a query.
+    trace_id: int | None = None
 
     @property
     def duration_s(self) -> float:
@@ -89,6 +93,7 @@ class _NoopSpan:
     attrs: dict[str, object] = {}
     children: list = []
     duration_s = 0.0
+    trace_id = None
 
     def set(self, **attrs) -> "_NoopSpan":
         return self
@@ -121,6 +126,7 @@ class Tracer:
         self._stack: list[Span] = []
         self._traces: deque[Span] = deque(maxlen=max_traces)
         self.dropped_traces = 0
+        self._trace_seq = 0
 
     @contextmanager
     def span(self, name: str, **attrs):
@@ -129,6 +135,11 @@ class Tracer:
             return
         span = Span(name=name, attrs=dict(attrs), start_s=self._clock.now())
         parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            self._trace_seq += 1
+            span.trace_id = self._trace_seq
+        else:
+            span.trace_id = parent.trace_id
         self._stack.append(span)
         try:
             yield span
@@ -145,6 +156,10 @@ class Tracer:
     def current(self) -> Span | None:
         """The innermost open span, or None outside any span."""
         return self._stack[-1] if self._stack else None
+
+    def current_trace_id(self) -> int | None:
+        """Trace id of the open root span, or None outside any span."""
+        return self._stack[-1].trace_id if self._stack else None
 
     def event(self, name: str, **attrs) -> None:
         """Attach an event to the current span (no-op outside spans)."""

@@ -371,6 +371,11 @@ class QueryPlanner:
                 "(the broker handles the window-subquery form)"
             )
         if query.table != schema.name:
+            if query.table.startswith("_system."):
+                raise QueryError(
+                    f"system table {query.table!r} is served by the broker, "
+                    "not the planner"
+                )
             raise QueryError(f"unknown table {query.table!r} (expected {schema.name!r})")
         try:
             for item in query.select:

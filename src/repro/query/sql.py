@@ -68,7 +68,7 @@ _TOKEN_RE = re.compile(
         (?P<string>'(?:[^']|'')*')
       | (?P<number>-?\d+\.\d+(?:[eE][-+]?\d+)?|-?\d+[eE][-+]?\d+|-?\d+)
       | (?P<op><=|>=|!=|<>|=|<|>)
-      | (?P<punct>[(),*])
+      | (?P<punct>[(),*.])
       | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
     )
     """,
@@ -510,6 +510,9 @@ def _parse_select(tokens: _Tokens, depth: int = 0) -> ParsedQuery:
                 tokens.next()  # bare alias
     else:
         table = tokens.expect_identifier()
+        # Qualified names (one dot): the `_system.<table>` namespace.
+        if tokens.accept_punct("."):
+            table = f"{table}.{tokens.expect_identifier()}"
 
     where: Expr | None = None
     if tokens.accept_word("where"):

@@ -36,6 +36,7 @@ class RaftGroup:
         wal_factory: Callable[[str], WriteAheadLog] | None = None,
         seed: int = 0,
         tracer=None,
+        journal=None,
     ) -> None:
         if n_replicas < 1:
             raise RaftError(f"need at least one replica, got {n_replicas}")
@@ -51,6 +52,7 @@ class RaftGroup:
         self._wal_factory = wal_factory
         self._seed = seed
         self._tracer = tracer
+        self._journal = journal
         node_ids = [f"{group_id}/r{i}" for i in range(n_replicas)]
         self._node_ids = node_ids
         self._wal_only_ids = set(node_ids[n_replicas - wal_only_replicas :])
@@ -85,6 +87,7 @@ class RaftGroup:
             election_timeout_s=0.15 * timeout_scale,
             seed=self._seed + self._node_ids.index(node_id),
             tracer=self._tracer,
+            journal=self._journal,
         )
 
     # -- leadership -----------------------------------------------------

@@ -80,6 +80,7 @@ class RaftNode:
         sync_queue_bytes: int = 256 * 1024 * 1024,
         seed: int = 0,
         tracer=None,
+        journal=None,
     ) -> None:
         self.node_id = node_id
         self.peers = [p for p in peers if p != node_id]
@@ -87,6 +88,7 @@ class RaftNode:
         self._network = network
         self._apply = apply_callback
         self._tracer = tracer
+        self._journal = journal
         self._snapshot_provider = snapshot_provider
         self._snapshot_installer = snapshot_installer
         self._latest_snapshot_state: bytes = b""
@@ -289,6 +291,12 @@ class RaftNode:
     def _become_leader(self) -> None:
         self.role = Role.LEADER
         self.leader_id = self.node_id
+        if self._journal is not None:
+            self._journal.emit(
+                "raft.leader_elected",
+                self.node_id,
+                detail=f"term={self.persistent.current_term}",
+            )
         last = self.persistent.last_log_index()
         self.leader_state = LeaderState(
             next_index={peer: last + 1 for peer in self.peers},
@@ -658,7 +666,17 @@ class RaftNode:
         if self.role is not Role.LEADER or msg.term != self.persistent.current_term:
             return
         if msg.backpressured:
+            was_throttled = self.backpressure.throttle < 1.0
             self.backpressure.penalize()
+            if not was_throttled and self._journal is not None:
+                # Journal the *transition* into throttling, not every
+                # penalized round trip — one trip event per episode.
+                self._journal.emit(
+                    "raft.backpressure.trip",
+                    self.node_id,
+                    detail=f"follower={msg.follower_id} "
+                    f"throttle={self.backpressure.throttle:.3f}",
+                )
         elif msg.success:
             # Calm round trip: let the throttle recover from local state.
             self.backpressure.update()

@@ -1,0 +1,161 @@
+"""AlertEngine: threshold and burn-rate rules, fire→resolve lifecycle."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.obs.alerts import (
+    ALERT_ACTIVE,
+    ALERT_RESOLVED,
+    AlertEngine,
+    BurnRateRule,
+    ThresholdRule,
+    default_alert_rules,
+)
+from repro.obs.events import EventJournal
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SloTarget, SloTracker
+
+
+class TestThresholdRule:
+    def test_sums_across_children(self):
+        registry = MetricsRegistry()
+        registry.counter("errs_total", shard=0).add(2)
+        registry.counter("errs_total", shard=1).add(3)
+        rule = ThresholdRule(name="errs", metric="errs_total", threshold=4)
+        assert rule.value(registry.snapshot()) == 5
+        assert list(rule.evaluate(registry.snapshot(), None)) == [
+            ("errs_total", None, 5.0)
+        ]
+
+    def test_label_filter_narrows_target(self):
+        registry = MetricsRegistry()
+        registry.counter("errs_total", shard=0).add(10)
+        registry.counter("errs_total", shard=1).add(1)
+        rule = ThresholdRule(
+            name="errs", metric="errs_total", threshold=5, labels={"shard": 0}
+        )
+        fired = list(rule.evaluate(registry.snapshot(), None))
+        assert fired == [("errs_total{shard=0}", None, 10.0)]
+
+    def test_gauges_participate(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(9)
+        rule = ThresholdRule(name="deep", metric="depth", threshold=5)
+        assert rule.value(registry.snapshot()) == 9
+
+    def test_below_threshold_silent(self):
+        rule = ThresholdRule(name="errs", metric="missing_total", threshold=0)
+        assert list(rule.evaluate(MetricsRegistry().snapshot(), None)) == []
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdRule(name="x", metric="m", threshold=1, op="!=")
+
+
+class TestBurnRateRule:
+    def test_fires_per_burning_tenant(self):
+        clock = VirtualClock()
+        slo = SloTracker(clock, default_target=SloTarget(slo_goal=0.9))
+        slo.record_query(1, 0.01, error=True)  # burn 10.0
+        slo.record_query(2, 0.01)  # burn 0.0
+        rule = BurnRateRule(name="burn", max_burn_rate=1.0)
+        fired = list(rule.evaluate(MetricsRegistry().snapshot(), slo))
+        assert fired == [("tenant:1", 1, pytest.approx(10.0))]
+
+    def test_no_slo_tracker_is_silent(self):
+        rule = BurnRateRule(name="burn")
+        assert list(rule.evaluate(MetricsRegistry().snapshot(), None)) == []
+
+
+class TestLifecycle:
+    def make_engine(self):
+        clock = VirtualClock()
+        registry = MetricsRegistry()
+        journal = EventJournal(clock)
+        engine = AlertEngine(
+            [ThresholdRule(name="errs", metric="errs_total", threshold=0)],
+            clock=clock,
+            journal=journal,
+        )
+        return clock, registry, journal, engine
+
+    def test_fire_then_resolve(self):
+        clock, registry, journal, engine = self.make_engine()
+        counter = registry.counter("errs_total")
+
+        assert engine.evaluate(registry.snapshot()) == []  # quiet start
+
+        counter.add(3)
+        clock.advance(1.0)
+        fired = engine.evaluate(registry.snapshot())
+        assert len(fired) == 1
+        alert = fired[0]
+        assert alert.state == ALERT_ACTIVE
+        assert alert.fired_at_s == 1.0 and alert.value == 3
+
+        # Condition holds: edge-triggered, so no new transition.
+        clock.advance(1.0)
+        assert engine.evaluate(registry.snapshot()) == []
+        assert len(engine.active()) == 1
+
+        # Counters never go down, so resolve via an empty registry.
+        clock.advance(1.0)
+        resolved = engine.evaluate(MetricsRegistry().snapshot())
+        assert len(resolved) == 1
+        assert resolved[0].state == ALERT_RESOLVED
+        assert resolved[0].resolved_at_s == 3.0
+        assert engine.active() == []
+
+        # One lifecycle is one history row, final state resolved.
+        history = engine.history()
+        assert len(history) == 1 and history[0].state == ALERT_RESOLVED
+
+    def test_transitions_land_in_journal(self):
+        clock, registry, journal, engine = self.make_engine()
+        registry.counter("errs_total").add(1)
+        engine.evaluate(registry.snapshot())
+        engine.evaluate(MetricsRegistry().snapshot())
+        kinds = [e.kind for e in journal.events()]
+        assert kinds == ["alert.fire", "alert.resolve"]
+        assert journal.events()[0].detail == "errs value=1"
+
+    def test_refire_after_resolve_is_new_lifecycle(self):
+        clock, registry, journal, engine = self.make_engine()
+        registry.counter("errs_total").add(1)
+        engine.evaluate(registry.snapshot())
+        engine.evaluate(MetricsRegistry().snapshot())
+        engine.evaluate(registry.snapshot())  # fires again
+        assert len(engine.history()) == 2
+        assert [a.state for a in engine.history()] == [
+            ALERT_RESOLVED,
+            ALERT_ACTIVE,
+        ]
+
+    def test_burn_rate_alert_carries_tenant(self):
+        clock = VirtualClock()
+        slo = SloTracker(clock, default_target=SloTarget(slo_goal=0.9))
+        journal = EventJournal(clock)
+        engine = AlertEngine(
+            [BurnRateRule(name="burn")], clock=clock, journal=journal, slo=slo
+        )
+        slo.record_query(4, 0.01, error=True)
+        fired = engine.evaluate(MetricsRegistry().snapshot())
+        assert fired[0].tenant_id == 4
+        assert journal.events()[0].tenant_id == 4
+        assert journal.events()[0].target == "tenant:4"
+
+
+class TestDefaults:
+    def test_default_rules_shape(self):
+        rules = default_alert_rules()
+        assert any(isinstance(r, BurnRateRule) for r in rules)
+        assert any(isinstance(r, ThresholdRule) for r in rules)
+
+    def test_engine_without_clock_or_journal(self):
+        registry = MetricsRegistry()
+        registry.counter("errs_total").add(1)
+        engine = AlertEngine(
+            [ThresholdRule(name="e", metric="errs_total", threshold=0)]
+        )
+        fired = engine.evaluate(registry.snapshot())
+        assert fired[0].fired_at_s == 0.0

@@ -75,6 +75,56 @@ class TestSnapshotMerge:
         assert a.count == 12000
         assert len(a.sample) <= 8192
 
+    def test_merge_order_does_not_change_sample_or_quantiles(self):
+        """a.merge(b) and b.merge(a) must agree even when decimating.
+
+        Merging worker registries at the broker happens in whatever
+        order workers report; quantiles must not depend on it.
+        """
+
+        def snap(values):
+            return HistogramSnapshot(
+                count=len(values),
+                sum=float(sum(values)),
+                max=max(values),
+                sample=tuple(values),
+            )
+
+        left_values = [float(i % 97) for i in range(5000)]
+        right_values = [float((i * 7) % 89) + 0.5 for i in range(5000)]
+        ab = snap(left_values)
+        ab.merge(snap(right_values))
+        ba = snap(right_values)
+        ba.merge(snap(left_values))
+        assert len(ab.sample) <= 8192  # decimation actually ran
+        assert ab.sample == ba.sample
+        for q in (50, 90, 99):
+            assert ab.quantile(q) == ba.quantile(q)
+
+    def test_three_way_merge_associative_order(self):
+        def snap(values):
+            return HistogramSnapshot(
+                count=len(values),
+                sum=float(sum(values)),
+                max=max(values),
+                sample=tuple(values),
+            )
+
+        chunks = [
+            [float(i % 13) for i in range(4000)],
+            [float(i % 29) * 2 for i in range(4000)],
+            [float(i % 7) * 5 for i in range(4000)],
+        ]
+        import itertools
+
+        samples = set()
+        for order in itertools.permutations(range(3)):
+            merged = snap(chunks[order[0]])
+            merged.merge(snap(chunks[order[1]]))
+            merged.merge(snap(chunks[order[2]]))
+            samples.add(merged.sample)
+        assert len(samples) == 1
+
     def test_by_label_groups_series(self):
         registry = MetricsRegistry()
         registry.counter("rows_total", tenant=1, shard=0).add(10)

@@ -1,0 +1,121 @@
+"""Strict line-grammar lint over the Prometheus text exposition.
+
+The exposition format is consumed by real scrapers, so "roughly right"
+is not enough: every line must be a HELP comment, a TYPE comment, or a
+sample with a well-formed name, label set, and numeric value.  The lint
+below is intentionally stricter than many parsers — it also checks TYPE
+declarations precede their samples and that HELP/TYPE aren't repeated.
+"""
+
+import math
+import re
+
+from repro.cluster.config import small_test_config
+from repro.cluster.logstore import LogStore
+from repro.obs.registry import MetricsRegistry
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP_RE = re.compile(rf"^# HELP ({_NAME}) \S.*$")
+_TYPE_RE = re.compile(rf"^# TYPE ({_NAME}) (counter|gauge|summary|histogram)$")
+_LABELS = r'\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\}'
+_SAMPLE_RE = re.compile(rf"^({_NAME})({_LABELS})? (\S+)$")
+
+
+def lint(text: str) -> list[str]:
+    """Return lint errors for one exposition blob (empty = clean)."""
+    errors: list[str] = []
+    declared_types: dict[str, str] = {}
+    helped: set[str] = set()
+    if text and not text.endswith("\n"):
+        errors.append("missing trailing newline")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            errors.append(f"line {lineno}: blank line")
+            continue
+        if line.startswith("# HELP"):
+            match = _HELP_RE.match(line)
+            if not match:
+                errors.append(f"line {lineno}: malformed HELP: {line!r}")
+            elif match.group(1) in helped:
+                errors.append(f"line {lineno}: repeated HELP for {match.group(1)}")
+            else:
+                helped.add(match.group(1))
+            continue
+        if line.startswith("# TYPE"):
+            match = _TYPE_RE.match(line)
+            if not match:
+                errors.append(f"line {lineno}: malformed TYPE: {line!r}")
+            elif match.group(1) in declared_types:
+                errors.append(f"line {lineno}: repeated TYPE for {match.group(1)}")
+            else:
+                declared_types[match.group(1)] = match.group(2)
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {lineno}: unknown comment: {line!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        name, _, _, value = match.groups()
+        base = re.sub(r"_(count|sum)$", "", name)
+        if base not in declared_types and name not in declared_types:
+            errors.append(f"line {lineno}: sample {name!r} before its TYPE")
+        try:
+            parsed = float(value)
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value {value!r}")
+            continue
+        if math.isnan(parsed) or math.isinf(parsed):
+            errors.append(f"line {lineno}: non-finite value {value!r}")
+    return errors
+
+
+class TestLintCatchesGarbage:
+    def test_clean_blob_passes(self):
+        blob = (
+            "# HELP x_total Things.\n"
+            "# TYPE x_total counter\n"
+            'x_total{tenant="1"} 3\n'
+        )
+        assert lint(blob) == []
+
+    def test_bad_lines_flagged(self):
+        assert lint("x_total{tenant=1} 3\n")  # unquoted label value
+        assert lint("x_total three\n")  # non-numeric value
+        assert lint("# TYPE x_total widget\n")  # unknown kind
+        assert lint("x_total 1")  # missing trailing newline
+        assert lint("x_total 1\n")  # sample without TYPE
+
+
+class TestExpositionIsClean:
+    def test_synthetic_registry_lints(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "Things counted.", tenant=1).add(3)
+        registry.counter("x_total", tenant="*").add(2)  # str label value
+        registry.gauge("depth", "Queue depth.", worker="w0").set(2.5)
+        registry.histogram("lat_seconds", "Latency.").observe_many([0.1, 0.9, 0.5])
+        errors = lint(registry.render_prometheus())
+        assert errors == []
+
+    def test_live_cluster_exposition_lints(self):
+        store = LogStore.create(config=small_test_config())
+        store.register_tenant(1, "acme")
+        rows = [
+            {
+                "tenant_id": 1,
+                "ts": 1_605_052_800_000_000 + i * 1_000,
+                "ip": "10.0.0.1",
+                "api": "/api/v1",
+                "latency": 10 + i,
+                "fail": False,
+                "log": f"lint:{i}",
+            }
+            for i in range(120)
+        ]
+        store.put(1, rows)
+        store.flush_all()
+        store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1")
+        store.run_background_tasks()
+        errors = lint(store.obs.registry.render_prometheus())
+        assert errors == []

@@ -1,0 +1,144 @@
+"""SloTracker: hand-computed window, burn-rate, and pruning fixtures."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.obs.slo import SLO_BURNING, SLO_OK, SloTarget, SloTracker
+
+
+def make_tracker(**target_kwargs):
+    clock = VirtualClock()
+    tracker = SloTracker(clock, default_target=SloTarget(**target_kwargs))
+    return clock, tracker
+
+
+class TestTargets:
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            SloTarget(slo_goal=0.0)
+        with pytest.raises(ValueError):
+            SloTarget(slo_goal=1.0)
+        with pytest.raises(ValueError):
+            SloTarget(window_s=0)
+        with pytest.raises(ValueError):
+            SloTarget(p99_query_latency_s=0)
+        with pytest.raises(ValueError):
+            SloTarget(write_latency_s=-1)
+
+    def test_per_tenant_target_overrides_default(self):
+        _, tracker = make_tracker(slo_goal=0.99)
+        tracker.set_target(7, SloTarget(slo_goal=0.5))
+        assert tracker.target(7).slo_goal == 0.5
+        assert tracker.target(8).slo_goal == 0.99
+
+
+class TestBurnRateMath:
+    def test_hand_computed_burn_rate(self):
+        # goal 0.9 -> budget 0.1.  10 queries, 2 errored:
+        # bad_fraction 0.2, burn 0.2/0.1 = 2.0 -> burning.
+        _, tracker = make_tracker(slo_goal=0.9)
+        for i in range(10):
+            tracker.record_query(1, 0.01, error=(i < 2))
+        status = tracker.evaluate(1)
+        assert status.query_count == 10
+        assert status.error_rate == pytest.approx(0.2)
+        assert status.bad_fraction == pytest.approx(0.2)
+        assert status.error_budget == pytest.approx(0.1)
+        assert status.burn_rate == pytest.approx(2.0)
+        assert status.status == SLO_BURNING
+
+    def test_slow_but_successful_ops_count_as_bad(self):
+        # Latency over target is bad even without an error: 1 of 20
+        # queries over the 2s target -> bad 0.05, budget 0.01, burn 5.
+        _, tracker = make_tracker(slo_goal=0.99, p99_query_latency_s=2.0)
+        tracker.record_query(1, 5.0)
+        for _ in range(19):
+            tracker.record_query(1, 0.1)
+        status = tracker.evaluate(1)
+        assert status.error_rate == 0.0
+        assert status.bad_fraction == pytest.approx(1 / 20)
+        assert status.burn_rate == pytest.approx(0.05 / 0.01)
+        assert status.status == SLO_BURNING
+
+    def test_errored_op_not_double_counted_when_also_slow(self):
+        _, tracker = make_tracker(slo_goal=0.9, p99_query_latency_s=1.0)
+        tracker.record_query(1, 5.0, error=True)  # slow AND errored: one bad op
+        tracker.record_query(1, 0.1)
+        status = tracker.evaluate(1)
+        assert status.bad_fraction == pytest.approx(0.5)
+
+    def test_writes_use_write_latency_target(self):
+        # 0.5s write target: 1 slow write of 4 ops -> bad 0.25,
+        # budget 0.5 -> burn 0.5, within budget.
+        _, tracker = make_tracker(slo_goal=0.5, write_latency_s=0.5)
+        tracker.record_write(1, 0.7)
+        for _ in range(3):
+            tracker.record_write(1, 0.1)
+        status = tracker.evaluate(1)
+        assert status.write_count == 4
+        assert status.bad_fraction == pytest.approx(0.25)
+        assert status.burn_rate == pytest.approx(0.5)
+        assert status.status == SLO_OK
+
+    def test_burn_rate_exactly_one_is_not_burning(self):
+        # Burning means *faster than replenishment*: burn == 1.0 is OK.
+        # (goal 0.5 keeps the budget exactly representable in binary.)
+        _, tracker = make_tracker(slo_goal=0.5)
+        tracker.record_query(1, 0.01, error=True)
+        tracker.record_query(1, 0.01)
+        status = tracker.evaluate(1)
+        assert status.burn_rate == 1.0
+        assert status.status == SLO_OK
+
+    def test_empty_window_is_ok(self):
+        _, tracker = make_tracker()
+        status = tracker.evaluate(42)
+        assert status.query_count == 0 and status.write_count == 0
+        assert status.burn_rate == 0.0 and status.status == SLO_OK
+
+
+class TestRollingWindow:
+    def test_old_observations_age_out(self):
+        clock, tracker = make_tracker(slo_goal=0.9, window_s=60.0)
+        tracker.record_query(1, 0.01, error=True)
+        for _ in range(4):
+            tracker.record_query(1, 0.01)
+        assert tracker.evaluate(1).status == SLO_BURNING  # 1/5 bad, burn 2.0
+        clock.advance(61.0)  # everything falls out of the window
+        status = tracker.evaluate(1)
+        assert status.query_count == 0
+        assert status.status == SLO_OK
+
+    def test_window_keeps_recent_drops_stale(self):
+        clock, tracker = make_tracker(window_s=10.0)
+        tracker.record_query(1, 0.1)  # t=0, will age out
+        clock.advance(8.0)
+        tracker.record_query(1, 0.2)  # t=8, survives
+        clock.advance(5.0)  # now=13, cutoff=3
+        assert tracker.evaluate(1).query_count == 1
+
+    def test_p99_reported_from_window(self):
+        _, tracker = make_tracker()
+        for lat in (0.1, 0.2, 0.3, 0.4):
+            tracker.record_query(1, lat)
+        status = tracker.evaluate(1)
+        assert 0.3 <= status.p99_query_latency_s <= 0.4
+
+
+class TestInertModes:
+    def test_no_clock_means_inert(self):
+        tracker = SloTracker(clock=None)
+        assert not tracker.enabled
+        tracker.record_query(1, 100.0, error=True)
+        assert tracker.tenants() == []
+
+    def test_disabled_flag(self):
+        tracker = SloTracker(VirtualClock(), enabled=False)
+        tracker.record_query(1, 100.0, error=True)
+        assert tracker.tenants() == []
+
+    def test_evaluate_all_sorted_by_tenant(self):
+        _, tracker = make_tracker()
+        tracker.record_query(5, 0.1)
+        tracker.record_write(2, 0.1)
+        assert [s.tenant_id for s in tracker.evaluate_all()] == [2, 5]

@@ -55,3 +55,31 @@ class TestSlowQueryLog:
         log.observe(entry(1.0))
         log.clear()
         assert log.entries() == [] and log.total_logged == 0
+
+
+class TestStatement:
+    def test_statement_defaults_empty_and_format_falls_back_to_query(self):
+        e = entry(2.0, query="SELECT COUNT(*) FROM request_log")
+        assert e.statement == ""
+        log = SlowQueryLog(threshold_s=1.0)
+        log.observe(e)
+        assert "SELECT COUNT(*) FROM request_log" in log.format()
+
+    def test_statement_preferred_over_normalized_query(self):
+        # The broker stores the normalized/expanded query in ``query``
+        # and the session's original SQL (placeholders intact) in
+        # ``statement``; operators should see the original text.
+        e = SlowQueryEntry(
+            at_s=1.0,
+            tenant_id=2,
+            query="SELECT api FROM request_log WHERE latency > 100",
+            latency_s=3.0,
+            rows_returned=1,
+            blocks_visited=1,
+            bytes_fetched=64,
+            statement="SELECT api FROM request_log WHERE latency > ?",
+        )
+        log = SlowQueryLog(threshold_s=1.0)
+        log.observe(e)
+        assert "latency > ?" in log.format()
+        assert "latency > 100" not in log.format()
