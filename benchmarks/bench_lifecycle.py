@@ -1,0 +1,199 @@
+"""Lifecycle benchmarks: what retention, cold tiering and expiry cost.
+
+Three claims, each asserted (not just reported):
+
+* **expiry is metadata-only** — sweeping expired LogBlocks performs
+  **zero** OSS GETs and reads zero object bytes: the catalog's
+  time-ordered index selects victims, DELETEs do the rest.  A database
+  that must read data to delete it pays egress for bytes it is throwing
+  away; LogStore's immutable blocks + catalog SMA ranges make expiry a
+  pure metadata operation.
+* **expiry work is O(expired)** — ``entries_examined`` equals the
+  number of expired blocks, not the catalog size: a tenant with a TTL
+  never pays for its neighbours' blocks.
+* **cold tiering halves storage without changing answers** — repacking
+  aged blocks into tar-packed segments under the cold codec shrinks
+  stored bytes by >= 2x (>= 1.2x under ``BENCH_QUICK=1``, where the
+  corpus is small and per-member overhead looms larger) while every
+  query returns rows identical to its hot-tier run.
+
+Numbers land in ``BENCH_lifecycle.json`` (committed from a full run).
+"""
+
+import json
+import os
+import time
+
+from harness import emit
+
+from repro.cluster.config import small_test_config
+from repro.cluster.logstore import LogStore
+
+QUICK = os.environ.get("BENCH_QUICK") == "1"
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_lifecycle.json")
+
+N_TENANTS = 3 if QUICK else 6
+ROWS_PER_TENANT = 2_000 if QUICK else 12_000
+HOT_TARGET_ROWS = 200
+COLD_TARGET_ROWS = 2_000
+SHRINK_FLOOR = 1.2 if QUICK else 2.0
+BASE_TS = 1_605_052_800_000_000
+MICROS = 1_000_000
+
+RESULTS: dict = {"quick": QUICK, "rows_per_tenant": ROWS_PER_TENANT}
+
+_STORE: dict = {}
+
+
+def loaded_store() -> LogStore:
+    """One multi-tenant corpus shared by every bench in this file."""
+    if "store" in _STORE:
+        return _STORE["store"]
+    store = LogStore.create(
+        config=small_test_config(
+            target_rows_per_logblock=HOT_TARGET_ROWS,
+            cold_target_rows=COLD_TARGET_ROWS,
+        )
+    )
+    for tenant_id in range(1, N_TENANTS + 1):
+        store.register_tenant(tenant_id)
+        rows = []
+        for i in range(ROWS_PER_TENANT):
+            latency = (i * 37 + tenant_id * 11) % 500 + 1
+            fail = i % 23 == 0
+            rows.append(
+                {
+                    "tenant_id": tenant_id,
+                    "ts": BASE_TS + i * MICROS,
+                    "ip": f"10.{tenant_id}.0.{i % 200}",
+                    "api": f"/api/v{i % 5}/items",
+                    "latency": latency,
+                    "fail": fail,
+                    "log": (
+                        f"GET /api/v{i % 5}/items rid_{i} tenant{tenant_id} "
+                        f"took {latency}ms status {'error' if fail else 'ok'}"
+                    ),
+                }
+            )
+        store.put(tenant_id, rows)
+    store.flush_all()
+    _STORE["store"] = store
+    return store
+
+
+def test_expiry_zero_gets_o_expired(capsys):
+    store = loaded_store()
+    store.set_retention(1, ttl="1h")
+    total_blocks = len(store.catalog.all_blocks())
+    tenant_blocks = len(store.catalog.tenant(1).blocks)
+
+    # Expire roughly the oldest quarter of tenant 1's corpus.
+    cutoff_rows = ROWS_PER_TENANT // 4
+    now_ts = BASE_TS + cutoff_rows * MICROS + 3_600 * MICROS
+    expected, examined_preview = store.catalog.expired_candidates(now_ts)
+    assert expected, "cutoff selected nothing; corpus mis-sized"
+
+    before = store.oss.stats.snapshot()
+    wall0 = time.perf_counter()
+    report = store.sweep_expired(now_ts)
+    wall = time.perf_counter() - wall0
+    after = store.oss.stats.snapshot()
+
+    gets = after.get_requests - before.get_requests
+    bytes_read = after.bytes_read - before.bytes_read
+    deletes = after.delete_requests - before.delete_requests
+    assert report.blocks_expired == len(expected)
+    # Claim 1: not one GET, not one byte read, to delete data.
+    assert gets == 0 and bytes_read == 0
+    assert deletes == report.blocks_expired
+    # Claim 2: scan cost tracks the expired set, not the catalog.
+    assert report.entries_examined == report.blocks_expired
+    assert examined_preview == len(expected)
+    assert report.entries_examined < total_blocks / 2
+
+    RESULTS["expiry"] = {
+        "catalog_blocks": total_blocks,
+        "tenant_blocks": tenant_blocks,
+        "blocks_expired": report.blocks_expired,
+        "bytes_reclaimed": report.bytes_reclaimed,
+        "entries_examined": report.entries_examined,
+        "oss_gets": gets,
+        "oss_bytes_read": bytes_read,
+        "oss_deletes": deletes,
+        "sweep_wall_s": wall,
+    }
+    emit(
+        capsys,
+        "",
+        f"Expiry sweep ({report.blocks_expired} of {total_blocks} catalog blocks):",
+        f"  OSS GETs: {gets}   bytes read: {bytes_read}   DELETEs: {deletes}",
+        f"  entries examined: {report.entries_examined} "
+        f"(== expired; catalog holds {total_blocks})",
+        f"  bytes reclaimed: {report.bytes_reclaimed:,}  wall: {wall * 1e3:.2f} ms",
+    )
+
+
+QUERY_TEMPLATES = (
+    "SELECT COUNT(*) FROM request_log WHERE tenant_id = {t}",
+    "SELECT ts, api, latency FROM request_log WHERE tenant_id = {t} AND latency >= 450",
+    "SELECT api, COUNT(*) FROM request_log WHERE tenant_id = {t} GROUP BY api",
+    "SELECT log FROM request_log WHERE tenant_id = {t} AND MATCH(log, 'status error')",
+)
+
+
+def test_cold_repack_shrinks_storage_same_answers(capsys):
+    store = loaded_store()
+    tenant_id = 2  # untouched by the expiry bench
+    queries = [sql.format(t=tenant_id) for sql in QUERY_TEMPLATES]
+    hot_rows = [store.query(sql).rows for sql in queries]
+    hot_bytes = sum(b.size_bytes for b in store.catalog.tenant(tenant_id).blocks)
+    hot_blocks = len(store.catalog.tenant(tenant_id).blocks)
+
+    store.set_retention(tenant_id, cold_age="1h")
+    now_ts = BASE_TS + ROWS_PER_TENANT * MICROS + 2 * 3_600 * MICROS
+    wall0 = time.perf_counter()
+    results = store.cold_compact(now_ts)
+    wall = time.perf_counter() - wall0
+    repacked = [r for r in results if r.tenant_id == tenant_id]
+    assert repacked and repacked[0].blocks_before == hot_blocks
+
+    cold_entries = store.catalog.tenant(tenant_id).blocks
+    cold_bytes = sum(b.size_bytes for b in cold_entries)
+    shrink = hot_bytes / cold_bytes
+    # Claim 3a: the cold tier really is smaller.
+    assert shrink >= SHRINK_FLOOR, f"shrink {shrink:.2f}x below {SHRINK_FLOOR}x"
+
+    cold_rows = [store.query(sql).rows for sql in queries]
+    # Claim 3b: identical answers from either tier.
+    for hot, cold in zip(hot_rows, cold_rows):
+        assert cold == hot
+    visited = store.query(queries[1]).stats.cold_blocks_visited
+    assert visited > 0, "queries did not actually touch the cold tier"
+
+    RESULTS["cold"] = {
+        "hot_blocks": hot_blocks,
+        "cold_members": len(cold_entries),
+        "segments": len(store.catalog.segment_paths()),
+        "hot_bytes": hot_bytes,
+        "cold_bytes": cold_bytes,
+        "shrink_x": shrink,
+        "repack_wall_s": wall,
+        "queries_compared": len(queries),
+    }
+    emit(
+        capsys,
+        "",
+        f"Cold repack (tenant {tenant_id}: {hot_blocks} hot blocks "
+        f"-> {len(cold_entries)} cold members):",
+        f"  {hot_bytes:,} -> {cold_bytes:,} bytes "
+        f"({shrink:.2f}x shrink, floor {SHRINK_FLOOR}x)  wall: {wall:.3f} s",
+        f"  {len(queries)} query shapes byte-identical across tiers",
+    )
+
+
+def test_write_results_json(capsys):
+    assert "expiry" in RESULTS and "cold" in RESULTS
+    with open(OUT_PATH, "w") as handle:
+        json.dump(RESULTS, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    emit(capsys, "", f"wrote {os.path.normpath(OUT_PATH)}")

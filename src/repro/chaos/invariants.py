@@ -42,22 +42,44 @@ class InvariantViolation:
 class InvariantChecker:
     """Checks a healed cluster against the run's write ledger."""
 
-    def __init__(self, store, ledger, trace=None, table: str | None = None) -> None:
+    def __init__(
+        self,
+        store,
+        ledger,
+        trace=None,
+        table: str | None = None,
+        expiry_cutoffs: dict[int, int] | None = None,
+        offboarded: set[int] | None = None,
+    ) -> None:
         self._store = store
         self._ledger = ledger
         self._trace = trace
         # Probe the table the workload actually wrote; key columns come
         # from the ledger so both sides always agree on row identity.
         self._table = table if table is not None else store.catalog.schema.name
+        # Lifecycle context: acked rows older than a tenant's recorded
+        # expiry cutoff are *allowed* to be gone; offboarded tenants
+        # must be gone entirely (checked in check_lifecycle, excluded
+        # from durability).
+        self._expiry_cutoffs = expiry_cutoffs or {}
+        self._offboarded = offboarded or set()
 
     # -- individual checks ----------------------------------------------
 
     def check_durability(self) -> list[InvariantViolation]:
-        """Acked rows appear exactly once; indeterminate at most once."""
+        """Acked rows appear exactly once; indeterminate at most once.
+
+        Lifecycle carve-outs: offboarded tenants are checked for
+        *absence* in check_lifecycle instead, and acked rows whose
+        timestamp predates the tenant's expiry cutoff may legitimately
+        be gone (block-level retention) — but never duplicated.
+        """
         violations: list[InvariantViolation] = []
         key_columns = self._ledger.key_columns
         select = ", ".join(key_columns)
         for tenant_id in self._ledger.tenants():
+            if tenant_id in self._offboarded:
+                continue
             result = self._store.query(
                 f"SELECT {select} FROM {self._table} WHERE tenant_id = {tenant_id}"
             )
@@ -65,7 +87,18 @@ class InvariantChecker:
             acked = self._ledger.acked_keys(tenant_id)
             indeterminate = self._ledger.indeterminate_keys(tenant_id)
             target = f"tenant:{tenant_id}"
-            lost = [key for key in acked if observed[key] == 0]
+            cutoff = self._expiry_cutoffs.get(tenant_id)
+            acked_ts = self._ledger.acked_ts.get(tenant_id, {})
+
+            def expirable(key: str) -> bool:
+                if cutoff is None:
+                    return False
+                ts = acked_ts.get(key)
+                return ts is not None and ts < cutoff
+
+            lost = [
+                key for key in acked if observed[key] == 0 and not expirable(key)
+            ]
             if lost:
                 violations.append(
                     InvariantViolation(
@@ -128,12 +161,15 @@ class InvariantChecker:
                     f"{len(duplicates)} paths registered twice, first: {duplicates[0]}",
                 )
             )
+        # A hot entry's backing object is its path; a cold entry's is
+        # the tar-packed segment it lives in (shared with siblings).
+        object_paths = {entry.object_path for entry in entries}
         stored = {
             stat.key
             for stat in self._store.oss.list(bucket, "tenants/")
-            if stat.key.endswith(".lgb")
+            if stat.key.endswith((".lgb", ".seg"))
         }
-        dangling = sorted(set(paths) - stored)
+        dangling = sorted(object_paths - stored)
         if dangling:
             violations.append(
                 InvariantViolation(
@@ -148,16 +184,79 @@ class InvariantChecker:
         compactor = getattr(self._store, "compactor", None)
         if compactor is not None:
             pending |= {path for _bucket, path in compactor.orphans}
-        unaccounted = sorted(stored - set(paths) - pending)
+        lifecycle = getattr(self._store, "lifecycle", None)
+        if lifecycle is not None:
+            pending |= {path for _bucket, path in lifecycle.sweeper.orphans}
+            pending |= {path for _bucket, path in lifecycle.cold.orphans}
+        unaccounted = sorted(stored - object_paths - pending)
         if unaccounted:
             violations.append(
                 InvariantViolation(
                     "no_orphan_objects",
                     "oss",
-                    f"{len(unaccounted)} .lgb objects not in the catalog, "
+                    f"{len(unaccounted)} objects not in the catalog, "
                     f"first: {unaccounted[0]}",
                 )
             )
+        return violations
+
+    def check_lifecycle(self) -> list[InvariantViolation]:
+        """Retention converged and offboarding left zero residue.
+
+        * **expiry_converged** — after healing, no catalog block whose
+          ``max_ts`` predates the tenant's recorded cutoff remains:
+          every crash-interrupted sweep finished exactly once on replay.
+        * **offboard_zero_residue** — an offboarded tenant has nothing
+          left in the catalog, nothing under its OSS prefix, and a live
+          query returns zero rows.
+        """
+        violations: list[InvariantViolation] = []
+        from repro.common.errors import TenantNotFound
+
+        catalog = self._store.catalog
+        for tenant_id in sorted(self._expiry_cutoffs):
+            cutoff = self._expiry_cutoffs[tenant_id]
+            try:
+                info = catalog.tenant(tenant_id)
+            except TenantNotFound:
+                continue
+            leftovers = [b for b in info.blocks if b.max_ts < cutoff]
+            if leftovers:
+                violations.append(
+                    InvariantViolation(
+                        "expiry_converged",
+                        f"tenant:{tenant_id}",
+                        f"{len(leftovers)} expired blocks survived healing, "
+                        f"first: {leftovers[0].path}",
+                    )
+                )
+        lifecycle = getattr(self._store, "lifecycle", None)
+        for tenant_id in sorted(self._offboarded):
+            residue = (
+                lifecycle.offboarder.verify_residue(tenant_id)
+                if lifecycle is not None
+                else []
+            )
+            if residue:
+                violations.append(
+                    InvariantViolation(
+                        "offboard_zero_residue",
+                        f"tenant:{tenant_id}",
+                        f"{len(residue)} leftovers, first: {residue[0]}",
+                    )
+                )
+            result = self._store.query(
+                f"SELECT COUNT(*) FROM {self._table} WHERE tenant_id = {tenant_id}"
+            )
+            remaining = int(result.rows[0]["COUNT(*)"]) if result.rows else 0
+            if remaining:
+                violations.append(
+                    InvariantViolation(
+                        "offboard_zero_rows",
+                        f"tenant:{tenant_id}",
+                        f"query still returns {remaining} rows",
+                    )
+                )
         return violations
 
     # -- aggregation -----------------------------------------------------
@@ -167,6 +266,7 @@ class InvariantChecker:
             self.check_durability()
             + self.check_replica_consistency()
             + self.check_catalog_oss_agreement()
+            + self.check_lifecycle()
         )
         if self._trace is not None:
             clock = self._store.clock

@@ -31,12 +31,21 @@ class WriteLedger:
     acked: dict[int, list[str]] = field(default_factory=dict)
     indeterminate: dict[int, list[str]] = field(default_factory=dict)
     key_columns: tuple[str, ...] = ("log",)
+    # Row timestamps of acked rows (key → ts), kept so lifecycle-aware
+    # durability checks can tell retention-expired rows (allowed to be
+    # gone) from lost ones (never allowed).
+    acked_ts: dict[int, dict[str, int]] = field(default_factory=dict)
 
     def row_key(self, row: dict) -> str:
         return "@".join(str(row[column]) for column in self.key_columns)
 
     def record_acked(self, tenant_id: int, rows: list[dict]) -> None:
         self.acked.setdefault(tenant_id, []).extend(self.row_key(row) for row in rows)
+        ts_map = self.acked_ts.setdefault(tenant_id, {})
+        for row in rows:
+            ts = row.get("ts")
+            if isinstance(ts, int):
+                ts_map[self.row_key(row)] = ts
 
     def record_indeterminate(self, tenant_id: int, rows: list[dict]) -> None:
         self.indeterminate.setdefault(tenant_id, []).extend(

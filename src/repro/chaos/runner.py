@@ -75,6 +75,13 @@ class ChaosContext:
         self.ledger = WriteLedger(key_columns=ledger_key_columns)
         self.crashed: list[tuple[object, str]] = []  # (shard, node_id)
         self._batch_seq = 0
+        # Lifecycle bookkeeping for the invariant checker: the highest
+        # expiry cutoff each tenant was swept at (rows older than it
+        # are *allowed* to be gone) and the tenants offboarded mid-run
+        # (all their rows must be gone).
+        self.expiry_cutoffs: dict[int, int] = {}
+        self.offboarded: set[int] = set()
+        self._lifecycle_now_ts: int | None = None
 
     def _record(self, kind: str, target: str, detail: str = "") -> None:
         """Record to the chaos trace AND the cluster's event journal.
@@ -155,6 +162,73 @@ class ChaosContext:
 
     def advance(self, seconds: float) -> None:
         self.clock.advance(seconds)
+
+    # -- lifecycle workload (sweeps / repacks / offboarding under fire) --
+
+    def sweep_lifecycle(self, now_ts: int) -> bool:
+        """One expiry sweep at ``now_ts``; survivable under faults.
+
+        Records each retention-bearing tenant's cutoff so the checker
+        knows which acked rows became expiry-eligible.
+        """
+        for info in self.store.catalog.tenants():
+            if info.retention_s is None:
+                continue
+            cutoff = self.store.catalog.retention_cutoff(now_ts, info.retention_s)
+            previous = self.expiry_cutoffs.get(info.tenant_id)
+            if previous is None or cutoff > previous:
+                self.expiry_cutoffs[info.tenant_id] = cutoff
+        if self._lifecycle_now_ts is None or now_ts > self._lifecycle_now_ts:
+            self._lifecycle_now_ts = now_ts
+        try:
+            report = self.store.sweep_expired(now_ts)
+        except Exception as exc:
+            self._record("workload.sweep.failed", "lifecycle", type(exc).__name__)
+            return False
+        self._record(
+            "workload.sweep.ok",
+            "lifecycle",
+            f"expired={report.blocks_expired} orphans={report.orphans_swept}",
+        )
+        return True
+
+    def cold_repack(self, now_ts: int) -> bool:
+        """One cold-tier repack pass; survivable under faults."""
+        try:
+            results = self.store.cold_compact(now_ts)
+        except Exception as exc:
+            self._record("workload.cold.failed", "lifecycle", type(exc).__name__)
+            return False
+        packed = sum(r.blocks_before for r in results if r.repacked)
+        self._record("workload.cold.ok", "lifecycle", f"blocks_packed={packed}")
+        return True
+
+    def offboard_tenant(self, tenant_id: int, export: bool = True) -> bool:
+        """Offboard one tenant under the active fault schedule.
+
+        The tenant is marked offboarded regardless of outcome — after
+        healing, :meth:`heal_and_quiesce` re-runs the (idempotent)
+        offboard and the checker demands zero residue.
+        """
+        self.offboarded.add(tenant_id)
+        try:
+            report = self.store.lifecycle.offboarder.offboard(
+                tenant_id, export=export
+            )
+        except Exception as exc:
+            self._record(
+                "workload.offboard.failed",
+                f"tenant:{tenant_id}",
+                type(exc).__name__,
+            )
+            return False
+        self._record(
+            "workload.offboard.ok",
+            f"tenant:{tenant_id}",
+            f"deleted={report.deleted_objects} failed={report.failed_deletes} "
+            f"verified={report.verified}",
+        )
+        return report.verified
 
     # -- fault helpers (trace-recording wrappers) ------------------------
 
@@ -269,6 +343,16 @@ class ChaosContext:
         compactor = getattr(self.store, "compactor", None)
         if compactor is not None:
             compactor.sweep_orphans()
+        # Lifecycle convergence: offboards re-run (idempotent — they
+        # re-delete whatever the mid-run crash left), the last sweep
+        # replays at its recorded cutoff (expiry is exactly-once, so a
+        # replay only picks up what the crash dropped), and queued
+        # orphans drain.  The checker then proves zero residue.
+        for tenant_id in sorted(self.offboarded):
+            self.store.lifecycle.offboarder.offboard(tenant_id, export=False)
+        if self._lifecycle_now_ts is not None:
+            self.store.lifecycle.sweeper.sweep(self._lifecycle_now_ts)
+        self.store.lifecycle.sweeper.sweep_orphans()
         self._record("phase.quiesced", "cluster")
 
     def _retry(self, what: str, fn, rounds: int = 30, pause_s: float = 0.5) -> None:
@@ -378,7 +462,12 @@ class ChaosRunner:
         violations: list[InvariantViolation] = []
         if check:
             checker = InvariantChecker(
-                ctx.store, ctx.ledger, trace=ctx.trace, table=self._spec.probe_table
+                ctx.store,
+                ctx.ledger,
+                trace=ctx.trace,
+                table=self._spec.probe_table,
+                expiry_cutoffs=ctx.expiry_cutoffs,
+                offboarded=ctx.offboarded,
             )
             violations = checker.check_all()
         self._export_metrics(ctx, violations)

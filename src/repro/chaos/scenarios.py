@@ -288,6 +288,49 @@ def _session_insert_crash(ctx: ChaosContext) -> None:
         ctx.advance(0.05)
 
 
+def _lifecycle_crash_sweep_offboard(ctx: ChaosContext) -> None:
+    """OSS faults tear through an expiry sweep and a tenant offboard
+    while other tenants keep writing, and a shard crashes mid-storm.
+
+    Tenant 1 carries a retention policy (cold after 30m, expire after
+    1h), tenant 2 is offboarded mid-fault, tenant 3 is the control with
+    no policy.  The checker must find: no acked unexpired row lost,
+    expiry converged exactly once after healing, and zero residue —
+    catalog, OSS prefix, or query-visible — for the offboarded tenant.
+    """
+    store = ctx.store
+    for tenant in (1, 2, 3):
+        store.register_tenant(tenant)
+    store.set_retention(1, ttl="1h", cold_age="30m")
+    for _ in range(8):
+        for tenant in (1, 2, 3):
+            ctx.write_batch(tenant, 40)
+        ctx.advance(0.05)
+    ctx.archive()
+    # Rows carry ts = BASE + seq µs-steps; lifecycle "now" values below
+    # place the cold and expiry cutoffs *inside* the written range, so
+    # newer tenant-1 rows must survive both transitions.
+    base = 1_605_052_800_000_000
+    half_hour_us = 1_800_000_000
+    hour_us = 3_600_000_000
+    ctx.cold_repack(base + 500_000 + half_hour_us)  # cold cutoff: seq < 500
+    for tenant in (1, 3):
+        ctx.write_batch(tenant, 40)
+    ctx.archive()
+    ctx.chaos_oss.set_error_rate(0.6)
+    ctx.sweep_lifecycle(base + 800_000 + hour_us)  # expiry cutoff: seq < 800
+    ctx.crash_and_rebuild_plain_shard(ctx.shards()[0])
+    for _ in range(4):
+        ctx.write_batch(3, 40)
+        ctx.advance(0.1)
+    ctx.offboard_tenant(2)  # export + delete, mid-fault
+    for _ in range(3):
+        ctx.write_batch(1, 40)
+        ctx.write_batch(3, 40)
+        ctx.advance(0.1)
+    ctx.sweep_lifecycle(base + 800_000 + hour_us)  # retry still under fire
+
+
 def _random_mixed(ctx: ChaosContext) -> None:
     """Nemesis: a seeded random storm of OSS, WAL, and network faults
     over a steady multi-tenant workload."""
@@ -360,6 +403,11 @@ SCENARIOS: dict[str, Scenario] = {
             config=dict(_RAFT),
             probe_table="workflow_runs",
             probe_key_columns=("run_id", "version"),
+        ),
+        Scenario(
+            "lifecycle_crash_sweep_offboard",
+            "OSS faults + a shard crash interrupt an expiry sweep and a tenant offboard.",
+            _lifecycle_crash_sweep_offboard,
         ),
         Scenario(
             "random_mixed",

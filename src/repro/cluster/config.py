@@ -87,6 +87,17 @@ class LogStoreConfig:
     # (byte-identical LogBlocks); off = the per-value reference encoder.
     use_vectorized_encode: bool = True
 
+    # data lifecycle (repro.lifecycle): background retention sweeps and
+    # cold tiering, ticked from run_background_tasks().
+    lifecycle_sweep_enabled: bool = True
+    lifecycle_cold_enabled: bool = True
+    cold_codec: str = "lzma"  # cheaper-per-byte codec for aged data
+    # Cold members re-chunk at this many rows (0 = reuse
+    # target_rows_per_logblock); aged runs repack once at least
+    # cold_min_blocks hot blocks qualify.
+    cold_target_rows: int = 0
+    cold_min_blocks: int = 1
+
     # SQL front door: live sessions per cluster.
     max_sessions: int = 64
 
@@ -148,6 +159,14 @@ class LogStoreConfig:
             raise ConfigError("trace_max_traces must be >= 1")
         if self.max_sessions < 1:
             raise ConfigError("max_sessions must be >= 1")
+        if self.cold_target_rows < 0:
+            raise ConfigError("cold_target_rows must be >= 0 (0 = target_rows)")
+        if self.cold_min_blocks < 1:
+            raise ConfigError("cold_min_blocks must be >= 1")
+        from repro.codec.registry import available_codecs
+
+        if self.cold_codec not in available_codecs():
+            raise ConfigError(f"unknown cold_codec {self.cold_codec!r}")
         if self.slow_query_s is not None and self.slow_query_s < 0:
             raise ConfigError("slow_query_s must be non-negative (or None)")
         if self.event_journal_max_events < 1:

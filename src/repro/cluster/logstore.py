@@ -147,6 +147,32 @@ class LogStore:
         self.frontdoor_tokens = TokenRegistry(config.seed)
         self.sessions = SessionPool(self, self.frontdoor_tokens, config.max_sessions)
 
+        from repro.lifecycle.manager import LifecycleManager
+
+        self.lifecycle = LifecycleManager(
+            self.catalog,
+            self.oss,
+            config.bucket,
+            schema,
+            obs=self.obs,
+            invalidate=self._invalidate_blob,
+            sweep_enabled=config.lifecycle_sweep_enabled,
+            cold_enabled=config.lifecycle_cold_enabled,
+            cold_codec=config.cold_codec,
+            cold_target_rows=(
+                config.cold_target_rows
+                if config.cold_target_rows > 0
+                else config.target_rows_per_logblock
+            ),
+            cold_min_blocks=config.cold_min_blocks,
+            block_rows=config.block_rows,
+            build_indexes=config.build_indexes,
+            retry_clock=self.clock,
+            use_vectorized_encode=config.use_vectorized_encode,
+        )
+        # Compaction/build orphans converge through the lifecycle sweep.
+        self.lifecycle.sweeper.attach_orphan_source(builder)
+
         from repro.obs.alerts import AlertEngine, default_alert_rules
 
         rules = config.alert_rules if config.alert_rules else default_alert_rules()
@@ -529,9 +555,11 @@ class LogStore:
     # -- admin / background ---------------------------------------------------
 
     def run_background_tasks(self) -> BuildReport:
-        """Archive all sealed memtables to OSS, then tick the alert
-        engine over the post-archive registry snapshot."""
+        """Archive all sealed memtables to OSS, tick the data lifecycle
+        (expiry sweep + cold repacks), then tick the alert engine over
+        the post-archive registry snapshot."""
         report = self.controller.archive_all()
+        self.lifecycle.tick(int(self.clock.now() * 1_000_000))
         self.evaluate_alerts()
         return report
 
@@ -572,6 +600,66 @@ class LogStore:
         report = self.controller.expire_data(now_ts)
         for path in victims:
             self.cache.invalidate_blob(self.config.bucket, path)
+        return report
+
+    def _invalidate_blob(self, path: str) -> None:
+        self.cache.invalidate_blob(self.config.bucket, path)
+
+    # -- data lifecycle (repro.lifecycle) ---------------------------------
+
+    def set_retention(
+        self,
+        tenant_id: int,
+        ttl: float | str | None = None,
+        cold_age: float | str | None = None,
+    ) -> None:
+        """Set one tenant's retention policy (TTL and/or cold-age).
+
+        Durations accept seconds or suffixed strings (``"7d"``,
+        ``"12h"``, ``"30m"``, ``"45s"``); None clears the knob.  The
+        SQL spelling is ``ALTER TENANT <id> SET RETENTION ...``.
+        """
+        from repro.lifecycle.policy import RetentionPolicy, parse_duration
+
+        self.lifecycle.set_policy(
+            tenant_id,
+            RetentionPolicy(
+                ttl_s=parse_duration(ttl), cold_age_s=parse_duration(cold_age)
+            ),
+        )
+
+    def cold_compact(self, now_ts: int | None = None):
+        """Repack every tenant's aged blocks into cold segments now
+        (the background tick does this incrementally)."""
+        if now_ts is None:
+            now_ts = int(self.clock.now() * 1_000_000)
+        return self.lifecycle.cold.repack_all(now_ts)
+
+    def sweep_expired(self, now_ts: int | None = None):
+        """Run one zero-read expiry sweep now (catalog-driven; no OSS
+        GETs) and return the :class:`~repro.lifecycle.sweeper.SweepReport`."""
+        if now_ts is None:
+            now_ts = int(self.clock.now() * 1_000_000)
+        return self.lifecycle.sweeper.sweep(now_ts)
+
+    def offboard_tenant(self, tenant_id: int, export: bool = True):
+        """Offboard one tenant: export a portable archive (optional),
+        delete everything, and *prove* the deletion.
+
+        Flushes the tenant's in-flight rows first so the export is
+        complete, then delegates to the lifecycle offboarder (catalog
+        drop + object deletes + OSS listing), and finally runs a
+        COUNT(*) query scoped to the tenant — the returned report's
+        ``query_rows`` must be 0 and ``verified`` True, or residue
+        remains.
+        """
+        self.flush_all()
+        report = self.lifecycle.offboarder.offboard(tenant_id, export=export)
+        result = self.query(
+            f"SELECT COUNT(*) FROM {self.schema.name} WHERE tenant_id = {tenant_id}"
+        )
+        report.query_rows = int(result.rows[0]["COUNT(*)"]) if result.rows else 0
+        report.verified = report.verified and report.query_rows == 0
         return report
 
     def rebalance(self, tenant_traffic: dict[int, float]):

@@ -147,3 +147,7 @@ class ChaosError(LogStoreError):
 
 class InvariantViolationError(ChaosError):
     """A chaos run's post-heal invariant check found violations."""
+
+
+class LifecycleError(LogStoreError):
+    """Data-lifecycle failure (retention policy, expiry, offboarding)."""

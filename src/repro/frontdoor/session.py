@@ -27,6 +27,7 @@ from repro.common.errors import AuthError, QueryError
 from repro.logblock.schema import ColumnType
 from repro.query.planner import parse_timestamp
 from repro.query.sql import (
+    ParsedAlterTenant,
     ParsedCreateTable,
     ParsedInsert,
     ParsedQuery,
@@ -124,7 +125,37 @@ class Session:
             return self._insert(statement)
         if isinstance(statement, ParsedCreateTable):
             return self._store.create_table(statement)
+        if isinstance(statement, ParsedAlterTenant):
+            return self._alter_tenant(statement)
         raise QueryError(f"unsupported statement {type(statement).__name__}")
+
+    def _alter_tenant(self, statement: ParsedAlterTenant):
+        """``ALTER TENANT ... SET RETENTION``: update the lifecycle policy.
+
+        Admin sessions may alter any tenant; a scoped session only its
+        own.  Clauses absent from the statement leave the existing knob
+        untouched, so ``SET RETENTION TTL '30d'`` does not clear a
+        configured cold-age.  Returns the resulting policy.
+        """
+        if not self.admin and statement.tenant_id != self.tenant_id:
+            raise AuthError(
+                f"session is scoped to tenant {self.tenant_id} and cannot "
+                f"alter tenant {statement.tenant_id}"
+            )
+        from repro.lifecycle.policy import RetentionPolicy, parse_duration
+
+        current = self._store.lifecycle.policy(statement.tenant_id)
+        ttl_s = (
+            parse_duration(statement.ttl) if statement.set_ttl else current.ttl_s
+        )
+        cold_age_s = (
+            parse_duration(statement.cold_age)
+            if statement.set_cold_age
+            else current.cold_age_s
+        )
+        policy = RetentionPolicy(ttl_s=ttl_s, cold_age_s=cold_age_s)
+        self._store.lifecycle.set_policy(statement.tenant_id, policy)
+        return policy
 
     def prepare(self, sql: str) -> PreparedStatement:
         self._check_open()

@@ -1,0 +1,62 @@
+"""Lifecycle alert templates (stalled-sweeper detection).
+
+A sweeper that silently stops is invisible in the data path — queries
+still work, writes still land — while expired data quietly accrues
+storage cost and violates retention promises.  The rule below follows
+the :mod:`repro.obs.alerts` protocol (``evaluate(snapshot, slo)``
+yielding ``(target, tenant_id, value)``) and fires when the background
+loop has ticked ``stall_ticks`` times since the last completed sweep
+*while expired candidates exist*:
+
+* ``logstore_lifecycle_ticks_total`` — background ticks (counter, set
+  by :class:`~repro.lifecycle.manager.LifecycleManager`);
+* ``logstore_lifecycle_last_sweep_tick`` — tick of the last completed
+  sweep (gauge);
+* ``logstore_lifecycle_expired_candidates`` — expired blocks awaiting
+  expiry (gauge).
+
+Wire it in via ``LogStoreConfig.alert_rules``::
+
+    config = small_test_config(
+        alert_rules=default_alert_rules() + (stalled_sweeper_rule(5),)
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.registry import RegistrySnapshot
+from repro.obs.slo import SloTracker
+
+
+def _metric_sum(snapshot: RegistrySnapshot, name: str) -> float:
+    """Sum of a family's children across counters and gauges."""
+    total = 0.0
+    for table in (snapshot.counters, snapshot.gauges):
+        for _key, value in table.get(name, {}).items():
+            total += value
+    return total
+
+
+@dataclass(frozen=True)
+class StalledSweeperRule:
+    """Fire when expired candidates wait while sweeps stopped landing."""
+
+    name: str = "lifecycle-sweeper-stalled"
+    stall_ticks: int = 5
+
+    def evaluate(self, snapshot: RegistrySnapshot, slo: SloTracker | None):
+        candidates = _metric_sum(snapshot, "logstore_lifecycle_expired_candidates")
+        if candidates <= 0:
+            return
+        ticks = _metric_sum(snapshot, "logstore_lifecycle_ticks_total")
+        last_sweep = _metric_sum(snapshot, "logstore_lifecycle_last_sweep_tick")
+        stalled_for = ticks - last_sweep
+        if stalled_for >= self.stall_ticks:
+            yield "lifecycle.sweeper", None, stalled_for
+
+
+def stalled_sweeper_rule(stall_ticks: int = 5) -> StalledSweeperRule:
+    """The stock stalled-sweeper rule, ready for ``alert_rules``."""
+    return StalledSweeperRule(stall_ticks=stall_ticks)

@@ -1,0 +1,336 @@
+"""Cold tiering: re-pack aged small LogBlocks into large tar segments.
+
+A lightly loaded tenant's aged data is many small hot blocks, each a
+separate OSS object billed at hot-tier rates.  The cold compactor
+rewrites a tenant's aged run into one **segment**: a tar-packed object
+(``tenants/<id>/cold/sg….seg``, reusing :mod:`repro.tarpack`) whose
+members are ordinary self-contained LogBlocks re-encoded under a
+stronger codec and larger chunks.  Queries are untouched — a cold
+catalog entry carries ``(segment_path, segment_offset, segment_length)``
+and the executor reads the member in place through a
+:class:`~repro.tarpack.reader.SubrangeReader`, so results are
+byte-identical across tiers (asserted in tests and
+``benchmarks/bench_lifecycle.py``, along with the ≥2× shrink).
+
+Crash safety follows the hot compactor's ordering: upload the segment
+and register its members *before* retiring any victim, so every
+intermediate state is queryable; failed victim deletes become orphans
+for the sweeper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import Clock, VirtualClock
+from repro.common.errors import BuildError, NoSuchKey
+from repro.logblock.reader import LogBlockReader
+from repro.logblock.schema import TableSchema
+from repro.logblock.writer import DEFAULT_BLOCK_ROWS, LogBlockWriter
+from repro.meta.catalog import TIER_COLD, Catalog, LogBlockEntry
+from repro.obs.context import Observability
+from repro.oss.retry import (
+    DEFAULT_BACKOFF_S,
+    DEFAULT_MAX_ATTEMPTS,
+    RetryingObjectStore,
+)
+from repro.tarpack.packer import PackBuilder
+from repro.tarpack.reader import BytesRangeReader, PackReader
+
+EVENT_LIFECYCLE_COLD = "lifecycle.cold_pack"
+
+# lzma trades CPU for ratio — exactly right for data that is read
+# rarely but stored for its whole retention window.
+DEFAULT_COLD_CODEC = "lzma"
+
+
+def cold_segment_path(tenant_id: int, generation: int, min_ts: int, max_ts: int) -> str:
+    """OSS key for one cold segment object."""
+    return f"tenants/{tenant_id}/cold/sg{generation:06d}-{min_ts}-{max_ts}.seg"
+
+
+@dataclass
+class ColdRepackResult:
+    """What one :meth:`ColdCompactor.repack_tenant` call did."""
+
+    tenant_id: int
+    blocks_before: int = 0
+    blocks_after: int = 0
+    rows_repacked: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+    segment_paths: list[str] = field(default_factory=list)
+
+    @property
+    def repacked(self) -> bool:
+        return self.blocks_after > 0
+
+
+class ColdCompactor:
+    """Demotes a tenant's aged hot blocks into tar-packed cold segments."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        oss,
+        bucket: str,
+        catalog: Catalog,
+        codec: str = DEFAULT_COLD_CODEC,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+        target_rows: int = 200_000,
+        min_blocks: int = 1,
+        build_indexes: bool = True,
+        max_upload_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        upload_backoff_s: float = DEFAULT_BACKOFF_S,
+        retry_clock: Clock | None = None,
+        obs: Observability | None = None,
+        invalidate=None,
+        orphan_sink=None,
+        use_vectorized_encode: bool = True,
+    ) -> None:
+        if target_rows <= 0:
+            raise BuildError(f"target_rows must be positive, got {target_rows}")
+        if min_blocks < 1:
+            raise BuildError(f"min_blocks must be >= 1, got {min_blocks}")
+        self._schema = schema
+        self._oss = oss
+        self._bucket = bucket
+        self._catalog = catalog
+        self._codec = codec
+        self._block_rows = block_rows
+        self._target_rows = target_rows
+        self._min_blocks = min_blocks
+        self._build_indexes = build_indexes
+        self._upload = RetryingObjectStore(
+            oss,
+            max_attempts=max_upload_attempts,
+            backoff_s=upload_backoff_s,
+            clock=retry_clock if retry_clock is not None else VirtualClock(),
+        )
+        self._invalidate = invalidate
+        # Failed victim deletes go to the sweeper when attached, else to
+        # a local queue exposed via :attr:`orphans`.
+        self._orphan_sink = orphan_sink
+        self._orphans: list[tuple[str, str]] = []
+        self._generation = 0
+        self._vectorized_encode = use_vectorized_encode
+        self._obs = obs if obs is not None else Observability.noop()
+        registry = self._obs.registry
+        self._repacks_total = registry.counter(
+            "logstore_lifecycle_cold_repacks_total",
+            "Cold repack runs that demoted blocks.",
+        )
+        self._cold_blocks_total = registry.counter(
+            "logstore_lifecycle_cold_blocks_packed_total",
+            "Hot blocks demoted into cold segments.",
+        )
+        self._cold_segments_total = registry.counter(
+            "logstore_lifecycle_cold_segments_total",
+            "Cold segment objects written.",
+        )
+        self._cold_bytes_before_total = registry.counter(
+            "logstore_lifecycle_cold_bytes_before_total",
+            "Hot bytes retired by cold repacks.",
+        )
+        self._cold_bytes_after_total = registry.counter(
+            "logstore_lifecycle_cold_bytes_after_total",
+            "Cold bytes written by repacks.",
+        )
+        from repro.obs.recorders import EncodeModeRecorder
+
+        self._encode_modes = EncodeModeRecorder(registry)
+
+    # -- candidate selection ----------------------------------------------
+
+    def candidates(self, tenant_id: int, now_ts: int) -> list[LogBlockEntry]:
+        """The tenant's hot blocks older than its ``cold_age_s``."""
+        return [
+            block
+            for block in self._catalog.cold_candidates(now_ts)
+            if block.tenant_id == tenant_id
+        ]
+
+    # -- repack ------------------------------------------------------------
+
+    def repack_tenant(self, tenant_id: int, now_ts: int) -> ColdRepackResult:
+        """Demote the tenant's aged hot blocks; no-op below min_blocks."""
+        result = ColdRepackResult(tenant_id=tenant_id)
+        victims = self.candidates(tenant_id, now_ts)
+        if len(victims) < self._min_blocks:
+            return result
+        with self._obs.tracer.span(
+            "lifecycle.cold_pack", tenant=tenant_id, victims=len(victims)
+        ):
+            self._repack(tenant_id, victims, result)
+        self._repacks_total.add()
+        self._cold_blocks_total.add(result.blocks_before)
+        self._cold_segments_total.add(len(result.segment_paths))
+        self._cold_bytes_before_total.add(result.bytes_before)
+        self._cold_bytes_after_total.add(result.bytes_after)
+        if result.repacked:
+            self._obs.journal.emit(
+                EVENT_LIFECYCLE_COLD,
+                f"tenant{tenant_id}",
+                detail=(
+                    f"blocks {result.blocks_before}->{result.blocks_after} "
+                    f"bytes {result.bytes_before}->{result.bytes_after}"
+                ),
+                tenant_id=tenant_id,
+            )
+        return result
+
+    def repack_all(self, now_ts: int) -> list[ColdRepackResult]:
+        """Run :meth:`repack_tenant` for every tenant with candidates."""
+        tenant_ids = sorted(
+            {block.tenant_id for block in self._catalog.cold_candidates(now_ts)}
+        )
+        results = []
+        for tenant_id in tenant_ids:
+            result = self.repack_tenant(tenant_id, now_ts)
+            if result.repacked:
+                results.append(result)
+        return results
+
+    def _repack(
+        self, tenant_id: int, victims: list[LogBlockEntry], result: ColdRepackResult
+    ) -> None:
+        result.blocks_before = len(victims)
+        result.bytes_before = sum(block.size_bytes for block in victims)
+
+        rows: list[dict] = []
+        for block in victims:
+            rows.extend(self._read_rows(block))
+        ts_column = self._ts_column()
+        rows.sort(key=lambda row: row[ts_column])
+
+        # Re-encode into target_rows-sized members under the cold codec.
+        members: list[tuple[str, bytes, int, int, int]] = []
+        for chunk_start in range(0, len(rows), self._target_rows):
+            chunk = rows[chunk_start : chunk_start + self._target_rows]
+            writer = LogBlockWriter(
+                self._schema,
+                codec=self._codec,
+                block_rows=self._block_rows,
+                build_indexes=self._build_indexes,
+                vectorized=self._vectorized_encode,
+            )
+            writer.append_many(chunk)
+            blob = writer.finish()
+            self._encode_modes.record(writer.encode_stats)
+            min_ts = int(chunk[0][ts_column])
+            max_ts = int(chunk[-1][ts_column])
+            name = f"b{chunk_start // self._target_rows:04d}-{min_ts}-{max_ts}.lgb"
+            members.append((name, blob, min_ts, max_ts, len(chunk)))
+
+        generation = self._generation
+        self._generation += 1
+        builder = PackBuilder()
+        for name, blob, _min, _max, _n in members:
+            builder.add(name, blob)
+        segment = builder.build()
+        segment_key = cold_segment_path(
+            tenant_id, generation, members[0][2], members[-1][3]
+        )
+        # Member extents within the finished segment, for the catalog.
+        probe = PackReader(BytesRangeReader(segment), self._bucket, segment_key)
+        entries: list[LogBlockEntry] = []
+        for name, blob, min_ts, max_ts, n_rows in members:
+            start, length = probe.member_extent(name)
+            entries.append(
+                LogBlockEntry(
+                    tenant_id=tenant_id,
+                    min_ts=min_ts,
+                    max_ts=max_ts,
+                    path=f"{segment_key}#{name}",
+                    size_bytes=length,
+                    row_count=n_rows,
+                    tier=TIER_COLD,
+                    segment_path=segment_key,
+                    segment_offset=start,
+                    segment_length=length,
+                )
+            )
+
+        # Upload before registering anything: a failed PUT must leave
+        # the catalog untouched, with any torn object compensated away
+        # through the raw store (matching Compactor._compact).
+        try:
+            self._upload.put(self._bucket, segment_key, segment)
+        except BaseException:
+            try:
+                self._oss.delete(self._bucket, segment_key)
+            except NoSuchKey:
+                pass  # the failed PUT left nothing behind
+            except Exception:
+                self._queue_orphan(segment_key)
+            raise
+        for entry in entries:
+            self._catalog.add_block(entry)
+            result.bytes_after += entry.size_bytes
+            result.rows_repacked += entry.row_count
+        result.blocks_after = len(entries)
+        result.segment_paths.append(segment_key)
+
+        # Members are live; retire the hot victims.  The catalog entry
+        # goes even when the object delete fails (rows already live in
+        # the segment; keeping the victim would double-count them) —
+        # the object becomes an orphan for the sweeper.
+        for block in victims:
+            try:
+                self._upload.delete(self._bucket, block.path)
+            except NoSuchKey:
+                pass
+            except Exception:
+                self._queue_orphan(block.path)
+            self._catalog.remove_block(block)
+            if self._invalidate is not None:
+                self._invalidate(block.path)
+
+    # -- orphans -----------------------------------------------------------
+
+    def _queue_orphan(self, path: str) -> None:
+        if self._orphan_sink is not None:
+            self._orphan_sink.add_orphan(self._bucket, path)
+        else:
+            self._orphans.append((self._bucket, path))
+
+    @property
+    def orphans(self) -> list[tuple[str, str]]:
+        """(bucket, path) pairs whose delete failed (no sink attached)."""
+        return list(self._orphans)
+
+    def sweep_orphans(self) -> int:
+        """Retry deleting locally queued orphans; returns how many cleared."""
+        remaining: list[tuple[str, str]] = []
+        cleared = 0
+        for bucket, path in self._orphans:
+            try:
+                self._upload.delete(bucket, path)
+                cleared += 1
+            except NoSuchKey:
+                cleared += 1
+            except Exception:
+                remaining.append((bucket, path))
+        self._orphans = remaining
+        return cleared
+
+    # -- helpers -----------------------------------------------------------
+
+    def _ts_column(self) -> str:
+        names = self._schema.column_names()
+        if "ts" in names:
+            return "ts"
+        raise BuildError(f"schema {self._schema.name!r} has no 'ts' column to merge by")
+
+    def _read_rows(self, block: LogBlockEntry) -> list[dict]:
+        """Materialize every row of one (hot) LogBlock, all columns."""
+        reader = LogBlockReader(PackReader(self._upload, self._bucket, block.path))
+        columns = {
+            name: reader.read_column(name)
+            for name in reader.meta().schema.column_names()
+        }
+        names = list(columns)
+        return [
+            {name: columns[name][i] for name in names}
+            for i in range(reader.row_count)
+        ]

@@ -1,0 +1,124 @@
+"""LifecycleManager: the background tick that runs the lifecycle.
+
+One object owns the three lifecycle actors (sweeper, cold compactor,
+offboarder), shares the sweeper as the cluster-wide orphan sink, and
+exposes a single :meth:`tick` for ``LogStore.run_background_tasks`` —
+expiry first (cheapest, frees the most), then cold repacks.
+
+It also maintains the three metrics the stalled-sweeper alert
+(:mod:`repro.lifecycle.alerts`) is defined over, so detection works
+even when — especially when — the sweep itself stops running.
+"""
+
+from __future__ import annotations
+
+from repro.lifecycle.cold import DEFAULT_COLD_CODEC, ColdCompactor
+from repro.lifecycle.offboard import TenantOffboarder
+from repro.lifecycle.policy import RetentionPolicy, apply_policy, policy_for
+from repro.lifecycle.sweeper import ExpirySweeper, SweepReport
+from repro.logblock.schema import TableSchema
+from repro.logblock.writer import DEFAULT_BLOCK_ROWS
+from repro.meta.catalog import Catalog
+from repro.obs.context import Observability
+
+
+class LifecycleManager:
+    """Background data-lifecycle driver for one cluster."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        store,
+        bucket: str,
+        schema: TableSchema,
+        obs: Observability | None = None,
+        invalidate=None,
+        sweep_enabled: bool = True,
+        cold_enabled: bool = True,
+        cold_codec: str = DEFAULT_COLD_CODEC,
+        cold_target_rows: int = 200_000,
+        cold_min_blocks: int = 1,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+        build_indexes: bool = True,
+        retry_clock=None,
+        use_vectorized_encode: bool = True,
+    ) -> None:
+        self._catalog = catalog
+        self._sweep_enabled = sweep_enabled
+        self._cold_enabled = cold_enabled
+        self._obs = obs if obs is not None else Observability.noop()
+        self.sweeper = ExpirySweeper(
+            catalog, store, bucket, obs=self._obs, invalidate=invalidate
+        )
+        self.cold = ColdCompactor(
+            schema,
+            store,
+            bucket,
+            catalog,
+            codec=cold_codec,
+            block_rows=block_rows,
+            target_rows=cold_target_rows,
+            min_blocks=cold_min_blocks,
+            build_indexes=build_indexes,
+            retry_clock=retry_clock,
+            obs=self._obs,
+            invalidate=invalidate,
+            orphan_sink=self.sweeper,
+            use_vectorized_encode=use_vectorized_encode,
+        )
+        self.offboarder = TenantOffboarder(
+            catalog,
+            store,
+            bucket,
+            obs=self._obs,
+            invalidate=invalidate,
+            orphan_sink=self.sweeper,
+        )
+        self._ticks = 0
+        registry = self._obs.registry
+        self._ticks_total = registry.counter(
+            "logstore_lifecycle_ticks_total", "Background lifecycle ticks."
+        )
+        self._last_sweep_tick = registry.gauge(
+            "logstore_lifecycle_last_sweep_tick",
+            "Tick number of the last completed expiry sweep.",
+        )
+        self._candidates_gauge = registry.gauge(
+            "logstore_lifecycle_expired_candidates",
+            "Expired blocks currently awaiting a sweep.",
+        )
+
+    # -- policy ------------------------------------------------------------
+
+    def set_policy(self, tenant_id: int, policy: RetentionPolicy) -> None:
+        apply_policy(self._catalog, tenant_id, policy)
+
+    def policy(self, tenant_id: int) -> RetentionPolicy:
+        return policy_for(self._catalog, tenant_id)
+
+    # -- background tick ---------------------------------------------------
+
+    @property
+    def ticks(self) -> int:
+        return self._ticks
+
+    def tick(self, now_ts: int) -> SweepReport | None:
+        """One background pass: sweep expiry, then cold repacks.
+
+        Returns the sweep report, or None when sweeping is disabled
+        (in which case the candidate gauge keeps growing — the signal
+        the stalled-sweeper alert fires on).
+        """
+        self._ticks += 1
+        self._ticks_total.add()
+        if not self._sweep_enabled:
+            candidates, _examined = self._catalog.expired_candidates(now_ts)
+            self._candidates_gauge.set(len(candidates))
+            report = None
+        else:
+            report = self.sweeper.sweep(now_ts)
+            self._last_sweep_tick.set(self._ticks)
+            self._candidates_gauge.set(0)
+        if self._cold_enabled:
+            self.cold.repack_all(now_ts)
+        return report

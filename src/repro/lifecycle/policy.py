@@ -1,0 +1,95 @@
+"""Per-tenant retention policy: how long rows stay, and where.
+
+A policy has two independent clocks measured against a block's
+``max_ts`` (so a block ages out only once *every* row in it has):
+
+* ``ttl_s`` — rows older than this are expired: their blocks are
+  dropped from the catalog and the objects deleted, without ever being
+  read back (§3.1 "flexible data expiration policies").
+* ``cold_age_s`` — rows older than this but younger than the TTL are
+  demoted to the cold tier: small aged blocks are re-packed into large
+  tar segments under a cheaper codec by the
+  :class:`~repro.lifecycle.cold.ColdCompactor`.
+
+``None`` disables a clock (keep forever / never demote).  When both are
+set the cold age must be shorter than the TTL — data that would expire
+before it cools is a configuration error, not a race.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.common.errors import LifecycleError
+from repro.meta.catalog import Catalog
+
+_DURATION_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*(d|h|m|s)?\s*$", re.IGNORECASE)
+_UNIT_S = {"d": 86_400.0, "h": 3_600.0, "m": 60.0, "s": 1.0}
+
+
+def parse_duration(text: str | float | int | None) -> float | None:
+    """``'7d' | '12h' | '30m' | '45s' | '600' | 600`` → seconds.
+
+    ``None`` passes through (policy clock disabled).  Bare numbers are
+    seconds.  Raises :class:`LifecycleError` on anything else.
+    """
+    if text is None:
+        return None
+    if isinstance(text, (int, float)):
+        value = float(text)
+    else:
+        match = _DURATION_RE.match(text)
+        if match is None:
+            raise LifecycleError(
+                f"bad duration {text!r}; expected e.g. '7d', '12h', '30m', '45s' or seconds"
+            )
+        value = float(match.group(1)) * _UNIT_S[(match.group(2) or "s").lower()]
+    if value <= 0:
+        raise LifecycleError(f"duration must be positive, got {text!r}")
+    return value
+
+
+def format_duration(seconds: float | None) -> str:
+    """Render seconds for ``_system.tenants`` (largest exact unit)."""
+    if seconds is None:
+        return ""
+    for unit, factor in (("d", 86_400.0), ("h", 3_600.0), ("m", 60.0)):
+        if seconds >= factor and seconds % factor == 0:
+            return f"{int(seconds // factor)}{unit}"
+    return f"{seconds:g}s"
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """A tenant's lifecycle policy; both clocks optional."""
+
+    ttl_s: float | None = None
+    cold_age_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.ttl_s is not None and self.ttl_s <= 0:
+            raise LifecycleError(f"ttl must be positive, got {self.ttl_s}")
+        if self.cold_age_s is not None and self.cold_age_s <= 0:
+            raise LifecycleError(f"cold_age must be positive, got {self.cold_age_s}")
+        if (
+            self.ttl_s is not None
+            and self.cold_age_s is not None
+            and self.cold_age_s >= self.ttl_s
+        ):
+            raise LifecycleError(
+                f"cold_age ({self.cold_age_s}s) must be shorter than ttl "
+                f"({self.ttl_s}s); data would expire before it cools"
+            )
+
+
+def apply_policy(catalog: Catalog, tenant_id: int, policy: RetentionPolicy) -> None:
+    """Install a policy on a registered tenant (catalog is authoritative)."""
+    catalog.set_retention(tenant_id, policy.ttl_s)
+    catalog.set_cold_age(tenant_id, policy.cold_age_s)
+
+
+def policy_for(catalog: Catalog, tenant_id: int) -> RetentionPolicy:
+    """The tenant's current policy, read back from the catalog."""
+    info = catalog.tenant(tenant_id)
+    return RetentionPolicy(ttl_s=info.retention_s, cold_age_s=info.cold_age_s)

@@ -13,11 +13,18 @@ chronological order, plus a retention policy used by the expiry task.
 from __future__ import annotations
 
 import threading
-from bisect import insort
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 
 from repro.common.errors import CatalogError, TenantNotFound
 from repro.logblock.schema import TableSchema
+
+# Storage tiers for a LogBlock.  Hot blocks are standalone OSS objects;
+# cold blocks live as members inside a tar-packed segment object and
+# carry (segment_path, segment_offset, segment_length) locating their
+# bytes within it.
+TIER_HOT = "hot"
+TIER_COLD = "cold"
 
 
 @dataclass(frozen=True)
@@ -30,6 +37,10 @@ class LogBlockEntry:
     path: str
     size_bytes: int
     row_count: int
+    tier: str = TIER_HOT
+    segment_path: str | None = None
+    segment_offset: int = 0
+    segment_length: int = 0
 
     def overlaps(self, min_ts: int | None, max_ts: int | None) -> bool:
         """Whether this block's time range intersects [min_ts, max_ts]."""
@@ -69,6 +80,15 @@ class LogBlockEntry:
     def sort_key(self):
         return (self.min_ts, self.max_ts, self.path)
 
+    def age_key(self):
+        """Ordering for the retention index: oldest ``max_ts`` first."""
+        return (self.max_ts, self.path)
+
+    @property
+    def object_path(self) -> str:
+        """The OSS object actually holding this block's bytes."""
+        return self.segment_path if self.segment_path is not None else self.path
+
 
 @dataclass(frozen=True)
 class VersionSpec:
@@ -99,6 +119,15 @@ class TenantInfo:
     total_bytes: int = 0
     total_rows: int = 0
     blocks: list[LogBlockEntry] = field(default_factory=list)
+    # Lifecycle policy + bookkeeping (repro.lifecycle).  ``cold_age_s``
+    # of None disables cold tiering; ``expired_blocks_total`` counts
+    # blocks dropped by retention over the tenant's lifetime.
+    cold_age_s: float | None = None
+    expired_blocks_total: int = 0
+    # Retention index: the same entries as ``blocks``, ordered by
+    # (max_ts, path) so expiry candidate selection is a bisect + slice
+    # — O(expired blocks) examined, never O(catalog).
+    blocks_by_age: list[LogBlockEntry] = field(default_factory=list, repr=False)
 
     def directory(self) -> str:
         return f"tenants/{self.tenant_id}/"
@@ -119,6 +148,10 @@ class Catalog:
         self._schema_version = 1
         self._version_spec: VersionSpec | None = None
         self._tenants: dict[int, TenantInfo] = {}
+        # segment object path -> number of live catalog entries packed
+        # inside it; a cold segment object may be deleted only once its
+        # refcount drops to zero.
+        self._segment_refs: dict[str, int] = {}
         self._lock = threading.Lock()
 
     @property
@@ -233,10 +266,27 @@ class Catalog:
     def set_retention(self, tenant_id: int, retention_s: float | None) -> None:
         self.tenant(tenant_id).retention_s = retention_s
 
+    def set_cold_age(self, tenant_id: int, cold_age_s: float | None) -> None:
+        self.tenant(tenant_id).cold_age_s = cold_age_s
+
+    def note_expired(self, tenant_id: int, n_blocks: int = 1) -> None:
+        """Record blocks dropped by retention (lifetime counter)."""
+        info = self.tenant(tenant_id)
+        with self._lock:
+            info.expired_blocks_total += n_blocks
+
     def drop_tenant(self, tenant_id: int) -> list[LogBlockEntry]:
         """Unregister a tenant; returns its blocks for deletion."""
         with self._lock:
             info = self._tenants.pop(tenant_id, None)
+            if info is not None:
+                for entry in info.blocks:
+                    if entry.segment_path is not None:
+                        refs = self._segment_refs.get(entry.segment_path, 0) - 1
+                        if refs <= 0:
+                            self._segment_refs.pop(entry.segment_path, None)
+                        else:
+                            self._segment_refs[entry.segment_path] = refs
         if info is None:
             raise TenantNotFound(f"tenant {tenant_id} is not registered")
         return list(info.blocks)
@@ -248,8 +298,13 @@ class Catalog:
         info = self.ensure_tenant(entry.tenant_id)
         with self._lock:
             insort(info.blocks, entry, key=LogBlockEntry.sort_key)
+            insort(info.blocks_by_age, entry, key=LogBlockEntry.age_key)
             info.total_bytes += entry.size_bytes
             info.total_rows += entry.row_count
+            if entry.segment_path is not None:
+                self._segment_refs[entry.segment_path] = (
+                    self._segment_refs.get(entry.segment_path, 0) + 1
+                )
 
     def remove_block(self, entry: LogBlockEntry) -> None:
         info = self.tenant(entry.tenant_id)
@@ -258,8 +313,28 @@ class Catalog:
                 info.blocks.remove(entry)
             except ValueError:
                 raise CatalogError(f"block {entry.path} not in catalog") from None
+            try:
+                info.blocks_by_age.remove(entry)
+            except ValueError:
+                pass  # pre-index entries (restored snapshots) are tolerated
             info.total_bytes -= entry.size_bytes
             info.total_rows -= entry.row_count
+            if entry.segment_path is not None:
+                refs = self._segment_refs.get(entry.segment_path, 0) - 1
+                if refs <= 0:
+                    self._segment_refs.pop(entry.segment_path, None)
+                else:
+                    self._segment_refs[entry.segment_path] = refs
+
+    def segment_refcount(self, segment_path: str) -> int:
+        """Live catalog entries still packed inside a cold segment."""
+        with self._lock:
+            return self._segment_refs.get(segment_path, 0)
+
+    def segment_paths(self) -> list[str]:
+        """Every cold segment object with at least one live entry."""
+        with self._lock:
+            return sorted(self._segment_refs)
 
     def blocks_for(
         self,
@@ -281,6 +356,69 @@ class Catalog:
             for info in self._tenants.values():
                 out.extend(info.blocks)
             return out
+
+    # -- retention index (repro.lifecycle) -----------------------------------
+
+    @staticmethod
+    def retention_cutoff(now_ts: int, retention_s: float) -> int:
+        """Rows with ``ts < cutoff`` have outlived the TTL (µs clock)."""
+        return now_ts - int(retention_s * 1_000_000)
+
+    def expired_candidates(
+        self, now_ts: int
+    ) -> tuple[list[LogBlockEntry], int]:
+        """Blocks every row of which has outlived its tenant's TTL.
+
+        A block is expired iff ``max_ts < now - retention_s`` — partial
+        overlap keeps the block (rows age out at block granularity, as
+        in any immutable-segment store).  Selection bisects the
+        per-tenant ``blocks_by_age`` index, so the scan examines exactly
+        the expired entries: O(expired blocks) work plus O(log n) per
+        tenant with a TTL, never O(catalog).
+
+        Returns ``(candidates, entries_examined)``; the second element
+        is the scan-cost bound asserted by tests and benchmarks.
+        """
+        candidates: list[LogBlockEntry] = []
+        examined = 0
+        with self._lock:
+            for info in self._tenants.values():
+                if info.retention_s is None or not info.blocks_by_age:
+                    continue
+                cutoff = self.retention_cutoff(now_ts, info.retention_s)
+                idx = bisect_left(
+                    info.blocks_by_age, cutoff, key=lambda b: b.max_ts
+                )
+                if idx:
+                    candidates.extend(info.blocks_by_age[:idx])
+                    examined += idx
+        return candidates, examined
+
+    def cold_candidates(
+        self, now_ts: int, max_rows: int | None = None
+    ) -> list[LogBlockEntry]:
+        """Hot blocks old enough for the cold tier (per-tenant cold_age).
+
+        The aged prefix comes from the same ``blocks_by_age`` bisect as
+        expiry; within it only hot-tier entries (optionally below a row
+        threshold) qualify — already-cold members are skipped.
+        """
+        out: list[LogBlockEntry] = []
+        with self._lock:
+            for info in self._tenants.values():
+                if info.cold_age_s is None or not info.blocks_by_age:
+                    continue
+                cutoff = self.retention_cutoff(now_ts, info.cold_age_s)
+                idx = bisect_left(
+                    info.blocks_by_age, cutoff, key=lambda b: b.max_ts
+                )
+                for block in info.blocks_by_age[:idx]:
+                    if block.tier != TIER_HOT:
+                        continue
+                    if max_rows is not None and block.row_count > max_rows:
+                        continue
+                    out.append(block)
+        return out
 
     # -- accounting (per-tenant billing, §1/§3.1) ----------------------------
 

@@ -47,15 +47,30 @@ class ExpiryTask:
             expired.extend(block for block in info.blocks if block.max_ts < cutoff)
         return expired
 
+    def _delete_backing(self, block: LogBlockEntry) -> None:
+        """Delete a dropped block's backing object, if any remains.
+
+        Hot blocks own their object outright; a cold block shares a
+        tar-packed segment with siblings, so the segment is deleted
+        only once its last member leaves the catalog.
+        """
+        if block.segment_path is None:
+            target = block.path
+        elif self._catalog.segment_refcount(block.segment_path) == 0:
+            target = block.segment_path
+        else:
+            return
+        try:
+            self._store.delete(self._bucket, target)
+        except NoSuchKey:
+            pass  # already gone; the catalog entry is dropped regardless
+
     def run(self, now_ts: int) -> ExpiryReport:
         """Delete all expired blocks from OSS and the catalog."""
         report = ExpiryReport()
         for block in self.expired_blocks(now_ts):
-            try:
-                self._store.delete(self._bucket, block.path)
-            except NoSuchKey:
-                pass  # already gone; still drop the catalog entry
             self._catalog.remove_block(block)
+            self._delete_backing(block)
             report.blocks_deleted += 1
             report.bytes_reclaimed += block.size_bytes
             report.tenants_touched.add(block.tenant_id)
@@ -65,10 +80,7 @@ class ExpiryTask:
         """Delete *all* data of one tenant (account closure)."""
         report = ExpiryReport()
         for block in self._catalog.drop_tenant(tenant_id):
-            try:
-                self._store.delete(self._bucket, block.path)
-            except NoSuchKey:
-                pass
+            self._delete_backing(block)
             report.blocks_deleted += 1
             report.bytes_reclaimed += block.size_bytes
             report.tenants_touched.add(tenant_id)

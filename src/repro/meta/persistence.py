@@ -23,7 +23,7 @@ import re
 from repro.common.errors import CatalogError
 from repro.logblock.reader import LogBlockReader
 from repro.logblock.schema import ColumnSpec, ColumnType, IndexType, TableSchema
-from repro.meta.catalog import Catalog, LogBlockEntry
+from repro.meta.catalog import TIER_COLD, TIER_HOT, Catalog, LogBlockEntry
 from repro.tarpack.reader import PackReader
 
 SNAPSHOT_PREFIX = "_meta/catalog/"
@@ -31,6 +31,7 @@ SNAPSHOT_VERSION = 1
 KEEP_SNAPSHOTS = 3
 
 _BLOCK_PATH_RE = re.compile(r"^tenants/(\d+)/.+\.lgb$")
+_SEGMENT_PATH_RE = re.compile(r"^tenants/(\d+)/cold/.+\.seg$")
 
 
 def _schema_to_json(schema: TableSchema) -> dict:
@@ -61,31 +62,45 @@ def _schema_from_json(payload: dict) -> TableSchema:
     return TableSchema(payload["name"], columns)
 
 
+def _block_to_json(b: LogBlockEntry) -> dict:
+    payload = {
+        "min_ts": b.min_ts,
+        "max_ts": b.max_ts,
+        "path": b.path,
+        "size_bytes": b.size_bytes,
+        "row_count": b.row_count,
+    }
+    # Tier fields are written only for non-hot entries, so snapshots
+    # taken before cold tiering existed stay byte-compatible.
+    if b.tier != TIER_HOT:
+        payload["tier"] = b.tier
+        payload["segment_path"] = b.segment_path
+        payload["segment_offset"] = b.segment_offset
+        payload["segment_length"] = b.segment_length
+    return payload
+
+
 def serialize_catalog(catalog: Catalog) -> bytes:
     """The catalog as a JSON snapshot."""
+    tenants = []
+    for info in sorted(catalog.tenants(), key=lambda t: t.tenant_id):
+        tenant = {
+            "tenant_id": info.tenant_id,
+            "name": info.name,
+            "retention_s": info.retention_s,
+            "created_at": info.created_at,
+            "blocks": [_block_to_json(b) for b in info.blocks],
+        }
+        if info.cold_age_s is not None:
+            tenant["cold_age_s"] = info.cold_age_s
+        if info.expired_blocks_total:
+            tenant["expired_blocks_total"] = info.expired_blocks_total
+        tenants.append(tenant)
     payload = {
         "version": SNAPSHOT_VERSION,
         "schema": _schema_to_json(catalog.schema),
         "schema_version": catalog.schema_version,
-        "tenants": [
-            {
-                "tenant_id": info.tenant_id,
-                "name": info.name,
-                "retention_s": info.retention_s,
-                "created_at": info.created_at,
-                "blocks": [
-                    {
-                        "min_ts": b.min_ts,
-                        "max_ts": b.max_ts,
-                        "path": b.path,
-                        "size_bytes": b.size_bytes,
-                        "row_count": b.row_count,
-                    }
-                    for b in info.blocks
-                ],
-            }
-            for info in sorted(catalog.tenants(), key=lambda t: t.tenant_id)
-        ],
+        "tenants": tenants,
     }
     return json.dumps(payload, indent=1).encode("utf-8")
 
@@ -102,12 +117,14 @@ def restore_catalog(catalog: Catalog, data: bytes) -> None:
     catalog._schema = _schema_from_json(payload["schema"])
     catalog._schema_version = payload["schema_version"]
     for tenant in payload["tenants"]:
-        catalog.register_tenant(
+        info = catalog.register_tenant(
             tenant["tenant_id"],
             name=tenant["name"],
             retention_s=tenant["retention_s"],
             created_at=tenant["created_at"],
         )
+        info.cold_age_s = tenant.get("cold_age_s")
+        info.expired_blocks_total = tenant.get("expired_blocks_total", 0)
         for block in tenant["blocks"]:
             catalog.add_block(
                 LogBlockEntry(
@@ -117,6 +134,10 @@ def restore_catalog(catalog: Catalog, data: bytes) -> None:
                     path=block["path"],
                     size_bytes=block["size_bytes"],
                     row_count=block["row_count"],
+                    tier=block.get("tier", TIER_HOT),
+                    segment_path=block.get("segment_path"),
+                    segment_offset=block.get("segment_offset", 0),
+                    segment_length=block.get("segment_length", 0),
                 )
             )
 
@@ -175,25 +196,83 @@ def rebuild_catalog_from_store(catalog: Catalog, store, bucket: str) -> int:
     count = 0
     for stat in store.list(bucket, "tenants/"):
         match = _BLOCK_PATH_RE.match(stat.key)
-        if match is None:
+        if match is not None:
+            tenant_id = int(match.group(1))
+            catalog.add_block(
+                _entry_from_block_reader(
+                    LogBlockReader(PackReader(store, bucket, stat.key)),
+                    tenant_id=tenant_id,
+                    path=stat.key,
+                    size_bytes=stat.size,
+                )
+            )
+            count += 1
             continue
-        tenant_id = int(match.group(1))
-        reader = LogBlockReader(PackReader(store, bucket, stat.key))
-        meta = reader.meta()
-        ts_values = None
-        if "ts" in meta.schema.column_names():
-            sma = meta.column_sma("ts")
-            ts_values = (sma.min_value, sma.max_value)
-        if ts_values is None or ts_values[0] is None:
-            raise CatalogError(f"block {stat.key} has no ts range; cannot rebuild")
+        match = _SEGMENT_PATH_RE.match(stat.key)
+        if match is not None:
+            count += _rebuild_segment(catalog, store, bucket, stat.key, int(match.group(1)))
+    return count
+
+
+def _entry_from_block_reader(
+    reader: LogBlockReader,
+    tenant_id: int,
+    path: str,
+    size_bytes: int,
+    tier: str = TIER_HOT,
+    segment_path: str | None = None,
+    segment_offset: int = 0,
+    segment_length: int = 0,
+) -> LogBlockEntry:
+    """One catalog entry from a block's self-contained meta."""
+    meta = reader.meta()
+    ts_values = None
+    if "ts" in meta.schema.column_names():
+        sma = meta.column_sma("ts")
+        ts_values = (sma.min_value, sma.max_value)
+    if ts_values is None or ts_values[0] is None:
+        raise CatalogError(f"block {path} has no ts range; cannot rebuild")
+    return LogBlockEntry(
+        tenant_id=tenant_id,
+        min_ts=int(ts_values[0]),
+        max_ts=int(ts_values[1]),
+        path=path,
+        size_bytes=size_bytes,
+        row_count=meta.row_count,
+        tier=tier,
+        segment_path=segment_path,
+        segment_offset=segment_offset,
+        segment_length=segment_length,
+    )
+
+
+def _rebuild_segment(
+    catalog: Catalog, store, bucket: str, segment_key: str, tenant_id: int
+) -> int:
+    """Re-register every cold member of one tar-packed segment.
+
+    Cold members are themselves self-contained LogBlocks, so the
+    segment manifest plus each member's meta recovers the full entries
+    (path, extent, timestamp range, row count) with no snapshot.
+    """
+    from repro.tarpack.reader import SubrangeReader
+
+    segment = PackReader(store, bucket, segment_key)
+    count = 0
+    for name in segment.member_names():
+        start, length = segment.member_extent(name)
+        member = SubrangeReader(store, bucket, segment_key, start, length)
+        reader = LogBlockReader(PackReader(member, bucket, f"{segment_key}#{name}"))
         catalog.add_block(
-            LogBlockEntry(
+            _entry_from_block_reader(
+                reader,
                 tenant_id=tenant_id,
-                min_ts=int(ts_values[0]),
-                max_ts=int(ts_values[1]),
-                path=stat.key,
-                size_bytes=stat.size,
-                row_count=meta.row_count,
+                path=f"{segment_key}#{name}",
+                size_bytes=length,
+                tier=TIER_COLD,
+                segment_path=segment_key,
+                segment_offset=start,
+                segment_length=length,
             )
         )
         count += 1

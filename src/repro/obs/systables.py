@@ -68,6 +68,11 @@ SYSTEM_TABLE_COLUMNS: dict[str, tuple[str, ...]] = {
         "blocks",
         "archived_bytes",
         "archived_rows",
+        "retention_ttl",
+        "cold_age",
+        "hot_blocks",
+        "cold_blocks",
+        "expired_blocks_total",
         "bytes_ingested",
         "bytes_scanned",
         "oss_gets",
@@ -197,17 +202,37 @@ def _tenant_rows(obs, catalog) -> list[dict]:
     infos = {info.tenant_id: info for info in catalog.tenants()} if catalog else {}
     tenant_ids = sorted(set(infos) | set(obs.meter.tenants()))
     rows: list[dict] = []
+    from repro.lifecycle.policy import format_duration
+    from repro.meta.catalog import TIER_COLD
+
     for tenant_id in tenant_ids:
         info = infos.get(tenant_id)
         usage = obs.meter.usage(tenant_id)
         status = obs.slo.evaluate(tenant_id)
+        n_cold = (
+            sum(1 for b in info.blocks if b.tier == TIER_COLD) if info else 0
+        )
+        n_blocks = len(info.blocks) if info else 0
         rows.append(
             {
                 "tenant_id": tenant_id,
                 "name": info.name if info else "",
-                "blocks": len(info.blocks) if info else 0,
+                "blocks": n_blocks,
                 "archived_bytes": info.total_bytes if info else 0,
                 "archived_rows": info.total_rows if info else 0,
+                "retention_ttl": (
+                    format_duration(info.retention_s)
+                    if info and info.retention_s is not None
+                    else None
+                ),
+                "cold_age": (
+                    format_duration(info.cold_age_s)
+                    if info and info.cold_age_s is not None
+                    else None
+                ),
+                "hot_blocks": n_blocks - n_cold,
+                "cold_blocks": n_cold,
+                "expired_blocks_total": info.expired_blocks_total if info else 0,
                 "bytes_ingested": usage.bytes_ingested,
                 "bytes_scanned": usage.bytes_scanned,
                 "oss_gets": usage.oss_gets,

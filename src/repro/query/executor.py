@@ -35,7 +35,7 @@ from repro.logblock.writer import (
     index_member,
 )
 from repro.logblock.sma import Sma
-from repro.meta.catalog import LogBlockEntry
+from repro.meta.catalog import TIER_COLD, LogBlockEntry
 from repro.metrics.stats import PushdownCounters
 from repro.prefetch.executor import ParallelPrefetcher
 from repro.prefetch.planner import PrefetchPlanner
@@ -44,7 +44,7 @@ from repro.query.ast import And, CmpOp, Comparison, Expr, In, IsNull, Not, Or
 from repro.query.dedup import LatestVersionDedup
 from repro.query.kernels import RowListBatch, VectorizeFallback, compile_expr
 from repro.query.planner import QueryPlan
-from repro.tarpack.reader import PackReader
+from repro.tarpack.reader import PackReader, SubrangeReader
 
 
 @dataclass
@@ -87,6 +87,7 @@ class ExecutionStats:
     """Work accounting for one query."""
 
     blocks_visited: int = 0
+    cold_blocks_visited: int = 0
     rows_matched: int = 0
     prune: PruneStats = field(default_factory=PruneStats)
     prefetch_requests: int = 0
@@ -207,7 +208,7 @@ class BlockExecutor:
         reader.attach_shared_cache(self.cache.objects, self._bucket)
         return reader
 
-    def _open_pack(self, path: str) -> PackReader:
+    def _open_pack(self, path: str, entry: LogBlockEntry | None = None) -> PackReader:
         """A PackReader with its parsed header served from the object cache.
 
         The preamble + manifest of a packed LogBlock are immutable once
@@ -215,8 +216,24 @@ class BlockExecutor:
         the same blob is pure waste; the decoded manifest (plus the
         retained head chunk that serves early members request-free) is
         cached alongside the decoded meta/bloom objects.
+
+        A cold-tier entry's bytes live inside a tar-packed segment
+        object; a :class:`SubrangeReader` window over the segment makes
+        the member readable by the unmodified pack/LogBlock stack, with
+        every ranged GET (and cached byte range) landing on the segment
+        object so members of one segment share cache entries.
         """
-        pack = PackReader(self._reader, self._bucket, path)
+        if entry is not None and entry.segment_path is not None:
+            window = SubrangeReader(
+                self._reader,
+                self._bucket,
+                entry.segment_path,
+                entry.segment_offset,
+                entry.segment_length,
+            )
+            pack = PackReader(window, self._bucket, path)
+        else:
+            pack = PackReader(self._reader, self._bucket, path)
         header_key = (self._bucket, path, "__pack_header__")
         cached = self.cache.objects.get(header_key)
         if cached is not None:
@@ -232,7 +249,7 @@ class BlockExecutor:
         return pack
 
     def _open_block(self, entry: LogBlockEntry) -> LogBlockReader:
-        return self._open_block_from_pack(self._open_pack(entry.path))
+        return self._open_block_from_pack(self._open_pack(entry.path, entry))
 
     def _prefetch_batch(self, pack: PackReader, members: list[str], stats) -> None:
         # Members inside the retained head chunk need no request at all.
@@ -244,7 +261,7 @@ class BlockExecutor:
             self._bucket, pack.key, manifest, pack.data_start, members
         )
         extents = [pack.member_extent(m) for m in members]
-        prefetcher = ParallelPrefetcher(self._reader, self.options.prefetch_threads)
+        prefetcher = ParallelPrefetcher(pack.store, self.options.prefetch_threads)
         prefetcher.execute(plan, extents)
         stats.prefetch_requests += prefetcher.stats.requests_issued
         stats.prefetch_bytes += prefetcher.stats.bytes_loaded
@@ -338,7 +355,7 @@ class BlockExecutor:
             self._bucket, reader.pack.key, manifest, reader.pack.data_start, members
         )
         extents = [reader.pack.member_extent(m) for m in members]
-        prefetcher = ParallelPrefetcher(self._reader, self.options.prefetch_threads)
+        prefetcher = ParallelPrefetcher(reader.pack.store, self.options.prefetch_threads)
         prefetcher.execute(plan, extents)
         stats.prefetch_requests += prefetcher.stats.requests_issued
         stats.prefetch_bytes += prefetcher.stats.bytes_loaded
@@ -391,7 +408,7 @@ class BlockExecutor:
     ) -> tuple[LogBlockReader, Bitset]:
         """Open one LogBlock and evaluate the predicate to a bitset."""
         if self.options.use_prefetch:
-            pack = self._open_pack(entry.path)
+            pack = self._open_pack(entry.path, entry)
             meta_cached = (
                 self.cache.objects.get((self._bucket, entry.path, META_MEMBER)) is not None
             )
@@ -401,6 +418,8 @@ class BlockExecutor:
         else:
             reader = self._open_block(entry)
         stats.blocks_visited += 1
+        if entry.tier == TIER_COLD:
+            stats.cold_blocks_visited += 1
         self._charge(self.options.cpu_per_block_s)
         scanned_before = stats.prune.blocks_scanned
         lookups_before = stats.prune.index_lookups

@@ -12,7 +12,7 @@ from datetime import datetime, timezone
 
 from repro.common.errors import AuthError, QueryError, SchemaError
 from repro.logblock.schema import ColumnType, TableSchema
-from repro.meta.catalog import Catalog, LogBlockEntry
+from repro.meta.catalog import TIER_COLD, Catalog, LogBlockEntry
 from repro.query.ast import (
     And,
     Between,
@@ -326,10 +326,18 @@ def explain_plan(plan: QueryPlan) -> str:
         f"LogBlock map: {len(plan.blocks)} of {total} blocks survive "
         f"({plan.blocks_pruned_by_map} pruned)"
     )
+    n_cold = sum(1 for entry in plan.blocks if entry.tier == TIER_COLD)
+    if n_cold:
+        lines.append(
+            f"storage tiers: {len(plan.blocks) - n_cold} hot, "
+            f"{n_cold} cold (tar-packed segment members)"
+        )
     for entry in plan.blocks[:8]:
+        tier = "  tier=cold" if entry.tier == TIER_COLD else ""
         lines.append(
             f"  {entry.path}  rows={entry.row_count} "
             f"[{format_timestamp(entry.min_ts)} .. {format_timestamp(entry.max_ts)}]"
+            f"{tier}"
         )
     if len(plan.blocks) > 8:
         lines.append(f"  ... {len(plan.blocks) - 8} more")

@@ -225,6 +225,24 @@ class ParsedInsert:
     raw_sql: str = ""
 
 
+@dataclass
+class ParsedAlterTenant:
+    """Result of parsing ``ALTER TENANT <id> SET RETENTION ...``.
+
+    ``ttl`` / ``cold_age`` hold the raw duration value (a suffixed
+    string like ``'7d'``, a number of seconds, or None for NULL);
+    ``set_ttl`` / ``set_cold_age`` record which clauses were present,
+    so an omitted knob is left untouched rather than cleared.
+    """
+
+    tenant_id: int
+    ttl: str | float | int | None = None
+    cold_age: str | float | int | None = None
+    set_ttl: bool = False
+    set_cold_age: bool = False
+    raw_sql: str = ""
+
+
 class _Tokens:
     def __init__(self, sql: str) -> None:
         self.sql = sql
@@ -673,8 +691,48 @@ def _parse_create(tokens: _Tokens) -> ParsedCreateTable:
     )
 
 
-def parse_statement(sql: str) -> ParsedQuery | ParsedInsert | ParsedCreateTable:
-    """Parse one statement of any class (SELECT / INSERT / CREATE TABLE)."""
+def _parse_alter(tokens: _Tokens) -> ParsedAlterTenant:
+    """``ALTER TENANT <id> SET RETENTION [TTL <dur>] [COLD AFTER <dur>]``.
+
+    Durations are string literals with a unit suffix (``'7d'``,
+    ``'12h'``, ``'30m'``, ``'45s'``), bare numbers of seconds, or NULL
+    to clear the knob.  At least one clause is required.
+    """
+    tokens.expect_word("alter")
+    tokens.expect_word("tenant")
+    kind, text, pos = tokens.next()
+    if kind != "number" or not text.isdigit():
+        raise tokens.error(f"expected tenant id, got {text!r}", pos)
+    tenant_id = int(text)
+    tokens.expect_word("set")
+    tokens.expect_word("retention")
+    parsed = ParsedAlterTenant(tenant_id=tenant_id, raw_sql=tokens.sql)
+    while not tokens.at_end():
+        if tokens.accept_word("ttl"):
+            if parsed.set_ttl:
+                raise tokens.error("duplicate TTL clause")
+            parsed.ttl = _parse_literal(tokens)
+            parsed.set_ttl = True
+        elif tokens.accept_word("cold"):
+            if parsed.set_cold_age:
+                raise tokens.error("duplicate COLD AFTER clause")
+            tokens.expect_word("after")
+            parsed.cold_age = _parse_literal(tokens)
+            parsed.set_cold_age = True
+        else:
+            raise tokens.error(
+                f"expected TTL or COLD AFTER, got {tokens.peek()[1]!r}"
+            )
+    if not parsed.set_ttl and not parsed.set_cold_age:
+        raise tokens.error("SET RETENTION requires a TTL or COLD AFTER clause")
+    return parsed
+
+
+def parse_statement(
+    sql: str,
+) -> ParsedQuery | ParsedInsert | ParsedCreateTable | ParsedAlterTenant:
+    """Parse one statement of any class (SELECT / INSERT / CREATE TABLE
+    / ALTER TENANT)."""
     tokens = _Tokens(sql)
     head = tokens.peek()
     if head is None:
@@ -684,6 +742,8 @@ def parse_statement(sql: str) -> ParsedQuery | ParsedInsert | ParsedCreateTable:
         return _parse_insert(tokens)
     if word == "create":
         return _parse_create(tokens)
+    if word == "alter":
+        return _parse_alter(tokens)
     parsed = _parse_select(tokens)
     if not tokens.at_end():
         raise tokens.error(f"trailing tokens starting with {tokens.peek()[1]!r}")

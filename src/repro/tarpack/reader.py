@@ -21,6 +21,110 @@ class RangeReader(Protocol):
     def get_range(self, bucket: str, key: str, start: int, length: int) -> bytes: ...
 
 
+class BytesRangeReader:
+    """Serve ranged reads of one in-memory blob (any bucket/key).
+
+    Lets :class:`PackReader` — and therefore :class:`LogBlockReader` —
+    open a pack that exists only as bytes, e.g. a cold-segment member
+    that was just read back for verification or catalog rebuild.
+    """
+
+    def __init__(self, blob: bytes) -> None:
+        self._blob = blob
+
+    def get_range(self, bucket: str, key: str, start: int, length: int) -> bytes:
+        if start < 0 or length < 0 or start >= len(self._blob):
+            raise InvalidRange(
+                f"range [{start}, {start + length}) outside blob of {len(self._blob)} bytes"
+            )
+        return self._blob[start : start + length]
+
+
+class SubrangeReader:
+    """Present a byte window of one object as an object of its own.
+
+    Cold-tier LogBlocks are members of a large tar-packed segment; a
+    ``SubrangeReader`` over ``(segment_key, offset, length)`` lets the
+    unmodified :class:`PackReader` → ``LogBlockReader`` stack read the
+    member in place — every inner ranged GET is translated into a
+    ranged GET of the segment object, so multi-level caching of the
+    segment's byte ranges is shared across its members.
+    """
+
+    def __init__(
+        self, store: RangeReader, bucket: str, key: str, offset: int, length: int
+    ) -> None:
+        self._store = store
+        self._bucket = bucket
+        self._key = key
+        self._offset = offset
+        self._length = length
+
+    def _translate(self, start: int, length: int) -> tuple[int, int]:
+        if start < 0 or length < 0 or start >= self._length:
+            raise InvalidRange(
+                f"range [{start}, {start + length}) outside member window "
+                f"of {self._length} bytes in {self._key}"
+            )
+        # Clamp to the window: a speculative over-read (PackReader's
+        # head chunk) must not leak the next member's bytes.
+        return self._offset + start, min(length, self._length - start)
+
+    def get_range(self, bucket: str, key: str, start: int, length: int) -> bytes:
+        start, length = self._translate(start, length)
+        return self._store.get_range(self._bucket, self._key, start, length)
+
+    def get_ranges_parallel(
+        self, bucket: str, key: str, ranges: list[tuple[int, int]], threads: int = 1
+    ) -> list[bytes]:
+        """Batched ranged reads, translated onto the segment object.
+
+        Present so the executor's parallel prefetcher works through a
+        member window unchanged; requires the underlying store to
+        support ``get_ranges_parallel`` (the caching range reader does).
+        """
+        translated = [self._translate(start, length) for start, length in ranges]
+        return self._store.get_ranges_parallel(
+            self._bucket, self._key, translated, threads
+        )
+
+    @property
+    def cache(self):
+        """Block-cache facade that re-keys puts onto the segment object.
+
+        The parallel prefetcher re-inserts member slices under the key
+        it planned with (the virtual member path, window-relative
+        offsets); translating those puts onto (segment key, absolute
+        offset) makes them exact-key hits for the later translated
+        ``get_range`` calls.  Only meaningful when the underlying store
+        is a caching range reader.
+        """
+        return _SubrangeCacheFacade(self)
+
+
+class _SubrangeBlockFacade:
+    def __init__(self, sub: SubrangeReader) -> None:
+        self._sub = sub
+
+    def put(self, key, piece, **kwargs) -> None:
+        inner_cache = getattr(self._sub._store, "cache", None)
+        if inner_cache is None:
+            return
+        _bucket, _key, start, length = key
+        try:
+            astart, alength = self._sub._translate(start, length)
+        except InvalidRange:
+            return
+        inner_cache.blocks.put(
+            (self._sub._bucket, self._sub._key, astart, alength), piece, **kwargs
+        )
+
+
+class _SubrangeCacheFacade:
+    def __init__(self, sub: SubrangeReader) -> None:
+        self.blocks = _SubrangeBlockFacade(sub)
+
+
 class PackReader:
     """Lazy reader over one packed blob stored in an object store."""
 
@@ -39,6 +143,12 @@ class PackReader:
     @property
     def key(self) -> str:
         return self._key
+
+    @property
+    def store(self) -> RangeReader:
+        """The range reader this pack's bytes come from (for batched
+        prefetch through the same window, e.g. a cold-segment member)."""
+        return self._store
 
     HEAD_CHUNK = 8192
 

@@ -1,0 +1,168 @@
+"""Retention policy: durations, validation, the ALTER TENANT grammar."""
+
+import pytest
+
+from repro.cluster.config import small_test_config
+from repro.cluster.logstore import LogStore
+from repro.common.errors import AuthError, LifecycleError
+from repro.lifecycle.policy import (
+    RetentionPolicy,
+    format_duration,
+    parse_duration,
+)
+from repro.query.sql import ParsedAlterTenant, SqlParseError, parse_statement
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text, seconds",
+        [
+            ("7d", 7 * 86_400.0),
+            ("12h", 12 * 3_600.0),
+            ("30m", 1_800.0),
+            ("45s", 45.0),
+            ("600", 600.0),
+            (600, 600.0),
+            (1.5, 1.5),
+            ("1.5h", 5_400.0),
+        ],
+    )
+    def test_accepted_forms(self, text, seconds):
+        assert parse_duration(text) == seconds
+
+    def test_none_passes_through(self):
+        assert parse_duration(None) is None
+
+    @pytest.mark.parametrize("text", ["", "1w", "d7", "7 days", "-3h", "0"])
+    def test_rejected_forms(self, text):
+        with pytest.raises(LifecycleError):
+            parse_duration(text)
+
+    def test_roundtrips_through_format(self):
+        for text in ("7d", "12h", "30m", "45s"):
+            assert format_duration(parse_duration(text)) == text
+        assert format_duration(None) == ""
+        assert format_duration(90.0) == "90s"  # not a whole minute
+
+
+class TestRetentionPolicy:
+    def test_both_clocks_optional(self):
+        policy = RetentionPolicy()
+        assert policy.ttl_s is None and policy.cold_age_s is None
+
+    def test_cold_age_must_precede_ttl(self):
+        with pytest.raises(LifecycleError):
+            RetentionPolicy(ttl_s=3_600.0, cold_age_s=3_600.0)
+        with pytest.raises(LifecycleError):
+            RetentionPolicy(ttl_s=60.0, cold_age_s=120.0)
+
+    def test_positive_clocks_only(self):
+        with pytest.raises(LifecycleError):
+            RetentionPolicy(ttl_s=0)
+        with pytest.raises(LifecycleError):
+            RetentionPolicy(cold_age_s=-5)
+
+    def test_cold_without_ttl_allowed(self):
+        policy = RetentionPolicy(cold_age_s=86_400.0)
+        assert policy.ttl_s is None
+
+
+class TestAlterTenantGrammar:
+    def test_full_statement(self):
+        parsed = parse_statement(
+            "ALTER TENANT 7 SET RETENTION TTL '7d' COLD AFTER '1d'"
+        )
+        assert isinstance(parsed, ParsedAlterTenant)
+        assert parsed.tenant_id == 7
+        assert parsed.ttl == "7d" and parsed.set_ttl
+        assert parsed.cold_age == "1d" and parsed.set_cold_age
+
+    def test_partial_statements_record_which_clause(self):
+        only_ttl = parse_statement("ALTER TENANT 1 SET RETENTION TTL '30d'")
+        assert only_ttl.set_ttl and not only_ttl.set_cold_age
+        only_cold = parse_statement("ALTER TENANT 1 SET RETENTION COLD AFTER '2h'")
+        assert only_cold.set_cold_age and not only_cold.set_ttl
+
+    def test_null_clears(self):
+        parsed = parse_statement("ALTER TENANT 1 SET RETENTION TTL NULL")
+        assert parsed.set_ttl and parsed.ttl is None
+
+    def test_bare_seconds(self):
+        parsed = parse_statement("ALTER TENANT 1 SET RETENTION TTL 3600")
+        assert parsed.ttl == 3600
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "ALTER TENANT 1 SET RETENTION",  # no clause
+            "ALTER TENANT x SET RETENTION TTL '1d'",  # bad id
+            "ALTER TENANT 1 SET RETENTION TTL '1d' TTL '2d'",  # duplicate
+            "ALTER TENANT 1 SET RETENTION COLD '1d'",  # missing AFTER
+            "ALTER TENANT 1 SET RETENTION FROZEN '1d'",  # unknown clause
+        ],
+    )
+    def test_malformed_rejected(self, sql):
+        with pytest.raises(SqlParseError):
+            parse_statement(sql)
+
+
+class TestAlterTenantSession:
+    @pytest.fixture
+    def store(self):
+        store = LogStore.create(config=small_test_config())
+        store.register_tenant(1, name="acme")
+        store.register_tenant(2, name="rival")
+        return store
+
+    def test_admin_sets_policy(self, store):
+        admin = store.connect_admin(store.issue_admin_token())
+        policy = admin.execute("ALTER TENANT 1 SET RETENTION TTL '7d' COLD AFTER '1d'")
+        assert policy.ttl_s == 7 * 86_400.0
+        assert policy.cold_age_s == 86_400.0
+        assert store.lifecycle.policy(1) == policy
+
+    def test_partial_alter_preserves_other_knob(self, store):
+        admin = store.connect_admin(store.issue_admin_token())
+        admin.execute("ALTER TENANT 1 SET RETENTION TTL '7d' COLD AFTER '1d'")
+        admin.execute("ALTER TENANT 1 SET RETENTION TTL '30d'")
+        policy = store.lifecycle.policy(1)
+        assert policy.ttl_s == 30 * 86_400.0
+        assert policy.cold_age_s == 86_400.0  # untouched
+
+    def test_null_clears_each_knob(self, store):
+        admin = store.connect_admin(store.issue_admin_token())
+        admin.execute("ALTER TENANT 1 SET RETENTION TTL '7d' COLD AFTER '1d'")
+        admin.execute("ALTER TENANT 1 SET RETENTION TTL NULL COLD AFTER NULL")
+        policy = store.lifecycle.policy(1)
+        assert policy.ttl_s is None and policy.cold_age_s is None
+
+    def test_scoped_session_alters_only_itself(self, store):
+        session = store.connect(1, store.issue_token(1))
+        session.execute("ALTER TENANT 1 SET RETENTION TTL '14d'")
+        assert store.lifecycle.policy(1).ttl_s == 14 * 86_400.0
+        with pytest.raises(AuthError):
+            session.execute("ALTER TENANT 2 SET RETENTION TTL '1d'")
+        assert store.lifecycle.policy(2).ttl_s is None
+
+    def test_invalid_combination_rejected_atomically(self, store):
+        admin = store.connect_admin(store.issue_admin_token())
+        admin.execute("ALTER TENANT 1 SET RETENTION TTL '7d' COLD AFTER '1d'")
+        # cold_age >= ttl is invalid; the existing policy must survive.
+        with pytest.raises(LifecycleError):
+            admin.execute("ALTER TENANT 1 SET RETENTION TTL '1h'")
+        policy = store.lifecycle.policy(1)
+        assert policy.ttl_s == 7 * 86_400.0 and policy.cold_age_s == 86_400.0
+
+    def test_policy_visible_in_system_tenants(self, store):
+        admin = store.connect_admin(store.issue_admin_token())
+        admin.execute("ALTER TENANT 1 SET RETENTION TTL '7d' COLD AFTER '12h'")
+        rows = admin.execute(
+            "SELECT tenant_id, retention_ttl, cold_age, hot_blocks, cold_blocks, "
+            "expired_blocks_total FROM _system.tenants"
+        ).rows
+        by_id = {row["tenant_id"]: row for row in rows}
+        assert by_id[1]["retention_ttl"] == "7d"
+        assert by_id[1]["cold_age"] == "12h"
+        assert by_id[2]["retention_ttl"] is None
+        assert by_id[1]["hot_blocks"] == 0 and by_id[1]["cold_blocks"] == 0
+        assert by_id[1]["expired_blocks_total"] == 0

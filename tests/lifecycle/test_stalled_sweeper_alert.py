@@ -1,0 +1,110 @@
+"""Stalled-sweeper detection: the alert that fires when expiry stops."""
+
+import pytest
+
+from repro.cluster.config import small_test_config
+from repro.cluster.logstore import LogStore
+from repro.lifecycle.alerts import StalledSweeperRule, stalled_sweeper_rule
+from repro.obs.alerts import default_alert_rules
+from repro.obs.registry import MetricsRegistry
+
+from tests.conftest import BASE_TS, MICROS, make_rows
+
+
+def snapshot(ticks, last_sweep, candidates):
+    registry = MetricsRegistry()
+    registry.counter("logstore_lifecycle_ticks_total").add(ticks)
+    registry.gauge("logstore_lifecycle_last_sweep_tick").set(last_sweep)
+    registry.gauge("logstore_lifecycle_expired_candidates").set(candidates)
+    return registry.snapshot()
+
+
+class TestRule:
+    def test_fires_after_stall_ticks_with_candidates(self):
+        rule = StalledSweeperRule(stall_ticks=5)
+        fired = list(rule.evaluate(snapshot(ticks=12, last_sweep=7, candidates=3), None))
+        assert fired == [("lifecycle.sweeper", None, 5.0)]
+
+    def test_silent_without_candidates(self):
+        rule = StalledSweeperRule(stall_ticks=5)
+        assert list(rule.evaluate(snapshot(100, 0, 0), None)) == []
+
+    def test_silent_while_sweeps_land(self):
+        rule = StalledSweeperRule(stall_ticks=5)
+        assert list(rule.evaluate(snapshot(12, 11, 3), None)) == []
+
+    def test_factory_sets_threshold(self):
+        assert stalled_sweeper_rule(9).stall_ticks == 9
+
+
+class TestWiredIntoCluster:
+    @pytest.fixture
+    def store(self):
+        """Sweeping disabled: retention debt accrues, sweeps never land."""
+        store = LogStore.create(
+            config=small_test_config(
+                lifecycle_sweep_enabled=False,
+                alert_rules=default_alert_rules() + (stalled_sweeper_rule(3),),
+            )
+        )
+        store.register_tenant(1)
+        store.put(1, make_rows(300, tenant_id=1))
+        store.flush_all()
+        return store
+
+    def age_past_ttl(self, store):
+        store.set_retention(1, ttl="1h")
+        target_s = BASE_TS / MICROS + 300 + 2 * 3_600
+        store.clock.sleep(max(0.0, target_s - store.clock.now()))
+
+    def test_disabled_sweeper_trips_the_alert(self, store):
+        self.age_past_ttl(store)
+        for _ in range(4):
+            store.run_background_tasks()
+        active = {alert.name for alert in store.obs.alerts.active()}
+        assert "lifecycle-sweeper-stalled" in active
+        # Retention debt is real: candidates exist, nothing was swept.
+        assert len(store.catalog.tenant(1).blocks) > 0
+        admin = store.connect_admin(store.issue_admin_token())
+        rows = admin.execute(
+            "SELECT name, state FROM _system.alerts WHERE name = 'lifecycle-sweeper-stalled'"
+        ).rows
+        assert rows and rows[0]["state"] == "active"
+
+    def test_healthy_sweeper_stays_quiet(self):
+        store = LogStore.create(
+            config=small_test_config(
+                alert_rules=default_alert_rules() + (stalled_sweeper_rule(3),),
+            )
+        )
+        store.register_tenant(1)
+        store.put(1, make_rows(300, tenant_id=1))
+        store.flush_all()
+        store.set_retention(1, ttl="1h")
+        target_s = BASE_TS / MICROS + 300 + 2 * 3_600
+        store.clock.sleep(max(0.0, target_s - store.clock.now()))
+        for _ in range(6):
+            store.run_background_tasks()
+        assert store.catalog.tenant(1).blocks == []  # swept for real
+        active = {alert.name for alert in store.obs.alerts.active()}
+        assert "lifecycle-sweeper-stalled" not in active
+
+    def test_alert_resolves_after_manual_sweep(self, store):
+        self.age_past_ttl(store)
+        for _ in range(4):
+            store.run_background_tasks()
+        assert any(
+            alert.name == "lifecycle-sweeper-stalled"
+            for alert in store.obs.alerts.active()
+        )
+        # An operator runs the sweep by hand; the candidates drain and
+        # the next evaluation resolves the alert.
+        report = store.sweep_expired()
+        assert report.blocks_expired > 0
+        store.run_background_tasks()
+        registry = store.obs.registry.snapshot()
+        assert sum(
+            registry.gauges["logstore_lifecycle_expired_candidates"].values()
+        ) == 0
+        active = {alert.name for alert in store.obs.alerts.active()}
+        assert "lifecycle-sweeper-stalled" not in active
